@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunTestbedQuery(t *testing.T) {
+	err := run("testbed",
+		"type EQ four-legged-animal-search, interval IS 6000",
+		"type IS four-legged-animal-search, instance IS elephant",
+		"", 28, 6*time.Second, 3*time.Minute, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGridAndLine(t *testing.T) {
+	for _, topo := range []string{"grid:3x3", "line:4"} {
+		err := run(topo,
+			"task EQ watch", "task IS watch",
+			"", 28 /* falls back to 1 */, 5*time.Second, 2*time.Minute, 2, false)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][3]string{
+		"bad topology": {"mesh:9", "task EQ x", "task IS x"},
+		"bad grid":     {"grid:9", "task EQ x", "task IS x"},
+		"bad line":     {"line:1", "task EQ x", "task IS x"},
+		"bad query":    {"testbed", "task WAT x", "task IS x"},
+		"bad data":     {"testbed", "task EQ x", "task WAT x"},
+	}
+	for name, c := range cases {
+		if err := run(c[0], c[1], c[2], "", 28, time.Second, time.Second, 1, false); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if err := run("line:3", "task EQ x", "task IS x", "99", 1, time.Second, time.Second, 1, false); err == nil {
+		t.Error("source outside topology must error")
+	}
+	if err := run("line:3", "task EQ x", "task IS x", "zzz", 1, time.Second, time.Second, 1, false); err == nil {
+		t.Error("unparsable sources must error")
+	}
+}

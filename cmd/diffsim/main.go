@@ -1,0 +1,290 @@
+// Command diffsim regenerates the paper's evaluation (section 6): every
+// figure and analytic table, plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	diffsim -experiment fig8              # aggregation benefits (Figure 8)
+//	diffsim -experiment fig9              # nested queries (Figure 9)
+//	diffsim -experiment fig11             # matching cost (Figures 10/11)
+//	diffsim -experiment model             # section 6.1 traffic model
+//	diffsim -experiment energy            # section 6.1 energy model
+//	diffsim -experiment micro             # section 4.3 micro-diffusion budget
+//	diffsim -experiment sweep-exploratory # ablation: exploratory cadence
+//	diffsim -experiment sweep-asymmetry   # ablation: link asymmetry
+//	diffsim -experiment ablate-negrf      # ablation: negative reinforcement
+//	diffsim -experiment duty-cycle        # measured duty-cycle trade-off
+//	diffsim -experiment scale             # grid scalability sweep
+//	diffsim -experiment push-pull         # one-phase push vs two-phase pull
+//	diffsim -experiment latency           # §6.1 aggregation latency claim
+//	diffsim -experiment breakdown         # Fig.8 byte decomposition vs model
+//	diffsim -experiment sweep-capture     # ablation: radio capture effect
+//	diffsim -experiment all               # everything above
+//
+// -quick shrinks runs for a fast smoke pass; -seeds and -duration override
+// the repetition count and per-run virtual time of the simulated
+// experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"diffusion/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, all)")
+		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
+		seeds      = flag.Int("seeds", 0, "override the number of repetitions")
+		duration   = flag.Duration("duration", 0, "override the per-run virtual duration")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *experiment, *quick, *seeds, *duration); err != nil {
+		fmt.Fprintln(os.Stderr, "diffsim:", err)
+		os.Exit(1)
+	}
+}
+
+func seedList(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Duration) error {
+	sep := func() { fmt.Fprintln(w) }
+
+	fig8 := func() {
+		cfg := experiments.DefaultFig8()
+		if quick {
+			cfg.Seeds = seedList(2)
+			cfg.Duration = 10 * time.Minute
+		}
+		if seeds > 0 {
+			cfg.Seeds = seedList(seeds)
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		experiments.PrintFig8(w, experiments.RunFig8(cfg))
+	}
+	fig9 := func() {
+		cfg := experiments.DefaultFig9()
+		if quick {
+			cfg.Seeds = seedList(2)
+			cfg.Duration = 10 * time.Minute
+		}
+		if seeds > 0 {
+			cfg.Seeds = seedList(seeds)
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		experiments.PrintFig9(w, experiments.RunFig9(cfg))
+	}
+	fig11 := func() {
+		cfg := experiments.DefaultFig11()
+		if quick {
+			cfg.Iterations = 100
+			cfg.Shuffles = 50
+		}
+		experiments.PrintFig11(w, experiments.RunFig11(cfg))
+	}
+	sweepExploratory := func() {
+		sl, d := seedList(3), 20*time.Minute
+		if quick {
+			sl, d = seedList(1), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintExploratorySweep(w,
+			experiments.RunExploratorySweep(sl, d, []int{2, 5, 10, 20, 50}))
+	}
+	sweepAsymmetry := func() {
+		sl, d := seedList(3), 20*time.Minute
+		if quick {
+			sl, d = seedList(2), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintAsymmetrySweep(w,
+			experiments.RunAsymmetrySweep(sl, d, []float64{0, 0.8, 2, 4}))
+	}
+	dutyCycle := func() {
+		sl, d := seedList(3), 20*time.Minute
+		if quick {
+			sl, d = seedList(2), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintDutyCycleSweep(w,
+			experiments.RunDutyCycleSweep(sl, d, []float64{1.0, 0.5, 0.22, 0.15, 0.10}))
+	}
+	scale := func() {
+		sl, d := seedList(3), 15*time.Minute
+		sizes := []int{3, 4, 5, 6, 7}
+		if quick {
+			sl, d = seedList(1), 10*time.Minute
+			sizes = []int{3, 5}
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintScaleSweep(w, experiments.RunScaleSweep(sl, d, sizes))
+	}
+	pushPull := func() {
+		sl, d := seedList(3), 20*time.Minute
+		if quick {
+			sl, d = seedList(2), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintPushPull(w, experiments.RunPushPull(sl, d, []int{1, 2, 3, 4}))
+	}
+	latency := func() {
+		sl, d := seedList(3), 20*time.Minute
+		if quick {
+			sl, d = seedList(2), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		window := 500 * time.Millisecond
+		experiments.PrintLatency(w, experiments.RunLatency(sl, d, window), window)
+	}
+	sweepCapture := func() {
+		sl, d := seedList(3), 20*time.Minute
+		if quick {
+			sl, d = seedList(2), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintCaptureSweep(w,
+			experiments.RunCaptureSweep(sl, d, []float64{0, 0.5, 0.7, 0.85, 0.95}))
+	}
+	breakdown := func() {
+		sl, d := seedList(3), 30*time.Minute
+		if quick {
+			sl, d = seedList(2), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintBreakdown(w, experiments.RunBreakdown(sl, d, 4))
+	}
+	negrf := func() {
+		sl, d := seedList(3), 20*time.Minute
+		if quick {
+			sl, d = seedList(2), 10*time.Minute
+		}
+		if seeds > 0 {
+			sl = seedList(seeds)
+		}
+		if duration > 0 {
+			d = duration
+		}
+		experiments.PrintNegRFAblation(w, experiments.RunNegRFAblation(sl, d))
+	}
+
+	switch experiment {
+	case "fig8":
+		fig8()
+	case "fig9":
+		fig9()
+	case "fig11":
+		fig11()
+	case "model":
+		experiments.PrintTrafficModel(w)
+	case "energy":
+		experiments.PrintEnergyModel(w)
+	case "micro":
+		experiments.PrintMicroFootprint(w)
+	case "sweep-exploratory":
+		sweepExploratory()
+	case "sweep-asymmetry":
+		sweepAsymmetry()
+	case "ablate-negrf":
+		negrf()
+	case "duty-cycle":
+		dutyCycle()
+	case "scale":
+		scale()
+	case "push-pull":
+		pushPull()
+	case "latency":
+		latency()
+	case "breakdown":
+		breakdown()
+	case "sweep-capture":
+		sweepCapture()
+	case "all":
+		fig8()
+		sep()
+		fig9()
+		sep()
+		fig11()
+		sep()
+		experiments.PrintTrafficModel(w)
+		sep()
+		experiments.PrintEnergyModel(w)
+		sep()
+		experiments.PrintMicroFootprint(w)
+		sep()
+		sweepExploratory()
+		sep()
+		sweepAsymmetry()
+		sep()
+		negrf()
+		sep()
+		dutyCycle()
+		sep()
+		scale()
+		sep()
+		pushPull()
+		sep()
+		latency()
+		sep()
+		breakdown()
+		sep()
+		sweepCapture()
+	default:
+		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, or all)", experiment)
+	}
+	return nil
+}

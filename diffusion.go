@@ -1,0 +1,155 @@
+// Package diffusion is a from-scratch implementation of directed diffusion
+// with low-level attribute naming, reproducing Heidemann et al., "Building
+// Efficient Wireless Sensor Networks with Low-Level Naming" (SOSP 2001).
+//
+// The package is a facade over the internal subsystems:
+//
+//   - attribute-value-operation tuples and the one-way/two-way matching
+//     rules (internal/attr),
+//   - the diffusion core with gradients, reinforcement and the
+//     publish/subscribe Network Routing API (internal/core),
+//   - the filter architecture for in-network processing and a library of
+//     filters — suppression aggregation, counting aggregation, nested
+//     queries, geographic scoping, elections (internal/filters),
+//   - micro-diffusion for mote-class devices plus the tier gateway
+//     (internal/microdiff),
+//   - and a full wireless substrate: a 13 kb/s lossy broadcast radio with
+//     asymmetric and intermittent links, a primitive CSMA MAC with 27-byte
+//     fragmentation, node topologies including the paper's 14-node ISI
+//     testbed, and a deterministic discrete-event scheduler
+//     (internal/radio, internal/mac, internal/topo, internal/sim).
+//
+// Quickstart:
+//
+//	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+//		Seed:     1,
+//		Topology: diffusion.TestbedTopology(),
+//	})
+//	sink := net.Node(28)
+//	sink.Subscribe(diffusion.Attributes{
+//		diffusion.String(diffusion.KeyTask, diffusion.EQ, "surveillance"),
+//	}, func(m *diffusion.Message) { fmt.Println("got", m.Attrs) })
+//	src := net.Node(13)
+//	pub := src.Publish(diffusion.Attributes{
+//		diffusion.String(diffusion.KeyTask, diffusion.IS, "surveillance"),
+//	})
+//	net.Every(6*time.Second, func() { src.Send(pub, nil) })
+//	net.Run(30 * time.Minute) // simulated time; completes in milliseconds
+package diffusion
+
+import (
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+)
+
+// Core naming types, re-exported from the attribute layer.
+type (
+	// Attribute is one attribute-value-operation tuple.
+	Attribute = attr.Attribute
+	// Attributes is an attribute set — the unit of naming for interests,
+	// data, and filter patterns.
+	Attributes = attr.Vec
+	// Key identifies an attribute (see RegisterKey).
+	Key = attr.Key
+	// Op is the attribute operation (IS, EQ, NE, LT, LE, GT, GE, EQAny).
+	Op = attr.Op
+	// Value is a typed attribute value.
+	Value = attr.Value
+	// Message is a diffusion message as seen by callbacks and filters.
+	Message = message.Message
+	// MessageClass distinguishes interests, data, exploratory data and
+	// reinforcements.
+	MessageClass = message.Class
+	// NodeID is a link-layer neighbor identifier.
+	NodeID = message.NodeID
+)
+
+// Attribute operations (see the paper's section 3.2). IS binds an actual
+// value; the others are formals resolved during matching.
+const (
+	IS    = attr.IS
+	EQ    = attr.EQ
+	NE    = attr.NE
+	LT    = attr.LT
+	LE    = attr.LE
+	GT    = attr.GT
+	GE    = attr.GE
+	EQAny = attr.EQAny
+)
+
+// Message classes.
+const (
+	ClassInterest        = message.Interest
+	ClassData            = message.Data
+	ClassExploratoryData = message.ExploratoryData
+	ClassPositiveReinf   = message.PositiveReinforcement
+	ClassNegativeReinf   = message.NegativeReinforcement
+	ClassInterestValue   = attr.ClassInterest
+	ClassDataValue       = attr.ClassData
+	BroadcastNodeID      = message.Broadcast
+)
+
+// Well-known attribute keys (the paper's pre-defined shared vocabulary).
+const (
+	KeyClass      = attr.KeyClass
+	KeyTask       = attr.KeyTask
+	KeyType       = attr.KeyType
+	KeyInterval   = attr.KeyInterval
+	KeyDuration   = attr.KeyDuration
+	KeyX          = attr.KeyX
+	KeyY          = attr.KeyY
+	KeyLatitude   = attr.KeyLatitude
+	KeyLongitude  = attr.KeyLongitude
+	KeyInstance   = attr.KeyInstance
+	KeyIntensity  = attr.KeyIntensity
+	KeyConfidence = attr.KeyConfidence
+	KeyTimestamp  = attr.KeyTimestamp
+	KeyTarget     = attr.KeyTarget
+	KeySubtype    = attr.KeySubtype
+	KeySequence   = attr.KeySequence
+	KeyPayload    = attr.KeyPayload
+	KeyCount      = attr.KeyCount
+)
+
+// Attribute constructors.
+var (
+	// Int32 returns an attribute with an int32 value.
+	Int32 = attr.Int32Attr
+	// Int64 returns an attribute with an int64 value.
+	Int64 = attr.Int64Attr
+	// Float32 returns an attribute with a float32 value.
+	Float32 = attr.Float32Attr
+	// Float64 returns an attribute with a float64 value.
+	Float64 = attr.Float64Attr
+	// String returns an attribute with a string value.
+	String = attr.StringAttr
+	// Blob returns an attribute with an opaque binary value.
+	Blob = attr.BlobAttr
+	// Any returns the wildcard formal "key EQ_ANY".
+	Any = attr.Any
+)
+
+// RegisterKey allocates (or returns) the key for an application-defined
+// attribute name, standing in for the paper's central key authority.
+func RegisterKey(name string) Key { return attr.RegisterKey(name) }
+
+// KeyName returns the registered name of a key.
+func KeyName(k Key) string { return attr.KeyName(k) }
+
+// Match reports a complete two-way attribute match between two sets, and
+// OneWayMatch the one-way match of the paper's Figure 2.
+var (
+	Match       = attr.Match
+	OneWayMatch = attr.OneWayMatch
+)
+
+// UnmarshalMessage decodes a diffusion message from its wire encoding.
+var UnmarshalMessage = message.Unmarshal
+
+// ParseAttributes parses the paper's textual attribute notation, e.g.
+// "type EQ four-legged-animal-search, interval IS 20, x GE -100".
+var ParseAttributes = attr.ParseVec
+
+// MustParseAttributes is ParseAttributes for trusted literals; it panics
+// on malformed input.
+var MustParseAttributes = attr.MustParseVec

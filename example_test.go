@@ -1,0 +1,97 @@
+package diffusion_test
+
+import (
+	"fmt"
+	"time"
+
+	"diffusion"
+)
+
+// Example demonstrates the core publish/subscribe flow on a three-node
+// line: attribute-named interests, gradient setup, and delivery over the
+// simulated radio.
+func Example() {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     42,
+		Topology: diffusion.LineTopology(3, 10),
+		Radio:    ptr(diffusion.PerfectRadio()),
+	})
+
+	sink := net.Node(1)
+	sink.Subscribe(diffusion.Attributes{
+		diffusion.String(diffusion.KeyType, diffusion.EQ, "temperature"),
+	}, func(m *diffusion.Message) {
+		v, _ := m.Attrs.FindActual(diffusion.KeyIntensity)
+		fmt.Printf("reading: %v\n", v.Val)
+	})
+
+	source := net.Node(3)
+	pub := source.Publish(diffusion.Attributes{
+		diffusion.String(diffusion.KeyType, diffusion.IS, "temperature"),
+	})
+	net.After(2*time.Second, func() {
+		source.Send(pub, diffusion.Attributes{
+			diffusion.Float64(diffusion.KeyIntensity, diffusion.IS, 21.5),
+		})
+	})
+	net.Run(10 * time.Second)
+	// Output: reading: 21.5
+}
+
+// ExampleMatch shows the paper's two-way matching rules: formals (EQ, GT,
+// ...) in one set must be satisfied by actuals (IS) in the other.
+func ExampleMatch() {
+	interest := diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.EQ, "detectAnimal"),
+		diffusion.Float64(diffusion.KeyConfidence, diffusion.GT, 0.5),
+	}
+	strong := diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.IS, "detectAnimal"),
+		diffusion.Float64(diffusion.KeyConfidence, diffusion.IS, 0.85),
+	}
+	weak := diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.IS, "detectAnimal"),
+		diffusion.Float64(diffusion.KeyConfidence, diffusion.IS, 0.3),
+	}
+	fmt.Println(diffusion.Match(interest, strong))
+	fmt.Println(diffusion.Match(interest, weak))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleNetwork_NewSuppression shows in-network aggregation: two sources
+// report the same event, and the suppression filter on the shared relay
+// delivers it once.
+func ExampleNetwork_NewSuppression() {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     7,
+		Topology: diffusion.LineTopology(4, 10), // sink-relay-srcA-srcB
+		Radio:    ptr(diffusion.PerfectRadio()),
+	})
+	net.NewSuppression(net.Node(2), diffusion.SuppressionOptions{
+		IdentityKeys: []diffusion.Key{diffusion.KeySequence},
+	})
+
+	deliveries := 0
+	net.Node(1).Subscribe(diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.EQ, "watch"),
+	}, func(*diffusion.Message) { deliveries++ })
+
+	for _, id := range []uint32{3, 4} {
+		n := net.Node(id)
+		pub := n.Publish(diffusion.Attributes{
+			diffusion.String(diffusion.KeyTask, diffusion.IS, "watch"),
+		})
+		net.After(2*time.Second, func() {
+			n.Send(pub, diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, 99),
+			})
+		})
+	}
+	net.Run(30 * time.Second)
+	fmt.Printf("event delivered %d time(s)\n", deliveries)
+	// Output: event delivered 1 time(s)
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,3 @@
+module diffusion
+
+go 1.22

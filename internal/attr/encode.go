@@ -1,0 +1,203 @@
+package attr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Wire format. Attribute vectors are encoded as:
+//
+//	uint16 count
+//	count × { uint32 key | uint8 op | uint8 type | value }
+//
+// where value is 4 bytes (int32/float32), 8 bytes (int64/float64), or a
+// uint16 length followed by that many bytes (string/blob). All integers are
+// big-endian. The format is compact enough that the paper's ~100-127 byte
+// message sizes are reachable with realistic attribute sets.
+
+const (
+	vecHeaderSize  = 2
+	attrHeaderSize = 4 + 1 + 1
+)
+
+// Encoding errors.
+var (
+	ErrTruncated  = errors.New("attr: truncated encoding")
+	ErrBadOp      = errors.New("attr: invalid operation")
+	ErrBadType    = errors.New("attr: invalid value type")
+	ErrTooManyAtt = errors.New("attr: too many attributes")
+)
+
+// maxVecLen bounds decoded vectors, protecting the diffusion core from
+// malformed frames.
+const maxVecLen = 4096
+
+// AppendEncode appends the wire encoding of v to dst and returns the
+// extended slice.
+func (v Vec) AppendEncode(dst []byte) []byte {
+	if len(v) > maxVecLen {
+		panic(ErrTooManyAtt)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(v)))
+	for _, a := range v {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(a.Key))
+		dst = append(dst, byte(a.Op), byte(a.Val.Type))
+		switch a.Val.Type {
+		case TypeInt32, TypeFloat32:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(a.Val.num))
+		case TypeInt64, TypeFloat64:
+			dst = binary.BigEndian.AppendUint64(dst, a.Val.num)
+		case TypeString:
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(a.Val.str)))
+			dst = append(dst, a.Val.str...)
+		case TypeBlob:
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(a.Val.blob)))
+			dst = append(dst, a.Val.blob...)
+		}
+	}
+	return dst
+}
+
+// Encode returns the wire encoding of v.
+func (v Vec) Encode() []byte { return v.AppendEncode(make([]byte, 0, v.Size())) }
+
+// DecodeVec decodes one attribute vector from the front of b and returns it
+// together with the number of bytes consumed.
+func DecodeVec(b []byte) (Vec, int, error) {
+	if len(b) < vecHeaderSize {
+		return nil, 0, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n > maxVecLen {
+		return nil, 0, ErrTooManyAtt
+	}
+	off := vecHeaderSize
+	v := make(Vec, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b)-off < attrHeaderSize {
+			return nil, 0, ErrTruncated
+		}
+		a := Attribute{
+			Key: Key(binary.BigEndian.Uint32(b[off:])),
+			Op:  Op(b[off+4]),
+		}
+		t := Type(b[off+5])
+		off += attrHeaderSize
+		if !a.Op.Valid() {
+			return nil, 0, fmt.Errorf("%w: %d", ErrBadOp, a.Op)
+		}
+		switch t {
+		case TypeInt32, TypeFloat32:
+			if len(b)-off < 4 {
+				return nil, 0, ErrTruncated
+			}
+			a.Val = Value{Type: t, num: uint64(binary.BigEndian.Uint32(b[off:]))}
+			off += 4
+		case TypeInt64, TypeFloat64:
+			if len(b)-off < 8 {
+				return nil, 0, ErrTruncated
+			}
+			a.Val = Value{Type: t, num: binary.BigEndian.Uint64(b[off:])}
+			off += 8
+		case TypeString, TypeBlob:
+			if len(b)-off < 2 {
+				return nil, 0, ErrTruncated
+			}
+			l := int(binary.BigEndian.Uint16(b[off:]))
+			off += 2
+			if len(b)-off < l {
+				return nil, 0, ErrTruncated
+			}
+			if t == TypeString {
+				a.Val = StringValue(string(b[off : off+l]))
+			} else {
+				a.Val = BlobValue(b[off : off+l])
+			}
+			off += l
+		default:
+			return nil, 0, fmt.Errorf("%w: %d", ErrBadType, t)
+		}
+		v = append(v, a)
+	}
+	return v, off, nil
+}
+
+// Hash returns a canonical 64-bit hash of the vector, insensitive to
+// attribute order. The diffusion core compares hashes instead of complete
+// attribute sets for duplicate suppression, the optimization section 3.1
+// describes ("hashes of attributes can be computed and compared rather than
+// complete data").
+func (v Vec) Hash() uint64 {
+	// Hash each attribute independently, then combine order-insensitively.
+	var sum, xor uint64
+	for _, a := range v {
+		h := fnv.New64a()
+		var buf [attrHeaderSize + 8]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(a.Key))
+		buf[4] = byte(a.Op)
+		buf[5] = byte(a.Val.Type)
+		binary.BigEndian.PutUint64(buf[6:], a.Val.num)
+		h.Write(buf[:])
+		switch a.Val.Type {
+		case TypeString:
+			h.Write([]byte(a.Val.str))
+		case TypeBlob:
+			h.Write(a.Val.blob)
+		}
+		hv := h.Sum64()
+		sum += hv
+		xor ^= hv
+	}
+	return sum ^ (xor * 0x9e3779b97f4a7c15)
+}
+
+// Canonical returns a copy of v sorted by (key, op, type, value string),
+// giving a deterministic rendering for logs and tests.
+func (v Vec) Canonical() Vec {
+	out := v.Clone()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Val.Type != b.Val.Type {
+			return a.Val.Type < b.Val.Type
+		}
+		return a.Val.String() < b.Val.String()
+	})
+	return out
+}
+
+// Equal reports whether a and b contain the same attributes in the same
+// order.
+func (v Vec) Equal(o Vec) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if !attrEqual(v[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func attrEqual(a, b Attribute) bool {
+	if a.Key != b.Key || a.Op != b.Op || a.Val.Type != b.Val.Type {
+		return false
+	}
+	switch a.Val.Type {
+	case TypeString:
+		return a.Val.str == b.Val.str
+	case TypeBlob:
+		return string(a.Val.blob) == string(b.Val.blob)
+	default:
+		return a.Val.num == b.Val.num
+	}
+}

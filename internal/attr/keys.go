@@ -1,0 +1,170 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The key registry plays the role of the paper's "central authority" that
+// assigns unique one-way match keys ("we implement these as simple 32-bit
+// numbers and assume out-of-band coordination of their values"). Well-known
+// keys used throughout the paper's examples are pre-registered; applications
+// register their own with RegisterKey.
+
+// Well-known keys. The numbering below the application range is fixed so
+// that wire traffic is stable across builds.
+const (
+	// KeyClass distinguishes message roles: interest vs data.
+	KeyClass Key = 1
+	// KeyTask names the task ("detectAnimal", "four-legged-animal-search").
+	KeyTask Key = 2
+	// KeyType names a sensor or data type.
+	KeyType Key = 3
+	// KeyInterval is the requested reporting interval in milliseconds.
+	KeyInterval Key = 4
+	// KeyDuration is the query lifetime in milliseconds.
+	KeyDuration Key = 5
+	// KeyX and KeyY are planar coordinates for rectangular region scoping.
+	KeyX Key = 6
+	KeyY Key = 7
+	// KeyLatitude and KeyLongitude are the geographic variants used in the
+	// paper's Figure 10 matching experiment.
+	KeyLatitude  Key = 8
+	KeyLongitude Key = 9
+	// KeyInstance identifies what was detected ("elephant").
+	KeyInstance Key = 10
+	// KeyIntensity and KeyConfidence qualify a detection.
+	KeyIntensity  Key = 11
+	KeyConfidence Key = 12
+	// KeyTimestamp is the detection time in milliseconds since epoch.
+	KeyTimestamp Key = 13
+	// KeyTarget is the detection target class ("4-leg").
+	KeyTarget Key = 14
+	// KeySubtype clarifies a general type attribute (section 3.2).
+	KeySubtype Key = 15
+	// KeySequence carries the experiment sequence numbers used for
+	// duplicate suppression in the Figure 8 aggregation filter.
+	KeySequence Key = 16
+	// KeyPayload carries opaque sensor bytes (used to pad messages to the
+	// sizes the paper reports).
+	KeyPayload Key = 17
+	// KeyExtra is the filler attribute ("extra IS lot") from the Figure 11
+	// matching cost experiment.
+	KeyExtra Key = 18
+	// KeyCount carries the number of aggregated detections (section 3.3:
+	// "a more sophisticated filter could count the number of detecting
+	// sensors and add that as an additional attribute").
+	KeyCount Key = 19
+	// KeyAlgorithm distinguishes diffusion variants on the wire (the
+	// reference implementation's NRAlgorithmAttr): two-phase pull by
+	// default, one-phase push for flows marked AlgorithmPush.
+	KeyAlgorithm Key = 20
+
+	// firstAppKey is the first key handed out by RegisterKey.
+	firstAppKey Key = 1000
+)
+
+// Class attribute values. The paper adds an implicit "class IS interest"
+// to every interest and "class IS data" to every data message.
+const (
+	// ClassInterest marks interest messages.
+	ClassInterest int32 = 1
+	// ClassData marks data messages.
+	ClassData int32 = 2
+)
+
+// ClassIsInterest is the implicit attribute added to interests.
+func ClassIsInterest() Attribute { return Int32Attr(KeyClass, IS, ClassInterest) }
+
+// ClassIsData is the implicit attribute added to data messages.
+func ClassIsData() Attribute { return Int32Attr(KeyClass, IS, ClassData) }
+
+// Algorithm attribute values.
+const (
+	// AlgorithmPush marks one-phase-push data: exploratory messages flood
+	// without pre-established interest state, and reinforcements install
+	// the path state instead of interests.
+	AlgorithmPush int32 = 2
+)
+
+// AlgorithmIsPush is the marker attribute on push data.
+func AlgorithmIsPush() Attribute { return Int32Attr(KeyAlgorithm, IS, AlgorithmPush) }
+
+var registry = struct {
+	sync.Mutex
+	names map[Key]string
+	keys  map[string]Key
+	next  Key
+}{
+	names: map[Key]string{
+		KeyClass:      "class",
+		KeyTask:       "task",
+		KeyType:       "type",
+		KeyInterval:   "interval",
+		KeyDuration:   "duration",
+		KeyX:          "x",
+		KeyY:          "y",
+		KeyLatitude:   "latitude",
+		KeyLongitude:  "longitude",
+		KeyInstance:   "instance",
+		KeyIntensity:  "intensity",
+		KeyConfidence: "confidence",
+		KeyTimestamp:  "timestamp",
+		KeyTarget:     "target",
+		KeySubtype:    "subtype",
+		KeySequence:   "sequence",
+		KeyPayload:    "payload",
+		KeyExtra:      "extra",
+		KeyCount:      "count",
+		KeyAlgorithm:  "algorithm",
+	},
+	keys: map[string]Key{},
+	next: firstAppKey,
+}
+
+func init() {
+	for k, n := range registry.names {
+		registry.keys[n] = k
+	}
+}
+
+// RegisterKey allocates (or returns the existing) key for name. It is safe
+// for concurrent use. Registration stands in for the paper's out-of-band
+// central authority.
+func RegisterKey(name string) Key {
+	registry.Lock()
+	defer registry.Unlock()
+	if k, ok := registry.keys[name]; ok {
+		return k
+	}
+	k := registry.next
+	registry.next++
+	registry.keys[name] = k
+	registry.names[k] = name
+	return k
+}
+
+// KeyName returns the registered name for k, or a numeric rendering for
+// unregistered keys.
+func KeyName(k Key) string {
+	registry.Lock()
+	defer registry.Unlock()
+	if n, ok := registry.names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("key%d", uint32(k))
+}
+
+// RegisteredKeys returns all registered keys in ascending order; useful for
+// diagnostics and the tap filter's human-readable logs.
+func RegisteredKeys() []Key {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Key, 0, len(registry.names))
+	for k := range registry.names {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,119 @@
+package attr
+
+import "bytes"
+
+// This file implements the paper's Figure 2 one-way matching algorithm and
+// the two-way (complete) match built from it.
+//
+//	one-way match: given two attribute sets A and B
+//	  for each attribute a in A where a.op is a formal {
+//	    matched = false
+//	    for each attribute b in B where a.key = b.key and b.op is an actual
+//	      if a.val compares with b.val using a.op, then matched = true
+//	    if not matched then return false (no match)
+//	  }
+//	  return true (successful one-way match)
+//
+// The comparison direction follows the paper's worked example: the formal
+// "confidence GT 0.5" is satisfied by the actual "confidence IS 0.7" (and
+// not by "confidence IS 0.3"), i.e. the actual's value must stand in the
+// formal's relation to the formal's value: actual OP formal-value.
+
+// OneWayMatch reports whether every formal in a is satisfied by some actual
+// in b. Formals in b are ignored; a's actuals impose no constraints.
+func OneWayMatch(a, b Vec) bool {
+	for _, fa := range a {
+		if !fa.Op.IsFormal() {
+			continue
+		}
+		matched := false
+		for _, ab := range b {
+			if ab.Key != fa.Key || !ab.Op.IsActual() {
+				continue
+			}
+			if satisfies(ab.Val, fa.Op, fa.Val) {
+				matched = true
+				// The paper's algorithm keeps scanning; breaking early is
+				// behaviour-preserving and is one of the optimizations
+				// section 6.3 anticipates.
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// Match reports a complete (two-way) match: OneWayMatch succeeds from a to
+// b and from b to a.
+func Match(a, b Vec) bool {
+	return OneWayMatch(a, b) && OneWayMatch(b, a)
+}
+
+// satisfies reports whether the actual value av stands in relation op to
+// the formal value fv. Comparisons across numeric widths widen to float64;
+// other cross-type comparisons fail (except EQAny, which always succeeds,
+// and NE, which is vacuously true for incomparable values).
+func satisfies(av Value, op Op, fv Value) bool {
+	if op == EQAny {
+		return true
+	}
+	if av.Numeric() && fv.Numeric() {
+		return cmpOK(compareFloat(av.AsFloat(), fv.AsFloat()), op)
+	}
+	if av.Type != fv.Type {
+		// Incomparable types: only NE holds.
+		return op == NE
+	}
+	switch av.Type {
+	case TypeString:
+		return cmpOK(compareString(av.str, fv.str), op)
+	case TypeBlob:
+		return cmpOK(bytes.Compare(av.blob, fv.blob), op)
+	default:
+		return false
+	}
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpOK(c int, op Op) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,294 @@
+package attr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure10Interest and figure10Data are the attribute sets of the paper's
+// Figure 10, used for the matching experiments.
+func figure10Interest() Vec {
+	return Vec{
+		Int32Attr(KeyClass, IS, ClassInterest),
+		StringAttr(KeyTask, EQ, "detectAnimal"),
+		Float64Attr(KeyConfidence, GT, 50),
+		Float64Attr(KeyLatitude, GE, 10.0),
+		Float64Attr(KeyLatitude, LE, 100.0),
+		Float64Attr(KeyLongitude, GE, 5.0),
+		Float64Attr(KeyLongitude, LE, 95.0),
+		StringAttr(KeyTarget, IS, "4-leg"),
+	}
+}
+
+func figure10Data() Vec {
+	return Vec{
+		Int32Attr(KeyClass, IS, ClassData),
+		StringAttr(KeyTask, IS, "detectAnimal"),
+		Float64Attr(KeyConfidence, IS, 90),
+		Float64Attr(KeyLatitude, IS, 20.0),
+		Float64Attr(KeyLongitude, IS, 80.0),
+		StringAttr(KeyTarget, IS, "4-leg"),
+	}
+}
+
+func TestFigure10SetsMatchOneWay(t *testing.T) {
+	in, data := figure10Interest(), figure10Data()
+	if !OneWayMatch(in, data) {
+		t.Fatalf("interest formals should be satisfied by data actuals:\n%v\n%v", in, data)
+	}
+	// The data set has no formals, so the reverse one-way match holds
+	// vacuously and the two-way match succeeds.
+	if !OneWayMatch(data, in) {
+		t.Fatal("data→interest one-way match should hold vacuously")
+	}
+	if !Match(in, data) {
+		t.Fatal("two-way match should succeed")
+	}
+}
+
+func TestFigure10NoMatchWhenConfidenceLow(t *testing.T) {
+	in, data := figure10Interest(), figure10Data()
+	// The Figure 11 "no-match" variant: confidence changed from 90 to 10
+	// fails the "confidence GT 50" formal.
+	for i, a := range data {
+		if a.Key == KeyConfidence {
+			data[i] = Float64Attr(KeyConfidence, IS, 10)
+		}
+	}
+	if OneWayMatch(in, data) {
+		t.Fatal("confidence IS 10 must not satisfy confidence GT 50")
+	}
+}
+
+// TestPaperConfidenceExamples checks the worked example of section 3.2:
+// "confidence GT 0.5" must have an actual such as "confidence IS 0.7" and
+// would not match "confidence IS 0.3", "confidence LT 0.7", or
+// "confidence GT 0.7".
+func TestPaperConfidenceExamples(t *testing.T) {
+	formal := Vec{Float64Attr(KeyConfidence, GT, 0.5)}
+	cases := []struct {
+		name string
+		b    Vec
+		want bool
+	}{
+		{"IS 0.7 matches", Vec{Float64Attr(KeyConfidence, IS, 0.7)}, true},
+		{"IS 0.3 fails", Vec{Float64Attr(KeyConfidence, IS, 0.3)}, false},
+		{"LT 0.7 is a formal, not an actual", Vec{Float64Attr(KeyConfidence, LT, 0.7)}, false},
+		{"GT 0.7 is a formal, not an actual", Vec{Float64Attr(KeyConfidence, GT, 0.7)}, false},
+		{"empty set fails", nil, false},
+		{"actual for different key fails", Vec{Float64Attr(KeyIntensity, IS, 0.7)}, false},
+	}
+	for _, c := range cases {
+		if got := OneWayMatch(formal, c.b); got != c.want {
+			t.Errorf("%s: OneWayMatch=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	k := KeyConfidence
+	cases := []struct {
+		op     Op
+		formal float64
+		actual float64
+		want   bool
+	}{
+		{EQ, 5, 5, true}, {EQ, 5, 6, false},
+		{NE, 5, 6, true}, {NE, 5, 5, false},
+		{LT, 5, 4, true}, {LT, 5, 5, false}, {LT, 5, 6, false},
+		{LE, 5, 5, true}, {LE, 5, 6, false}, {LE, 5, 4, true},
+		{GT, 5, 6, true}, {GT, 5, 5, false}, {GT, 5, 4, false},
+		{GE, 5, 5, true}, {GE, 5, 4, false}, {GE, 5, 6, true},
+		{EQAny, 5, -1e18, true},
+	}
+	for _, c := range cases {
+		a := Vec{Float64Attr(k, c.op, c.formal)}
+		b := Vec{Float64Attr(k, IS, c.actual)}
+		if got := OneWayMatch(a, b); got != c.want {
+			t.Errorf("formal %v %v vs actual IS %v: got %v, want %v",
+				c.op, c.formal, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestCrossNumericWidths(t *testing.T) {
+	// Integer actuals satisfy float formals and vice versa: the region
+	// check "x GE -100" must accept "x IS 125" whatever the integer width.
+	formals := Vec{Int32Attr(KeyX, GE, -100), Int32Attr(KeyX, LE, 200)}
+	for _, actual := range []Attribute{
+		Int32Attr(KeyX, IS, 125),
+		Int64Attr(KeyX, IS, 125),
+		Float32Attr(KeyX, IS, 125),
+		Float64Attr(KeyX, IS, 125),
+	} {
+		if !OneWayMatch(formals, Vec{actual}) {
+			t.Errorf("actual %v should satisfy region formals", actual)
+		}
+	}
+	if OneWayMatch(formals, Vec{Int32Attr(KeyX, IS, 300)}) {
+		t.Error("x IS 300 must not satisfy x LE 200")
+	}
+}
+
+func TestIncomparableTypes(t *testing.T) {
+	// A string actual cannot satisfy a numeric EQ formal, but satisfies NE
+	// (values of different types are trivially unequal) and EQAny.
+	str := Vec{StringAttr(KeyInstance, IS, "elephant")}
+	if OneWayMatch(Vec{Float64Attr(KeyInstance, EQ, 1)}, str) {
+		t.Error("string actual must not satisfy numeric EQ")
+	}
+	if !OneWayMatch(Vec{Float64Attr(KeyInstance, NE, 1)}, str) {
+		t.Error("string actual should satisfy numeric NE")
+	}
+	if !OneWayMatch(Vec{Any(KeyInstance)}, str) {
+		t.Error("EQ_ANY must match any actual")
+	}
+	if OneWayMatch(Vec{StringAttr(KeyInstance, GT, "a")}, Vec{BlobAttr(KeyInstance, IS, []byte("b"))}) {
+		t.Error("blob actual must not satisfy string GT")
+	}
+}
+
+func TestStringAndBlobComparisons(t *testing.T) {
+	if !OneWayMatch(Vec{StringAttr(KeyTask, EQ, "detectAnimal")},
+		Vec{StringAttr(KeyTask, IS, "detectAnimal")}) {
+		t.Error("string EQ should match identical actual")
+	}
+	if !OneWayMatch(Vec{StringAttr(KeyTask, GT, "a")}, Vec{StringAttr(KeyTask, IS, "b")}) {
+		t.Error("string GT should use lexicographic order")
+	}
+	if !OneWayMatch(Vec{BlobAttr(KeyPayload, EQ, []byte{1, 2})},
+		Vec{BlobAttr(KeyPayload, IS, []byte{1, 2})}) {
+		t.Error("blob EQ should match identical bytes")
+	}
+	if OneWayMatch(Vec{BlobAttr(KeyPayload, EQ, []byte{1, 2})},
+		Vec{BlobAttr(KeyPayload, IS, []byte{1, 3})}) {
+		t.Error("blob EQ must fail on different bytes")
+	}
+}
+
+// TestAllFormalsAnded verifies the paper's "anded together" semantics: all
+// formals must be satisfied.
+func TestAllFormalsAnded(t *testing.T) {
+	formals := Vec{
+		Float64Attr(KeyX, GE, -100), Float64Attr(KeyX, LE, 200),
+		Float64Attr(KeyY, GE, 100), Float64Attr(KeyY, LE, 400),
+	}
+	inside := Vec{Float64Attr(KeyX, IS, 125), Float64Attr(KeyY, IS, 220)}
+	outside := Vec{Float64Attr(KeyX, IS, 125), Float64Attr(KeyY, IS, 500)}
+	if !OneWayMatch(formals, inside) {
+		t.Error("point inside rectangle should match")
+	}
+	if OneWayMatch(formals, outside) {
+		t.Error("point outside rectangle must not match")
+	}
+}
+
+// TestMultipleActualsSameKey: a formal is satisfied if ANY actual with the
+// key satisfies it (the inner loop of Figure 2 sets matched on any hit).
+func TestMultipleActualsSameKey(t *testing.T) {
+	a := Vec{Float64Attr(KeyConfidence, GT, 0.5)}
+	b := Vec{
+		Float64Attr(KeyConfidence, IS, 0.1),
+		Float64Attr(KeyConfidence, IS, 0.9),
+	}
+	if !OneWayMatch(a, b) {
+		t.Error("any satisfying actual should suffice")
+	}
+}
+
+func TestEmptyVectors(t *testing.T) {
+	if !OneWayMatch(nil, nil) {
+		t.Error("no formals: vacuous one-way match must succeed")
+	}
+	if !Match(nil, nil) {
+		t.Error("two empty sets match")
+	}
+	if !OneWayMatch(Vec{Float64Attr(KeyX, IS, 1)}, nil) {
+		t.Error("actual-only set has no formals to satisfy")
+	}
+}
+
+// Property: adding more actuals to B never breaks an existing one-way match
+// from A (actuals only widen what B offers).
+func TestQuickAddingActualsMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(formalVal, actualVal, extraVal int32, opPick uint8) bool {
+		op := []Op{EQ, NE, LT, LE, GT, GE, EQAny}[int(opPick)%7]
+		a := Vec{Int32Attr(KeyConfidence, op, formalVal)}
+		b := Vec{Int32Attr(KeyConfidence, IS, actualVal)}
+		before := OneWayMatch(a, b)
+		b2 := b.With(Int32Attr(Key(rng.Intn(30)+1), IS, extraVal))
+		after := OneWayMatch(a, b2)
+		return !before || after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: one-way matching is invariant under permutation of both sets.
+func TestQuickMatchOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVec(r, 6)
+		b := randomVec(r, 6)
+		want := OneWayMatch(a, b)
+		ap, bp := a.Clone(), b.Clone()
+		r.Shuffle(len(ap), func(i, j int) { ap[i], ap[j] = ap[j], ap[i] })
+		r.Shuffle(len(bp), func(i, j int) { bp[i], bp[j] = bp[j], bp[i] })
+		return OneWayMatch(ap, bp) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Match is symmetric.
+func TestQuickMatchSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVec(r, 5)
+		b := randomVec(r, 5)
+		return Match(a, b) == Match(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a vector of actuals always two-way-matches itself.
+func TestQuickActualSelfMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := make(Vec, 0, 5)
+		for i := 0; i < 5; i++ {
+			v = append(v, Int32Attr(Key(r.Intn(10)+1), IS, int32(r.Intn(100))))
+		}
+		return Match(v, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomVec(r *rand.Rand, n int) Vec {
+	v := make(Vec, 0, n)
+	ops := []Op{IS, EQ, NE, LT, LE, GT, GE, EQAny}
+	for i := 0; i < n; i++ {
+		k := Key(r.Intn(8) + 1)
+		op := ops[r.Intn(len(ops))]
+		switch r.Intn(3) {
+		case 0:
+			v = append(v, Int32Attr(k, op, int32(r.Intn(10))))
+		case 1:
+			v = append(v, Float64Attr(k, op, float64(r.Intn(10))))
+		default:
+			v = append(v, StringAttr(k, op, string(rune('a'+r.Intn(4)))))
+		}
+	}
+	return v
+}

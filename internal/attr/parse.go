@@ -1,0 +1,153 @@
+package attr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses the paper's textual attribute notation, as used in its
+// worked examples:
+//
+//	type EQ four-legged-animal-search, interval IS 20, x GE -100, x LE 200
+//
+// Each clause is `key OP value` (comma-separated); EQ_ANY takes no value.
+// Keys resolve through the registry (unknown names are registered, exactly
+// as an application would). Values parse as int32 when they look like
+// integers, float64 when they look like reals, and strings otherwise;
+// quoted strings are always strings. ParseVec is the inverse of
+// Vec.String up to value-type details, and is what the query CLI uses.
+
+// ParseOp parses an operation name.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToUpper(s) {
+	case "IS":
+		return IS, nil
+	case "EQ":
+		return EQ, nil
+	case "NE":
+		return NE, nil
+	case "LT":
+		return LT, nil
+	case "LE":
+		return LE, nil
+	case "GT":
+		return GT, nil
+	case "GE":
+		return GE, nil
+	case "EQ_ANY", "EQANY", "ANY":
+		return EQAny, nil
+	default:
+		return 0, fmt.Errorf("attr: unknown operation %q", s)
+	}
+}
+
+// ParseVec parses a comma-separated list of `key OP value` clauses.
+func ParseVec(s string) (Vec, error) {
+	var out Vec
+	for _, clause := range splitClauses(s) {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		a, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// MustParseVec is ParseVec for trusted literals; it panics on error.
+func MustParseVec(s string) Vec {
+	v, err := ParseVec(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// splitClauses splits on commas outside double quotes.
+func splitClauses(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func parseClause(clause string) (Attribute, error) {
+	fields := splitFields(clause)
+	if len(fields) < 2 {
+		return Attribute{}, fmt.Errorf("attr: clause %q needs `key OP value`", clause)
+	}
+	key := RegisterKey(fields[0])
+	op, err := ParseOp(fields[1])
+	if err != nil {
+		return Attribute{}, fmt.Errorf("attr: clause %q: %w", clause, err)
+	}
+	if op == EQAny {
+		if len(fields) > 2 {
+			return Attribute{}, fmt.Errorf("attr: clause %q: EQ_ANY takes no value", clause)
+		}
+		return Any(key), nil
+	}
+	if len(fields) != 3 {
+		return Attribute{}, fmt.Errorf("attr: clause %q needs exactly one value", clause)
+	}
+	return Attribute{Key: key, Op: op, Val: parseValue(fields[2])}, nil
+}
+
+// splitFields splits a clause into at most three whitespace-separated
+// fields, keeping a quoted final value intact.
+func splitFields(clause string) []string {
+	clause = strings.TrimSpace(clause)
+	var out []string
+	for len(clause) > 0 && len(out) < 2 {
+		i := strings.IndexAny(clause, " \t")
+		if i < 0 {
+			out = append(out, clause)
+			return out
+		}
+		out = append(out, clause[:i])
+		clause = strings.TrimLeft(clause[i:], " \t")
+	}
+	if clause != "" {
+		out = append(out, clause)
+	}
+	return out
+}
+
+// parseValue infers the value type: quoted → string; integer-looking →
+// int32 (int64 when it overflows); real-looking → float64; otherwise a
+// bare string.
+func parseValue(s string) Value {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if unq, err := strconv.Unquote(s); err == nil {
+			return StringValue(unq)
+		}
+		return StringValue(s[1 : len(s)-1])
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if i >= -1<<31 && i < 1<<31 {
+			return Int32Value(int32(i))
+		}
+		return Int64Value(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float64Value(f)
+	}
+	return StringValue(s)
+}

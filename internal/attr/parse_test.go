@@ -1,0 +1,114 @@
+package attr
+
+import (
+	"testing"
+)
+
+func TestParsePaperInterest(t *testing.T) {
+	// The section 3.2 worked example, verbatim modulo units.
+	v, err := ParseVec("type EQ four-legged-animal-search, interval IS 20, duration IS 10000, x GE -100, x LE 200, y GE 100, y LE 400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 7 {
+		t.Fatalf("parsed %d attributes: %v", len(v), v)
+	}
+	if v[0].Key != KeyType || v[0].Op != EQ || v[0].Val.Str() != "four-legged-animal-search" {
+		t.Errorf("first clause: %v", v[0])
+	}
+	if v[3].Key != KeyX || v[3].Op != GE || v[3].Val.Int32() != -100 {
+		t.Errorf("region clause: %v", v[3])
+	}
+	// It matches the corresponding data, built programmatically.
+	data := Vec{
+		StringAttr(KeyType, IS, "four-legged-animal-search"),
+		Int32Attr(KeyX, IS, 125),
+		Int32Attr(KeyY, IS, 220),
+	}
+	if !OneWayMatch(v, data) {
+		t.Error("parsed interest should match in-region data")
+	}
+}
+
+func TestParseValueTypes(t *testing.T) {
+	v := MustParseVec(`task IS "hello, world", confidence GT 0.5, count IS 3, big IS 5000000000, instance EQ_ANY`)
+	if v[0].Val.Str() != "hello, world" {
+		t.Errorf("quoted string with comma: %v", v[0].Val)
+	}
+	if v[1].Val.Float64() != 0.5 {
+		t.Errorf("float: %v", v[1].Val)
+	}
+	if v[2].Val.Int32() != 3 {
+		t.Errorf("int32: %v", v[2].Val)
+	}
+	if v[3].Val.Int64() != 5000000000 {
+		t.Errorf("int64 overflow promotion: %v", v[3].Val)
+	}
+	if v[4].Op != EQAny {
+		t.Errorf("EQ_ANY: %v", v[4])
+	}
+}
+
+func TestParseRegistersUnknownKeys(t *testing.T) {
+	v := MustParseVec("parse-custom-key IS 7")
+	if KeyName(v[0].Key) != "parse-custom-key" {
+		t.Errorf("key registration: %v", v[0])
+	}
+	// Same name parses to the same key.
+	w := MustParseVec("parse-custom-key IS 8")
+	if v[0].Key != w[0].Key {
+		t.Error("repeated parse must reuse the key")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"task",                // no op
+		"task FOO bar",        // unknown op
+		"task IS",             // missing value
+		"instance EQ_ANY boo", // EQ_ANY with value
+	} {
+		if _, err := ParseVec(bad); err == nil {
+			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+	// Empty and whitespace inputs are empty vectors, not errors.
+	for _, ok := range []string{"", "  ", ","} {
+		if v, err := ParseVec(ok); err != nil || len(v) != 0 {
+			t.Errorf("%q: %v %v", ok, v, err)
+		}
+	}
+}
+
+func TestParseMultiwordValue(t *testing.T) {
+	// Unquoted values may contain spaces; the remainder of the clause is
+	// the value (quoting is only needed to protect commas).
+	v := MustParseVec("instance IS four legged animal")
+	if v[0].Val.Str() != "four legged animal" {
+		t.Errorf("multiword value: %v", v[0].Val)
+	}
+}
+
+func TestParseOpNames(t *testing.T) {
+	for s, want := range map[string]Op{
+		"is": IS, "Eq": EQ, "NE": NE, "lt": LT, "LE": LE,
+		"gt": GT, "ge": GE, "eq_any": EQAny, "any": EQAny,
+	} {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseOp("ISH"); err == nil {
+		t.Error("bad op must error")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseVec must panic on bad input")
+		}
+	}()
+	MustParseVec("task BOGUS x")
+}

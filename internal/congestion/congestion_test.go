@@ -1,0 +1,147 @@
+package congestion
+
+import (
+	"testing"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+	"diffusion/internal/nettest"
+)
+
+func flowInterest() attr.Vec {
+	return attr.Vec{attr.StringAttr(attr.KeyTask, attr.EQ, "telemetry")}
+}
+
+func flowData() attr.Vec {
+	return attr.Vec{attr.StringAttr(attr.KeyTask, attr.IS, "telemetry")}
+}
+
+func TestControllerAdaptsToLoss(t *testing.T) {
+	// Drive the controller directly with synthetic feedback: heavy loss
+	// must halve the rate, sustained good windows restore it.
+	tn := nettest.New(1)
+	n := tn.AddNode(1, nil)
+	c := NewController(ControllerConfig{Node: n, Clock: tn.Sched, Flow: "telemetry"})
+
+	feed := func(sent int, received int32) {
+		for i := 0; i < sent; i++ {
+			c.Admit()
+		}
+		c.onFeedback(&message.Message{Attrs: attr.Vec{
+			attr.Int32Attr(attr.KeyCount, attr.IS, received),
+		}})
+	}
+
+	if c.Rate() != 1 {
+		t.Fatal("initial rate must be 1")
+	}
+	feed(10, 2) // 80% loss
+	if c.Rate() != 0.5 {
+		t.Errorf("after heavy loss rate = %v, want 0.5", c.Rate())
+	}
+	feed(10, 1) // heavy loss again (5 admitted, 1 received)
+	if c.Rate() != 0.25 {
+		t.Errorf("rate = %v, want 0.25", c.Rate())
+	}
+	// Sustained clean windows recover additively.
+	for i := 0; i < 10; i++ {
+		sent := int(10 * c.Rate())
+		feed(10, int32(sent))
+	}
+	if c.Rate() < 0.95 {
+		t.Errorf("rate should recover to ~1, got %v", c.Rate())
+	}
+	// Floor.
+	for i := 0; i < 10; i++ {
+		feed(10, 0)
+	}
+	if c.Rate() != 0.1 {
+		t.Errorf("rate must floor at MinRate: %v", c.Rate())
+	}
+}
+
+func TestAdmitDecimatesEvenly(t *testing.T) {
+	tn := nettest.New(2)
+	n := tn.AddNode(1, nil)
+	c := NewController(ControllerConfig{Node: n, Clock: tn.Sched, Flow: "telemetry"})
+	c.rate = 0.25
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if c.Admit() {
+			admitted++
+		}
+	}
+	if admitted != 25 {
+		t.Errorf("rate 0.25 over 100 events admitted %d", admitted)
+	}
+	if c.Decimated != 75 {
+		t.Errorf("decimated = %d", c.Decimated)
+	}
+}
+
+func TestFeedbackLoopOverNetwork(t *testing.T) {
+	// End to end on a lossy line: the sink's feedback reports reach the
+	// source and the loss signal pushes the rate down.
+	tn := nettest.New(3)
+	nodes := tn.Line(3)
+	tn.LossProb = 0.35 // brutal per-hop loss
+
+	fb := NewFeedback(FeedbackConfig{
+		Node:   nodes[0],
+		Clock:  tn.Sched,
+		Flow:   "telemetry",
+		Window: 20 * time.Second,
+	})
+	nodes[0].Subscribe(flowInterest(), func(m *message.Message) {
+		if a, ok := m.Attrs.FindActual(attr.KeySequence); ok {
+			fb.Saw(a.Val.Int32())
+		}
+	})
+	ctl := NewController(ControllerConfig{
+		Node:   nodes[2],
+		Clock:  tn.Sched,
+		Flow:   "telemetry",
+		Window: 20 * time.Second,
+	})
+	pub := nodes[2].Publish(flowData())
+	seq := int32(0)
+	tn.Sched.Every(2*time.Second, 2*time.Second, func() {
+		seq++
+		if ctl.Admit() {
+			nodes[2].Send(pub, attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, seq)})
+		}
+	})
+	tn.Sched.RunUntil(10 * time.Minute)
+
+	if fb.Reports == 0 {
+		t.Fatal("sink never reported")
+	}
+	if ctl.Decreases == 0 {
+		t.Errorf("35%% per-hop loss should trigger backoff: %v", ctl)
+	}
+	if ctl.Rate() >= 1 {
+		t.Errorf("rate should have come down: %v", ctl)
+	}
+	if ctl.Decimated == 0 {
+		t.Error("backoff should decimate the stream")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tn := nettest.New(9)
+	n := tn.AddNode(1, nil)
+	for name, fn := range map[string]func(){
+		"feedback":   func() { NewFeedback(FeedbackConfig{Node: n, Clock: tn.Sched}) },
+		"controller": func() { NewController(ControllerConfig{Node: n, Clock: tn.Sched}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s without flow must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

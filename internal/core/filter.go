@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+)
+
+// This file implements the paper's filter architecture (sections 3.3 and
+// 4.1, Figure 5). Filters are the only extension point: application code
+// registers an attribute pattern and a priority; every message traverses
+// the matching filters in descending priority order before the diffusion
+// core processes it. A filter that wants the message to continue calls
+// SendMessageToNext; otherwise the message is consumed. Filters may also
+// originate messages (InjectMessage) or bypass processing entirely
+// (SendDirect), which is how in-network aggregation, nested queries and
+// geographic scoping are built without touching the core.
+
+// FilterCallback is invoked for each message matching the filter. msg is
+// owned by the callback until it passes it on; h identifies the filter for
+// SendMessageToNext.
+type FilterCallback func(msg *message.Message, h FilterHandle)
+
+type filter struct {
+	handle   FilterHandle
+	attrs    attr.Vec
+	priority int16
+	cb       FilterCallback
+}
+
+// AddFilter installs a filter triggered by messages whose attributes
+// two-way match attrs. priority must be positive; higher priorities run
+// earlier. Registration order breaks ties.
+func (n *Node) AddFilter(attrs attr.Vec, priority int16, cb FilterCallback) FilterHandle {
+	if priority <= 0 {
+		panic(fmt.Sprintf("core: filter priority must be positive, got %d", priority))
+	}
+	if cb == nil {
+		panic("core: filter callback must not be nil")
+	}
+	n.nextFil++
+	f := &filter{handle: n.nextFil, attrs: attrs.Clone(), priority: priority, cb: cb}
+	n.filters = append(n.filters, f)
+	// Keep the chain sorted: higher priority first, then insertion order.
+	sort.SliceStable(n.filters, func(i, j int) bool {
+		return n.filters[i].priority > n.filters[j].priority
+	})
+	return f.handle
+}
+
+// RemoveFilter uninstalls a filter.
+func (n *Node) RemoveFilter(h FilterHandle) error {
+	for i, f := range n.filters {
+		if f.handle == h {
+			n.filters = append(n.filters[:i], n.filters[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: filter %d", ErrUnknownHandle, h)
+}
+
+// runChainFrom delivers m to the first matching filter at chain position
+// start or later, or to the core when none matches.
+//
+// Filter matching is one-way: every formal in the filter's attributes must
+// be satisfied by an actual in the message (attr.OneWayMatch). A filter
+// registered with no attributes therefore sees every message, one with
+// "class EQ interest" sees interests only, and one with a task formal sees
+// data carrying that task actual. (Subscription delivery, by contrast, uses
+// the full two-way match of section 3.2.)
+func (n *Node) runChainFrom(m *message.Message, start int) {
+	for i := start; i < len(n.filters); i++ {
+		f := n.filters[i]
+		if attr.OneWayMatch(f.attrs, m.Attrs) {
+			f.cb(m, f.handle)
+			return
+		}
+	}
+	n.processCore(m)
+}
+
+// SendMessageToNext passes m to the next matching filter after the given
+// filter in the chain (or to the core). It is the paper's
+// sendMessageToNext: filters that only observe or rewrite call it to keep
+// the message moving.
+func (n *Node) SendMessageToNext(m *message.Message, h FilterHandle) {
+	for i, f := range n.filters {
+		if f.handle == h {
+			n.runChainFrom(m, i+1)
+			return
+		}
+	}
+	// Unknown handle (filter was removed mid-flight): fall through to the
+	// core rather than dropping the message.
+	n.processCore(m)
+}
+
+// InjectMessage introduces a (typically filter-originated) message into
+// the node as if it had just arrived: it traverses the full filter chain
+// and then the core. A zero ID is assigned; PrevHop is forced to this
+// node. This is the paper's sendMessage used to originate new messages
+// from in-network processing code.
+func (n *Node) InjectMessage(m *message.Message) {
+	out := m.Clone()
+	if out.ID == (message.ID{}) {
+		out.ID = n.nextID()
+	}
+	out.PrevHop = selfID(n)
+	n.dispatch(out)
+}
+
+// Filters returns the number of installed filters (diagnostics).
+func (n *Node) Filters() int { return len(n.filters) }
+
+// ProcessNoForward runs the diffusion core on m (gradient setup, local
+// delivery, reinforcement handling) but suppresses any re-flooding, so a
+// filter can take over the forwarding decision — the mechanism behind
+// geographic interest scoping ("we are currently exploring using filters
+// to optimize diffusion (avoiding flooding) with geographic information",
+// section 4.2).
+func (n *Node) ProcessNoForward(m *message.Message) {
+	n.suppressForward = true
+	defer func() { n.suppressForward = false }()
+	n.processCore(m)
+}

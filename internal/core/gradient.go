@@ -1,0 +1,455 @@
+package core
+
+import (
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+)
+
+// interestEntry is the per-interest state a task-aware node keeps: the
+// interest's attributes and a gradient per neighbor that sent it (paper:
+// "each sensor node that receives an interest remembers which neighbor or
+// neighbors sent it that interest; to each such neighbor, it sets up a
+// gradient").
+type interestEntry struct {
+	attrs attr.Vec
+	hash  uint64
+	// gradients maps a downstream neighbor (toward a sink) to its state.
+	gradients map[message.NodeID]*gradient
+	// localSubs are this node's own subscriptions fed by the entry: the
+	// node is a sink for the interest.
+	localSubs map[SubscriptionHandle]bool
+	// lastExpFrom is the neighbor that delivered the most recent new
+	// exploratory data for this entry; reinforcement propagates to it.
+	lastExpFrom message.NodeID
+	hasExpFrom  bool
+	// reinforcedUpstream is the neighbor we last sent positive
+	// reinforcement to (toward the source).
+	reinforcedUpstream    message.NodeID
+	hasReinforcedUpstream bool
+	// lastReinforcedID suppresses repeat reinforcements for the same
+	// exploratory message.
+	lastReinforcedID message.ID
+	// dup tracking for dampened negative reinforcement: duplicates per
+	// sending neighbor within the current window.
+	dupFrom  map[message.NodeID]int
+	dupSince time.Duration
+}
+
+// gradient is the per-neighbor demand state. Reinforced gradients carry
+// high-rate (non-exploratory) data; the reinforcement decays unless
+// periodically refreshed by positive reinforcement, so stale high-rate
+// paths fade instead of accumulating.
+type gradient struct {
+	expires         time.Duration
+	reinforcedUntil time.Duration
+}
+
+// reinforced reports whether the gradient carries high-rate data at time
+// now.
+func (g *gradient) reinforced(now time.Duration) bool {
+	return now < g.reinforcedUntil
+}
+
+// hasReinforcedDownstream reports whether any neighbor holds a reinforced
+// gradient on this entry (someone downstream wants high-rate data).
+func (e *interestEntry) hasReinforcedDownstream(now time.Duration) bool {
+	for _, g := range e.gradients {
+		if g.reinforced(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// entryFor finds or creates the interest entry for the given attributes.
+func (n *Node) entryFor(attrs attr.Vec) *interestEntry {
+	h := attrs.Hash()
+	if e, ok := n.entries[h]; ok {
+		return e
+	}
+	e := &interestEntry{
+		attrs:     attrs.Clone(),
+		hash:      h,
+		gradients: map[message.NodeID]*gradient{},
+		localSubs: map[SubscriptionHandle]bool{},
+		dupFrom:   map[message.NodeID]int{},
+	}
+	n.entries[h] = e
+	return e
+}
+
+// lookupEntry returns the entry with exactly these attributes, if any.
+func (n *Node) lookupEntry(attrs attr.Vec) (*interestEntry, bool) {
+	e, ok := n.entries[attrs.Hash()]
+	return e, ok
+}
+
+// matchingEntries returns entries whose interest attributes two-way match
+// the given data attributes, in deterministic (hash-insertion-free) order.
+func (n *Node) matchingEntries(data attr.Vec) []*interestEntry {
+	var out []*interestEntry
+	for _, e := range n.entries {
+		if attr.Match(e.attrs, data) {
+			out = append(out, e)
+		}
+	}
+	// Sort by hash for determinism: map iteration order is random.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].hash > out[j].hash; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// processCore is the diffusion core: it runs after the filter chain.
+func (n *Node) processCore(m *message.Message) {
+	local := m.PrevHop == selfID(n)
+	switch m.Class {
+	case message.Interest:
+		n.coreInterest(m, local)
+	case message.Data, message.ExploratoryData:
+		n.coreData(m, local)
+	case message.PositiveReinforcement:
+		n.coreReinforce(m)
+	case message.NegativeReinforcement:
+		n.coreNegReinforce(m)
+	}
+}
+
+// coreInterest handles an interest message (local origination or from a
+// neighbor).
+func (n *Node) coreInterest(m *message.Message, local bool) {
+	e := n.entryFor(m.Attrs)
+	now := n.cfg.Clock.Now()
+
+	if local {
+		// Local origination: mark our subscriptions as sinks of the entry.
+		for h, s := range n.subs {
+			if !s.passive && interestFromSub(s.attrs).Hash() == e.hash {
+				e.localSubs[h] = true
+			}
+		}
+	} else {
+		// Gradient setup/refresh toward the sending neighbor. Every copy
+		// of the interest refreshes its sender's gradient, even if the
+		// message ID was already seen via another neighbor.
+		g, ok := e.gradients[m.PrevHop]
+		if !ok {
+			g = &gradient{}
+			e.gradients[m.PrevHop] = g
+		}
+		g.expires = now + n.cfg.GradientLifetime
+	}
+
+	if n.wasSeen(m.ID) {
+		n.Stats.Duplicates++
+		return
+	}
+	n.markSeen(m.ID)
+
+	// Local delivery to passive interest taps ("subscribe for
+	// subscriptions"). Locally originated interests deliver too: a tap
+	// and a sink may share a node, and the tap's formals cannot match the
+	// sink's own formal-only interest, so there is no self-delivery.
+	n.deliverLocal(m)
+
+	// Re-flood with jitter. TTL bounds the flood. Filters that take over
+	// forwarding (ProcessNoForward) suppress this step.
+	if m.HopCount >= n.cfg.TTL || n.suppressForward {
+		return
+	}
+	fwd := m.Clone()
+	fwd.HopCount++
+	fwd.PrevHop = selfID(n)
+	fwd.NextHop = message.Broadcast
+	delay := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.ForwardJitter) + 1))
+	n.cfg.Clock.After(delay, func() { n.transmit(fwd) })
+}
+
+// interestFromSub derives the on-the-wire interest attributes for a
+// subscription (adding the implicit class).
+func interestFromSub(attrs attr.Vec) attr.Vec {
+	if _, ok := attrs.FindActual(attr.KeyClass); ok {
+		return attrs
+	}
+	return attrs.With(attr.ClassIsInterest())
+}
+
+// coreData handles (exploratory) data.
+func (n *Node) coreData(m *message.Message, local bool) {
+	if n.wasSeen(m.ID) {
+		n.Stats.Duplicates++
+		// A duplicate non-exploratory message means a redundant reinforced
+		// path is feeding us: negatively reinforce the sender (3.1:
+		// "negative reinforcements suppress loops or duplicate paths").
+		// The reaction is dampened — it takes repeated duplicates from
+		// the same neighbor within a short window — so an occasional
+		// flood-remnant duplicate does not tear down a path other
+		// sources still depend on.
+		if m.Class == message.Data && !local && !n.cfg.DisableNegRF {
+			n.noteDuplicateData(m)
+		}
+		return
+	}
+	n.markSeen(m.ID)
+
+	entries := n.matchingEntries(m.Attrs)
+	if len(entries) == 0 && !(m.Class == message.ExploratoryData && isPush(m.Attrs)) {
+		// No gradient state: nothing to do ("data is sent only where
+		// interests have established gradients"). One-phase-push
+		// exploratory data is the exception: it floods without interest
+		// state, and reinforcements install the state afterwards.
+		n.Stats.DataSuppressed++
+		return
+	}
+
+	// Data loops back to co-located subscriptions as well — the daemon
+	// delivers a local publication to a local matching subscription, as
+	// the reference implementation does.
+	n.deliverLocal(m)
+
+	now := n.cfg.Clock.Now()
+	isSinkFor := false
+	anyForward := false
+	reinforcedTargets := map[message.NodeID]bool{}
+	if m.Class == message.ExploratoryData && !local {
+		n.expFrom[m.ID] = m.PrevHop
+	}
+	for _, e := range entries {
+		if m.Class == message.ExploratoryData && !local {
+			e.lastExpFrom = m.PrevHop
+			e.hasExpFrom = true
+		}
+		if len(e.localSubs) > 0 {
+			isSinkFor = true
+		}
+		for nb, g := range e.gradients {
+			if nb == m.PrevHop {
+				continue // never send data back where it came from
+			}
+			if m.Class == message.ExploratoryData {
+				anyForward = true
+			} else if g.reinforced(now) {
+				reinforcedTargets[nb] = true
+			}
+		}
+	}
+
+	if m.Class == message.ExploratoryData && isPush(m.Attrs) {
+		// Push exploratory floods to everyone, interest state or not.
+		anyForward = true
+	}
+	switch m.Class {
+	case message.ExploratoryData:
+		if anyForward && m.HopCount < n.cfg.TTL && !n.suppressForward {
+			// Exploratory data floods along all gradients; one broadcast
+			// reaches every gradient neighbor (the traffic model in 6.1
+			// counts it as flooded from each node).
+			fwd := m.Clone()
+			fwd.HopCount++
+			fwd.PrevHop = selfID(n)
+			fwd.NextHop = message.Broadcast
+			delay := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.ForwardJitter) + 1))
+			n.cfg.Clock.After(delay, func() { n.transmit(fwd) })
+		}
+		// Sink behaviour: reinforce the neighbor that delivered the first
+		// copy of this exploratory message. Intermediate nodes with live
+		// reinforced downstream demand refresh their existing upstream
+		// when it delivered this exploratory first — hop-local
+		// maintenance so one lost reinforcement does not break the path —
+		// but never start new branches: path creation and migration stay
+		// sink-driven (via the expFrom trace), which keeps redundant
+		// parallel paths from accumulating.
+		if !local {
+			for _, e := range entries {
+				sink := len(e.localSubs) > 0
+				refresh := e.hasReinforcedDownstream(now) &&
+					e.hasReinforcedUpstream && e.reinforcedUpstream == m.PrevHop
+				if sink || refresh {
+					n.reinforceUpstream(e, m.PrevHop, m.ID)
+				}
+			}
+		}
+		_ = isSinkFor
+	case message.Data:
+		if local && len(reinforcedTargets) == 0 {
+			// Locally originated data with no reinforced path yet: it is
+			// dropped, as in the paper ("subsequent messages are sent
+			// only on reinforced paths").
+			n.Stats.DataNoPath++
+		}
+		// Sorted iteration: map order would make runs nondeterministic.
+		targets := make([]message.NodeID, 0, len(reinforcedTargets))
+		for nb := range reinforcedTargets {
+			targets = append(targets, nb)
+		}
+		for i := 1; i < len(targets); i++ {
+			for j := i; j > 0 && targets[j-1] > targets[j]; j-- {
+				targets[j-1], targets[j] = targets[j], targets[j-1]
+			}
+		}
+		for _, nb := range targets {
+			out := m.Clone()
+			out.HopCount++
+			out.PrevHop = selfID(n)
+			out.NextHop = nb
+			n.transmit(out)
+		}
+	}
+}
+
+// reinforceUpstream sends positive reinforcement for entry e to neighbor
+// nb, at most once per exploratory message. The reinforcement carries the
+// ID of the exploratory data being reinforced, so each upstream node can
+// retrace that message's exact arrival path via its expFrom record.
+func (n *Node) reinforceUpstream(e *interestEntry, nb message.NodeID, cause message.ID) {
+	if e.lastReinforcedID == cause {
+		return
+	}
+	e.lastReinforcedID = cause
+	e.reinforcedUpstream = nb
+	e.hasReinforcedUpstream = true
+	n.transmit(&message.Message{
+		Class:   message.PositiveReinforcement,
+		ID:      cause,
+		PrevHop: selfID(n),
+		NextHop: nb,
+		Attrs:   e.attrs.Clone(),
+	})
+}
+
+// isPush reports whether attrs carry the one-phase-push marker.
+func isPush(attrs attr.Vec) bool {
+	a, ok := attrs.FindActual(attr.KeyAlgorithm)
+	return ok && a.Val.Numeric() && int32(a.Val.AsFloat()) == attr.AlgorithmPush
+}
+
+// coreReinforce handles positive reinforcement from a downstream neighbor:
+// mark its gradient reinforced and propagate toward the data source. In
+// one-phase push there is no interest flood, so the reinforcement itself
+// installs the entry at each hop (reinforcements carry the sink's
+// subscription attributes).
+func (n *Node) coreReinforce(m *message.Message) {
+	e, ok := n.lookupEntry(m.Attrs)
+	if !ok {
+		e = n.entryFor(m.Attrs)
+	}
+	now := n.cfg.Clock.Now()
+	g, ok := e.gradients[m.PrevHop]
+	if !ok {
+		g = &gradient{}
+		e.gradients[m.PrevHop] = g
+	}
+	// Reinforcement is live evidence of demand: it refreshes the gradient
+	// lifetime too. In one-phase push this is the only refresh there is
+	// (no interests ever flood).
+	g.expires = now + n.cfg.GradientLifetime
+	g.reinforcedUntil = now + n.cfg.ReinforcementTimeout
+	// Propagate along the exact path the reinforced exploratory message
+	// took (m.ID names it). Fall back to the most recent exploratory
+	// arrival for this entry when the per-message record has expired. The
+	// data's origin has no record of an upstream and stops the chain.
+	if from, ok := n.expFrom[m.ID]; ok && from != m.PrevHop {
+		n.reinforceUpstream(e, from, m.ID)
+	} else if !ok && e.hasExpFrom && e.lastExpFrom != m.PrevHop {
+		n.reinforceUpstream(e, e.lastExpFrom, m.ID)
+	}
+}
+
+// coreNegReinforce handles negative reinforcement: the sending neighbor no
+// longer wants high-rate data from us.
+func (n *Node) coreNegReinforce(m *message.Message) {
+	e, ok := n.lookupEntry(m.Attrs)
+	if !ok {
+		return
+	}
+	if g, ok := e.gradients[m.PrevHop]; ok {
+		g.reinforcedUntil = 0
+	}
+	// If nobody downstream wants high-rate data and we are not a sink,
+	// propagate the teardown upstream (3.1: "this negative reinforcement
+	// propagates neighbor-to-neighbor, removing gradients").
+	if len(e.localSubs) > 0 {
+		return
+	}
+	if e.hasReinforcedDownstream(n.cfg.Clock.Now()) {
+		return
+	}
+	if e.hasReinforcedUpstream {
+		up := e.reinforcedUpstream
+		e.hasReinforcedUpstream = false
+		n.transmit(&message.Message{
+			Class:   message.NegativeReinforcement,
+			ID:      n.nextID(),
+			PrevHop: selfID(n),
+			NextHop: up,
+			Attrs:   e.attrs.Clone(),
+		})
+		n.Stats.NegReinforcements++
+	}
+}
+
+// negRFThreshold and negRFWindow dampen duplicate-triggered negative
+// reinforcement: it takes this many duplicates from one neighbor within
+// the window to trigger a teardown.
+const (
+	negRFThreshold = 3
+	negRFWindow    = 15 * time.Second
+)
+
+// noteDuplicateData records a duplicate plain-data reception and sends
+// negative reinforcement to the sender once duplicates persist.
+func (n *Node) noteDuplicateData(m *message.Message) {
+	entries := n.matchingEntries(m.Attrs)
+	if len(entries) == 0 {
+		return
+	}
+	e := entries[0]
+	now := n.cfg.Clock.Now()
+	if now-e.dupSince > negRFWindow {
+		e.dupSince = now
+		for k := range e.dupFrom {
+			delete(e.dupFrom, k)
+		}
+	}
+	e.dupFrom[m.PrevHop]++
+	if e.dupFrom[m.PrevHop] < negRFThreshold {
+		return
+	}
+	delete(e.dupFrom, m.PrevHop)
+	n.transmit(&message.Message{
+		Class:   message.NegativeReinforcement,
+		ID:      n.nextID(),
+		PrevHop: selfID(n),
+		NextHop: m.PrevHop,
+		Attrs:   e.attrs.Clone(),
+	})
+	n.Stats.NegReinforcements++
+}
+
+// deliverLocal invokes the callbacks of every subscription matching m.
+func (n *Node) deliverLocal(m *message.Message) {
+	for _, s := range n.subsInOrder() {
+		if s.cb == nil {
+			continue
+		}
+		if attr.Match(s.attrs, m.Attrs) {
+			n.Stats.LocalDeliveries++
+			s.cb(m)
+		}
+	}
+}
+
+// subsInOrder returns subscriptions in handle order for determinism.
+func (n *Node) subsInOrder() []*subscription {
+	out := make([]*subscription, 0, len(n.subs))
+	for h := SubscriptionHandle(1); h <= n.nextSub; h++ {
+		if s, ok := n.subs[h]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,516 @@
+// Package core implements directed diffusion: the gradient-based,
+// attribute-named communication core of the paper, together with the
+// publish/subscribe Network Routing API (paper Figure 4) and the filter API
+// (paper Figure 5).
+//
+// A Node is event-driven and single-threaded, exactly like the paper's
+// reference daemon: it reacts to link-layer receptions and clock callbacks
+// and never blocks. All state transitions happen on the owning scheduler.
+//
+// The protocol follows section 3.1:
+//
+//   - Sinks subscribe; subscriptions periodically originate interests that
+//     flood hop-by-hop, and every receiving node stores the interest and
+//     sets up a gradient toward the neighbor it came from.
+//   - Sources publish; data is sent only when matching gradients exist.
+//     Periodically (and initially) data is marked exploratory and flooded
+//     along all gradients; other data follows reinforced gradients only.
+//   - A sink reinforces the neighbor that delivered the first copy of new
+//     exploratory data; reinforcement propagates hop-by-hop toward the
+//     source, creating the high-rate delivery path.
+//   - Duplicate non-exploratory data triggers negative reinforcement,
+//     which tears down redundant reinforced paths.
+//   - Filters (see filter.go) interpose on every message before the core
+//     processes it, enabling in-network processing.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+	"diffusion/internal/sim"
+)
+
+// Link is the hop-by-hop communication service beneath diffusion: broadcast
+// or unicast to immediate neighbors, best effort. internal/mac implements
+// it over the simulated radio.
+type Link interface {
+	// ID returns this node's link-layer identifier.
+	ID() uint32
+	// Send transmits payload to dst (a neighbor ID or message.Broadcast).
+	Send(dst uint32, payload []byte) error
+}
+
+// Broadcast aliases the link broadcast address at the diffusion layer.
+const Broadcast = uint32(message.Broadcast)
+
+// self returns this node's identifier as a message.NodeID.
+func selfID(n *Node) message.NodeID { return message.NodeID(n.ID()) }
+
+// Config parameterizes a Node. Zero fields take the paper's testbed
+// defaults.
+type Config struct {
+	// Clock schedules timers; Rand supplies jitter. Both are required.
+	Clock sim.Clock
+	Rand  *rand.Rand
+	// Link is the hop-by-hop transport. Required.
+	Link Link
+	// InterestInterval is the period between interest refreshes
+	// (testbed: 60 s).
+	InterestInterval time.Duration
+	// GradientLifetime is how long a gradient survives without refresh.
+	GradientLifetime time.Duration
+	// ExploratoryInterval is the period between exploratory data
+	// messages per publication (testbed and simulation: one every
+	// 50-60 s; with the testbed's 6 s events this yields the paper's
+	// 1-in-10 ratio). It applies when ExploratoryEvery is zero.
+	ExploratoryInterval time.Duration
+	// ExploratoryEvery, when positive, switches to a count-based cadence:
+	// every Nth data message per publication is exploratory (ablations).
+	ExploratoryEvery int
+	// ReinforcementTimeout is how long a gradient stays reinforced
+	// without a fresh positive reinforcement; defaults to 2.5 exploratory
+	// intervals so one lost reinforcement does not break a path.
+	ReinforcementTimeout time.Duration
+	// TTL bounds interest and exploratory flooding in hops.
+	TTL uint8
+	// ForwardJitter is the maximum random delay before re-flooding an
+	// interest or exploratory message, de-synchronizing neighbors.
+	ForwardJitter time.Duration
+	// SeenTTL is how long message IDs stay in the duplicate-suppression
+	// cache.
+	SeenTTL time.Duration
+	// NegativeReinforcement enables duplicate-triggered negative
+	// reinforcement (on by default; DisableNegRF turns it off).
+	DisableNegRF bool
+}
+
+func (c *Config) fill() {
+	if c.Clock == nil || c.Rand == nil || c.Link == nil {
+		panic("core: Config requires Clock, Rand and Link")
+	}
+	if c.InterestInterval <= 0 {
+		c.InterestInterval = 60 * time.Second
+	}
+	if c.GradientLifetime <= 0 {
+		c.GradientLifetime = c.InterestInterval*2 + c.InterestInterval/2
+	}
+	if c.ExploratoryEvery <= 0 && c.ExploratoryInterval <= 0 {
+		c.ExploratoryInterval = 60 * time.Second
+	}
+	if c.ReinforcementTimeout <= 0 {
+		base := c.ExploratoryInterval
+		if base <= 0 {
+			base = 60 * time.Second
+		}
+		c.ReinforcementTimeout = base*2 + base/2
+	}
+	if c.TTL == 0 {
+		c.TTL = 16
+	}
+	if c.ForwardJitter <= 0 {
+		// Re-flood de-synchronization. At 13 kb/s a flooded message takes
+		// tens of milliseconds of airtime per hop; neighbors that re-flood
+		// within the same window collide at hidden terminals, so the
+		// window must cover several message airtimes.
+		c.ForwardJitter = 500 * time.Millisecond
+	}
+	if c.SeenTTL <= 0 {
+		c.SeenTTL = 2 * time.Minute
+	}
+}
+
+// Handles returned by the NR API calls.
+type (
+	// SubscriptionHandle identifies an active subscription.
+	SubscriptionHandle int
+	// PublicationHandle identifies an active publication.
+	PublicationHandle int
+	// FilterHandle identifies an installed filter.
+	FilterHandle int
+)
+
+// DataCallback is invoked on local delivery of a matching message (paper:
+// "a callback function is then invoked whenever relevant data arrives at
+// the node"). The callback must not retain or mutate m.
+type DataCallback func(m *message.Message)
+
+// Stats counts a node's diffusion-layer activity. BytesSent over all nodes,
+// normalized per distinct delivered event, is the Figure 8 metric.
+type Stats struct {
+	BytesSent         int
+	SentByClass       [5]int
+	ReceivedByClass   [5]int
+	Duplicates        int
+	LocalDeliveries   int
+	DataSuppressed    int // data with no matching gradient state
+	DataNoPath        int // locally originated data with no reinforced path
+	NegReinforcements int
+	LinkSendErrors    int
+}
+
+type subscription struct {
+	attrs   attr.Vec
+	cb      DataCallback
+	passive bool // taps interests locally, originates no interest flood
+	refresh sim.Timer
+}
+
+type publication struct {
+	attrs   attr.Vec
+	count   int           // data messages sent
+	lastExp time.Duration // time of the last exploratory message
+	sentAny bool
+}
+
+// Node is one diffusion instance.
+type Node struct {
+	cfg    Config
+	randID uint32
+	pktNum uint32
+
+	subs    map[SubscriptionHandle]*subscription
+	pubs    map[PublicationHandle]*publication
+	filters []*filter
+	nextSub SubscriptionHandle
+	nextPub PublicationHandle
+	nextFil FilterHandle
+
+	entries map[uint64]*interestEntry // keyed by attr hash
+	seen    map[message.ID]time.Duration
+	// expFrom records which neighbor delivered each exploratory data
+	// message, so positive reinforcement can retrace that message's exact
+	// path (reinforcements carry the exploratory ID they reinforce).
+	expFrom map[message.ID]message.NodeID
+
+	// suppressForward disables core re-flooding for the message being
+	// processed (set by ProcessNoForward).
+	suppressForward bool
+
+	housekeep sim.Timer
+
+	Stats Stats
+}
+
+// NewNode creates a diffusion node. The node is live immediately; the
+// caller must wire its Receive method as the link-layer upcall.
+func NewNode(cfg Config) *Node {
+	cfg.fill()
+	n := &Node{
+		cfg:     cfg,
+		randID:  cfg.Rand.Uint32(),
+		subs:    map[SubscriptionHandle]*subscription{},
+		pubs:    map[PublicationHandle]*publication{},
+		entries: map[uint64]*interestEntry{},
+		seen:    map[message.ID]time.Duration{},
+		expFrom: map[message.ID]message.NodeID{},
+	}
+	n.housekeep = everyClock(cfg.Clock, 5*time.Second, n.housekeeping)
+	return n
+}
+
+// everyClock arms a self-rearming timer on any Clock implementation.
+func everyClock(c sim.Clock, period time.Duration, fn func()) sim.Timer {
+	rt := &repeating{}
+	var arm func()
+	arm = func() {
+		rt.inner = c.After(period, func() {
+			if rt.stopped {
+				return
+			}
+			fn()
+			if !rt.stopped {
+				arm()
+			}
+		})
+	}
+	arm()
+	return rt
+}
+
+type repeating struct {
+	inner   sim.Timer
+	stopped bool
+}
+
+func (r *repeating) Cancel() bool {
+	if r.stopped {
+		return false
+	}
+	r.stopped = true
+	if r.inner != nil {
+		return r.inner.Cancel()
+	}
+	return false
+}
+
+// ID returns the node's link-layer identifier.
+func (n *Node) ID() uint32 { return n.cfg.Link.ID() }
+
+// Close cancels the node's timers. The node must not be used afterwards.
+func (n *Node) Close() {
+	n.housekeep.Cancel()
+	for _, s := range n.subs {
+		if s.refresh != nil {
+			s.refresh.Cancel()
+		}
+	}
+}
+
+// nextID allocates a fresh message ID.
+func (n *Node) nextID() message.ID {
+	n.pktNum++
+	return message.ID{RandID: n.randID, PktNum: n.pktNum}
+}
+
+// API errors.
+var (
+	ErrUnknownHandle = errors.New("core: unknown handle")
+	ErrNoGradient    = errors.New("core: no matching gradient state")
+)
+
+// Subscribe registers interest in the given attributes and returns a
+// handle. Unless the subscription is a passive interest tap (it contains a
+// "class EQ interest" formal — the paper's "subscribe for subscriptions"
+// idiom), an interest is originated immediately and refreshed every
+// InterestInterval.
+func (n *Node) Subscribe(attrs attr.Vec, cb DataCallback) SubscriptionHandle {
+	n.nextSub++
+	h := n.nextSub
+	s := &subscription{attrs: attrs.Clone(), cb: cb, passive: isPassive(attrs)}
+	n.subs[h] = s
+	if !s.passive {
+		// Small jitter so co-located sinks do not synchronize floods.
+		first := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.ForwardJitter) + 1))
+		var arm func()
+		arm = func() {
+			n.originateInterest(s)
+			jitter := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.InterestInterval) / 10))
+			s.refresh = n.cfg.Clock.After(n.cfg.InterestInterval+jitter-n.cfg.InterestInterval/20, arm)
+		}
+		s.refresh = n.cfg.Clock.After(first, arm)
+	}
+	return h
+}
+
+// isPassive reports whether attrs describe an interest tap rather than a
+// data subscription.
+func isPassive(attrs attr.Vec) bool {
+	for _, a := range attrs {
+		if a.Key == attr.KeyClass && a.Op == attr.EQ &&
+			a.Val.Numeric() && int32(a.Val.AsFloat()) == attr.ClassInterest {
+			return true
+		}
+	}
+	return false
+}
+
+// SubscribeLocal registers a subscription that never floods an interest —
+// the sink side of one-phase push diffusion: matching exploratory data
+// arriving at this node is delivered and reinforced, and the
+// reinforcements (not interests) install the delivery path hop-by-hop
+// back to the sources.
+func (n *Node) SubscribeLocal(attrs attr.Vec, cb DataCallback) SubscriptionHandle {
+	n.nextSub++
+	h := n.nextSub
+	n.subs[h] = &subscription{attrs: attrs.Clone(), cb: cb, passive: true}
+	// Install the local entry so matching data finds a sink here.
+	e := n.entryFor(interestFromSub(attrs))
+	e.localSubs[h] = true
+	return h
+}
+
+// Unsubscribe cancels a subscription. Gradients elsewhere expire on their
+// own once refreshes stop, exactly as in the paper.
+func (n *Node) Unsubscribe(h SubscriptionHandle) error {
+	s, ok := n.subs[h]
+	if !ok {
+		return fmt.Errorf("%w: subscription %d", ErrUnknownHandle, h)
+	}
+	if s.refresh != nil {
+		s.refresh.Cancel()
+	}
+	delete(n.subs, h)
+	// Drop local-sink membership from entries.
+	for _, e := range n.entries {
+		delete(e.localSubs, h)
+	}
+	return nil
+}
+
+// Publish declares that this node can supply data matching attrs. The
+// attributes given must cover what later Send calls emit.
+func (n *Node) Publish(attrs attr.Vec) PublicationHandle {
+	n.nextPub++
+	n.pubs[n.nextPub] = &publication{attrs: attrs.Clone()}
+	return n.nextPub
+}
+
+// Unpublish withdraws a publication.
+func (n *Node) Unpublish(h PublicationHandle) error {
+	if _, ok := n.pubs[h]; !ok {
+		return fmt.Errorf("%w: publication %d", ErrUnknownHandle, h)
+	}
+	delete(n.pubs, h)
+	return nil
+}
+
+// Send emits one data message for publication h, merging the publication
+// attributes with extra. Following the paper, "if there are no active
+// subscriptions, published data does not leave the node": without matching
+// gradient state the message is counted in DataSuppressed and dropped.
+// Messages are periodically marked exploratory (time-based by default,
+// count-based when ExploratoryEvery is set); the first message always is.
+func (n *Node) Send(h PublicationHandle, extra attr.Vec) error {
+	return n.send(h, extra, false)
+}
+
+// SendExploratory emits one data message for publication h that is always
+// exploratory: it floods along all gradients regardless of reinforcement.
+// Use it for infrequent one-shot reports (monitoring scans, elections)
+// where flooding robustness matters more than path efficiency.
+func (n *Node) SendExploratory(h PublicationHandle, extra attr.Vec) error {
+	return n.send(h, extra, true)
+}
+
+// SendPush emits one-phase-push data: exploratory messages flood the whole
+// network without any interest state, and plain data follows the gradients
+// installed by sink reinforcements. Pair with SubscribeLocal on the sinks.
+func (n *Node) SendPush(h PublicationHandle, extra attr.Vec) error {
+	return n.send(h, extra.With(attr.AlgorithmIsPush()), false)
+}
+
+func (n *Node) send(h PublicationHandle, extra attr.Vec, forceExploratory bool) error {
+	p, ok := n.pubs[h]
+	if !ok {
+		return fmt.Errorf("%w: publication %d", ErrUnknownHandle, h)
+	}
+	attrs := p.attrs.With(extra...)
+	if _, ok := attrs.FindActual(attr.KeyClass); !ok {
+		attrs = attrs.With(attr.ClassIsData())
+	}
+	cls := message.Data
+	switch {
+	case forceExploratory:
+		cls = message.ExploratoryData
+	case n.cfg.ExploratoryEvery > 0:
+		if p.count%n.cfg.ExploratoryEvery == 0 {
+			cls = message.ExploratoryData
+		}
+	case !p.sentAny || n.cfg.Clock.Now()-p.lastExp >= n.cfg.ExploratoryInterval:
+		cls = message.ExploratoryData
+	}
+	if cls == message.ExploratoryData {
+		p.lastExp = n.cfg.Clock.Now()
+	}
+	p.sentAny = true
+	p.count++
+	m := &message.Message{
+		Class:   cls,
+		ID:      n.nextID(),
+		PrevHop: selfID(n),
+		NextHop: message.Broadcast,
+		Attrs:   attrs,
+	}
+	n.dispatch(m)
+	return nil
+}
+
+// Receive is the link-layer upcall: the MAC delivers every reassembled
+// payload here. Malformed payloads are dropped.
+func (n *Node) Receive(from uint32, payload []byte) {
+	m, err := message.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	// Trust the link sender over the (spoofable, possibly stale) header.
+	m.PrevHop = message.NodeID(from)
+	if int(m.Class) < len(n.Stats.ReceivedByClass) {
+		n.Stats.ReceivedByClass[m.Class]++
+	}
+	n.dispatch(m)
+}
+
+// dispatch runs a message through the filter chain; if no filter consumes
+// it, the core processes it.
+func (n *Node) dispatch(m *message.Message) {
+	n.runChainFrom(m, 0)
+}
+
+// transmit sends m out the link to m.NextHop, accounting bytes.
+func (n *Node) transmit(m *message.Message) {
+	payload := m.Marshal()
+	n.Stats.BytesSent += len(payload)
+	if int(m.Class) < len(n.Stats.SentByClass) {
+		n.Stats.SentByClass[m.Class]++
+	}
+	if err := n.cfg.Link.Send(uint32(m.NextHop), payload); err != nil {
+		n.Stats.LinkSendErrors++
+	}
+}
+
+// SendDirect transmits m to m.NextHop without further filter or core
+// processing. Filters use it to take over forwarding decisions (for
+// example the geographic scoping filter).
+func (n *Node) SendDirect(m *message.Message) {
+	out := m.Clone()
+	out.PrevHop = selfID(n)
+	if out.ID == (message.ID{}) {
+		out.ID = n.nextID()
+	}
+	n.markSeen(out.ID)
+	n.transmit(out)
+}
+
+// originateInterest floods one interest for subscription s.
+func (n *Node) originateInterest(s *subscription) {
+	attrs := s.attrs
+	if _, ok := attrs.FindActual(attr.KeyClass); !ok {
+		attrs = attrs.With(attr.ClassIsInterest())
+	}
+	m := &message.Message{
+		Class:   message.Interest,
+		ID:      n.nextID(),
+		PrevHop: selfID(n),
+		NextHop: message.Broadcast,
+		Attrs:   attrs,
+	}
+	n.dispatch(m)
+}
+
+// markSeen records a message ID in the duplicate-suppression cache.
+func (n *Node) markSeen(id message.ID) { n.seen[id] = n.cfg.Clock.Now() }
+
+// wasSeen reports whether id is in the cache.
+func (n *Node) wasSeen(id message.ID) bool {
+	_, ok := n.seen[id]
+	return ok
+}
+
+// housekeeping purges expired gradients, empty entries, and old seen-IDs.
+func (n *Node) housekeeping() {
+	now := n.cfg.Clock.Now()
+	for id, at := range n.seen {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.seen, id)
+			delete(n.expFrom, id)
+		}
+	}
+	for h, e := range n.entries {
+		for nb, g := range e.gradients {
+			if now > g.expires {
+				delete(e.gradients, nb)
+			}
+		}
+		if len(e.gradients) == 0 && len(e.localSubs) == 0 {
+			delete(n.entries, h)
+		}
+	}
+}
+
+// Entries returns the number of live interest entries (diagnostics).
+func (n *Node) Entries() int { return len(n.entries) }

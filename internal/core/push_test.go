@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+)
+
+// TestPushDeliversWithoutInterests exercises one-phase push: local-only
+// subscriptions, exploratory floods from the source, reinforcement-installed
+// paths for the plain data in between.
+func TestPushDeliversWithoutInterests(t *testing.T) {
+	tn := newTestNet(40)
+	nodes := tn.line(4)
+	sink, source := nodes[0], nodes[3]
+
+	var got []message.Class
+	sink.SubscribeLocal(surveillanceInterest(), func(m *message.Message) {
+		got = append(got, m.Class)
+	})
+	pub := source.Publish(surveillancePublication())
+	seq := int32(0)
+	tn.s.Every(time.Second, time.Second, func() {
+		seq++
+		source.SendPush(pub, attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, seq)})
+	})
+	tn.s.RunUntil(30 * time.Second)
+
+	// No interest ever flooded.
+	for i, n := range nodes {
+		if n.Stats.SentByClass[message.Interest] != 0 {
+			t.Errorf("node %d sent %d interests; push must not flood interests",
+				i+1, n.Stats.SentByClass[message.Interest])
+		}
+	}
+	if len(got) < 20 {
+		t.Fatalf("sink received %d of %d push events", len(got), seq)
+	}
+	plain := 0
+	for _, c := range got {
+		if c == message.Data {
+			plain++
+		}
+	}
+	if plain == 0 {
+		t.Error("reinforcement-installed path should carry plain push data")
+	}
+	// The relays learned the flow purely from reinforcements.
+	if nodes[1].Entries() == 0 || nodes[2].Entries() == 0 {
+		t.Error("reinforcements should install entries at relays")
+	}
+}
+
+func TestPushPlainDataNeedsReinforcedPath(t *testing.T) {
+	// Without any sink, push exploratory still floods (that is its point)
+	// but plain push data dies at the source.
+	tn := newTestNet(41)
+	nodes := tn.line(3)
+	source := nodes[2]
+	pub := source.Publish(surveillancePublication())
+	for i := 0; i < 8; i++ {
+		i := i
+		tn.s.After(time.Duration(i)*time.Second, func() {
+			source.SendPush(pub, attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, int32(i))})
+		})
+	}
+	tn.s.RunUntil(30 * time.Second)
+	if nodes[0].Stats.ReceivedByClass[message.ExploratoryData] == 0 {
+		t.Error("push exploratory data should flood to everyone")
+	}
+	if source.Stats.DataNoPath == 0 && source.Stats.DataSuppressed == 0 {
+		t.Error("plain push data without a sink should be dropped at the source")
+	}
+}
+
+func TestPushAndPullCoexist(t *testing.T) {
+	// A pull sink and a push sink on the same network, different tasks.
+	tn := newTestNet(42)
+	nodes := tn.line(3)
+	pullGot, pushGot := 0, 0
+	nodes[0].Subscribe(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, "pull-task"),
+	}, func(*message.Message) { pullGot++ })
+	nodes[0].SubscribeLocal(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, "push-task"),
+	}, func(*message.Message) { pushGot++ })
+
+	src := nodes[2]
+	pullPub := src.Publish(attr.Vec{attr.StringAttr(attr.KeyTask, attr.IS, "pull-task")})
+	pushPub := src.Publish(attr.Vec{attr.StringAttr(attr.KeyTask, attr.IS, "push-task")})
+	seq := int32(0)
+	tn.s.Every(2*time.Second, 2*time.Second, func() {
+		seq++
+		extra := attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, seq)}
+		src.Send(pullPub, extra)
+		src.SendPush(pushPub, extra)
+	})
+	tn.s.RunUntil(time.Minute)
+	if pullGot < 20 || pushGot < 20 {
+		t.Errorf("both variants should deliver: pull=%d push=%d (of %d)", pullGot, pushGot, seq)
+	}
+}

@@ -1,0 +1,102 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPaperDutyCycleClaims checks the three section 6.1 statements.
+func TestPaperDutyCycleClaims(t *testing.T) {
+	r := PaperRatios()
+
+	// "Energy usage for nodes with a duty cycle of 1 are completely
+	// dominated by energy spent listening."
+	if f := r.AtDutyCycle(1).ListenFraction(); f < 0.8 {
+		t.Errorf("duty 1: listen fraction %.2f, want >0.8", f)
+	}
+
+	// "At duty cycle of 22% half of the energy is spent listening."
+	if f := r.AtDutyCycle(0.22).ListenFraction(); math.Abs(f-0.5) > 0.05 {
+		t.Errorf("duty 0.22: listen fraction %.2f, want ~0.5", f)
+	}
+	if d := r.HalfListenDutyCycle(); math.Abs(d-0.20) > 0.03 {
+		t.Errorf("half-listen duty cycle %.3f, want ~0.20-0.22", d)
+	}
+
+	// "Duty cycles of 10% begin to be dominated by send cost": listening
+	// is no longer the majority and tx+rx costs exceed it.
+	b := r.AtDutyCycle(0.10)
+	if b.ListenFraction() >= 0.5 {
+		t.Errorf("duty 0.10: listening still dominates (%.2f)", b.ListenFraction())
+	}
+	if b.Send+b.Receive <= b.Listen {
+		t.Error("duty 0.10: communication costs should exceed listening")
+	}
+}
+
+func TestBreakdownMonotoneInDuty(t *testing.T) {
+	r := PaperRatios()
+	prev := -1.0
+	for d := 0.0; d <= 1.0; d += 0.05 {
+		tot := r.AtDutyCycle(d).Total()
+		if tot <= prev {
+			t.Fatalf("total energy must increase with duty cycle (d=%.2f)", d)
+		}
+		prev = tot
+	}
+	// Receive and send terms are duty-independent.
+	a, b := r.AtDutyCycle(0.1), r.AtDutyCycle(0.9)
+	if a.Receive != b.Receive || a.Send != b.Send {
+		t.Error("receive/send energy must not depend on duty cycle")
+	}
+}
+
+func TestDutyCycleBounds(t *testing.T) {
+	for _, d := range []float64{-0.1, 1.1} {
+		d := d
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("duty cycle %v must panic", d)
+				}
+			}()
+			PaperRatios().AtDutyCycle(d)
+		}()
+	}
+}
+
+func TestMeasured(t *testing.T) {
+	r := PaperRatios()
+	// 1 hour, 1 minute sending, 3 minutes receiving, duty 1.0.
+	b := r.Measured(time.Minute, 3*time.Minute, time.Hour, 1.0)
+	wantListen := 56 * time.Minute.Seconds() // (60-1-3) min at power 1
+	if math.Abs(b.Listen-wantListen) > 1e-6 {
+		t.Errorf("listen energy %v, want %v", b.Listen, wantListen)
+	}
+	if math.Abs(b.Send-2*60) > 1e-6 {
+		t.Errorf("send energy %v, want 120", b.Send)
+	}
+	if math.Abs(b.Receive-2*180) > 1e-6 {
+		t.Errorf("receive energy %v, want 360", b.Receive)
+	}
+	// Zero duty cycle: no listen cost at all.
+	if b := r.Measured(time.Minute, time.Minute, time.Hour, 0); b.Listen != 0 {
+		t.Error("zero duty cycle should zero listen energy")
+	}
+	// Radio busier than elapsed should clamp idle at zero, not go negative.
+	b = r.Measured(2*time.Hour, 0, time.Hour, 1)
+	if b.Listen != 0 {
+		t.Error("idle time must clamp at zero")
+	}
+}
+
+func TestFractionsOnZero(t *testing.T) {
+	var b Breakdown
+	if b.ListenFraction() != 0 || b.SendFraction() != 0 {
+		t.Error("zero breakdown fractions must be 0, not NaN")
+	}
+	if s := b.String(); s == "" {
+		t.Error("String on zero breakdown")
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"diffusion"
+	"diffusion/internal/stats"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: design
+// parameters the paper discusses qualitatively, quantified on the
+// simulated testbed.
+
+// ExploratorySweepPoint measures aggregation savings at one exploratory
+// cadence.
+type ExploratorySweepPoint struct {
+	ExploratoryEvery int
+	Savings          float64 // fractional bytes/event reduction at 4 sources
+}
+
+// RunExploratorySweep quantifies how the exploratory cadence shifts where
+// aggregation's savings come from. Section 6.1 attributes the
+// simulation-vs-testbed savings gap to the exploratory:data ratio (1:100
+// vs 1:10). In this system the duplicate-suppression filter removes whole
+// redundant exploratory floods, so measured savings are largest when
+// exploratory messages are frequent and shrink toward the path-sharing
+// component as they thin out — see EXPERIMENTS.md for the discussion of
+// how this relates to the paper's account.
+func RunExploratorySweep(seeds []int64, duration time.Duration, ratios []int) []ExploratorySweepPoint {
+	var out []ExploratorySweepPoint
+	for _, every := range ratios {
+		cfg := DefaultFig8()
+		cfg.Seeds = seeds
+		cfg.Duration = duration
+		cfg.ExploratoryEvery = every
+		var with, without []float64
+		for _, seed := range seeds {
+			b, _ := runFig8Once(cfg, 4, true, seed)
+			with = append(with, b)
+			b, _ = runFig8Once(cfg, 4, false, seed)
+			without = append(without, b)
+		}
+		w, wo := stats.Mean(with), stats.Mean(without)
+		sv := 0.0
+		if wo > 0 {
+			sv = 1 - w/wo
+		}
+		out = append(out, ExploratorySweepPoint{ExploratoryEvery: every, Savings: sv})
+	}
+	return out
+}
+
+// PrintExploratorySweep renders the sweep.
+func PrintExploratorySweep(w io.Writer, points []ExploratorySweepPoint) {
+	fmt.Fprintln(w, "Ablation: aggregation savings vs exploratory cadence (4 sources)")
+	fmt.Fprintln(w, "exploratory 1-in-N   savings")
+	for _, p := range points {
+		fmt.Fprintf(w, "%18d   %6.0f%%\n", p.ExploratoryEvery, 100*p.Savings)
+	}
+	fmt.Fprintln(w, "(suppressing redundant floods dominates: savings shrink as exploratory messages thin out)")
+}
+
+// AsymmetryPoint measures delivery at one link-asymmetry level.
+type AsymmetryPoint struct {
+	Sigma    float64
+	Delivery stats.Summary
+}
+
+// RunAsymmetrySweep quantifies the section 6.4 observation that
+// asymmetric links hurt diffusion ("diffusion does not currently work
+// well with asymmetric links"): single-source delivery rate as the
+// per-directed-link asymmetry grows.
+func RunAsymmetrySweep(seeds []int64, duration time.Duration, sigmas []float64) []AsymmetryPoint {
+	var out []AsymmetryPoint
+	for _, sigma := range sigmas {
+		rp := diffusion.DefaultRadio()
+		rp.AsymmetrySigma = sigma
+		cfg := DefaultFig8()
+		cfg.Seeds = seeds
+		cfg.Duration = duration
+		cfg.Radio = &rp
+		var rates []float64
+		for _, seed := range seeds {
+			_, r := runFig8Once(cfg, 1, false, seed)
+			rates = append(rates, r)
+		}
+		out = append(out, AsymmetryPoint{Sigma: sigma, Delivery: stats.Summarize(rates)})
+	}
+	return out
+}
+
+// PrintAsymmetrySweep renders the sweep.
+func PrintAsymmetrySweep(w io.Writer, points []AsymmetryPoint) {
+	fmt.Fprintln(w, "Ablation: single-source event delivery vs link asymmetry (section 6.4)")
+	fmt.Fprintln(w, "asymmetry sigma (m)   delivery")
+	for _, p := range points {
+		fmt.Fprintf(w, "%19.1f   %5.1f%% ± %4.1f%%\n",
+			p.Sigma, 100*p.Delivery.Mean, 100*p.Delivery.CI95)
+	}
+}
+
+// CapturePoint measures delivery at one radio capture setting.
+type CapturePoint struct {
+	CaptureRatio float64
+	Delivery     stats.Summary
+}
+
+// RunCaptureSweep quantifies the capture effect, the substrate modelling
+// choice that most affects behaviour under contention (DESIGN.md: the
+// testbed's FM radios capture strongly; without capture, any overlap at a
+// receiver destroys both frames and the shared medium melts down under
+// the Figure 8 load).
+func RunCaptureSweep(seeds []int64, duration time.Duration, ratios []float64) []CapturePoint {
+	var out []CapturePoint
+	for _, ratio := range ratios {
+		rp := diffusion.DefaultRadio()
+		rp.CaptureRatio = ratio
+		cfg := DefaultFig8()
+		cfg.Seeds = seeds
+		cfg.Duration = duration
+		cfg.Radio = &rp
+		var rates []float64
+		for _, seed := range seeds {
+			_, r := runFig8Once(cfg, 4, false, seed)
+			rates = append(rates, r)
+		}
+		out = append(out, CapturePoint{CaptureRatio: ratio, Delivery: stats.Summarize(rates)})
+	}
+	return out
+}
+
+// PrintCaptureSweep renders the sweep.
+func PrintCaptureSweep(w io.Writer, points []CapturePoint) {
+	fmt.Fprintln(w, "Ablation: radio capture effect (4 sources, no suppression)")
+	fmt.Fprintln(w, "capture ratio   delivery")
+	for _, p := range points {
+		label := fmt.Sprintf("%13.2f", p.CaptureRatio)
+		if p.CaptureRatio == 0 {
+			label = "   off (0.00)"
+		}
+		fmt.Fprintf(w, "%s   %5.1f%% ± %4.1f%%\n",
+			label, 100*p.Delivery.Mean, 100*p.Delivery.CI95)
+	}
+	fmt.Fprintln(w, "(FM radios like the testbed's capture strongly; without it, overlapping frames")
+	fmt.Fprintln(w, " always destroy each other and hidden-terminal load collapses delivery)")
+}
+
+// NegRFPoint measures the negative-reinforcement ablation.
+type NegRFPoint struct {
+	Enabled       bool
+	BytesPerEvent stats.Summary
+	Duplicates    stats.Summary // duplicate data receptions across all nodes
+}
+
+// RunNegRFAblation compares runs with and without negative reinforcement:
+// without teardown, redundant reinforced paths persist and duplicate data
+// keeps flowing (section 3.1: "negative reinforcements suppress loops or
+// duplicate paths").
+func RunNegRFAblation(seeds []int64, duration time.Duration) []NegRFPoint {
+	var out []NegRFPoint
+	for _, enabled := range []bool{true, false} {
+		cfg := DefaultFig8()
+		cfg.Seeds = seeds
+		cfg.Duration = duration
+		cfg.DisableNegRF = !enabled
+		var bpe, dups []float64
+		for _, seed := range seeds {
+			b, d := runNegRFOnce(cfg, seed)
+			bpe = append(bpe, b)
+			dups = append(dups, d)
+		}
+		out = append(out, NegRFPoint{
+			Enabled:       enabled,
+			BytesPerEvent: stats.Summarize(bpe),
+			Duplicates:    stats.Summarize(dups),
+		})
+	}
+	return out
+}
+
+// runNegRFOnce runs 2 sources without suppression and returns
+// (bytes/event, duplicate data receptions summed over all nodes).
+func runNegRFOnce(cfg Fig8Config, seed int64) (float64, float64) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:                         seed,
+		Topology:                     diffusion.TestbedTopology(),
+		DisableNegativeReinforcement: cfg.DisableNegRF,
+	})
+	distinct := map[int32]bool{}
+	net.Node(diffusion.TestbedSink).Subscribe(surveillanceInterest(), func(m *diffusion.Message) {
+		if a, ok := m.Attrs.FindActual(diffusion.KeySequence); ok {
+			distinct[a.Val.Int32()] = true
+		}
+	})
+	ids := diffusion.TestbedSources()[:2]
+	seq := int32(0)
+	payload := make([]byte, cfg.PayloadBytes)
+	var nodes []*diffusion.Node
+	var pubs []diffusion.PublicationHandle
+	for _, id := range ids {
+		n := net.Node(id)
+		nodes = append(nodes, n)
+		pubs = append(pubs, n.Publish(surveillanceData()))
+	}
+	net.Every(cfg.EventInterval, func() {
+		seq++
+		for i := range nodes {
+			nodes[i].Send(pubs[i], diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+				diffusion.Blob(diffusion.KeyPayload, diffusion.IS, payload),
+			})
+		}
+	})
+	net.Run(cfg.Duration)
+	dups := 0
+	for _, n := range net.Nodes() {
+		dups += n.Stats.Duplicates
+	}
+	events := len(distinct)
+	if events == 0 {
+		events = 1
+	}
+	return float64(net.TotalDiffusionBytes()) / float64(events), float64(dups)
+}
+
+// PrintNegRFAblation renders the ablation.
+func PrintNegRFAblation(w io.Writer, points []NegRFPoint) {
+	fmt.Fprintln(w, "Ablation: negative reinforcement (2 sources, no suppression filters)")
+	fmt.Fprintln(w, "neg-reinforcement   B/event           duplicate receptions")
+	for _, p := range points {
+		mode := "disabled"
+		if p.Enabled {
+			mode = "enabled "
+		}
+		fmt.Fprintf(w, "%s           %8.0f ± %5.0f   %8.0f ± %5.0f\n",
+			mode, p.BytesPerEvent.Mean, p.BytesPerEvent.CI95,
+			p.Duplicates.Mean, p.Duplicates.CI95)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"diffusion"
+	"diffusion/internal/message"
+	"diffusion/internal/stats"
+	"diffusion/internal/trafficmodel"
+)
+
+// This file decomposes the Figure 8 traffic by message class and compares
+// it with the section 6.1 analytic model's per-component prediction —
+// the validation step the paper performs in prose ("we can confirm these
+// results with a simple traffic model ... the shape of this prediction
+// matches our experimental results").
+
+// BreakdownPoint is the per-class byte decomposition for one
+// configuration.
+type BreakdownPoint struct {
+	Sources     int
+	Suppression bool
+	// Per-class bytes per distinct delivered event.
+	Interests, Data, Exploratory, Reinforcements stats.Summary
+}
+
+// RunBreakdown measures the byte decomposition at the given source count,
+// with and without suppression.
+func RunBreakdown(seeds []int64, duration time.Duration, sources int) []BreakdownPoint {
+	var out []BreakdownPoint
+	for _, suppression := range []bool{true, false} {
+		acc := map[message.Class][]float64{}
+		for _, seed := range seeds {
+			byClass, events := runBreakdownOnce(seed, duration, sources, suppression)
+			if events == 0 {
+				events = 1
+			}
+			for c, b := range byClass {
+				acc[c] = append(acc[c], float64(b)/float64(events))
+			}
+		}
+		out = append(out, BreakdownPoint{
+			Sources:        sources,
+			Suppression:    suppression,
+			Interests:      stats.Summarize(acc[message.Interest]),
+			Data:           stats.Summarize(acc[message.Data]),
+			Exploratory:    stats.Summarize(acc[message.ExploratoryData]),
+			Reinforcements: stats.Summarize(acc[message.PositiveReinforcement]),
+		})
+	}
+	return out
+}
+
+func runBreakdownOnce(seed int64, duration time.Duration, sources int, suppression bool) (map[message.Class]int, int) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     seed,
+		Topology: diffusion.TestbedTopology(),
+	})
+	if suppression {
+		for _, id := range net.IDs() {
+			net.NewSuppression(net.Node(id), diffusion.SuppressionOptions{})
+		}
+	}
+	// Count transmitted bytes per class with a near-wire tap on every
+	// node (priority just above the trace range would also see consumed
+	// messages, so instead use the core's own counters).
+	distinct := map[int32]bool{}
+	net.Node(diffusion.TestbedSink).Subscribe(surveillanceInterest(), func(m *diffusion.Message) {
+		if a, ok := m.Attrs.FindActual(diffusion.KeySequence); ok {
+			distinct[a.Val.Int32()] = true
+		}
+	})
+	ids := diffusion.TestbedSources()[:sources]
+	nodes := make([]*diffusion.Node, sources)
+	pubs := make([]diffusion.PublicationHandle, sources)
+	for i, id := range ids {
+		nodes[i] = net.Node(id)
+		pubs[i] = nodes[i].Publish(surveillanceData())
+	}
+	seq := int32(0)
+	payload := make([]byte, 50)
+	net.Every(6*time.Second, func() {
+		seq++
+		for i := range nodes {
+			nodes[i].Send(pubs[i], diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+				diffusion.Blob(diffusion.KeyPayload, diffusion.IS, payload),
+			})
+		}
+	})
+	net.Run(duration)
+
+	// Approximate per-class bytes as per-class message counts times the
+	// mean message size (the diffusion layer counts sends per class and
+	// bytes in aggregate).
+	byClass := map[message.Class]int{}
+	totalMsgs, totalBytes := 0, 0
+	for _, n := range net.Nodes() {
+		for c := 0; c < 5; c++ {
+			byClass[message.Class(c)] += n.Stats.SentByClass[c]
+			totalMsgs += n.Stats.SentByClass[c]
+		}
+		totalBytes += n.Stats.BytesSent
+	}
+	if totalMsgs > 0 {
+		mean := float64(totalBytes) / float64(totalMsgs)
+		for c, count := range byClass {
+			byClass[c] = int(float64(count) * mean)
+		}
+	}
+	return byClass, len(distinct)
+}
+
+// PrintBreakdown renders measured components next to the model's.
+func PrintBreakdown(w io.Writer, points []BreakdownPoint) {
+	fmt.Fprintln(w, "Figure 8 byte decomposition per distinct event, vs the section 6.1 model")
+	fmt.Fprintln(w, "config            interests       data        exploratory   reinforcement")
+	model := trafficmodel.Testbed()
+	for _, p := range points {
+		mode := "without supp"
+		if p.Suppression {
+			mode = "with supp   "
+		}
+		fmt.Fprintf(w, "%d src %s  %7.0f ± %3.0f  %7.0f ± %3.0f  %7.0f ± %3.0f  %7.0f ± %3.0f\n",
+			p.Sources, mode,
+			p.Interests.Mean, p.Interests.CI95,
+			p.Data.Mean, p.Data.CI95,
+			p.Exploratory.Mean, p.Exploratory.CI95,
+			p.Reinforcements.Mean, p.Reinforcements.CI95)
+		c := model.BytesPerEvent(p.Sources, p.Suppression)
+		fmt.Fprintf(w, "  model:          %7.0f        %7.0f        %7.0f        %7.0f\n",
+			c.Interests, c.Data, c.Exploratory, c.Reinforcements)
+	}
+}

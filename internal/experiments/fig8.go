@@ -1,0 +1,228 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (section 6), runnable from cmd/diffsim and from the
+// repository's benchmarks. Each harness builds the testbed scenario,
+// repeats it across seeds, and reports the same rows/series the paper
+// does, with 95% confidence intervals.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"diffusion"
+	"diffusion/internal/filters"
+	"diffusion/internal/stats"
+)
+
+// Fig8Config parameterizes the aggregation experiment (paper Figure 8):
+// a sink at testbed node 28, one to four sources at nodes 25, 16, 22 and
+// 13 generating synchronized 112-byte events every 6 seconds, with and
+// without duplicate-suppression filters on every node, for five 30-minute
+// runs per point.
+type Fig8Config struct {
+	// Seeds are the experiment repetitions (paper: five runs).
+	Seeds []int64
+	// Duration is the per-run virtual time (paper: 30 minutes).
+	Duration time.Duration
+	// MaxSources sweeps 1..MaxSources sources (paper: 4).
+	MaxSources int
+	// EventInterval is the per-source event period (paper: 6 s).
+	EventInterval time.Duration
+	// PayloadBytes pads each event so the diffusion message reaches the
+	// paper's 112 bytes.
+	PayloadBytes int
+	// ExploratoryEvery overrides the 1-in-10 exploratory cadence
+	// (ablations); zero keeps the default.
+	ExploratoryEvery int
+	// Radio overrides the channel parameters (ablations); nil keeps the
+	// testbed default.
+	Radio *diffusion.RadioParams
+	// DisableNegRF turns off negative reinforcement (ablation).
+	DisableNegRF bool
+}
+
+// DefaultFig8 returns the paper's configuration.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		Seeds:         []int64{1, 2, 3, 4, 5},
+		Duration:      30 * time.Minute,
+		MaxSources:    4,
+		EventInterval: 6 * time.Second,
+		PayloadBytes:  50,
+	}
+}
+
+// Fig8Point is one point of the Figure 8 series.
+type Fig8Point struct {
+	Sources     int
+	Suppression bool
+	// BytesPerEvent is the figure's y-axis: bytes sent from all diffusion
+	// modules normalized to the number of distinct events received.
+	BytesPerEvent stats.Summary
+	// DeliveryRate is the fraction of distinct events that reached the
+	// sink (the paper reports 55-80%).
+	DeliveryRate stats.Summary
+}
+
+// RunFig8 runs the full sweep: sources 1..MaxSources, with and without
+// suppression.
+func RunFig8(cfg Fig8Config) []Fig8Point {
+	var out []Fig8Point
+	for _, suppression := range []bool{true, false} {
+		for s := 1; s <= cfg.MaxSources; s++ {
+			var bpe, rate []float64
+			for _, seed := range cfg.Seeds {
+				b, r := runFig8Once(cfg, s, suppression, seed)
+				bpe = append(bpe, b)
+				rate = append(rate, r)
+			}
+			out = append(out, Fig8Point{
+				Sources:       s,
+				Suppression:   suppression,
+				BytesPerEvent: stats.Summarize(bpe),
+				DeliveryRate:  stats.Summarize(rate),
+			})
+		}
+	}
+	return out
+}
+
+// RunFig8Point runs one point of the sweep (all seeds at one source count
+// and suppression setting).
+func RunFig8Point(cfg Fig8Config, sources int, suppression bool) Fig8Point {
+	var bpe, rate []float64
+	for _, seed := range cfg.Seeds {
+		b, r := runFig8Once(cfg, sources, suppression, seed)
+		bpe = append(bpe, b)
+		rate = append(rate, r)
+	}
+	return Fig8Point{
+		Sources:       sources,
+		Suppression:   suppression,
+		BytesPerEvent: stats.Summarize(bpe),
+		DeliveryRate:  stats.Summarize(rate),
+	}
+}
+
+// surveillanceInterest and surveillanceData name the Figure 8 event flow.
+func surveillanceInterest() diffusion.Attributes {
+	return diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.EQ, "surveillance"),
+		diffusion.Int32(diffusion.KeyInterval, diffusion.IS, 6000),
+	}
+}
+
+func surveillanceData() diffusion.Attributes {
+	return diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.IS, "surveillance"),
+	}
+}
+
+// runFig8Once executes one 30-minute run and returns (bytes per distinct
+// delivered event, delivery rate).
+func runFig8Once(cfg Fig8Config, sources int, suppression bool, seed int64) (float64, float64) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:                         seed,
+		Topology:                     diffusion.TestbedTopology(),
+		ExploratoryEvery:             cfg.ExploratoryEvery,
+		Radio:                        cfg.Radio,
+		DisableNegativeReinforcement: cfg.DisableNegRF,
+	})
+	if suppression {
+		// "All nodes were configured with aggregation filters that pass
+		// the first unique event and suppress subsequent events with
+		// identical sequence numbers."
+		for _, id := range net.IDs() {
+			filters.NewSuppression(net.Node(id).Node, net.Clock(), filters.SuppressionOptions{})
+		}
+	}
+
+	distinct := map[int32]bool{}
+	net.Node(diffusion.TestbedSink).Subscribe(surveillanceInterest(), func(m *diffusion.Message) {
+		if a, ok := m.Attrs.FindActual(diffusion.KeySequence); ok {
+			distinct[a.Val.Int32()] = true
+		}
+	})
+
+	ids := diffusion.TestbedSources()[:sources]
+	nodes := make([]*diffusion.Node, sources)
+	pubs := make([]diffusion.PublicationHandle, sources)
+	for i, id := range ids {
+		nodes[i] = net.Node(id)
+		pubs[i] = nodes[i].Publish(surveillanceData())
+	}
+	// Synchronized sequence numbers, as in the paper ("given sequence
+	// numbers that are synchronized at experiment start").
+	seq := int32(0)
+	payload := make([]byte, cfg.PayloadBytes)
+	net.Every(cfg.EventInterval, func() {
+		seq++
+		for i := range nodes {
+			nodes[i].Send(pubs[i], diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+				diffusion.Blob(diffusion.KeyPayload, diffusion.IS, payload),
+			})
+		}
+	})
+	net.Run(cfg.Duration)
+
+	events := len(distinct)
+	if events == 0 {
+		return float64(net.TotalDiffusionBytes()), 0
+	}
+	return float64(net.TotalDiffusionBytes()) / float64(events),
+		float64(events) / float64(seq)
+}
+
+// PrintFig8 renders the series as the paper's figure rows.
+func PrintFig8(w io.Writer, points []Fig8Point) {
+	fmt.Fprintln(w, "Figure 8: bytes sent from all diffusion modules per distinct event")
+	fmt.Fprintln(w, "sources  suppression      B/event            delivery")
+	for _, p := range points {
+		mode := "without"
+		if p.Suppression {
+			mode = "with   "
+		}
+		fmt.Fprintf(w, "%7d  %s      %9.0f ± %5.0f   %5.1f%% ± %4.1f%%\n",
+			p.Sources, mode, p.BytesPerEvent.Mean, p.BytesPerEvent.CI95,
+			100*p.DeliveryRate.Mean, 100*p.DeliveryRate.CI95)
+	}
+	// The paper's headline: suppression cuts traffic by up to 42% at four
+	// sources.
+	var with4, without4 *Fig8Point
+	for i := range points {
+		p := &points[i]
+		if p.Sources == 4 && p.Suppression {
+			with4 = p
+		}
+		if p.Sources == 4 && !p.Suppression {
+			without4 = p
+		}
+	}
+	if with4 != nil && without4 != nil && without4.BytesPerEvent.Mean > 0 {
+		save := 1 - with4.BytesPerEvent.Mean/without4.BytesPerEvent.Mean
+		fmt.Fprintf(w, "suppression saves %.0f%% of bytes/event at 4 sources (paper: up to 42%%)\n",
+			100*save)
+	}
+}
+
+// Fig8Savings returns the fractional bytes/event reduction at the given
+// source count.
+func Fig8Savings(points []Fig8Point, sources int) float64 {
+	var with, without float64
+	for _, p := range points {
+		if p.Sources != sources {
+			continue
+		}
+		if p.Suppression {
+			with = p.BytesPerEvent.Mean
+		} else {
+			without = p.BytesPerEvent.Mean
+		}
+	}
+	if without == 0 {
+		return 0
+	}
+	return 1 - with/without
+}

@@ -1,0 +1,92 @@
+package filters
+
+import (
+	"testing"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+	"diffusion/internal/nettest"
+)
+
+func TestCacheRepliesToLateSubscriber(t *testing.T) {
+	// Line: sink2(1) - cache(2) - source(3). The source reports once;
+	// later a new sink subscribes and must get the cached reading from
+	// node 2 without the source sending anything again.
+	tn := nettest.New(1)
+	nodes := tn.Line(3)
+	cache := NewCache(nodes[1], tn.Sched, CacheOptions{})
+
+	// Prime the flow: an early sink pulls one report through the cache.
+	early := 0
+	h := nodes[0].Subscribe(sinkInterest(), func(*message.Message) { early++ })
+	pub := nodes[2].Publish(sourcePub())
+	tn.Sched.After(2*time.Second, func() {
+		nodes[2].Send(pub, attr.Vec{
+			attr.Int32Attr(attr.KeySequence, attr.IS, 41),
+			attr.StringAttr(attr.KeyInstance, attr.IS, "door-sensor"),
+		})
+	})
+	tn.Sched.RunUntil(5 * time.Second)
+	if early != 1 || cache.Cached == 0 {
+		t.Fatalf("priming failed: early=%d cached=%d", early, cache.Cached)
+	}
+	_ = nodes[0].Unsubscribe(h)
+
+	// A new subscriber arrives; the source stays silent.
+	var lateSeq int32 = -1
+	nodes[0].Subscribe(sinkInterest(), func(m *message.Message) {
+		if a, ok := m.Attrs.FindActual(attr.KeySequence); ok {
+			lateSeq = a.Val.Int32()
+		}
+	})
+	tn.Sched.RunUntil(15 * time.Second)
+	if cache.Replays == 0 {
+		t.Fatal("cache never replayed")
+	}
+	if lateSeq != 41 {
+		t.Errorf("late subscriber got seq %d, want the cached 41", lateSeq)
+	}
+}
+
+func TestCacheTTLExpires(t *testing.T) {
+	tn := nettest.New(2)
+	nodes := tn.Line(3)
+	cache := NewCache(nodes[1], tn.Sched, CacheOptions{TTL: 5 * time.Second})
+	got := 0
+	h := nodes[0].Subscribe(sinkInterest(), func(*message.Message) { got++ })
+	pub := nodes[2].Publish(sourcePub())
+	tn.Sched.After(2*time.Second, func() {
+		nodes[2].Send(pub, attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, 1)})
+	})
+	tn.Sched.RunUntil(4 * time.Second)
+	_ = nodes[0].Unsubscribe(h)
+	// Wait well past the TTL, then re-subscribe: stale data must not
+	// replay.
+	tn.Sched.RunUntil(30 * time.Second)
+	replaysBefore := cache.Replays
+	nodes[0].Subscribe(sinkInterest(), nil)
+	tn.Sched.RunUntil(time.Minute)
+	if cache.Replays != replaysBefore {
+		t.Errorf("stale cache entry replayed (%d -> %d)", replaysBefore, cache.Replays)
+	}
+}
+
+func TestCacheAnswersEachInterestOnce(t *testing.T) {
+	// Interest refreshes carry fresh IDs, so the cache answers each
+	// origination once; the same origination's flood copies do not
+	// multiply replays.
+	tn := nettest.New(3)
+	nodes := tn.Line(3)
+	cache := NewCache(nodes[1], tn.Sched, CacheOptions{TTL: time.Hour})
+	nodes[0].Subscribe(sinkInterest(), nil)
+	pub := nodes[2].Publish(sourcePub())
+	tn.Sched.After(2*time.Second, func() {
+		nodes[2].Send(pub, attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, 7)})
+	})
+	// nettest refresh interval is 10s: about 6 originations per minute.
+	tn.Sched.RunUntil(65 * time.Second)
+	if cache.Replays == 0 || cache.Replays > 8 {
+		t.Errorf("replays = %d, want one per interest origination", cache.Replays)
+	}
+}

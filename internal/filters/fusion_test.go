@@ -1,0 +1,109 @@
+package filters
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+	"diffusion/internal/nettest"
+)
+
+// fusionNet: sink(1) - fusion relay(2) - seismic(3) and infrared(4) both
+// attached to the relay.
+func fusionNet(seed int64) (*nettest.Net, *Fusion) {
+	tn := nettest.New(seed)
+	tn.Line(2)
+	tn.AddNode(3, nil)
+	tn.AddNode(4, nil)
+	tn.Connect(2, 3)
+	tn.Connect(2, 4)
+	fu := NewFusion(tn.Nodes[2], tn.Sched, nil, 500*time.Millisecond)
+	return tn, fu
+}
+
+func detection(tnode string, conf float64, seq int32) attr.Vec {
+	return attr.Vec{
+		attr.StringAttr(attr.KeyType, attr.IS, tnode),
+		attr.Float64Attr(attr.KeyConfidence, attr.IS, conf),
+		attr.Int32Attr(attr.KeySequence, attr.IS, seq),
+	}
+}
+
+func TestFusionCombinesModalities(t *testing.T) {
+	tn, fu := fusionNet(1)
+	var got []*message.Message
+	tn.Nodes[1].Subscribe(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, "detect"),
+	}, func(m *message.Message) { got = append(got, m.Clone()) })
+
+	seismicPub := tn.Nodes[3].Publish(attr.Vec{attr.StringAttr(attr.KeyTask, attr.IS, "detect")})
+	infraredPub := tn.Nodes[4].Publish(attr.Vec{attr.StringAttr(attr.KeyTask, attr.IS, "detect")})
+	// The paper's example: seismic and infrared detections of one event
+	// fuse to "80% chance of detection": 1-(1-0.5)(1-0.6) = 0.8.
+	tn.Sched.After(2*time.Second, func() {
+		tn.Nodes[3].Send(seismicPub, detection("seismic", 0.5, 1))
+	})
+	tn.Sched.After(2*time.Second+100*time.Millisecond, func() {
+		tn.Nodes[4].Send(infraredPub, detection("infrared", 0.6, 1))
+	})
+	tn.Sched.RunUntil(time.Minute)
+
+	if fu.Reports == 0 || fu.Fused == 0 {
+		t.Fatalf("fusion did not fold: %+v", fu)
+	}
+	if len(got) != 1 {
+		t.Fatalf("sink received %d reports, want 1 fused", len(got))
+	}
+	conf, _ := got[0].Attrs.FindActual(attr.KeyConfidence)
+	if math.Abs(conf.Val.Float64()-0.8) > 1e-9 {
+		t.Errorf("fused confidence %v, want 0.8", conf.Val)
+	}
+	mods, _ := got[0].Attrs.FindActual(attr.KeySubtype)
+	s := mods.Val.Str()
+	if !strings.Contains(s, "seismic") || !strings.Contains(s, "infrared") {
+		t.Errorf("modalities: %q", s)
+	}
+	count, _ := got[0].Attrs.FindActual(attr.KeyCount)
+	if count.Val.Int32() != 2 {
+		t.Errorf("count %v", count.Val)
+	}
+}
+
+func TestFusionSingleModalityPassesThrough(t *testing.T) {
+	tn, fu := fusionNet(2)
+	var confs []float64
+	tn.Nodes[1].Subscribe(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, "detect"),
+	}, func(m *message.Message) {
+		if a, ok := m.Attrs.FindActual(attr.KeyConfidence); ok {
+			confs = append(confs, a.Val.Float64())
+		}
+	})
+	pub := tn.Nodes[3].Publish(attr.Vec{attr.StringAttr(attr.KeyTask, attr.IS, "detect")})
+	tn.Sched.After(2*time.Second, func() { tn.Nodes[3].Send(pub, detection("seismic", 0.7, 9)) })
+	tn.Sched.RunUntil(30 * time.Second)
+	if len(confs) != 1 || math.Abs(confs[0]-0.7) > 1e-9 {
+		t.Errorf("lone detection should pass with its own confidence: %v", confs)
+	}
+	if fu.Reports != 1 {
+		t.Errorf("reports=%d", fu.Reports)
+	}
+}
+
+func TestFusionDistinctEventsStaySeparate(t *testing.T) {
+	tn, _ := fusionNet(3)
+	var got int
+	tn.Nodes[1].Subscribe(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, "detect"),
+	}, func(*message.Message) { got++ })
+	pub := tn.Nodes[3].Publish(attr.Vec{attr.StringAttr(attr.KeyTask, attr.IS, "detect")})
+	tn.Sched.After(2*time.Second, func() { tn.Nodes[3].Send(pub, detection("seismic", 0.5, 1)) })
+	tn.Sched.After(3*time.Second, func() { tn.Nodes[3].Send(pub, detection("seismic", 0.5, 2)) })
+	tn.Sched.RunUntil(30 * time.Second)
+	if got != 2 {
+		t.Errorf("two distinct events should both deliver: %d", got)
+	}
+}

@@ -1,0 +1,296 @@
+package mac
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"diffusion/internal/radio"
+	"diffusion/internal/sim"
+	"diffusion/internal/topo"
+)
+
+type rxLog struct {
+	from     []uint32
+	payloads [][]byte
+}
+
+func (r *rxLog) handler() Handler {
+	return func(from uint32, p []byte) {
+		r.from = append(r.from, from)
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		r.payloads = append(r.payloads, cp)
+	}
+}
+
+// twoNodes builds a 2-node link with the given channel params.
+func twoNodes(seed int64, rp radio.Params) (*sim.Scheduler, *Mac, *Mac, *rxLog, *rxLog) {
+	s := sim.New(seed)
+	ch := radio.NewChannel(s, topo.Line(2, 5), rp)
+	l1, l2 := &rxLog{}, &rxLog{}
+	m1 := Attach(s, ch, 1, DefaultParams(), l1.handler())
+	m2 := Attach(s, ch, 2, DefaultParams(), l2.handler())
+	return s, m1, m2, l1, l2
+}
+
+func TestSingleFragmentDelivery(t *testing.T) {
+	s, m1, _, _, l2 := twoNodes(1, radio.PerfectParams())
+	payload := []byte("short")
+	if err := m1.Send(Broadcast, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(l2.payloads) != 1 || !bytes.Equal(l2.payloads[0], payload) {
+		t.Fatalf("delivery: %v", l2.payloads)
+	}
+	if l2.from[0] != 1 {
+		t.Errorf("source id = %d", l2.from[0])
+	}
+	if m1.Stats.FragmentsSent != 1 {
+		t.Errorf("short payload should be one fragment: %+v", m1.Stats)
+	}
+}
+
+func TestFragmentationAndReassembly(t *testing.T) {
+	s, m1, _, _, l2 := twoNodes(1, radio.PerfectParams())
+	payload := make([]byte, 112) // the paper's event size
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := m1.Send(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// 112 bytes / 27 per fragment = 5 fragments.
+	if m1.Stats.FragmentsSent != 5 {
+		t.Errorf("fragments sent = %d, want 5", m1.Stats.FragmentsSent)
+	}
+	if len(l2.payloads) != 1 || !bytes.Equal(l2.payloads[0], payload) {
+		t.Fatalf("reassembly failed: %d messages", len(l2.payloads))
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	s, m1, _, _, l2 := twoNodes(1, radio.PerfectParams())
+	if err := m1.Send(Broadcast, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(l2.payloads) != 1 || len(l2.payloads[0]) != 0 {
+		t.Fatalf("empty payload should still deliver: %v", l2.payloads)
+	}
+}
+
+func TestUnicastFiltering(t *testing.T) {
+	s := sim.New(1)
+	ch := radio.NewChannel(s, topo.Line(3, 5), radio.PerfectParams())
+	l2, l3 := &rxLog{}, &rxLog{}
+	m1 := Attach(s, ch, 1, DefaultParams(), nil)
+	Attach(s, ch, 2, DefaultParams(), l2.handler())
+	Attach(s, ch, 3, DefaultParams(), l3.handler())
+	m1.Send(2, []byte("for-two"))
+	s.Run()
+	if len(l2.payloads) != 1 {
+		t.Error("addressed node must receive")
+	}
+	if len(l3.payloads) != 0 {
+		t.Error("overhearing node must drop unicast for another")
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	s := sim.New(1)
+	ch := radio.NewChannel(s, topo.Line(3, 5), radio.PerfectParams())
+	l2, l3 := &rxLog{}, &rxLog{}
+	m1 := Attach(s, ch, 1, DefaultParams(), nil)
+	Attach(s, ch, 2, DefaultParams(), l2.handler())
+	Attach(s, ch, 3, DefaultParams(), l3.handler())
+	m1.Send(Broadcast, []byte("all"))
+	s.Run()
+	// Node 3 is 10m from node 1: in range.
+	if len(l2.payloads) != 1 || len(l3.payloads) != 1 {
+		t.Errorf("broadcast delivery: %d, %d", len(l2.payloads), len(l3.payloads))
+	}
+}
+
+func TestLostFragmentLosesWholeMessage(t *testing.T) {
+	// With heavy loss, partial fragment trains must never surface as
+	// corrupted messages: either the exact payload arrives or nothing.
+	p := radio.PerfectParams()
+	p.BaseLoss = 0.3
+	delivered, complete := 0, 0
+	payload := make([]byte, 112)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		s, m1, _, _, l2 := twoNodes(seed, p)
+		m1.Send(Broadcast, payload)
+		s.Run()
+		delivered += len(l2.payloads)
+		for _, got := range l2.payloads {
+			if bytes.Equal(got, payload) {
+				complete++
+			}
+		}
+	}
+	if delivered != complete {
+		t.Errorf("%d delivered but only %d intact", delivered, complete)
+	}
+	if delivered == 0 || delivered == 100 {
+		t.Errorf("with 30%% fragment loss over 5 fragments, delivery should be partial: %d/100", delivered)
+	}
+	// Expected intact probability: 0.7^5 ≈ 17%.
+	if delivered > 60 {
+		t.Errorf("delivery %d/100 too high for per-fragment loss", delivered)
+	}
+}
+
+func TestCarrierSenseDefersAndDelivers(t *testing.T) {
+	// Two senders in range of each other: carrier sense should serialize
+	// them so both messages deliver to the third node.
+	s := sim.New(5)
+	ch := radio.NewChannel(s, topo.New("t"), radio.PerfectParams())
+	_ = ch
+	tp := topo.New("triangle")
+	tp.Add(topo.Node{ID: 1, X: 0})
+	tp.Add(topo.Node{ID: 2, X: 5})
+	tp.Add(topo.Node{ID: 3, X: 2.5, Y: 4})
+	s = sim.New(5)
+	ch = radio.NewChannel(s, tp, radio.PerfectParams())
+	l3 := &rxLog{}
+	m1 := Attach(s, ch, 1, DefaultParams(), nil)
+	m2 := Attach(s, ch, 2, DefaultParams(), nil)
+	Attach(s, ch, 3, DefaultParams(), l3.handler())
+	// Start m2 mid-way through m1's first fragment: m2 must defer.
+	m1.Send(Broadcast, make([]byte, 100))
+	s.After(5*time.Millisecond, func() { m2.Send(Broadcast, make([]byte, 100)) })
+	s.Run()
+	if len(l3.payloads) != 2 {
+		t.Errorf("carrier sense should let both messages through, got %d (backoffs=%d)",
+			len(l3.payloads), m2.Stats.Backoffs)
+	}
+	if m2.Stats.Backoffs == 0 {
+		t.Error("second sender should have backed off at least once")
+	}
+}
+
+func TestHiddenTerminalsCollide(t *testing.T) {
+	// Nodes 1 and 3 cannot hear each other (20m apart) but both reach 2:
+	// simultaneous sends must collide at 2 for at least some seeds.
+	collided := 0
+	for seed := int64(0); seed < 30; seed++ {
+		s := sim.New(seed)
+		ch := radio.NewChannel(s, topo.Line(3, 10), radio.PerfectParams())
+		l2 := &rxLog{}
+		m1 := Attach(s, ch, 1, DefaultParams(), nil)
+		Attach(s, ch, 2, DefaultParams(), l2.handler())
+		m3 := Attach(s, ch, 3, DefaultParams(), nil)
+		m1.Send(Broadcast, make([]byte, 100))
+		m3.Send(Broadcast, make([]byte, 100))
+		s.Run()
+		if len(l2.payloads) < 2 {
+			collided++
+		}
+	}
+	if collided == 0 {
+		t.Error("hidden terminals should cause losses at the shared receiver")
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	s, m1, _, _, _ := twoNodes(1, radio.PerfectParams())
+	var err error
+	for i := 0; i <= DefaultParams().QueueLimit; i++ {
+		err = m1.Send(Broadcast, make([]byte, 200))
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Errorf("queue overflow should return ErrQueueFull, got %v", err)
+	}
+	if m1.Stats.MessagesDropped == 0 {
+		t.Error("drop must be counted")
+	}
+	s.Run()
+}
+
+func TestTooLarge(t *testing.T) {
+	_, m1, _, _, _ := twoNodes(1, radio.PerfectParams())
+	if err := m1.Send(Broadcast, make([]byte, 4096)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized payload: %v", err)
+	}
+}
+
+func TestReassemblyTimeout(t *testing.T) {
+	// Lose fragments forever: partial state must expire, not leak.
+	p := radio.PerfectParams()
+	p.BaseLoss = 0.5
+	s, m1, m2, _, _ := twoNodes(3, p)
+	for i := 0; i < 10; i++ {
+		d := time.Duration(i) * 2 * time.Second
+		s.After(d, func() { m1.Send(Broadcast, make([]byte, 200)) })
+	}
+	s.RunUntil(2 * time.Minute)
+	if len(m2.reasm) != 0 {
+		t.Errorf("%d partial messages leaked", len(m2.reasm))
+	}
+	if m2.Stats.ReassemblyExpired == 0 {
+		t.Error("expected some reassembly expirations under 50% loss")
+	}
+}
+
+func TestBackoffExhaustionDrops(t *testing.T) {
+	// Jam the channel: node 3 transmits long frames continuously so node
+	// 1's carrier sense never clears.
+	s := sim.New(7)
+	tp := topo.Line(2, 5)
+	ch := radio.NewChannel(s, tp, radio.PerfectParams())
+	m1 := Attach(s, ch, 1, DefaultParams(), nil)
+	jammer := ch.Attach(2, nil)
+	var jam func()
+	jam = func() {
+		if s.Now() < 30*time.Second {
+			air := jammer.Transmit(make([]byte, 200))
+			s.After(air, jam)
+		}
+	}
+	jam()
+	s.After(time.Second, func() { m1.Send(Broadcast, []byte("x")) })
+	s.RunUntil(time.Minute)
+	if m1.Stats.MessagesDropped != 1 {
+		t.Errorf("jammed sender should eventually drop: %+v", m1.Stats)
+	}
+}
+
+func TestQuickReassemblyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64, n uint16) bool {
+		size := int(n) % 900
+		payload := make([]byte, size)
+		r := rand.New(rand.NewSource(seed))
+		r.Read(payload)
+		s, m1, _, _, l2 := twoNodes(seed, radio.PerfectParams())
+		if m1.Send(Broadcast, payload) != nil {
+			return false
+		}
+		s.Run()
+		return len(l2.payloads) == 1 && bytes.Equal(l2.payloads[0], payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid params must panic")
+		}
+	}()
+	s := sim.New(1)
+	ch := radio.NewChannel(s, topo.Line(2, 5), radio.PerfectParams())
+	Attach(s, ch, 1, Params{}, nil)
+}

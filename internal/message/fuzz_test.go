@@ -1,0 +1,53 @@
+package message
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics throws random byte soup at the wire decoder:
+// link layers deliver whatever survives the radio, and the diffusion core
+// must shrug off anything that is not a well-formed message.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := make([]byte, int(n)%512)
+		r.Read(b)
+		m, err := Unmarshal(b)
+		// Either a clean error or a structurally valid message.
+		if err != nil {
+			return m == nil
+		}
+		return m.Class.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBitFlippedMessages corrupts valid encodings bit by bit: decoding
+// must never panic, and any message that does decode must be structurally
+// valid.
+func TestBitFlippedMessages(t *testing.T) {
+	base := sample().Marshal()
+	for i := 0; i < len(base); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), base...)
+			mut[i] ^= 1 << bit
+			m, err := Unmarshal(mut)
+			if err == nil && !m.Class.Valid() {
+				t.Fatalf("byte %d bit %d: invalid class decoded", i, bit)
+			}
+		}
+	}
+}
+
+// TestTruncationsNeverPanic decodes every prefix of a valid encoding.
+func TestTruncationsNeverPanic(t *testing.T) {
+	base := sample().Marshal()
+	for i := 0; i <= len(base); i++ {
+		_, _ = Unmarshal(base[:i])
+	}
+}

@@ -1,0 +1,164 @@
+// Package message defines the diffusion message: a typed header plus an
+// attribute vector, with a compact binary wire format. Following the paper,
+// messages are identified for duplicate suppression by a (random origin id,
+// packet number) pair rather than by any global node address, and carry only
+// hop-local previous/next identifiers ("nodes do not need to have globally
+// unique identifiers ... nodes, however, do need to distinguish between
+// neighbors").
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"diffusion/internal/attr"
+)
+
+// Class is the diffusion message type.
+type Class uint8
+
+// Message classes. Exploratory data is flooded along all gradients; plain
+// data travels only on reinforced gradients (section 3.1).
+const (
+	Interest Class = iota
+	Data
+	ExploratoryData
+	PositiveReinforcement
+	NegativeReinforcement
+
+	numClasses
+)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case Interest:
+		return "INTEREST"
+	case Data:
+		return "DATA"
+	case ExploratoryData:
+		return "EXPLORATORY_DATA"
+	case PositiveReinforcement:
+		return "POSITIVE_REINFORCEMENT"
+	case NegativeReinforcement:
+		return "NEGATIVE_REINFORCEMENT"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool { return c < numClasses }
+
+// NodeID identifies a neighbor at the link layer. IDs may be ephemeral (the
+// paper cites Elson & Estrin's random transaction identifiers); they only
+// need to distinguish neighbors.
+type NodeID uint32
+
+// Broadcast is the link-layer broadcast destination.
+const Broadcast NodeID = 0xFFFFFFFF
+
+// String renders the node ID, with the broadcast address spelled out.
+func (n NodeID) String() string {
+	if n == Broadcast {
+		return "BCAST"
+	}
+	return fmt.Sprintf("n%d", uint32(n))
+}
+
+// ID identifies a message origination for duplicate suppression: RandID is
+// a random 32-bit value chosen by the originating diffusion instance and
+// PktNum a per-instance counter, mirroring the (rdm_id, pkt_num) pair in
+// the SCADDS implementation.
+type ID struct {
+	RandID uint32
+	PktNum uint32
+}
+
+// String renders the id.
+func (id ID) String() string { return fmt.Sprintf("%08x:%d", id.RandID, id.PktNum) }
+
+// Message is one diffusion message.
+type Message struct {
+	Class Class
+	// ID identifies the origination for loop and duplicate suppression.
+	ID ID
+	// PrevHop is the link-layer sender of this transmission; NextHop is
+	// the link-layer destination (Broadcast or a specific neighbor).
+	PrevHop, NextHop NodeID
+	// HopCount counts link-layer hops since origination.
+	HopCount uint8
+	// Attrs is the attribute vector naming the message's data or interest.
+	Attrs attr.Vec
+}
+
+// headerSize is the fixed wire header length in bytes.
+const headerSize = 1 + 1 + 4 + 4 + 4 + 4
+
+// Size returns the encoded size of the message in bytes. This is the
+// quantity the Figure 8 experiment accounts ("bytes sent from all diffusion
+// modules").
+func (m *Message) Size() int { return headerSize + m.Attrs.Size() }
+
+// Clone returns a copy of the message with a copied attribute vector, so
+// filters can rewrite messages without aliasing.
+func (m *Message) Clone() *Message {
+	c := *m
+	c.Attrs = m.Attrs.Clone()
+	return &c
+}
+
+// Marshal returns the wire encoding of m.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, 0, m.Size())
+	b = append(b, byte(m.Class), m.HopCount)
+	b = binary.BigEndian.AppendUint32(b, m.ID.RandID)
+	b = binary.BigEndian.AppendUint32(b, m.ID.PktNum)
+	b = binary.BigEndian.AppendUint32(b, uint32(m.PrevHop))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.NextHop))
+	return m.Attrs.AppendEncode(b)
+}
+
+// Unmarshal errors.
+var (
+	ErrShortHeader = errors.New("message: short header")
+	ErrBadClass    = errors.New("message: invalid class")
+)
+
+// Unmarshal decodes a message from b.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < headerSize {
+		return nil, ErrShortHeader
+	}
+	m := &Message{
+		Class:    Class(b[0]),
+		HopCount: b[1],
+		ID: ID{
+			RandID: binary.BigEndian.Uint32(b[2:]),
+			PktNum: binary.BigEndian.Uint32(b[6:]),
+		},
+		PrevHop: NodeID(binary.BigEndian.Uint32(b[10:])),
+		NextHop: NodeID(binary.BigEndian.Uint32(b[14:])),
+	}
+	if !m.Class.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadClass, b[0])
+	}
+	v, _, err := attr.DecodeVec(b[headerSize:])
+	if err != nil {
+		return nil, err
+	}
+	m.Attrs = v
+	return m, nil
+}
+
+// IsData reports whether the message carries data (exploratory or not).
+func (m *Message) IsData() bool {
+	return m.Class == Data || m.Class == ExploratoryData
+}
+
+// String renders a compact diagnostic form.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s id=%s %s->%s hops=%d %s",
+		m.Class, m.ID, m.PrevHop, m.NextHop, m.HopCount, m.Attrs)
+}

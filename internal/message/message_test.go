@@ -1,0 +1,152 @@
+package message
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"diffusion/internal/attr"
+)
+
+func sample() *Message {
+	return &Message{
+		Class:    ExploratoryData,
+		ID:       ID{RandID: 0xDEADBEEF, PktNum: 42},
+		PrevHop:  7,
+		NextHop:  Broadcast,
+		HopCount: 3,
+		Attrs: attr.Vec{
+			attr.ClassIsData(),
+			attr.StringAttr(attr.KeyTask, IS_, "detectAnimal"),
+			attr.Int32Attr(attr.KeySequence, IS_, 9),
+		},
+	}
+}
+
+// IS_ aliases attr.IS for brevity in fixtures.
+const IS_ = attr.IS
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := sample()
+	b := m.Marshal()
+	if len(b) != m.Size() {
+		t.Errorf("Size()=%d, encoding %d bytes", m.Size(), len(b))
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != m.Class || got.ID != m.ID || got.PrevHop != m.PrevHop ||
+		got.NextHop != m.NextHop || got.HopCount != m.HopCount {
+		t.Errorf("header mismatch: got %v want %v", got, m)
+	}
+	if !got.Attrs.Equal(m.Attrs) {
+		t.Errorf("attrs mismatch: got %v want %v", got.Attrs, m.Attrs)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("nil: %v", err)
+	}
+	b := sample().Marshal()
+	if _, err := Unmarshal(b[:headerSize-1]); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("short: %v", err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 99
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadClass) {
+		t.Errorf("bad class: %v", err)
+	}
+	// Truncated attribute section.
+	if _, err := Unmarshal(b[:len(b)-1]); err == nil {
+		t.Error("truncated attrs should fail")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := sample()
+	c := m.Clone()
+	c.Attrs[0] = attr.ClassIsInterest()
+	c.HopCount = 99
+	if m.Attrs[0].Val.Int32() != attr.ClassData || m.HopCount == 99 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestIsData(t *testing.T) {
+	cases := map[Class]bool{
+		Interest:              false,
+		Data:                  true,
+		ExploratoryData:       true,
+		PositiveReinforcement: false,
+		NegativeReinforcement: false,
+	}
+	for c, want := range cases {
+		if (&Message{Class: c}).IsData() != want {
+			t.Errorf("IsData(%v) != %v", c, want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Broadcast.String() != "BCAST" {
+		t.Error("broadcast rendering")
+	}
+	if NodeID(3).String() != "n3" {
+		t.Error("node rendering")
+	}
+	for c := Class(0); c.Valid(); c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+	if s := sample().String(); s == "" {
+		t.Error("message String")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Class:    Class(r.Intn(int(numClasses))),
+			ID:       ID{RandID: r.Uint32(), PktNum: r.Uint32()},
+			PrevHop:  NodeID(r.Uint32()),
+			NextHop:  NodeID(r.Uint32()),
+			HopCount: uint8(r.Intn(256)),
+		}
+		for i := 0; i < r.Intn(8); i++ {
+			m.Attrs = append(m.Attrs,
+				attr.Int64Attr(attr.Key(r.Intn(20)+1), attr.Op(r.Intn(8)), r.Int63()))
+		}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Class == m.Class && got.ID == m.ID && got.PrevHop == m.PrevHop &&
+			got.NextHop == m.NextHop && got.HopCount == m.HopCount && got.Attrs.Equal(m.Attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperMessageSizes checks that a realistic event message lands near the
+// paper's 112-byte events: the Figure 8 experiment pads with a payload blob.
+func TestPaperMessageSizes(t *testing.T) {
+	m := &Message{
+		Class: Data,
+		Attrs: attr.Vec{
+			attr.ClassIsData(),
+			attr.StringAttr(attr.KeyTask, attr.IS, "surveillance"),
+			attr.Int32Attr(attr.KeySequence, attr.IS, 1),
+			attr.BlobAttr(attr.KeyPayload, attr.IS, make([]byte, 50)),
+		},
+	}
+	if m.Size() < 90 || m.Size() > 130 {
+		t.Errorf("event message size %dB, want near the paper's ~112B", m.Size())
+	}
+}

@@ -1,0 +1,65 @@
+package microdiff
+
+import (
+	"diffusion/internal/attr"
+	"diffusion/internal/core"
+	"diffusion/internal/message"
+)
+
+// Gateway bridges a full-diffusion node and a micro-diffusion mote,
+// realizing the paper's tiered architecture (section 4.3): interests from
+// the attribute-rich first tier are condensed to micro tags and injected
+// into the mote tier, and mote data is expanded back to attribute-named
+// data on the full-diffusion side. "Most of the network intelligence is
+// programmed into the first tier."
+type Gateway struct {
+	node *core.Node
+	mote *Mote
+
+	mappings []Mapping
+
+	// Bridged counts packets translated in each direction.
+	InterestsDown, DataUp int
+}
+
+// Mapping binds one micro tag to its attribute-space meaning.
+type Mapping struct {
+	// Tag is the condensed identifier on the mote tier.
+	Tag Tag
+	// Watch is the passive interest tap on the full-diffusion side: when
+	// a matching interest arrives, the gateway injects a micro-interest
+	// for Tag (it must contain a "class EQ interest" formal plus actuals
+	// satisfying the interest's formals).
+	Watch attr.Vec
+	// Publication describes the data the gateway publishes on behalf of
+	// the mote tier.
+	Publication attr.Vec
+	// Expand converts a mote value into the extra data attributes sent
+	// upward. A nil Expand sends the value as "intensity IS value".
+	Expand func(value uint16) attr.Vec
+}
+
+// NewGateway wires a gateway between node and mote. The mote must belong
+// to the gateway (same physical device, two radios in the paper's
+// deployment).
+func NewGateway(node *core.Node, mote *Mote, mappings []Mapping) *Gateway {
+	g := &Gateway{node: node, mote: mote, mappings: mappings}
+	for i := range g.mappings {
+		mp := &g.mappings[i]
+		if mp.Expand == nil {
+			mp.Expand = func(value uint16) attr.Vec {
+				return attr.Vec{attr.Int32Attr(attr.KeyIntensity, attr.IS, int32(value))}
+			}
+		}
+		pub := node.Publish(mp.Publication)
+		// Full-tier interest arrives: task the mote tier.
+		node.Subscribe(mp.Watch, func(*message.Message) {
+			g.InterestsDown++
+			mote.Subscribe(mp.Tag, func(_ Tag, value uint16) {
+				g.DataUp++
+				_ = node.Send(pub, mp.Expand(value))
+			})
+		})
+	}
+	return g
+}

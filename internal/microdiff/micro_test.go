@@ -1,0 +1,207 @@
+package microdiff
+
+import (
+	"testing"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/message"
+	"diffusion/internal/nettest"
+)
+
+const tagLight Tag = 7
+
+// moteNet builds a chain of k motes (ids 1..k).
+func moteNet(seed int64, k int) (*nettest.Net, []*Mote) {
+	tn := nettest.New(seed)
+	motes := make([]*Mote, k)
+	for i := 1; i <= k; i++ {
+		id := uint32(i)
+		m := NewMote(tn.NewLink(id))
+		tn.SetReceiver(id, m)
+		motes[i-1] = m
+		if i > 1 {
+			tn.Connect(uint32(i-1), id)
+		}
+	}
+	return tn, motes
+}
+
+func TestMicroEndToEnd(t *testing.T) {
+	tn, motes := moteNet(1, 4)
+	var got []uint16
+	motes[0].Subscribe(tagLight, func(_ Tag, v uint16) { got = append(got, v) })
+	tn.Sched.RunUntil(time.Second)
+
+	// Gradients must have formed along the chain.
+	for i, m := range motes[1:] {
+		if m.Gradients() == 0 {
+			t.Fatalf("mote %d has no gradients", i+2)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v := uint16(100 + i)
+		tn.Sched.After(time.Duration(i)*100*time.Millisecond, func() { motes[3].Send(tagLight, v) })
+	}
+	tn.Sched.RunUntil(5 * time.Second)
+	if len(got) != 5 {
+		t.Fatalf("delivered %d of 5 values: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != uint16(100+i) {
+			t.Errorf("value %d = %d", i, v)
+		}
+	}
+}
+
+func TestMicroDuplicateSuppression(t *testing.T) {
+	// Triangle: each packet reaches peers twice; dedup keeps deliveries
+	// single and stops re-forwarding.
+	tn := nettest.New(2)
+	var motes []*Mote
+	for i := uint32(1); i <= 3; i++ {
+		m := NewMote(tn.NewLink(i))
+		tn.SetReceiver(i, m)
+		motes = append(motes, m)
+	}
+	tn.Connect(1, 2)
+	tn.Connect(2, 3)
+	tn.Connect(1, 3)
+
+	delivered := 0
+	motes[0].Subscribe(tagLight, func(Tag, uint16) { delivered++ })
+	tn.Sched.RunUntil(time.Second)
+	motes[2].Send(tagLight, 9)
+	tn.Sched.RunUntil(2 * time.Second)
+	if delivered != 1 {
+		t.Errorf("delivered %d copies, want 1", delivered)
+	}
+	if motes[0].Stats.Duplicates+motes[1].Stats.Duplicates == 0 {
+		t.Error("triangle should produce suppressed duplicates")
+	}
+}
+
+func TestMicroGradientTableBounded(t *testing.T) {
+	// Subscribe to more tags than gradient slots: the table must stay at
+	// MaxGradients with LRU eviction, never growing.
+	tn, motes := moteNet(3, 2)
+	relay := motes[1]
+	for tag := Tag(1); tag <= 8; tag++ {
+		motes[0].Subscribe(tag, nil)
+	}
+	tn.Sched.RunUntil(time.Second)
+	if g := relay.Gradients(); g != MaxGradients {
+		t.Errorf("relay holds %d gradients, want the static maximum %d", g, MaxGradients)
+	}
+	if relay.Stats.GradientOverflow == 0 {
+		t.Error("overflow evictions should be counted")
+	}
+}
+
+func TestMicroMemoryFootprint(t *testing.T) {
+	// The paper's mote kept 106 bytes of protocol data; our accounting
+	// must stay in that class (well under 256 bytes).
+	if f := MemoryFootprint(); f > 256 {
+		t.Errorf("static footprint %dB exceeds the mote budget", f)
+	}
+	if f := MemoryFootprint(); f < 50 {
+		t.Errorf("footprint %dB suspiciously small; accounting broken?", f)
+	}
+}
+
+func TestMicroFilter(t *testing.T) {
+	tn, motes := moteNet(4, 3)
+	var got []uint16
+	motes[0].Subscribe(tagLight, func(_ Tag, v uint16) { got = append(got, v) })
+	tn.Sched.RunUntil(time.Second)
+
+	// The relay doubles values and suppresses zeros — the paper's
+	// "limited filters".
+	motes[1].SetFilter(tagLight, func(v uint16) (uint16, bool) {
+		if v == 0 {
+			return 0, false
+		}
+		return v * 2, true
+	})
+	motes[2].Send(tagLight, 21)
+	motes[2].Send(tagLight, 0)
+	tn.Sched.RunUntil(2 * time.Second)
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("filtered delivery: %v", got)
+	}
+	if motes[1].Stats.Filtered != 1 {
+		t.Errorf("suppression count: %+v", motes[1].Stats)
+	}
+	// Removing the filter restores pass-through.
+	motes[1].SetFilter(tagLight, nil)
+	motes[2].Send(tagLight, 5)
+	tn.Sched.RunUntil(3 * time.Second)
+	if len(got) != 2 || got[1] != 5 {
+		t.Errorf("after filter removal: %v", got)
+	}
+}
+
+func TestMicroRuntPacketsIgnored(t *testing.T) {
+	tn, motes := moteNet(5, 2)
+	motes[0].Receive(2, []byte{1, 2, 3})
+	motes[0].Receive(2, nil)
+	tn.Sched.RunUntil(time.Second)
+	if motes[0].Stats.PacketsReceived != 0 {
+		t.Error("runt packets must be dropped before accounting")
+	}
+}
+
+func TestGatewayBridgesTiers(t *testing.T) {
+	// Full-diffusion tier: user(100) - gateway(101). Mote tier:
+	// gateway-mote(201) - mote(202). The gateway node owns both the
+	// diffusion node 101 and the mote 201.
+	tn := nettest.New(6)
+	user := tn.AddNode(100, nil)
+	gwNode := tn.AddNode(101, nil)
+	tn.Connect(100, 101)
+
+	gwMote := NewMote(tn.NewLink(201))
+	tn.SetReceiver(201, gwMote)
+	leaf := NewMote(tn.NewLink(202))
+	tn.SetReceiver(202, leaf)
+	tn.Connect(201, 202)
+
+	gw := NewGateway(gwNode, gwMote, []Mapping{{
+		Tag: tagLight,
+		Watch: attr.Vec{
+			attr.Int32Attr(attr.KeyClass, attr.EQ, attr.ClassInterest),
+			attr.StringAttr(attr.KeyType, attr.IS, "light"),
+		},
+		Publication: attr.Vec{
+			attr.StringAttr(attr.KeyType, attr.IS, "light"),
+		},
+	}})
+
+	var got []int32
+	user.Subscribe(attr.Vec{
+		attr.StringAttr(attr.KeyType, attr.EQ, "light"),
+	}, func(m *message.Message) {
+		if a, ok := m.Attrs.FindActual(attr.KeyIntensity); ok {
+			got = append(got, a.Val.Int32())
+		}
+	})
+	tn.Sched.RunUntil(2 * time.Second)
+	if gw.InterestsDown == 0 {
+		t.Fatal("gateway never saw the interest")
+	}
+	// The mote tier reports periodically.
+	for i := 0; i < 5; i++ {
+		v := uint16(10 * (i + 1))
+		tn.Sched.After(time.Duration(i)*time.Second, func() { leaf.Send(tagLight, v) })
+	}
+	tn.Sched.RunUntil(30 * time.Second)
+	if gw.DataUp == 0 {
+		t.Fatal("gateway bridged no data upward")
+	}
+	if len(got) == 0 {
+		t.Fatal("user received no mote data through the gateway")
+	}
+	if got[0] != 10 {
+		t.Errorf("first value %d, want 10", got[0])
+	}
+}

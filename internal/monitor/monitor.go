@@ -1,0 +1,423 @@
+// Package monitor implements the in-network monitoring tools the paper
+// calls for (section 7: "we have begun work on in-network monitoring
+// tools, but more work is needed", citing Zhao et al.'s residual energy
+// scans): a generic scan facility built entirely out of diffusion
+// primitives — scan interests flood, every node's responder replies with
+// its local reading, and an aggregation filter folds replies together
+// hop-by-hop so the collector receives composite scans instead of one
+// message per node.
+//
+// Composites carry the set of (node, reading) pairs they cover, so folding
+// is a set union: idempotent under the duplication inherent in flooding,
+// and exact at the collector no matter how replies and composites overlap
+// in flight. This trades payload bytes for message count, which is the
+// right trade on a contention-limited radio.
+//
+// Two concrete scans are provided: residual-energy scans (driven by the
+// section 6.1 energy model over measured radio times) and arbitrary
+// user-supplied readings (e.g. neighbor counts, queue depths — "tools are
+// needed to report the changing radio topology").
+package monitor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/core"
+	"diffusion/internal/energy"
+	"diffusion/internal/message"
+	"diffusion/internal/sim"
+)
+
+// Readings is a scan state: one reading per covered node.
+type Readings map[uint16]float32
+
+// Count returns the number of covered nodes.
+func (r Readings) Count() int { return len(r) }
+
+// Min returns the smallest reading (0 for an empty scan).
+func (r Readings) Min() float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, v := range r {
+		if float64(v) < min {
+			min = float64(v)
+		}
+	}
+	return min
+}
+
+// Mean returns the average reading (0 for an empty scan).
+func (r Readings) Mean() float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r {
+		sum += float64(v)
+	}
+	return sum / float64(len(r))
+}
+
+// fold unions other into r; overlapping nodes keep r's value (they carry
+// the same reading anyway: one reply per node per scan).
+func (r Readings) fold(other Readings) {
+	for id, v := range other {
+		if _, ok := r[id]; !ok {
+			r[id] = v
+		}
+	}
+}
+
+// clone copies r.
+func (r Readings) clone() Readings {
+	out := make(Readings, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the scan state.
+func (r Readings) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f", r.Count(), r.Mean(), r.Min())
+}
+
+// encode serializes the readings as (uint16 id, float32 value) pairs in
+// ascending id order.
+func (r Readings) encode() []byte {
+	ids := make([]int, 0, len(r))
+	for id := range r {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]byte, 0, 6*len(ids))
+	for _, id := range ids {
+		out = binary.BigEndian.AppendUint16(out, uint16(id))
+		out = binary.BigEndian.AppendUint32(out, math.Float32bits(r[uint16(id)]))
+	}
+	return out
+}
+
+// decodeReadings parses an encoded readings blob.
+func decodeReadings(b []byte) (Readings, bool) {
+	if len(b)%6 != 0 {
+		return nil, false
+	}
+	out := make(Readings, len(b)/6)
+	for off := 0; off < len(b); off += 6 {
+		id := binary.BigEndian.Uint16(b[off:])
+		out[id] = math.Float32frombits(binary.BigEndian.Uint32(b[off+2:]))
+	}
+	return out, true
+}
+
+// replyAttrs builds a scan reply/composite attribute set (without the task
+// actual, which the responder's publication supplies).
+func replyExtras(scanID int32, r Readings) attr.Vec {
+	return attr.Vec{
+		attr.Int32Attr(attr.KeySequence, attr.IS, scanID),
+		attr.BlobAttr(attr.KeyPayload, attr.IS, r.encode()),
+	}
+}
+
+// parseReply extracts the scan id and readings from a reply message.
+func parseReply(attrs attr.Vec) (scanID int32, r Readings, ok bool) {
+	seq, ok1 := attrs.FindActual(attr.KeySequence)
+	blob, ok2 := attrs.FindActual(attr.KeyPayload)
+	if !ok1 || !ok2 || blob.Val.Type != attr.TypeBlob {
+		return 0, nil, false
+	}
+	r, ok = decodeReadings(blob.Val.Blob())
+	return seq.Val.Int32(), r, ok
+}
+
+// Responder answers scan interests on one node with a local reading.
+type Responder struct {
+	node    *core.Node
+	clock   sim.Clock
+	rng     *rand.Rand
+	task    string
+	read    func() float64
+	jitter  time.Duration
+	pub     core.PublicationHandle
+	watch   core.SubscriptionHandle
+	replied map[int32]int
+
+	// Replies counts scan replies sent.
+	Replies int
+}
+
+// ResponderConfig configures a scan responder.
+type ResponderConfig struct {
+	Node  *core.Node
+	Clock sim.Clock
+	Rand  *rand.Rand
+	// Task names the scan ("energy-scan", "neighbor-scan", ...).
+	Task string
+	// Read returns the node's current reading when a scan arrives.
+	Read func() float64
+	// Jitter is the maximum random delay before replying, spreading the
+	// reply implosion out (default 2 s).
+	Jitter time.Duration
+}
+
+// NewResponder installs a responder.
+func NewResponder(cfg ResponderConfig) *Responder {
+	if cfg.Node == nil || cfg.Clock == nil || cfg.Rand == nil || cfg.Read == nil || cfg.Task == "" {
+		panic("monitor: ResponderConfig requires Node, Clock, Rand, Task and Read")
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = 2 * time.Second
+	}
+	r := &Responder{
+		node:    cfg.Node,
+		clock:   cfg.Clock,
+		rng:     cfg.Rand,
+		task:    cfg.Task,
+		read:    cfg.Read,
+		jitter:  cfg.Jitter,
+		replied: map[int32]int{},
+	}
+	r.pub = cfg.Node.Publish(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.IS, cfg.Task),
+	})
+	// Passive tap on the scan interest ("subscribe for subscriptions").
+	r.watch = cfg.Node.Subscribe(attr.Vec{
+		attr.Int32Attr(attr.KeyClass, attr.EQ, attr.ClassInterest),
+		attr.StringAttr(attr.KeyTask, attr.IS, cfg.Task),
+	}, r.onScan)
+	return r
+}
+
+// Close removes the responder from its node.
+func (r *Responder) Close() {
+	_ = r.node.Unsubscribe(r.watch)
+	_ = r.node.Unpublish(r.pub)
+}
+
+func (r *Responder) onScan(m *message.Message) {
+	seq, ok := m.Attrs.FindActual(attr.KeySequence)
+	if !ok {
+		return
+	}
+	id := seq.Val.Int32()
+	// Reply once per announcement, at most a few times per scan: the
+	// collector re-announces so that a lost announcement or a lost reply
+	// does not erase a node from the scan on a congested radio.
+	const maxRepliesPerScan = 3
+	if r.replied[id] >= maxRepliesPerScan {
+		return
+	}
+	r.replied[id]++
+	delay := time.Duration(r.rng.Int63n(int64(r.jitter) + 1))
+	r.clock.After(delay, func() {
+		self := Readings{uint16(r.node.ID()): float32(r.read())}
+		// Replies flood: a scan is a one-shot report, so exploratory
+		// robustness beats reinforced-path efficiency.
+		if r.node.SendExploratory(r.pub, replyExtras(id, self)) == nil {
+			r.Replies++
+		}
+	})
+}
+
+// Aggregator is the in-network folding filter: it delays scan replies
+// briefly and merges replies for the same scan into one composite message
+// covering the union of their nodes. Each node emits at most one composite
+// per scan; later replies pass through untouched, so no reading is ever
+// lost and nothing loops.
+type Aggregator struct {
+	node    *core.Node
+	clock   sim.Clock
+	task    string
+	window  time.Duration
+	handle  core.FilterHandle
+	pending map[int32]*pendingScan
+	done    map[int32]bool
+
+	// Merged counts replies folded into composites; Flushed counts
+	// composites sent onward.
+	Merged, Flushed int
+}
+
+type pendingScan struct {
+	readings Readings
+}
+
+// NewAggregator installs the folding filter on n for the given scan task.
+func NewAggregator(n *core.Node, clock sim.Clock, task string, window time.Duration) *Aggregator {
+	if window <= 0 {
+		window = time.Second
+	}
+	a := &Aggregator{
+		node:    n,
+		clock:   clock,
+		task:    task,
+		window:  window,
+		pending: map[int32]*pendingScan{},
+		done:    map[int32]bool{},
+	}
+	pattern := attr.Vec{attr.StringAttr(attr.KeyTask, attr.EQ, task)}
+	a.handle = n.AddFilter(pattern, 150, a.onMessage)
+	return a
+}
+
+// Remove uninstalls the filter.
+func (a *Aggregator) Remove() { _ = a.node.RemoveFilter(a.handle) }
+
+func (a *Aggregator) onMessage(m *message.Message, h core.FilterHandle) {
+	if !m.IsData() {
+		a.node.SendMessageToNext(m, h)
+		return
+	}
+	id, readings, ok := parseReply(m.Attrs)
+	if !ok || a.done[id] {
+		// Not a reply, or this node already composed its composite for
+		// the scan: pass through untouched.
+		a.node.SendMessageToNext(m, h)
+		return
+	}
+	if p, exists := a.pending[id]; exists {
+		p.readings.fold(readings)
+		a.Merged++
+		return // folded; the composite flushes later
+	}
+	a.pending[id] = &pendingScan{readings: readings.clone()}
+	a.clock.After(a.window, func() { a.flush(id) })
+}
+
+func (a *Aggregator) flush(id int32) {
+	p, ok := a.pending[id]
+	if !ok {
+		return
+	}
+	delete(a.pending, id)
+	a.done[id] = true
+	a.Flushed++
+	// The composite is a fresh origination (new message ID): held
+	// originals were consumed here, so reusing their IDs would make
+	// downstream duplicate suppression discard folded readings.
+	a.node.InjectMessage(&message.Message{
+		Class:   message.ExploratoryData,
+		NextHop: message.Broadcast,
+		Attrs: attr.Vec{
+			attr.ClassIsData(),
+			attr.StringAttr(attr.KeyTask, attr.IS, a.task),
+		}.With(replyExtras(id, p.readings)...),
+	})
+}
+
+// Collector issues scans from a sink node and accumulates the composite
+// replies exactly (union semantics make duplicate composites harmless).
+type Collector struct {
+	node   *core.Node
+	clock  sim.Clock
+	task   string
+	sub    core.SubscriptionHandle
+	nextID int32
+	scans  map[int32]Readings
+	onFold func(id int32, r Readings)
+}
+
+// NewCollector subscribes a collector for the given scan task on n. cb, if
+// non-nil, fires as replies accumulate. A nil clock disables the
+// re-announcement robustness (single-shot scans).
+func NewCollector(n *core.Node, clock sim.Clock, task string, cb func(id int32, r Readings)) *Collector {
+	c := &Collector{node: n, clock: clock, task: task, scans: map[int32]Readings{}, onFold: cb}
+	c.sub = n.Subscribe(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, task),
+		attr.Any(attr.KeySequence),
+	}, c.onReply)
+	return c
+}
+
+// Close removes the collector's subscription.
+func (c *Collector) Close() { _ = c.node.Unsubscribe(c.sub) }
+
+// Start floods a new scan and returns its id. The announcement repeats a
+// few seconds apart (when the collector has a clock): on a congested radio
+// a single flood can die before covering the network, and responders cap
+// their replies per scan, so repetition is cheap and safe.
+func (c *Collector) Start() int32 {
+	c.nextID++
+	id := c.nextID
+	c.scans[id] = Readings{}
+	c.announce(id)
+	if c.clock != nil {
+		c.clock.After(4*time.Second, func() { c.announce(id) })
+		c.clock.After(9*time.Second, func() { c.announce(id) })
+	}
+	return id
+}
+
+func (c *Collector) announce(id int32) {
+	c.node.InjectMessage(&message.Message{
+		Class:   message.Interest,
+		NextHop: message.Broadcast,
+		Attrs: attr.Vec{
+			attr.ClassIsInterest(),
+			attr.StringAttr(attr.KeyTask, attr.EQ, c.task),
+			attr.Int32Attr(attr.KeySequence, attr.IS, id),
+		},
+	})
+}
+
+// Result returns the accumulated readings for a scan (nil if unknown).
+func (c *Collector) Result(id int32) Readings {
+	r, ok := c.scans[id]
+	if !ok {
+		return nil
+	}
+	return r.clone()
+}
+
+func (c *Collector) onReply(m *message.Message) {
+	id, readings, ok := parseReply(m.Attrs)
+	if !ok {
+		return
+	}
+	r, tracked := c.scans[id]
+	if !tracked {
+		return
+	}
+	r.fold(readings)
+	if c.onFold != nil {
+		c.onFold(id, r.clone())
+	}
+}
+
+// NewEnergyResponder wires a Responder that reports residual energy from
+// measured radio activity: residual = 1 − consumed/battery, with
+// consumption from the section 6.1 model. battery is in the model's
+// relative energy units.
+func NewEnergyResponder(cfg ResponderConfig, ratios energy.Ratios, battery float64,
+	radioTimes func() (tx, rx time.Duration), dutyCycle float64) *Responder {
+	if battery <= 0 {
+		panic("monitor: battery must be positive")
+	}
+	if cfg.Clock == nil {
+		panic("monitor: ResponderConfig requires Clock")
+	}
+	start := cfg.Clock.Now()
+	cfg.Read = func() float64 {
+		tx, rx := radioTimes()
+		elapsed := cfg.Clock.Now() - start
+		used := ratios.Measured(tx, rx, elapsed, dutyCycle).Total()
+		residual := 1 - used/battery
+		if residual < 0 {
+			residual = 0
+		}
+		return residual
+	}
+	if cfg.Task == "" {
+		cfg.Task = "energy-scan"
+	}
+	return NewResponder(cfg)
+}

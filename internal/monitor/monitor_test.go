@@ -1,0 +1,222 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"diffusion/internal/core"
+	"diffusion/internal/energy"
+	"diffusion/internal/nettest"
+)
+
+// scanNet builds a line of n nodes with responders reporting read(id), an
+// aggregator on every node, and a collector at node 1.
+func scanNet(t *testing.T, seed int64, n int, read func(id uint32) float64) (*nettest.Net, *Collector, []*Responder, []*Aggregator) {
+	t.Helper()
+	tn := nettest.New(seed)
+	nodes := tn.Line(n)
+	collector := NewCollector(nodes[0], tn.Sched, "test-scan", nil)
+	var resps []*Responder
+	var aggs []*Aggregator
+	for i, node := range nodes {
+		id := uint32(i + 1)
+		resps = append(resps, NewResponder(ResponderConfig{
+			Node:  node,
+			Clock: tn.Sched,
+			Rand:  tn.Sched.Rand(),
+			Task:  "test-scan",
+			Read:  func() float64 { return read(id) },
+		}))
+		aggs = append(aggs, NewAggregator(node, tn.Sched, "test-scan", time.Second))
+	}
+	return tn, collector, resps, aggs
+}
+
+func TestScanCoversAllNodes(t *testing.T) {
+	tn, collector, resps, _ := scanNet(t, 1, 5, func(id uint32) float64 {
+		return float64(id) / 10
+	})
+	tn.Sched.RunUntil(2 * time.Second) // let the standing subscription set up
+	id := collector.Start()
+	tn.Sched.RunUntil(30 * time.Second)
+
+	r := collector.Result(id)
+	if r.Count() != 5 {
+		t.Fatalf("scan covered %d of 5 nodes: %v", r.Count(), r)
+	}
+	// Exact values survive the union folding.
+	if math.Abs(r.Min()-0.1) > 1e-6 {
+		t.Errorf("min = %v, want 0.1", r.Min())
+	}
+	if math.Abs(r.Mean()-0.3) > 1e-6 {
+		t.Errorf("mean = %v, want 0.3", r.Mean())
+	}
+	for _, resp := range resps {
+		if resp.Replies < 1 || resp.Replies > 3 {
+			t.Errorf("responder replied %d times, want 1-3 (per announcement)", resp.Replies)
+		}
+	}
+}
+
+func TestAggregatorCompressesReplies(t *testing.T) {
+	tn, collector, _, aggs := scanNet(t, 2, 6, func(id uint32) float64 { return 1 })
+	tn.Sched.RunUntil(2 * time.Second)
+	id := collector.Start()
+	tn.Sched.RunUntil(30 * time.Second)
+	if collector.Result(id).Count() != 6 {
+		t.Fatalf("coverage: %v", collector.Result(id))
+	}
+	merged := 0
+	for _, a := range aggs {
+		merged += a.Merged
+	}
+	if merged == 0 {
+		t.Error("aggregators should fold some replies together")
+	}
+}
+
+func TestRepeatedScansAreIndependent(t *testing.T) {
+	val := 1.0
+	tn, collector, _, _ := scanNet(t, 3, 3, func(id uint32) float64 { return val })
+	tn.Sched.RunUntil(2 * time.Second)
+	first := collector.Start()
+	tn.Sched.RunUntil(2 * time.Minute)
+	val = 0.5
+	second := collector.Start()
+	tn.Sched.RunUntil(4 * time.Minute)
+
+	r1, r2 := collector.Result(first), collector.Result(second)
+	if r1.Count() != 3 || r2.Count() != 3 {
+		t.Fatalf("coverage: %v / %v", r1, r2)
+	}
+	if math.Abs(r1.Mean()-1.0) > 1e-6 || math.Abs(r2.Mean()-0.5) > 1e-6 {
+		t.Errorf("scan readings leaked across scans: %v / %v", r1, r2)
+	}
+}
+
+func TestUnionFoldIdempotent(t *testing.T) {
+	a := Readings{1: 0.5, 2: 0.8}
+	b := Readings{2: 0.8, 3: 0.2}
+	a.fold(b)
+	a.fold(b) // duplicate composites must be harmless
+	if a.Count() != 3 {
+		t.Errorf("union count = %d, want 3", a.Count())
+	}
+	if math.Abs(a.Min()-0.2) > 1e-6 {
+		t.Errorf("min = %v", a.Min())
+	}
+	if math.Abs(a.Mean()-0.5) > 1e-6 {
+		t.Errorf("mean = %v", a.Mean())
+	}
+}
+
+func TestReadingsCodec(t *testing.T) {
+	r := Readings{7: 0.25, 3: 1, 65535: 0}
+	got, ok := decodeReadings(r.encode())
+	if !ok || got.Count() != 3 {
+		t.Fatalf("round trip: %v %v", got, ok)
+	}
+	for id, v := range r {
+		if got[id] != v {
+			t.Errorf("reading %d = %v, want %v", id, got[id], v)
+		}
+	}
+	if _, ok := decodeReadings([]byte{1, 2, 3}); ok {
+		t.Error("truncated blob must fail")
+	}
+	if empty, ok := decodeReadings(nil); !ok || empty.Count() != 0 {
+		t.Error("empty blob decodes to empty readings")
+	}
+	if r.String() == "" {
+		t.Error("String")
+	}
+	if (Readings{}).Min() != 0 || (Readings{}).Mean() != 0 {
+		t.Error("empty readings stats")
+	}
+}
+
+func TestEnergyResponder(t *testing.T) {
+	tn := nettest.New(4)
+	nodes := tn.Line(2)
+	collector := NewCollector(nodes[0], tn.Sched, "energy-scan", nil)
+
+	var tx, rx time.Duration
+	NewEnergyResponder(ResponderConfig{
+		Node:  nodes[1],
+		Clock: tn.Sched,
+		Rand:  tn.Sched.Rand(),
+	}, energy.PaperRatios(), 10_000,
+		func() (time.Duration, time.Duration) { return tx, rx }, 1.0)
+
+	// Also give the collector node a responder so the scan covers both.
+	NewEnergyResponder(ResponderConfig{
+		Node:  nodes[0],
+		Clock: tn.Sched,
+		Rand:  tn.Sched.Rand(),
+	}, energy.PaperRatios(), 10_000,
+		func() (time.Duration, time.Duration) { return 0, 0 }, 1.0)
+
+	tn.Sched.RunUntil(2 * time.Second)
+	// Simulate a busy radio on node 2.
+	tx, rx = 20*time.Minute, 30*time.Minute
+	tn.Sched.RunUntil(time.Hour)
+	id := collector.Start()
+	tn.Sched.RunUntil(time.Hour + time.Minute)
+
+	r := collector.Result(id)
+	if r.Count() != 2 {
+		t.Fatalf("energy scan coverage: %v", r)
+	}
+	// Node 2 burned energy; residual must be below node 1's and within
+	// (0, 1).
+	if r[2] >= r[1] {
+		t.Errorf("busy node should have lower residual: %v", r)
+	}
+	if r.Min() <= 0 || r.Min() >= 1 {
+		t.Errorf("residual out of range: %v", r)
+	}
+}
+
+func TestResponderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("missing Read must panic")
+		}
+	}()
+	tn := nettest.New(5)
+	NewResponder(ResponderConfig{Node: tn.AddNode(1, nil), Clock: tn.Sched, Rand: tn.Sched.Rand(), Task: "x"})
+}
+
+func TestCollectorIgnoresUnknownScans(t *testing.T) {
+	tn := nettest.New(6)
+	nodes := tn.Line(2)
+	collector := NewCollector(nodes[0], tn.Sched, "test-scan", nil)
+	NewResponder(ResponderConfig{
+		Node:  nodes[1],
+		Clock: tn.Sched,
+		Rand:  tn.Sched.Rand(),
+		Task:  "test-scan",
+		Read:  func() float64 { return 1 },
+	})
+	// A second collector elsewhere starts a scan this collector never
+	// started; its Result for an unknown id must be nil and replies for
+	// foreign ids must not corrupt state.
+	if collector.Result(99) != nil {
+		t.Error("unknown scan id should return nil")
+	}
+	_ = core.Broadcast
+	tn.Sched.RunUntil(time.Second)
+}
+
+func TestResponderClose(t *testing.T) {
+	tn, collector, resps, _ := scanNet(t, 7, 3, func(uint32) float64 { return 1 })
+	tn.Sched.RunUntil(2 * time.Second)
+	resps[2].Close() // node 3 leaves the scan population
+	id := collector.Start()
+	tn.Sched.RunUntil(30 * time.Second)
+	r := collector.Result(id)
+	if r.Count() != 2 {
+		t.Errorf("closed responder must not reply: %v", r)
+	}
+}

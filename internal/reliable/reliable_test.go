@@ -1,0 +1,197 @@
+package reliable
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"diffusion/internal/nettest"
+)
+
+// object builds a deterministic test payload.
+func object(n int, seed int64) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+// transfer runs one sender->receiver transfer over a line of hops with the
+// given loss probability, returning the received object (nil on failure)
+// and the sender/receiver for inspection.
+func transfer(t *testing.T, seed int64, hops int, loss float64, size int, horizon time.Duration) ([]byte, *Sender, *Receiver) {
+	t.Helper()
+	tn := nettest.New(seed)
+	nodes := tn.Line(hops + 1)
+	tn.LossProb = loss
+
+	var got []byte
+	done := false
+	recv := Fetch(ReceiverConfig{
+		Node:  nodes[0],
+		Clock: tn.Sched,
+		Name:  "snapshot-7",
+		OnComplete: func(data []byte) {
+			done = true
+			got = append([]byte{}, data...)
+		},
+		NackDelay: 2 * time.Second,
+	})
+	_ = done
+	sender := Offer(SenderConfig{
+		Node:  nodes[hops],
+		Clock: tn.Sched,
+		Rand:  tn.Sched.Rand(),
+		Name:  "snapshot-7",
+	}, object(size, seed))
+	tn.Sched.RunUntil(horizon)
+	return got, sender, recv
+}
+
+func TestLosslessTransfer(t *testing.T) {
+	got, sender, recv := transfer(t, 1, 3, 0, 1000, 2*time.Minute)
+	if got == nil {
+		t.Fatal("transfer did not complete")
+	}
+	if !bytes.Equal(got, object(1000, 1)) {
+		t.Fatal("object corrupted in transit")
+	}
+	if recv.NacksSent != 0 {
+		t.Errorf("lossless transfer sent %d NACKs", recv.NacksSent)
+	}
+	if sender.Retransmits != 0 {
+		t.Errorf("lossless transfer retransmitted %d chunks", sender.Retransmits)
+	}
+	if sender.Chunks() != 16 {
+		t.Errorf("1000B at 64B/chunk = 16 chunks, got %d", sender.Chunks())
+	}
+}
+
+func TestLossyTransferRecovers(t *testing.T) {
+	got, sender, recv := transfer(t, 2, 3, 0.10, 2000, 20*time.Minute)
+	if got == nil {
+		have, total := recv.Progress()
+		t.Fatalf("transfer did not complete: %d/%d chunks, %d nacks, %d retransmits",
+			have, total, recv.NacksSent, sender.Retransmits)
+	}
+	if !bytes.Equal(got, object(2000, 2)) {
+		t.Fatal("object corrupted in transit")
+	}
+	if recv.NacksSent == 0 || sender.Retransmits == 0 {
+		t.Errorf("10%% loss should exercise repair: nacks=%d retransmits=%d",
+			recv.NacksSent, sender.Retransmits)
+	}
+}
+
+func TestManySeedsUnderLoss(t *testing.T) {
+	completed := 0
+	for seed := int64(10); seed < 20; seed++ {
+		got, _, _ := transfer(t, seed, 2, 0.08, 800, 20*time.Minute)
+		if got != nil && bytes.Equal(got, object(800, seed)) {
+			completed++
+		}
+	}
+	if completed < 9 {
+		t.Errorf("only %d/10 lossy transfers completed", completed)
+	}
+}
+
+func TestEmptyObject(t *testing.T) {
+	got, sender, _ := transfer(t, 3, 1, 0, 0, time.Minute)
+	if got == nil || len(got) != 0 {
+		t.Fatalf("empty object should transfer as one empty chunk: %v", got)
+	}
+	if sender.Chunks() != 1 {
+		t.Errorf("empty object chunks = %d", sender.Chunks())
+	}
+}
+
+func TestGiveUpWhenSenderDies(t *testing.T) {
+	tn := nettest.New(4)
+	nodes := tn.Line(3)
+	failedWith := -1
+	Fetch(ReceiverConfig{
+		Node:       nodes[0],
+		Clock:      tn.Sched,
+		Name:       "doomed",
+		OnComplete: func([]byte) { t.Error("must not complete") },
+		OnFail:     func(missing int) { failedWith = missing },
+		NackDelay:  time.Second,
+		MaxNacks:   3,
+	})
+	sender := Offer(SenderConfig{
+		Node:  nodes[2],
+		Clock: tn.Sched,
+		Rand:  tn.Sched.Rand(),
+		Name:  "doomed",
+	}, object(500, 4))
+	// Kill the sender's node after the train starts.
+	tn.Sched.After(700*time.Millisecond, func() {
+		sender.Close()
+		tn.Kill(3)
+	})
+	tn.Sched.RunUntil(5 * time.Minute)
+	if failedWith < 0 {
+		t.Fatal("receiver should give up after MaxNacks quiet rounds")
+	}
+	if failedWith == 0 {
+		t.Error("give-up should report missing chunks")
+	}
+}
+
+func TestCloseStopsCallbacks(t *testing.T) {
+	tn := nettest.New(5)
+	nodes := tn.Line(2)
+	recv := Fetch(ReceiverConfig{
+		Node:       nodes[0],
+		Clock:      tn.Sched,
+		Name:       "cancelled",
+		OnComplete: func([]byte) { t.Error("closed receiver must not complete") },
+		OnFail:     func(int) { t.Error("closed receiver must not fail") },
+	})
+	Offer(SenderConfig{
+		Node:  nodes[1],
+		Clock: tn.Sched,
+		Rand:  tn.Sched.Rand(),
+		Name:  "cancelled",
+	}, object(300, 5))
+	tn.Sched.After(400*time.Millisecond, recv.Close)
+	tn.Sched.RunUntil(2 * time.Minute)
+}
+
+func TestMissingCodec(t *testing.T) {
+	in := []int{0, 5, 65535}
+	got, ok := decodeMissing(encodeMissing(in, 64))
+	if !ok || len(got) != 3 || got[0] != 0 || got[1] != 5 || got[2] != 65535 {
+		t.Errorf("round trip: %v %v", got, ok)
+	}
+	capped, _ := decodeMissing(encodeMissing([]int{1, 2, 3}, 2))
+	if len(capped) != 2 {
+		t.Errorf("cap: %v", capped)
+	}
+	if _, ok := decodeMissing([]byte{1}); ok {
+		t.Error("odd-length blob must fail")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tn := nettest.New(6)
+	n := tn.AddNode(1, nil)
+	for name, fn := range map[string]func(){
+		"sender no name": func() {
+			Offer(SenderConfig{Node: n, Clock: tn.Sched, Rand: tn.Sched.Rand()}, nil)
+		},
+		"receiver no callback": func() {
+			Fetch(ReceiverConfig{Node: n, Clock: tn.Sched, Name: "x"})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

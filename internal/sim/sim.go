@@ -1,0 +1,255 @@
+// Package sim provides the deterministic discrete-event scheduler that
+// substitutes for the paper's wall-clock testbed runs. Node logic is written
+// against the Clock interface and never blocks; the Scheduler executes
+// events in virtual-time order, so a 30-minute experiment completes in
+// milliseconds and every run is reproducible from its seed.
+//
+// A RealClock implementation of the same interface lets identical node code
+// run live on goroutine timers (used by the examples' live mode).
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Clock is the time service node logic is written against.
+type Clock interface {
+	// Now returns the current time as an offset from the experiment start.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. It returns a Timer that
+	// can cancel the callback before it fires.
+	After(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Cancel stops the timer; it reports whether the callback was still
+	// pending (and is now guaranteed not to run).
+	Cancel() bool
+}
+
+// Scheduler is a deterministic discrete-event executor implementing Clock.
+// It is not safe for concurrent use; all node logic runs inside its event
+// loop, exactly like the paper's single-threaded event-driven daemon.
+type Scheduler struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a Scheduler whose randomness derives entirely from seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's seeded random source. All simulation
+// randomness (jitter, loss draws, backoff) must come from here so runs are
+// reproducible.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// After schedules fn at now+d. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.at(s.now+d, fn)
+}
+
+func (s *Scheduler) at(t time.Duration, fn func()) *event {
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// Every schedules fn at now+d and then every period thereafter until the
+// returned Timer is cancelled. The first firing is at now+d.
+func (s *Scheduler) Every(d, period time.Duration, fn func()) Timer {
+	rt := &repeatTimer{}
+	var arm func(delay time.Duration)
+	arm = func(delay time.Duration) {
+		rt.inner = s.After(delay, func() {
+			if rt.cancelled {
+				return
+			}
+			fn()
+			if !rt.cancelled {
+				arm(period)
+			}
+		})
+	}
+	arm(d)
+	return rt
+}
+
+type repeatTimer struct {
+	inner     Timer
+	cancelled bool
+}
+
+func (r *repeatTimer) Cancel() bool {
+	if r.cancelled {
+		return false
+	}
+	r.cancelled = true
+	if r.inner != nil {
+		return r.inner.Cancel()
+	}
+	return false
+}
+
+// Step executes the next pending event. It reports false when no events
+// remain or the scheduler is stopped.
+func (s *Scheduler) Step() bool {
+	for s.events.Len() > 0 && !s.stopped {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain (or Stop is called). Use RunUntil
+// for open-ended workloads with repeating timers.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Pending later events remain queued.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for !s.stopped {
+		ev := s.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+func (s *Scheduler) peek() *event {
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// Stop halts the event loop; subsequent Step calls return false.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// NextEventAt returns the timestamp of the next live event, or ok=false
+// when the queue is empty. Real-time pacing drivers use it to sleep until
+// the wall clock catches up with virtual time.
+func (s *Scheduler) NextEventAt() (time.Duration, bool) {
+	ev := s.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// Pending returns the number of live queued events (diagnostics).
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+}
+
+// Cancel implements Timer.
+func (e *event) Cancel() bool {
+	if e.cancelled {
+		return false
+	}
+	e.cancelled = true
+	e.fn = nil
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// RealClock implements Clock over the wall clock, so the same node logic
+// can run live (the examples use it for interactive demos). It is safe for
+// concurrent use.
+type RealClock struct {
+	mu    sync.Mutex
+	start time.Time
+}
+
+// NewRealClock returns a RealClock anchored at the current instant.
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now returns the elapsed wall time since the clock was created.
+func (c *RealClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Since(c.start)
+}
+
+// After schedules fn on a goroutine timer.
+func (c *RealClock) After(d time.Duration, fn func()) Timer {
+	return &realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r *realTimer) Cancel() bool { return r.t.Stop() }

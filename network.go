@@ -1,0 +1,302 @@
+package diffusion
+
+import (
+	"fmt"
+	"time"
+
+	"diffusion/internal/core"
+	"diffusion/internal/energy"
+	"diffusion/internal/mac"
+	"diffusion/internal/microdiff"
+	"diffusion/internal/radio"
+	"diffusion/internal/sim"
+	"diffusion/internal/topo"
+)
+
+// Topology places nodes; build one with TestbedTopology, GridTopology,
+// LineTopology, RandomTopology, or topo.New for custom layouts.
+type Topology = topo.Topology
+
+// Topology constructors, re-exported.
+var (
+	// TestbedTopology is the paper's Figure 7 testbed: 14 PC/104 nodes on
+	// two floors of ISI.
+	TestbedTopology = topo.Testbed
+	// GridTopology returns a cols×rows grid.
+	GridTopology = topo.Grid
+	// LineTopology returns n nodes in a line.
+	LineTopology = topo.Line
+	// RandomTopology places n nodes uniformly at random.
+	RandomTopology = topo.Random
+)
+
+// Testbed roles from the paper's evaluation.
+const (
+	TestbedSink  = topo.TestbedSink
+	TestbedUser  = topo.TestbedUser
+	TestbedAudio = topo.TestbedAudio
+)
+
+// TestbedSources returns the Figure 8 sources / Figure 9 light sensors.
+func TestbedSources() []uint32 { return topo.TestbedSources() }
+
+// RadioParams configures the wireless channel; MACParams the link layer.
+type (
+	RadioParams = radio.Params
+	MACParams   = mac.Params
+)
+
+// Substrate parameter presets.
+var (
+	// DefaultRadio is the testbed-calibrated lossy channel.
+	DefaultRadio = radio.DefaultParams
+	// PerfectRadio is loss-free (still rate-limited and collision-prone).
+	PerfectRadio = radio.PerfectParams
+	// DefaultMAC is the primitive testbed CSMA MAC.
+	DefaultMAC = mac.DefaultParams
+)
+
+// Handles and callback types of the NR API, re-exported from the core.
+type (
+	// SubscriptionHandle identifies an active subscription.
+	SubscriptionHandle = core.SubscriptionHandle
+	// PublicationHandle identifies an active publication.
+	PublicationHandle = core.PublicationHandle
+	// FilterHandle identifies an installed filter.
+	FilterHandle = core.FilterHandle
+	// DataCallback receives locally delivered messages.
+	DataCallback = core.DataCallback
+	// FilterCallback receives messages matching a filter.
+	FilterCallback = core.FilterCallback
+)
+
+// EnergyRatios is the section 6.1 radio energy model.
+type EnergyRatios = energy.Ratios
+
+// PaperEnergyRatios returns the paper's energy model parameters.
+func PaperEnergyRatios() EnergyRatios { return energy.PaperRatios() }
+
+// NetworkConfig configures a simulated diffusion network.
+type NetworkConfig struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Topology places the nodes (required).
+	Topology *Topology
+	// Radio and MAC default to the testbed presets when zero.
+	Radio *RadioParams
+	MAC   *MACParams
+	// InterestInterval, GradientLifetime, ExploratoryInterval,
+	// ExploratoryEvery, TTL and ForwardJitter configure the diffusion
+	// protocol; zero values take the paper's testbed defaults (60 s
+	// interests, exploratory data every 60 s). A positive
+	// ExploratoryEvery switches to a count-based exploratory cadence.
+	InterestInterval    time.Duration
+	GradientLifetime    time.Duration
+	ExploratoryInterval time.Duration
+	ExploratoryEvery    int
+	TTL                 uint8
+	ForwardJitter       time.Duration
+	// DisableNegativeReinforcement turns off duplicate-triggered path
+	// teardown (ablation).
+	DisableNegativeReinforcement bool
+	// MoteNodes lists topology IDs to instantiate as micro-diffusion
+	// motes (second tier) instead of full diffusion nodes. Access them
+	// with Mote(id); bridge the tiers with NewGateway.
+	MoteNodes []uint32
+}
+
+// Network is a simulated sensor network: one diffusion node per topology
+// node over a shared radio channel, driven by a deterministic virtual
+// clock.
+type Network struct {
+	cfg     NetworkConfig
+	sched   *sim.Scheduler
+	channel *radio.Channel
+	nodes   map[uint32]*Node
+	motes   map[uint32]*Mote
+	order   []uint32
+}
+
+// Node is one network node: the diffusion engine plus its link stack. The
+// embedded core node provides the paper's NR API — Subscribe, Unsubscribe,
+// Publish, Unpublish, Send, AddFilter, RemoveFilter, SendMessageToNext,
+// InjectMessage — and the Stats counters.
+type Node struct {
+	*core.Node
+	// MAC is the node's link layer (fragmentation, CSMA, queue stats).
+	MAC *mac.Mac
+}
+
+// RadioStats returns the node's physical-layer counters.
+func (n *Node) RadioStats() radio.TransceiverStats { return n.MAC.Radio().Stats }
+
+// Energy evaluates the energy model on this node's measured radio times.
+func (n *Node) Energy(r EnergyRatios, elapsed time.Duration, dutyCycle float64) energy.Breakdown {
+	st := n.MAC.Radio().Stats
+	return r.Measured(st.TxTime, st.RxTime, elapsed, dutyCycle)
+}
+
+// NewNetwork builds the network with one node per topology entry.
+func NewNetwork(cfg NetworkConfig) *Network {
+	if cfg.Topology == nil {
+		panic("diffusion: NetworkConfig.Topology is required")
+	}
+	rp := radio.DefaultParams()
+	if cfg.Radio != nil {
+		rp = *cfg.Radio
+	}
+	mp := mac.DefaultParams()
+	if cfg.MAC != nil {
+		mp = *cfg.MAC
+	}
+	s := sim.New(cfg.Seed)
+	net := &Network{
+		cfg:     cfg,
+		sched:   s,
+		channel: radio.NewChannel(s, cfg.Topology, rp),
+		nodes:   map[uint32]*Node{},
+		motes:   map[uint32]*Mote{},
+		order:   cfg.Topology.IDs(),
+	}
+	moteSet := map[uint32]bool{}
+	for _, id := range cfg.MoteNodes {
+		moteSet[id] = true
+	}
+	for _, id := range net.order {
+		if moteSet[id] {
+			var mote *Mote
+			m := mac.Attach(s, net.channel, id, mp, func(from uint32, payload []byte) {
+				mote.Receive(from, payload)
+			})
+			mote = microdiff.NewMote(m)
+			net.motes[id] = mote
+			continue
+		}
+		var n *Node
+		m := mac.Attach(s, net.channel, id, mp, func(from uint32, payload []byte) {
+			n.Receive(from, payload)
+		})
+		n = &Node{
+			Node: core.NewNode(core.Config{
+				Clock:               s,
+				Rand:                s.Rand(),
+				Link:                m,
+				InterestInterval:    cfg.InterestInterval,
+				GradientLifetime:    cfg.GradientLifetime,
+				ExploratoryInterval: cfg.ExploratoryInterval,
+				ExploratoryEvery:    cfg.ExploratoryEvery,
+				TTL:                 cfg.TTL,
+				ForwardJitter:       cfg.ForwardJitter,
+				DisableNegRF:        cfg.DisableNegativeReinforcement,
+			}),
+			MAC: m,
+		}
+		net.nodes[id] = n
+	}
+	return net
+}
+
+// Node returns the node with the given topology ID; it panics on unknown
+// IDs (a configuration error).
+func (net *Network) Node(id uint32) *Node {
+	n, ok := net.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("diffusion: no diffusion node %d in topology %q", id, net.cfg.Topology.Name))
+	}
+	return n
+}
+
+// Mote returns the micro-diffusion mote at the given topology ID (listed
+// in NetworkConfig.MoteNodes); it panics on unknown IDs.
+func (net *Network) Mote(id uint32) *Mote {
+	m, ok := net.motes[id]
+	if !ok {
+		panic(fmt.Sprintf("diffusion: no mote %d in topology %q", id, net.cfg.Topology.Name))
+	}
+	return m
+}
+
+// Nodes returns all full-diffusion nodes in topology order (motes are not
+// included; see Mote).
+func (net *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(net.order))
+	for _, id := range net.order {
+		if n, ok := net.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// IDs returns the node IDs in topology order.
+func (net *Network) IDs() []uint32 {
+	out := make([]uint32, len(net.order))
+	copy(out, net.order)
+	return out
+}
+
+// Clock returns the network's clock (for timers in application code and
+// filters).
+func (net *Network) Clock() sim.Clock { return net.sched }
+
+// Scheduler exposes the discrete-event scheduler.
+func (net *Network) Scheduler() *sim.Scheduler { return net.sched }
+
+// Now returns the current simulated time.
+func (net *Network) Now() time.Duration { return net.sched.Now() }
+
+// After schedules fn once, d from now.
+func (net *Network) After(d time.Duration, fn func()) sim.Timer {
+	return net.sched.After(d, fn)
+}
+
+// Every schedules fn every period (first firing after one period).
+func (net *Network) Every(period time.Duration, fn func()) sim.Timer {
+	return net.sched.Every(period, period, fn)
+}
+
+// Run advances the simulation by d of virtual time.
+func (net *Network) Run(d time.Duration) {
+	net.sched.RunUntil(net.sched.Now() + d)
+}
+
+// RunRealtime advances the simulation by d of virtual time, pacing event
+// execution against the wall clock scaled by speed (1 = real time, 10 =
+// ten times faster). All node logic still runs deterministically on the
+// single simulation thread; only the pacing is real — this is how the
+// examples run "live" without any concurrency in the protocol code.
+// Speeds <= 0 behave like Run.
+func (net *Network) RunRealtime(d time.Duration, speed float64) {
+	if speed <= 0 {
+		net.Run(d)
+		return
+	}
+	horizon := net.sched.Now() + d
+	wallStart := time.Now()
+	virtStart := net.sched.Now()
+	for {
+		at, ok := net.sched.NextEventAt()
+		if !ok || at > horizon {
+			break
+		}
+		wait := time.Duration(float64(at-virtStart)/speed) - time.Since(wallStart)
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		net.sched.Step()
+	}
+	net.sched.RunUntil(horizon)
+}
+
+// ChannelStats returns medium-wide radio counters (collisions, losses).
+func (net *Network) ChannelStats() radio.ChannelStats { return net.channel.Stats }
+
+// TotalDiffusionBytes sums BytesSent over every node's diffusion layer —
+// the paper's Figure 8 metric ("bytes sent from all diffusion modules").
+func (net *Network) TotalDiffusionBytes() int {
+	total := 0
+	for _, n := range net.nodes {
+		total += n.Stats.BytesSent
+	}
+	return total
+}

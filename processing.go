@@ -1,0 +1,141 @@
+package diffusion
+
+import (
+	"io"
+	"time"
+
+	"diffusion/internal/filters"
+	"diffusion/internal/microdiff"
+)
+
+// This file exposes the in-network processing library (section 3.3/5 of
+// the paper) and the micro-diffusion tier (section 4.3) through the public
+// facade, so applications never reach into internal packages.
+
+// In-network processing types, re-exported.
+type (
+	// Suppression is the Figure 8 duplicate-suppression aggregation
+	// filter.
+	Suppression = filters.Suppression
+	// SuppressionOptions configures NewSuppression.
+	SuppressionOptions = filters.SuppressionOptions
+	// CountingAggregator delays and merges duplicate events, adding a
+	// "count" attribute.
+	CountingAggregator = filters.CountingAggregator
+	// Tap is a pass-through observation/debugging filter.
+	Tap = filters.Tap
+	// Cache is the in-network recent-data cache; it answers fresh
+	// interests with the newest matching reading.
+	Cache = filters.Cache
+	// CacheOptions configures NewCache.
+	CacheOptions = filters.CacheOptions
+	// Fusion combines same-event detections from different sensor
+	// modalities into one report with a fused confidence.
+	Fusion = filters.Fusion
+	// GeoScope replaces interest flooding with greedy geographic unicast
+	// outside the target region.
+	GeoScope = filters.GeoScope
+	// Election is the SRM-style triggered-sensor election of section 5.2.
+	Election = filters.Election
+	// ElectionConfig configures one election candidate.
+	ElectionConfig = filters.ElectionConfig
+	// NestedQueryResponder implements the triggered-sensor side of a
+	// nested query.
+	NestedQueryResponder = filters.NestedQueryResponder
+	// NestedQueryConfig configures a NestedQueryResponder.
+	NestedQueryConfig = filters.NestedQueryConfig
+)
+
+// NewSuppression installs a duplicate-suppression aggregation filter on a
+// node of the network.
+func (net *Network) NewSuppression(n *Node, opt SuppressionOptions) *Suppression {
+	return filters.NewSuppression(n.Node, net.Clock(), opt)
+}
+
+// NewCountingAggregator installs a delay-and-count aggregation filter.
+func (net *Network) NewCountingAggregator(n *Node, pattern Attributes, window time.Duration) *CountingAggregator {
+	return filters.NewCountingAggregator(n.Node, net.Clock(), pattern, window, 0)
+}
+
+// NewCache installs an in-network data cache on a node.
+func (net *Network) NewCache(n *Node, opt CacheOptions) *Cache {
+	return filters.NewCache(n.Node, net.Clock(), opt)
+}
+
+// NewTap installs an observation filter; if w is non-nil messages are
+// logged to it.
+func (net *Network) NewTap(n *Node, pattern Attributes, w io.Writer) *Tap {
+	return filters.NewTap(n.Node, pattern, w)
+}
+
+// NewFusion installs a sensor-fusion filter on a node: detections of the
+// same (task, sequence) event from different modalities fold into one
+// report whose confidence combines them as independent evidence.
+func (net *Network) NewFusion(n *Node, pattern Attributes, window time.Duration) *Fusion {
+	return filters.NewFusion(n.Node, net.Clock(), pattern, window)
+}
+
+// NewGeoScope installs geographic interest scoping on a node. Positions
+// come from the network's topology; neighbors are the nodes within the
+// given radio range.
+func (net *Network) NewGeoScope(n *Node, radioRange float64) *GeoScope {
+	tp := net.cfg.Topology
+	self, ok := tp.Node(n.ID())
+	if !ok {
+		panic("diffusion: node not in topology")
+	}
+	nbrs := map[uint32][2]float64{}
+	for _, id := range tp.NeighborsWithin(n.ID(), radioRange) {
+		p, _ := tp.Node(id)
+		nbrs[id] = [2]float64{p.X, p.Y}
+	}
+	return filters.NewGeoScope(n.Node, self.X, self.Y, nbrs)
+}
+
+// NewElection enters a node into a named election; lower scores win.
+func (net *Network) NewElection(n *Node, name string, score float64, scale float64, window time.Duration, decided func(bool)) *Election {
+	return filters.NewElection(filters.ElectionConfig{
+		Node:       n.Node,
+		Clock:      net.Clock(),
+		Rand:       net.Scheduler().Rand(),
+		Name:       name,
+		Score:      score,
+		ScoreScale: scale,
+		Window:     window,
+		OnDecided:  decided,
+	})
+}
+
+// NewNestedQueryResponder installs the triggered-sensor side of a nested
+// query on a node.
+func NewNestedQueryResponder(cfg NestedQueryConfig) *NestedQueryResponder {
+	return filters.NewNestedQueryResponder(cfg)
+}
+
+// Micro-diffusion tier, re-exported.
+type (
+	// Mote is a micro-diffusion instance (section 4.3).
+	Mote = microdiff.Mote
+	// MoteTag is the condensed single-attribute flow identifier.
+	MoteTag = microdiff.Tag
+	// Gateway bridges a mote tier to full diffusion.
+	Gateway = microdiff.Gateway
+	// GatewayMapping binds one mote tag to its attribute-space meaning.
+	GatewayMapping = microdiff.Mapping
+)
+
+// Micro-diffusion static limits (paper section 4.3).
+const (
+	MoteMaxGradients = microdiff.MaxGradients
+	MoteCacheSize    = microdiff.CacheSize
+)
+
+// MoteMemoryFootprint returns micro-diffusion's static protocol state in
+// bytes.
+func MoteMemoryFootprint() int { return microdiff.MemoryFootprint() }
+
+// NewGateway bridges a full-diffusion node and a mote (typically one
+// physical gateway device with two radios).
+func NewGateway(n *Node, mote *Mote, mappings []GatewayMapping) *Gateway {
+	return microdiff.NewGateway(n.Node, mote, mappings)
+}

@@ -1,0 +1,126 @@
+package diffusion
+
+import (
+	"time"
+
+	"diffusion/internal/congestion"
+	"diffusion/internal/monitor"
+	"diffusion/internal/reliable"
+)
+
+// This file exposes the higher-level services built on top of diffusion —
+// in-network monitoring scans (paper section 7), reliable bulk transfer
+// (section 3.1 future work), and closed-loop congestion control (section
+// 6.4) — through the public facade.
+
+// Monitoring scan types, re-exported.
+type (
+	// ScanReadings is a scan result: one reading per covered node.
+	ScanReadings = monitor.Readings
+	// ScanResponder answers scan interests with a local reading.
+	ScanResponder = monitor.Responder
+	// ScanAggregator folds scan replies hop-by-hop into composites.
+	ScanAggregator = monitor.Aggregator
+	// ScanCollector issues scans and accumulates the replies.
+	ScanCollector = monitor.Collector
+)
+
+// NewScanResponder installs a scan responder on a node: it answers scans
+// named task with the reading returned by read.
+func (net *Network) NewScanResponder(n *Node, task string, read func() float64) *ScanResponder {
+	return monitor.NewResponder(monitor.ResponderConfig{
+		Node:  n.Node,
+		Clock: net.Clock(),
+		Rand:  net.Scheduler().Rand(),
+		Task:  task,
+		Read:  read,
+	})
+}
+
+// NewEnergyScanResponder installs a residual-energy responder driven by
+// the node's measured radio activity and the section 6.1 energy model.
+// battery is the node's budget in the model's relative units; dutyCycle is
+// its listen duty cycle.
+func (net *Network) NewEnergyScanResponder(n *Node, battery, dutyCycle float64) *ScanResponder {
+	return monitor.NewEnergyResponder(monitor.ResponderConfig{
+		Node:  n.Node,
+		Clock: net.Clock(),
+		Rand:  net.Scheduler().Rand(),
+	}, PaperEnergyRatios(), battery, func() (time.Duration, time.Duration) {
+		st := n.MAC.Radio().Stats
+		return st.TxTime, st.RxTime
+	}, dutyCycle)
+}
+
+// NewScanAggregator installs the in-network folding filter for a scan task
+// on a node.
+func (net *Network) NewScanAggregator(n *Node, task string, window time.Duration) *ScanAggregator {
+	return monitor.NewAggregator(n.Node, net.Clock(), task, window)
+}
+
+// NewScanCollector installs a scan collector on a node; cb (optional)
+// fires as readings accumulate.
+func (net *Network) NewScanCollector(n *Node, task string, cb func(id int32, r ScanReadings)) *ScanCollector {
+	return monitor.NewCollector(n.Node, net.Clock(), task, cb)
+}
+
+// Reliable bulk transfer, re-exported.
+type (
+	// BulkSender serves a large object with NACK-driven repair.
+	BulkSender = reliable.Sender
+	// BulkReceiver fetches a large object.
+	BulkReceiver = reliable.Receiver
+	// BulkReceiverConfig configures FetchBulk.
+	BulkReceiverConfig = reliable.ReceiverConfig
+)
+
+// OfferBulk serves a named object from a node.
+func (net *Network) OfferBulk(n *Node, name string, data []byte) *BulkSender {
+	return reliable.Offer(reliable.SenderConfig{
+		Node:  n.Node,
+		Clock: net.Clock(),
+		Rand:  net.Scheduler().Rand(),
+		Name:  name,
+	}, data)
+}
+
+// FetchBulk fetches a named object at a node, invoking onComplete with the
+// reassembled bytes.
+func (net *Network) FetchBulk(n *Node, name string, onComplete func([]byte)) *BulkReceiver {
+	return reliable.Fetch(reliable.ReceiverConfig{
+		Node:       n.Node,
+		Clock:      net.Clock(),
+		Name:       name,
+		OnComplete: onComplete,
+	})
+}
+
+// Congestion control, re-exported.
+type (
+	// FlowFeedback is the sink-side delivery reporter of a controlled flow.
+	FlowFeedback = congestion.Feedback
+	// FlowController is the source-side AIMD admission controller.
+	FlowController = congestion.Controller
+)
+
+// NewFlowFeedback installs sink-side feedback for a named flow; the
+// application calls Saw(seq) for each distinct event received.
+func (net *Network) NewFlowFeedback(n *Node, flow string, window time.Duration) *FlowFeedback {
+	return congestion.NewFeedback(congestion.FeedbackConfig{
+		Node:   n.Node,
+		Clock:  net.Clock(),
+		Flow:   flow,
+		Window: window,
+	})
+}
+
+// NewFlowController installs source-side rate adaptation for a named flow;
+// the application gates each send on Admit().
+func (net *Network) NewFlowController(n *Node, flow string, window time.Duration) *FlowController {
+	return congestion.NewController(congestion.ControllerConfig{
+		Node:   n.Node,
+		Clock:  net.Clock(),
+		Flow:   flow,
+		Window: window,
+	})
+}

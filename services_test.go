@@ -1,0 +1,133 @@
+package diffusion_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"diffusion"
+)
+
+func TestFacadeScans(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     21,
+		Topology: diffusion.LineTopology(4, 10),
+		Radio:    ptr(diffusion.PerfectRadio()),
+	})
+	for _, id := range net.IDs() {
+		n := net.Node(id)
+		id := id
+		net.NewScanResponder(n, "queue-scan", func() float64 { return float64(id) })
+		net.NewScanAggregator(n, "queue-scan", time.Second)
+	}
+	var last diffusion.ScanReadings
+	col := net.NewScanCollector(net.Node(1), "queue-scan", func(_ int32, r diffusion.ScanReadings) {
+		last = r
+	})
+	net.Run(2 * time.Second)
+	id := col.Start()
+	net.Run(30 * time.Second)
+	r := col.Result(id)
+	if r.Count() != 4 {
+		t.Fatalf("scan covered %d/4: %v", r.Count(), r)
+	}
+	if r.Min() != 1 || r.Mean() != 2.5 {
+		t.Errorf("readings: %v", r)
+	}
+	if last == nil || last.Count() == 0 {
+		t.Error("collector callback never fired")
+	}
+}
+
+func TestFacadeEnergyScan(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     22,
+		Topology: diffusion.LineTopology(3, 10),
+	})
+	for _, id := range net.IDs() {
+		net.NewEnergyScanResponder(net.Node(id), 100_000, 1.0)
+	}
+	col := net.NewScanCollector(net.Node(1), "energy-scan", nil)
+	net.Run(time.Minute)
+	id := col.Start()
+	net.Run(time.Minute)
+	r := col.Result(id)
+	if r.Count() == 0 {
+		t.Fatal("energy scan returned nothing")
+	}
+	if r.Min() <= 0 || r.Min() > 1 {
+		t.Errorf("residual out of range: %v", r)
+	}
+}
+
+func TestFacadeBulkTransfer(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     23,
+		Topology: diffusion.LineTopology(3, 10),
+	})
+	blob := bytes.Repeat([]byte("sensor-snapshot:"), 64)
+	net.OfferBulk(net.Node(3), "snap", blob)
+	var got []byte
+	net.FetchBulk(net.Node(1), "snap", func(b []byte) { got = b })
+	net.Run(10 * time.Minute)
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("bulk transfer: got %d bytes, want %d intact", len(got), len(blob))
+	}
+}
+
+func TestFacadeFlowControl(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     24,
+		Topology: diffusion.LineTopology(3, 10),
+	})
+	interest, publication := surveillance()
+	fb := net.NewFlowFeedback(net.Node(1), "surveillance", 30*time.Second)
+	net.Node(1).Subscribe(interest, func(m *diffusion.Message) {
+		if a, ok := m.Attrs.FindActual(diffusion.KeySequence); ok {
+			fb.Saw(a.Val.Int32())
+		}
+	})
+	ctl := net.NewFlowController(net.Node(3), "surveillance", 30*time.Second)
+	src := net.Node(3)
+	pub := src.Publish(publication)
+	seq := int32(0)
+	net.Every(3*time.Second, func() {
+		seq++
+		if ctl.Admit() {
+			src.Send(pub, diffusion.Attributes{diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq)})
+		}
+	})
+	net.Run(10 * time.Minute)
+	if fb.Reports == 0 || ctl.Offered == 0 {
+		t.Errorf("flow control plumbing: reports=%d offered=%d", fb.Reports, ctl.Offered)
+	}
+	if ctl.Rate() <= 0 || ctl.Rate() > 1 {
+		t.Errorf("rate out of range: %v", ctl.Rate())
+	}
+}
+
+func TestFacadeFusion(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     25,
+		Topology: diffusion.LineTopology(3, 10),
+		Radio:    ptr(diffusion.PerfectRadio()),
+	})
+	fu := net.NewFusion(net.Node(2), nil, 500*time.Millisecond)
+	got := 0
+	net.Node(1).Subscribe(diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.EQ, "detect"),
+	}, func(*diffusion.Message) { got++ })
+	src := net.Node(3)
+	pub := src.Publish(diffusion.Attributes{diffusion.String(diffusion.KeyTask, diffusion.IS, "detect")})
+	net.After(2*time.Second, func() {
+		src.Send(pub, diffusion.Attributes{
+			diffusion.String(diffusion.KeyType, diffusion.IS, "seismic"),
+			diffusion.Float64(diffusion.KeyConfidence, diffusion.IS, 0.5),
+			diffusion.Int32(diffusion.KeySequence, diffusion.IS, 1),
+		})
+	})
+	net.Run(30 * time.Second)
+	if fu.Reports != 1 || got != 1 {
+		t.Errorf("fusion facade: reports=%d delivered=%d", fu.Reports, got)
+	}
+}

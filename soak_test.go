@@ -1,0 +1,184 @@
+package diffusion_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"diffusion"
+)
+
+// TestFullSystemSoak runs everything at once on the testbed for an hour of
+// virtual time: the Figure 8 aggregation workload, a nested query, energy
+// scans, a congestion-controlled flow, a bulk transfer, and a mote tier —
+// all sharing one 13 kb/s radio. It asserts that every subsystem makes
+// progress and that the run is deterministic end to end.
+func TestFullSystemSoak(t *testing.T) {
+	type outcome struct {
+		events     int
+		audio      int
+		scan       int
+		bulk       int
+		moteUp     int
+		ctlRate    float64
+		totalBytes int
+	}
+	run := func() outcome {
+		var o outcome
+		// The mote tier borrows two cluster nodes; everything else keeps
+		// its paper role.
+		net := diffusion.NewNetwork(diffusion.NetworkConfig{
+			Seed:      1234,
+			Topology:  diffusion.TestbedTopology(),
+			MoteNodes: []uint32{17, 16}, // radio neighbors in the cluster
+		})
+		interest, publication := surveillance()
+
+		// Figure 8 workload: two sources, suppression everywhere.
+		for _, id := range net.IDs() {
+			if id == 17 || id == 16 {
+				continue
+			}
+			// Scoped to the surveillance flow: a blanket filter would
+			// treat all same-scan monitoring replies as duplicates.
+			net.NewSuppression(net.Node(id), diffusion.SuppressionOptions{
+				Pattern: diffusion.Attributes{
+					diffusion.String(diffusion.KeyTask, diffusion.EQ, "surveillance"),
+				},
+			})
+		}
+		distinct := map[int32]bool{}
+		fb := net.NewFlowFeedback(net.Node(diffusion.TestbedSink), "surveillance", 30*time.Second)
+		net.Node(diffusion.TestbedSink).Subscribe(interest, func(m *diffusion.Message) {
+			if a, ok := m.Attrs.FindActual(diffusion.KeySequence); ok {
+				distinct[a.Val.Int32()] = true
+				fb.Saw(a.Val.Int32())
+			}
+		})
+		srcs := []uint32{25, 22}
+		ctl := net.NewFlowController(net.Node(srcs[0]), "surveillance", 30*time.Second)
+		pubs := make([]diffusion.PublicationHandle, len(srcs))
+		for i, id := range srcs {
+			pubs[i] = net.Node(id).Publish(publication)
+		}
+		seq := int32(0)
+		net.Every(6*time.Second, func() {
+			seq++
+			for i, id := range srcs {
+				if id == srcs[0] && !ctl.Admit() {
+					continue
+				}
+				net.Node(id).Send(pubs[i], diffusion.Attributes{
+					diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+					diffusion.Blob(diffusion.KeyPayload, diffusion.IS, make([]byte, 40)),
+				})
+			}
+		})
+
+		// Nested query: audio node sub-tasks light 13.
+		resp := diffusion.NewNestedQueryResponder(diffusion.NestedQueryConfig{
+			Node: net.Node(diffusion.TestbedAudio).Node,
+			TriggerWatch: diffusion.Attributes{
+				diffusion.Int32(diffusion.KeyClass, diffusion.EQ, diffusion.ClassInterestValue),
+				diffusion.String(diffusion.KeyType, diffusion.IS, "audio"),
+			},
+			InitialInterest: diffusion.Attributes{
+				diffusion.String(diffusion.KeyType, diffusion.EQ, "light"),
+			},
+			Publication: diffusion.Attributes{
+				diffusion.String(diffusion.KeyType, diffusion.IS, "audio"),
+			},
+			OnInitial: func(m *diffusion.Message) diffusion.Attributes {
+				s, _ := m.Attrs.FindActual(diffusion.KeySequence)
+				return diffusion.Attributes{s}
+			},
+		})
+		_ = resp
+		audioHeard := 0
+		net.Node(diffusion.TestbedUser).Subscribe(diffusion.Attributes{
+			diffusion.String(diffusion.KeyType, diffusion.EQ, "audio"),
+		}, func(*diffusion.Message) { audioHeard++ })
+		lightPub := net.Node(13).Publish(diffusion.Attributes{
+			diffusion.String(diffusion.KeyType, diffusion.IS, "light"),
+		})
+		lseq := int32(0)
+		net.Every(time.Minute, func() {
+			lseq++
+			net.Node(13).Send(lightPub, diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, lseq),
+			})
+		})
+
+		// Energy scans at the user.
+		for _, id := range net.IDs() {
+			if id == 17 || id == 16 {
+				continue
+			}
+			net.NewEnergyScanResponder(net.Node(id), 100_000, 1.0)
+			// The fold window exceeds the responders' reply jitter so most
+			// replies ride composites instead of travelling solo.
+			net.NewScanAggregator(net.Node(id), "energy-scan", 3*time.Second)
+		}
+		col := net.NewScanCollector(net.Node(diffusion.TestbedUser), "energy-scan", nil)
+		var scanID int32
+		net.After(30*time.Minute, func() { scanID = col.Start() })
+
+		// Bulk transfer from the sink side to the user.
+		blob := bytes.Repeat([]byte{0xAB}, 2048)
+		net.OfferBulk(net.Node(24), "soak-object", blob)
+		var fetched []byte
+		net.FetchBulk(net.Node(diffusion.TestbedUser), "soak-object", func(b []byte) { fetched = b })
+
+		// Mote tier behind a gateway at node 14 (mote side is node 17).
+		gwMote := net.Mote(17)
+		diffusion.NewGateway(net.Node(14), gwMote, []diffusion.GatewayMapping{{
+			Tag: 5,
+			Watch: diffusion.Attributes{
+				diffusion.Int32(diffusion.KeyClass, diffusion.EQ, diffusion.ClassInterestValue),
+				diffusion.String(diffusion.KeyType, diffusion.IS, "photo"),
+			},
+			Publication: diffusion.Attributes{diffusion.String(diffusion.KeyType, diffusion.IS, "photo")},
+		}})
+		moteReadings := 0
+		net.Node(diffusion.TestbedSink).Subscribe(diffusion.Attributes{
+			diffusion.String(diffusion.KeyType, diffusion.EQ, "photo"),
+		}, func(*diffusion.Message) { moteReadings++ })
+		leaf := net.Mote(16)
+		net.Every(30*time.Second, func() { leaf.Send(5, 321) })
+
+		net.Run(time.Hour)
+
+		o.events = len(distinct)
+		o.audio = audioHeard
+		o.scan = col.Result(scanID).Count()
+		o.bulk = len(fetched)
+		o.moteUp = moteReadings
+		o.ctlRate = ctl.Rate()
+		o.totalBytes = net.TotalDiffusionBytes()
+		return o
+	}
+
+	o := run()
+	if o.events < 300 {
+		t.Errorf("surveillance delivered only %d distinct events", o.events)
+	}
+	if o.audio < 20 {
+		t.Errorf("nested query produced only %d audio deliveries", o.audio)
+	}
+	if o.scan < 6 {
+		t.Errorf("energy scan covered only %d nodes", o.scan)
+	}
+	if o.bulk != 2048 {
+		t.Errorf("bulk transfer fetched %d of 2048 bytes", o.bulk)
+	}
+	if o.moteUp < 50 {
+		t.Errorf("mote tier delivered only %d readings", o.moteUp)
+	}
+	if o.ctlRate <= 0 || o.ctlRate > 1 {
+		t.Errorf("controller rate %v", o.ctlRate)
+	}
+	// Determinism across the whole stack.
+	if o2 := run(); o != o2 {
+		t.Errorf("soak run is not deterministic:\n%+v\n%+v", o, o2)
+	}
+}

@@ -1,0 +1,174 @@
+package diffusion
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"diffusion/internal/message"
+)
+
+// Trace is the network-wide analysis tool the paper asks for (section 7:
+// "we were repeatedly challenged by the difficulty in understanding what
+// was going on in a network of dozens of physically distributed nodes ...
+// tools are needed to ... permit more flexible logging"). It installs a
+// pass-through tap on every node and records every message each node
+// processes, with summaries by class, node, and flow direction. Because
+// the simulation is deterministic, a trace is a complete, replayable
+// account of a run.
+type Trace struct {
+	net    *Network
+	events []TraceEvent
+	limit  int
+}
+
+// TraceEvent is one message processing record at one node.
+type TraceEvent struct {
+	At    time.Duration
+	Node  uint32
+	Class MessageClass
+	// ID identifies the message origination.
+	ID message.ID
+	// Local marks messages originated at the recording node.
+	Local bool
+	// Hops is the message's hop count when observed.
+	Hops uint8
+}
+
+// NewTrace installs the trace across every full-diffusion node. limit
+// bounds memory (0 means one million events); when reached, older events
+// are kept and new ones dropped.
+func (net *Network) NewTrace(limit int) *Trace {
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	t := &Trace{net: net, limit: limit}
+	for _, id := range net.IDs() {
+		n, ok := net.nodes[id]
+		if !ok {
+			continue // mote tiers are not traced
+		}
+		id := id
+		node := n
+		node.AddFilter(nil, 30100, func(m *Message, h FilterHandle) {
+			if len(t.events) < t.limit {
+				t.events = append(t.events, TraceEvent{
+					At:    net.Now(),
+					Node:  id,
+					Class: m.Class,
+					ID:    m.ID,
+					Local: uint32(m.PrevHop) == id,
+					Hops:  m.HopCount,
+				})
+			}
+			node.SendMessageToNext(m, h)
+		})
+	}
+	return t
+}
+
+// Events returns the recorded events (shared slice; do not mutate).
+func (t *Trace) Events() []TraceEvent { return t.events }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// CountByClass tallies processing events per message class.
+func (t *Trace) CountByClass() map[MessageClass]int {
+	out := map[MessageClass]int{}
+	for _, e := range t.events {
+		out[e.Class]++
+	}
+	return out
+}
+
+// CountByNode tallies processing events per node.
+func (t *Trace) CountByNode() map[uint32]int {
+	out := map[uint32]int{}
+	for _, e := range t.events {
+		out[e.Node]++
+	}
+	return out
+}
+
+// Originations returns the distinct message originations observed, per
+// class.
+func (t *Trace) Originations() map[MessageClass]int {
+	seen := map[message.ID]bool{}
+	out := map[MessageClass]int{}
+	for _, e := range t.events {
+		if e.Local && !seen[e.ID] {
+			seen[e.ID] = true
+			out[e.Class]++
+		}
+	}
+	return out
+}
+
+// FirstDelivery returns when a given message origination was first
+// processed at the given node, or ok=false (per-message latency probing).
+func (t *Trace) FirstDelivery(id message.ID, node uint32) (time.Duration, bool) {
+	for _, e := range t.events {
+		if e.ID == id && e.Node == node {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+// Summary writes a human-readable report: totals by class, then the
+// busiest nodes — the at-a-glance view of "what was going on in the
+// network".
+func (t *Trace) Summary(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events over %v\n", len(t.events), t.span())
+	byClass := t.CountByClass()
+	classes := make([]MessageClass, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		fmt.Fprintf(w, "  %-24s %6d\n", c, byClass[c])
+	}
+	type load struct {
+		node  uint32
+		count int
+	}
+	var loads []load
+	for n, c := range t.CountByNode() {
+		loads = append(loads, load{n, c})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].count != loads[j].count {
+			return loads[i].count > loads[j].count
+		}
+		return loads[i].node < loads[j].node
+	})
+	fmt.Fprintln(w, "busiest nodes:")
+	for i, l := range loads {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(w, "  node %-4d %6d events\n", l.node, l.count)
+	}
+}
+
+// WriteLog streams every event as one line, for offline analysis.
+func (t *Trace) WriteLog(w io.Writer) {
+	for _, e := range t.events {
+		origin := "fwd"
+		if e.Local {
+			origin = "org"
+		}
+		fmt.Fprintf(w, "%12v node=%d %s %s id=%v hops=%d\n",
+			e.At, e.Node, origin, e.Class, e.ID, e.Hops)
+	}
+}
+
+func (t *Trace) span() time.Duration {
+	if len(t.events) == 0 {
+		return 0
+	}
+	return t.events[len(t.events)-1].At - t.events[0].At
+}

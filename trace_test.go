@@ -1,0 +1,126 @@
+package diffusion_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"diffusion"
+)
+
+func tracedRun(t *testing.T) (*diffusion.Network, *diffusion.Trace) {
+	t.Helper()
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     13,
+		Topology: diffusion.LineTopology(4, 10),
+		Radio:    ptr(diffusion.PerfectRadio()),
+	})
+	tr := net.NewTrace(0)
+	interest, publication := surveillance()
+	net.Node(1).Subscribe(interest, nil)
+	src := net.Node(4)
+	pub := src.Publish(publication)
+	seq := int32(0)
+	net.Every(5*time.Second, func() {
+		seq++
+		src.Send(pub, diffusion.Attributes{diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq)})
+	})
+	net.Run(3 * time.Minute)
+	return net, tr
+}
+
+func TestTraceRecordsAllClasses(t *testing.T) {
+	_, tr := tracedRun(t)
+	if tr.Len() == 0 {
+		t.Fatal("trace empty")
+	}
+	byClass := tr.CountByClass()
+	for _, c := range []diffusion.MessageClass{
+		diffusion.ClassInterest,
+		diffusion.ClassData,
+		diffusion.ClassExploratoryData,
+		diffusion.ClassPositiveReinf,
+	} {
+		if byClass[c] == 0 {
+			t.Errorf("no %v events traced", c)
+		}
+	}
+	// Every node processed something.
+	byNode := tr.CountByNode()
+	for id := uint32(1); id <= 4; id++ {
+		if byNode[id] == 0 {
+			t.Errorf("node %d has no trace events", id)
+		}
+	}
+}
+
+func TestTraceOriginations(t *testing.T) {
+	_, tr := tracedRun(t)
+	orig := tr.Originations()
+	// The sink originates interests (one per refresh); the source
+	// originates data.
+	if orig[diffusion.ClassInterest] < 2 {
+		t.Errorf("interest originations: %d", orig[diffusion.ClassInterest])
+	}
+	if orig[diffusion.ClassData]+orig[diffusion.ClassExploratoryData] < 20 {
+		t.Errorf("data originations: %v", orig)
+	}
+	// Originations are a subset of processing events.
+	total := 0
+	for _, c := range orig {
+		total += c
+	}
+	if total >= tr.Len() {
+		t.Error("originations must be fewer than processing events")
+	}
+}
+
+func TestTraceLatencyProbe(t *testing.T) {
+	_, tr := tracedRun(t)
+	// Find a data origination at node 4 and its first processing at node
+	// 1: latency must be positive and under a second on an idle line.
+	for _, e := range tr.Events() {
+		if e.Local && e.Node == 4 && e.Class == diffusion.ClassData {
+			at, ok := tr.FirstDelivery(e.ID, 1)
+			if !ok {
+				continue
+			}
+			lat := at - e.At
+			if lat <= 0 || lat > 2*time.Second {
+				t.Errorf("implausible 3-hop latency %v", lat)
+			}
+			return
+		}
+	}
+	t.Error("no traced data origination reached the sink")
+}
+
+func TestTraceReports(t *testing.T) {
+	_, tr := tracedRun(t)
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	if !strings.Contains(buf.String(), "busiest nodes") {
+		t.Errorf("summary:\n%s", buf.String())
+	}
+	buf.Reset()
+	tr.WriteLog(&buf)
+	if !strings.Contains(buf.String(), "org") || !strings.Contains(buf.String(), "fwd") {
+		t.Error("log should mark originations and forwards")
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     14,
+		Topology: diffusion.LineTopology(3, 10),
+	})
+	tr := net.NewTrace(10)
+	net.Node(1).Subscribe(diffusion.Attributes{
+		diffusion.String(diffusion.KeyTask, diffusion.EQ, "x"),
+	}, nil)
+	net.Run(5 * time.Minute)
+	if tr.Len() > 10 {
+		t.Errorf("trace exceeded its limit: %d", tr.Len())
+	}
+}

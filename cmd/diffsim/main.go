@@ -18,6 +18,7 @@
 //	diffsim -experiment latency           # §6.1 aggregation latency claim
 //	diffsim -experiment breakdown         # Fig.8 byte decomposition vs model
 //	diffsim -experiment sweep-capture     # ablation: radio capture effect
+//	diffsim -experiment churn             # fault injection: relay kill + MTBF/MTTR churn
 //	diffsim -experiment all               # everything above
 //
 // -quick shrinks runs for a fast smoke pass; -seeds and -duration override
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, all)")
 		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		seeds      = flag.Int("seeds", 0, "override the number of repetitions")
 		duration   = flag.Duration("duration", 0, "override the per-run virtual duration")
@@ -222,6 +223,23 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		experiments.PrintNegRFAblation(w, experiments.RunNegRFAblation(sl, d))
 	}
 
+	churn := func() {
+		cfg := experiments.DefaultChurn()
+		if quick {
+			cfg.Seeds = seedList(2)
+			cfg.Duration = 12 * time.Minute
+			cfg.KillAt = 6 * time.Minute
+		}
+		if seeds > 0 {
+			cfg.Seeds = seedList(seeds)
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+			cfg.KillAt = duration / 2
+		}
+		experiments.PrintChurn(w, experiments.RunRelayKill(cfg), experiments.RunChurnSweep(cfg))
+	}
+
 	switch experiment {
 	case "fig8":
 		fig8()
@@ -253,6 +271,8 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		breakdown()
 	case "sweep-capture":
 		sweepCapture()
+	case "churn":
+		churn()
 	case "all":
 		fig8()
 		sep()
@@ -283,8 +303,10 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		breakdown()
 		sep()
 		sweepCapture()
+		sep()
+		churn()
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, or all)", experiment)
 	}
 	return nil
 }

@@ -56,7 +56,7 @@ func TestRunAllBranchesTiny(t *testing.T) {
 	for _, exp := range []string{
 		"fig9", "fig11", "sweep-exploratory", "sweep-asymmetry",
 		"ablate-negrf", "duty-cycle", "scale", "push-pull", "latency",
-		"breakdown", "sweep-capture",
+		"breakdown", "sweep-capture", "churn",
 	} {
 		var buf bytes.Buffer
 		if err := run(&buf, exp, true, 1, 3*time.Minute); err != nil {

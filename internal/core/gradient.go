@@ -86,6 +86,20 @@ func (n *Node) lookupEntry(attrs attr.Vec) (*interestEntry, bool) {
 	return e, ok
 }
 
+// ReinforcedUpstream returns the neighbor this node last positively
+// reinforced (toward the data source) for the interest matching attrs,
+// trying both the given attributes and their on-the-wire interest form.
+// Fault-injection harnesses walk this hop-by-hop from the sink to locate
+// the reinforced relay chain.
+func (n *Node) ReinforcedUpstream(attrs attr.Vec) (uint32, bool) {
+	for _, v := range []attr.Vec{attrs, interestFromSub(attrs)} {
+		if e, ok := n.lookupEntry(v); ok && e.hasReinforcedUpstream {
+			return uint32(e.reinforcedUpstream), true
+		}
+	}
+	return 0, false
+}
+
 // matchingEntries returns entries whose interest attributes two-way match
 // the given data attributes, in deterministic (hash-insertion-free) order.
 func (n *Node) matchingEntries(data attr.Vec) []*interestEntry {

@@ -157,6 +157,7 @@ type subscription struct {
 	attrs   attr.Vec
 	cb      DataCallback
 	passive bool // taps interests locally, originates no interest flood
+	local   bool // SubscribeLocal: sink entry installed, no interest flood
 	refresh sim.Timer
 }
 
@@ -191,6 +192,10 @@ type Node struct {
 	// processed (set by ProcessNoForward).
 	suppressForward bool
 
+	// detached marks a crashed node: all timers are cancelled and every
+	// reception, transmission and API send is ignored until Restart.
+	detached bool
+
 	housekeep sim.Timer
 
 	Stats Stats
@@ -209,9 +214,13 @@ func NewNode(cfg Config) *Node {
 		seen:    map[message.ID]time.Duration{},
 		expFrom: map[message.ID]message.NodeID{},
 	}
-	n.housekeep = everyClock(cfg.Clock, 5*time.Second, n.housekeeping)
+	n.housekeep = everyClock(cfg.Clock, housekeepInterval, n.housekeeping)
 	return n
 }
+
+// housekeepInterval is the period of the state GC pass; it must be well
+// under SeenTTL so table sizes track traffic rate, not run length.
+const housekeepInterval = 5 * time.Second
 
 // everyClock arms a self-rearming timer on any Clock implementation.
 func everyClock(c sim.Clock, period time.Duration, fn func()) sim.Timer {
@@ -261,6 +270,66 @@ func (n *Node) Close() {
 	}
 }
 
+// Detach models a node crash: every timer is cancelled and, until Restart,
+// the node ignores receptions, sends nothing, and rejects API sends with
+// ErrDetached. Application state (subscriptions, publications, filters)
+// survives — it lives in the node's nonvolatile program — but all protocol
+// state behaves as if frozen in dead RAM. Detaching twice is a no-op.
+func (n *Node) Detach() {
+	if n.detached {
+		return
+	}
+	n.detached = true
+	n.housekeep.Cancel()
+	for _, s := range n.subs {
+		if s.refresh != nil {
+			s.refresh.Cancel()
+			s.refresh = nil
+		}
+	}
+}
+
+// Restart reboots a detached node: gradients, the duplicate-suppression
+// cache and reinforcement traces are dropped (volatile protocol state does
+// not survive a crash), and the application layer re-subscribes and
+// re-publishes — active subscriptions restart their interest floods and
+// every publication's next data message is exploratory again, exactly as a
+// freshly booted daemon would behave. Restarting an attached node is a
+// no-op.
+func (n *Node) Restart() {
+	if !n.detached {
+		return
+	}
+	n.detached = false
+	n.entries = map[uint64]*interestEntry{}
+	n.seen = map[message.ID]time.Duration{}
+	n.expFrom = map[message.ID]message.NodeID{}
+	for _, p := range n.pubs {
+		p.count = 0
+		p.lastExp = 0
+		p.sentAny = false
+	}
+	for _, s := range n.subs {
+		switch {
+		case s.local:
+			// Re-install the local sink entry (SubscribeLocal does this at
+			// subscription time).
+			e := n.entryFor(interestFromSub(s.attrs))
+			for h, sub := range n.subs {
+				if sub == s {
+					e.localSubs[h] = true
+				}
+			}
+		case !s.passive:
+			n.armRefresh(s)
+		}
+	}
+	n.housekeep = everyClock(n.cfg.Clock, housekeepInterval, n.housekeeping)
+}
+
+// Detached reports whether the node is currently crashed.
+func (n *Node) Detached() bool { return n.detached }
+
 // nextID allocates a fresh message ID.
 func (n *Node) nextID() message.ID {
 	n.pktNum++
@@ -271,6 +340,7 @@ func (n *Node) nextID() message.ID {
 var (
 	ErrUnknownHandle = errors.New("core: unknown handle")
 	ErrNoGradient    = errors.New("core: no matching gradient state")
+	ErrDetached      = errors.New("core: node is detached (crashed)")
 )
 
 // Subscribe registers interest in the given attributes and returns a
@@ -284,17 +354,26 @@ func (n *Node) Subscribe(attrs attr.Vec, cb DataCallback) SubscriptionHandle {
 	s := &subscription{attrs: attrs.Clone(), cb: cb, passive: isPassive(attrs)}
 	n.subs[h] = s
 	if !s.passive {
-		// Small jitter so co-located sinks do not synchronize floods.
-		first := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.ForwardJitter) + 1))
-		var arm func()
-		arm = func() {
-			n.originateInterest(s)
-			jitter := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.InterestInterval) / 10))
-			s.refresh = n.cfg.Clock.After(n.cfg.InterestInterval+jitter-n.cfg.InterestInterval/20, arm)
-		}
-		s.refresh = n.cfg.Clock.After(first, arm)
+		n.armRefresh(s)
 	}
 	return h
+}
+
+// armRefresh starts (or restarts) a subscription's periodic interest
+// origination, with a small initial jitter so co-located sinks do not
+// synchronize floods.
+func (n *Node) armRefresh(s *subscription) {
+	first := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.ForwardJitter) + 1))
+	var arm func()
+	arm = func() {
+		if n.detached {
+			return
+		}
+		n.originateInterest(s)
+		jitter := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.InterestInterval) / 10))
+		s.refresh = n.cfg.Clock.After(n.cfg.InterestInterval+jitter-n.cfg.InterestInterval/20, arm)
+	}
+	s.refresh = n.cfg.Clock.After(first, arm)
 }
 
 // isPassive reports whether attrs describe an interest tap rather than a
@@ -317,7 +396,7 @@ func isPassive(attrs attr.Vec) bool {
 func (n *Node) SubscribeLocal(attrs attr.Vec, cb DataCallback) SubscriptionHandle {
 	n.nextSub++
 	h := n.nextSub
-	n.subs[h] = &subscription{attrs: attrs.Clone(), cb: cb, passive: true}
+	n.subs[h] = &subscription{attrs: attrs.Clone(), cb: cb, passive: true, local: true}
 	// Install the local entry so matching data finds a sink here.
 	e := n.entryFor(interestFromSub(attrs))
 	e.localSubs[h] = true
@@ -385,6 +464,9 @@ func (n *Node) SendPush(h PublicationHandle, extra attr.Vec) error {
 }
 
 func (n *Node) send(h PublicationHandle, extra attr.Vec, forceExploratory bool) error {
+	if n.detached {
+		return ErrDetached
+	}
 	p, ok := n.pubs[h]
 	if !ok {
 		return fmt.Errorf("%w: publication %d", ErrUnknownHandle, h)
@@ -423,6 +505,9 @@ func (n *Node) send(h PublicationHandle, extra attr.Vec, forceExploratory bool) 
 // Receive is the link-layer upcall: the MAC delivers every reassembled
 // payload here. Malformed payloads are dropped.
 func (n *Node) Receive(from uint32, payload []byte) {
+	if n.detached {
+		return
+	}
 	m, err := message.Unmarshal(payload)
 	if err != nil {
 		return
@@ -436,13 +521,22 @@ func (n *Node) Receive(from uint32, payload []byte) {
 }
 
 // dispatch runs a message through the filter chain; if no filter consumes
-// it, the core processes it.
+// it, the core processes it. A detached node processes nothing, so filter
+// timers that fire across a crash cannot resurrect traffic.
 func (n *Node) dispatch(m *message.Message) {
+	if n.detached {
+		return
+	}
 	n.runChainFrom(m, 0)
 }
 
-// transmit sends m out the link to m.NextHop, accounting bytes.
+// transmit sends m out the link to m.NextHop, accounting bytes. Jittered
+// forwards scheduled before a crash land here after it; a detached node
+// transmits nothing.
 func (n *Node) transmit(m *message.Message) {
+	if n.detached {
+		return
+	}
 	payload := m.Marshal()
 	n.Stats.BytesSent += len(payload)
 	if int(m.Class) < len(n.Stats.SentByClass) {
@@ -506,6 +600,13 @@ func (n *Node) housekeeping() {
 				delete(e.gradients, nb)
 			}
 		}
+		// Stale duplicate counters from a closed negative-reinforcement
+		// window would otherwise pin one map entry per neighbor forever.
+		if len(e.dupFrom) > 0 && now-e.dupSince > negRFWindow {
+			for k := range e.dupFrom {
+				delete(e.dupFrom, k)
+			}
+		}
 		if len(e.gradients) == 0 && len(e.localSubs) == 0 {
 			delete(n.entries, h)
 		}
@@ -514,3 +615,11 @@ func (n *Node) housekeeping() {
 
 // Entries returns the number of live interest entries (diagnostics).
 func (n *Node) Entries() int { return len(n.entries) }
+
+// SeenSize returns the duplicate-suppression cache population; bounded by
+// traffic rate × SeenTTL, not by run length (soak tests assert this).
+func (n *Node) SeenSize() int { return len(n.seen) }
+
+// ExpFromSize returns the exploratory-arrival trace population; entries
+// age out with their seen-cache records.
+func (n *Node) ExpFromSize() int { return len(n.expFrom) }

@@ -102,6 +102,7 @@ type Handler func(from uint32, payload []byte)
 var (
 	ErrTooLarge  = errors.New("mac: payload exceeds MaxPayload")
 	ErrQueueFull = errors.New("mac: transmit queue full")
+	ErrDetached  = errors.New("mac: node is detached (crashed)")
 )
 
 // Stats counts MAC activity.
@@ -125,9 +126,10 @@ type Mac struct {
 	params  Params
 	handler Handler
 
-	queue   []*outMsg
-	sending bool
-	seq     uint16
+	queue    []*outMsg
+	sending  bool
+	detached bool
+	seq      uint16
 
 	reasm map[reasmKey]*partial
 
@@ -221,9 +223,39 @@ func (m *Mac) ID() uint32 { return m.tx.ID() }
 // Radio exposes the transceiver (for energy and traffic accounting).
 func (m *Mac) Radio() *radio.Transceiver { return m.tx }
 
+// Detach freezes the link layer for a crashed node: the transmit queue is
+// dropped, pending reassembly state is discarded, and until Restart every
+// Send errors and every incoming frame is ignored. The channel-level radio
+// silence is the caller's job (radio.Channel.SetNodeDown); Detach makes
+// sure no queued traffic survives the crash.
+func (m *Mac) Detach() {
+	if m.detached {
+		return
+	}
+	m.detached = true
+	m.Stats.MessagesDropped += len(m.queue)
+	m.queue = nil
+	m.sending = false
+	for key, p := range m.reasm {
+		p.expires.Cancel()
+		delete(m.reasm, key)
+	}
+}
+
+// Restart brings a detached link layer back up with an empty queue, as a
+// freshly booted node's MAC would be. Restarting an attached MAC is a
+// no-op.
+func (m *Mac) Restart() { m.detached = false }
+
+// Detached reports whether the MAC is currently detached.
+func (m *Mac) Detached() bool { return m.detached }
+
 // Send queues payload for dst (a neighbor ID or Broadcast). The message is
 // fragmented; delivery is best-effort.
 func (m *Mac) Send(dst uint32, payload []byte) error {
+	if m.detached {
+		return ErrDetached
+	}
 	if len(payload) > m.params.MaxPayload {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), m.params.MaxPayload)
 	}
@@ -280,7 +312,7 @@ func (m *Mac) kick() {
 
 // attempt tries to transmit the current fragment, backing off on carrier.
 func (m *Mac) attempt() {
-	if len(m.queue) == 0 {
+	if m.detached || len(m.queue) == 0 {
 		m.sending = false
 		return
 	}
@@ -330,6 +362,9 @@ func (m *Mac) attempt() {
 
 // onFrame handles a frame from the radio.
 func (m *Mac) onFrame(from uint32, frame []byte) {
+	if m.detached {
+		return // crashed nodes hear nothing
+	}
 	if len(frame) < fragHeaderSize {
 		return // runt
 	}

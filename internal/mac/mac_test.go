@@ -294,3 +294,67 @@ func TestInvalidParamsPanic(t *testing.T) {
 	ch := radio.NewChannel(s, topo.Line(2, 5), radio.PerfectParams())
 	Attach(s, ch, 1, Params{}, nil)
 }
+
+func TestDetachDropsQueueAndRejectsSends(t *testing.T) {
+	s, m1, _, _, l2 := twoNodes(40, radio.PerfectParams())
+	// Queue several multi-fragment messages, then detach mid-flight.
+	for i := 0; i < 4; i++ {
+		if err := m1.Send(Broadcast, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1.Detach()
+	if !m1.Detached() {
+		t.Error("Detached() must report true")
+	}
+	if err := m1.Send(Broadcast, []byte("x")); !errors.Is(err, ErrDetached) {
+		t.Errorf("Send after Detach: err = %v, want ErrDetached", err)
+	}
+	if m1.Stats.MessagesDropped == 0 {
+		t.Error("detaching must count the queued messages as dropped")
+	}
+	s.RunUntil(s.Now() + time.Minute)
+	if len(l2.payloads) != 0 {
+		t.Errorf("detached MAC delivered %d messages", len(l2.payloads))
+	}
+}
+
+func TestDetachDropsReassemblyState(t *testing.T) {
+	// Detach the RECEIVER mid-reassembly: the partial message must be
+	// discarded, and fragments arriving after a restart must not resurrect
+	// it (the message ID restarts stale).
+	s, m1, m2, _, l2 := twoNodes(41, radio.PerfectParams())
+	if err := m1.Send(Broadcast, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Let the first fragments land, then crash the receiver.
+	s.RunUntil(s.Now() + 60*time.Millisecond)
+	m2.Detach()
+	m2.Restart()
+	s.RunUntil(s.Now() + time.Minute)
+	if len(l2.payloads) != 0 {
+		t.Errorf("reassembly across a crash delivered %v", l2.payloads)
+	}
+}
+
+func TestRestartResumesService(t *testing.T) {
+	s, m1, m2, _, l2 := twoNodes(42, radio.PerfectParams())
+	m2.Detach()
+	m1.Send(Broadcast, []byte("lost"))
+	s.RunUntil(s.Now() + time.Second)
+	m2.Restart()
+	if m2.Detached() {
+		t.Error("Detached() must report false after Restart")
+	}
+	m1.Send(Broadcast, []byte("heard"))
+	s.RunUntil(s.Now() + time.Second)
+	if len(l2.payloads) != 1 || !bytes.Equal(l2.payloads[0], []byte("heard")) {
+		t.Errorf("post-restart delivery: %v", l2.payloads)
+	}
+	// The restarted MAC can also send again.
+	m2.Detach()
+	m2.Restart()
+	if err := m2.Send(Broadcast, []byte("back")); err != nil {
+		t.Errorf("Send after Restart: %v", err)
+	}
+}

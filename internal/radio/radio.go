@@ -122,6 +122,10 @@ type linkKey struct{ from, to uint32 }
 // link is frozen per-directed-link channel state.
 type link struct {
 	effDist float64
+	// forcedDown blacks the link out entirely (fault injection): the
+	// transmitter is inaudible at the receiver — no delivery, no carrier,
+	// no collisions — as if an obstruction severed the path.
+	forcedDown bool
 	// Gilbert–Elliott lazy state.
 	bad            bool
 	nextTransition time.Duration
@@ -237,10 +241,47 @@ func (c *Channel) lossProb(d float64) float64 {
 // (contributes carrier and collisions), and the link if so.
 func (c *Channel) audible(from, to uint32) (*link, bool) {
 	l, ok := c.links[linkKey{from, to}]
-	if !ok || l.effDist >= c.params.MaxRange {
+	if !ok || l.forcedDown || l.effDist >= c.params.MaxRange {
 		return nil, false
 	}
 	return l, true
+}
+
+// SetLinkDown forces the directed link from→to into (or out of) blackout.
+// While down the link delivers nothing and contributes no carrier or
+// interference, modelling a severed path rather than a noisy one. Fault
+// injection uses it for link blackouts and partitions; unknown IDs panic
+// (a scenario-construction error).
+func (c *Channel) SetLinkDown(from, to uint32, down bool) {
+	l, ok := c.links[linkKey{from, to}]
+	if !ok {
+		panic(fmt.Sprintf("radio: no link %d->%d in topology", from, to))
+	}
+	l.forcedDown = down
+}
+
+// SetNodeDown blacks out (or restores) every directed link to and from id,
+// turning the node's radio off for the rest of the network: it neither
+// delivers, is heard, nor interferes. The node-crash fault uses it.
+// Restoring a node clears any per-link blackouts previously set on its
+// links with SetLinkDown.
+func (c *Channel) SetNodeDown(id uint32, down bool) {
+	if _, ok := c.topo.Node(id); !ok {
+		panic(fmt.Sprintf("radio: node %d not in topology", id))
+	}
+	for _, other := range c.topo.IDs() {
+		if other == id {
+			continue
+		}
+		c.links[linkKey{id, other}].forcedDown = down
+		c.links[linkKey{other, id}].forcedDown = down
+	}
+}
+
+// LinkDown reports whether the directed link from→to is forced down.
+func (c *Channel) LinkDown(from, to uint32) bool {
+	l, ok := c.links[linkKey{from, to}]
+	return ok && l.forcedDown
 }
 
 // Transceiver is one node's half-duplex radio.

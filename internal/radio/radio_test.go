@@ -345,3 +345,73 @@ func TestCaptureEffect(t *testing.T) {
 		t.Error("the stronger frame should capture the receiver")
 	}
 }
+
+func TestForcedLinkBlackout(t *testing.T) {
+	s, c, t1, _, log := pair(t, 10, PerfectParams(), 30)
+	c.SetLinkDown(1, 2, true)
+	if !c.LinkDown(1, 2) {
+		t.Error("LinkDown(1,2) must report the blackout")
+	}
+	if c.LinkDown(2, 1) {
+		t.Error("SetLinkDown is directional; 2->1 must stay up")
+	}
+	t1.Transmit([]byte("hi"))
+	// Advance past the airtime by hand: with the link down no reception is
+	// even scheduled, so draining events alone would not move the clock.
+	s.RunUntil(s.Now() + time.Second)
+	if len(*log) != 0 {
+		t.Fatalf("delivery across a blacked-out link: %v", *log)
+	}
+	c.SetLinkDown(1, 2, false)
+	t1.Transmit([]byte("hi"))
+	s.RunUntil(s.Now() + time.Second)
+	if len(*log) != 1 {
+		t.Fatalf("delivery after restoration: %v", *log)
+	}
+}
+
+func TestSetNodeDownSilencesBothDirections(t *testing.T) {
+	s, c, t1, t2, log := pair(t, 10, PerfectParams(), 31)
+	c.SetNodeDown(2, true)
+	t1.Transmit([]byte("to2"))
+	s.RunUntil(s.Now() + time.Second)
+	t2.Transmit([]byte("from2"))
+	s.RunUntil(s.Now() + time.Second)
+	if len(*log) != 0 {
+		t.Fatalf("a down node heard or was heard: %v", *log)
+	}
+	// A down node does not occupy the carrier either: 1 senses idle even
+	// mid-transmission of 2.
+	t2.Transmit([]byte("x"))
+	s.RunUntil(s.Now() + time.Millisecond)
+	if t1.Busy() {
+		t.Error("down node's transmission held the carrier")
+	}
+	s.RunUntil(s.Now() + time.Second)
+	c.SetNodeDown(2, false)
+	t1.Transmit([]byte("to2"))
+	s.RunUntil(s.Now() + time.Second)
+	if len(*log) != 1 || (*log)[0] != "2<-to2" {
+		t.Fatalf("delivery after node restore: %v", *log)
+	}
+}
+
+func TestSetNodeDownRestoreClearsPerLinkBlackouts(t *testing.T) {
+	_, c, _, _, _ := pair(t, 10, PerfectParams(), 32)
+	c.SetLinkDown(1, 2, true)
+	c.SetNodeDown(2, true)
+	c.SetNodeDown(2, false)
+	if c.LinkDown(1, 2) || c.LinkDown(2, 1) {
+		t.Error("restoring a node must clear its links' blackouts")
+	}
+}
+
+func TestSetLinkDownPanicsOnUnknownLink(t *testing.T) {
+	_, c, _, _, _ := pair(t, 10, PerfectParams(), 33)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLinkDown on an unknown link must panic")
+		}
+	}()
+	c.SetLinkDown(1, 99, true)
+}

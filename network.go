@@ -115,6 +115,10 @@ type Network struct {
 	nodes   map[uint32]*Node
 	motes   map[uint32]*Mote
 	order   []uint32
+	// down tracks crashed nodes; faultHooks observe every injected fault
+	// (see fault.go).
+	down       map[uint32]bool
+	faultHooks []func(FaultEvent)
 }
 
 // Node is one network node: the diffusion engine plus its link stack. The
@@ -157,6 +161,7 @@ func NewNetwork(cfg NetworkConfig) *Network {
 		nodes:   map[uint32]*Node{},
 		motes:   map[uint32]*Mote{},
 		order:   cfg.Topology.IDs(),
+		down:    map[uint32]bool{},
 	}
 	moteSet := map[uint32]bool{}
 	for _, id := range cfg.MoteNodes {

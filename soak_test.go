@@ -14,6 +14,9 @@ import (
 // all sharing one 13 kb/s radio. It asserts that every subsystem makes
 // progress and that the run is deterministic end to end.
 func TestFullSystemSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hour-long soak; skipped with -short")
+	}
 	type outcome struct {
 		events     int
 		audio      int
@@ -22,6 +25,9 @@ func TestFullSystemSoak(t *testing.T) {
 		moteUp     int
 		ctlRate    float64
 		totalBytes int
+		maxEntries int
+		maxSeen    int
+		maxExpFrom int
 	}
 	run := func() outcome {
 		var o outcome
@@ -155,6 +161,17 @@ func TestFullSystemSoak(t *testing.T) {
 		o.moteUp = moteReadings
 		o.ctlRate = ctl.Rate()
 		o.totalBytes = net.TotalDiffusionBytes()
+		for _, n := range net.Nodes() {
+			if e := n.Entries(); e > o.maxEntries {
+				o.maxEntries = e
+			}
+			if s := n.SeenSize(); s > o.maxSeen {
+				o.maxSeen = s
+			}
+			if x := n.ExpFromSize(); x > o.maxExpFrom {
+				o.maxExpFrom = x
+			}
+		}
 		return o
 	}
 
@@ -177,8 +194,106 @@ func TestFullSystemSoak(t *testing.T) {
 	if o.ctlRate <= 0 || o.ctlRate > 1 {
 		t.Errorf("controller rate %v", o.ctlRate)
 	}
+	// After an hour of traffic the housekeeping GC must have kept every
+	// per-node table bounded by the active workload, not by run length:
+	// a handful of distinct interests, and a seen/exploratory cache no
+	// larger than the traffic of one SeenTTL window.
+	if o.maxEntries > 20 {
+		t.Errorf("interest table grew to %d entries", o.maxEntries)
+	}
+	if o.maxSeen > 2000 {
+		t.Errorf("seen cache grew to %d entries", o.maxSeen)
+	}
+	if o.maxExpFrom > 2000 {
+		t.Errorf("exploratory-source table grew to %d entries", o.maxExpFrom)
+	}
 	// Determinism across the whole stack.
 	if o2 := run(); o != o2 {
 		t.Errorf("soak run is not deterministic:\n%+v\n%+v", o, o2)
+	}
+}
+
+// TestChurnSoak runs the surveillance workload on the testbed for half an
+// hour of virtual time while every relay churns under an MTBF/MTTR
+// process. It asserts the network keeps delivering, the protocol tables
+// stay bounded through the crash/reboot cycles, and the whole faulted run
+// is deterministic.
+func TestChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long churn soak; skipped with -short")
+	}
+	type outcome struct {
+		events  int
+		crashes int
+		reboots int
+		maxSeen int
+		totalB  int
+	}
+	run := func() outcome {
+		net := diffusion.NewNetwork(diffusion.NetworkConfig{
+			Seed:     777,
+			Topology: diffusion.TestbedTopology(),
+		})
+		interest, publication := surveillance()
+		source := diffusion.TestbedSources()[3]
+		distinct := map[int32]bool{}
+		net.Node(diffusion.TestbedSink).Subscribe(interest, func(m *diffusion.Message) {
+			if a, ok := m.Attrs.FindActual(diffusion.KeySequence); ok {
+				distinct[a.Val.Int32()] = true
+			}
+		})
+		src := net.Node(source)
+		pub := src.Publish(publication)
+		seq := int32(0)
+		net.Every(6*time.Second, func() {
+			seq++
+			src.Send(pub, diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+				diffusion.Blob(diffusion.KeyPayload, diffusion.IS, make([]byte, 50)),
+			})
+		})
+		var relays []uint32
+		for _, id := range net.IDs() {
+			if id != diffusion.TestbedSink && id != source {
+				relays = append(relays, id)
+			}
+		}
+		inj := net.NewFaultInjector()
+		inj.Churn(diffusion.ChurnConfig{
+			Start: 2 * time.Minute,
+			Stop:  28 * time.Minute,
+			MTBF:  3 * time.Minute,
+			MTTR:  time.Minute,
+			Nodes: relays,
+		})
+		net.Run(30 * time.Minute)
+
+		var o outcome
+		o.events = len(distinct)
+		sum := inj.Summarize()
+		o.crashes, o.reboots = sum.NodeDowns, sum.NodeUps
+		for _, n := range net.Nodes() {
+			if s := n.SeenSize(); s > o.maxSeen {
+				o.maxSeen = s
+			}
+		}
+		o.totalB = net.TotalDiffusionBytes()
+		return o
+	}
+	o := run()
+	if o.crashes < 5 {
+		t.Errorf("churn injected only %d crashes in 26 minutes", o.crashes)
+	}
+	if o.reboots < o.crashes {
+		t.Errorf("%d crashes but %d reboots; churn must heal what it breaks", o.crashes, o.reboots)
+	}
+	if o.events < 50 {
+		t.Errorf("only %d distinct events delivered under churn", o.events)
+	}
+	if o.maxSeen > 2000 {
+		t.Errorf("seen cache grew to %d entries through crash/reboot cycles", o.maxSeen)
+	}
+	if o2 := run(); o != o2 {
+		t.Errorf("churn soak is not deterministic:\n%+v\n%+v", o, o2)
 	}
 }

@@ -20,6 +20,7 @@ import (
 type Trace struct {
 	net    *Network
 	events []TraceEvent
+	faults []FaultEvent
 	limit  int
 }
 
@@ -65,11 +66,61 @@ func (net *Network) NewTrace(limit int) *Trace {
 			node.SendMessageToNext(m, h)
 		})
 	}
+	// Fault events (node-down/up, link-down/up) are part of the run's
+	// story: record them so traces from churn runs are self-describing.
+	net.OnFault(func(ev FaultEvent) {
+		if len(t.faults) < t.limit {
+			t.faults = append(t.faults, ev)
+		}
+	})
 	return t
 }
 
 // Events returns the recorded events (shared slice; do not mutate).
 func (t *Trace) Events() []TraceEvent { return t.events }
+
+// Faults returns the fault events recorded during the run (shared slice;
+// do not mutate).
+func (t *Trace) Faults() []FaultEvent { return t.faults }
+
+// Repairs counts the node-down faults after which positive-reinforcement
+// traffic was observed again before the next node-down — the visible
+// signature of the paper's repair machinery re-converging onto a working
+// path after a failure.
+func (t *Trace) Repairs() int {
+	repairs := 0
+	for i, f := range t.faults {
+		if f.Kind != FaultNodeDown {
+			continue
+		}
+		// The window closes at the next node-down (or the end of the run).
+		end := time.Duration(1<<62 - 1)
+		for _, g := range t.faults[i+1:] {
+			if g.Kind == FaultNodeDown {
+				end = g.At
+				break
+			}
+		}
+		for _, e := range t.events {
+			if e.Class == ClassPositiveReinf && e.At > f.At && e.At <= end {
+				repairs++
+				break
+			}
+		}
+	}
+	return repairs
+}
+
+// nodeDowns counts node-down faults.
+func (t *Trace) nodeDowns() int {
+	n := 0
+	for _, f := range t.faults {
+		if f.Kind == FaultNodeDown {
+			n++
+		}
+	}
+	return n
+}
 
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.events) }
@@ -152,11 +203,36 @@ func (t *Trace) Summary(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  node %-4d %6d events\n", l.node, l.count)
 	}
+	if len(t.faults) > 0 {
+		counts := map[FaultKind]int{}
+		for _, f := range t.faults {
+			counts[f.Kind]++
+		}
+		fmt.Fprintf(w, "faults: %d node-down, %d node-up, %d link-down, %d link-up; repairs: %d/%d\n",
+			counts[FaultNodeDown], counts[FaultNodeUp],
+			counts[FaultLinkDown], counts[FaultLinkUp],
+			t.Repairs(), t.nodeDowns())
+	}
 }
 
-// WriteLog streams every event as one line, for offline analysis.
+// WriteLog streams every event as one line, for offline analysis. Fault
+// events interleave with message events in time order, so an outage reads
+// in place in the log.
 func (t *Trace) WriteLog(w io.Writer) {
+	fi := 0
+	emitFaultsThrough := func(at time.Duration) {
+		for fi < len(t.faults) && t.faults[fi].At <= at {
+			f := t.faults[fi]
+			if f.Kind == FaultLinkDown || f.Kind == FaultLinkUp {
+				fmt.Fprintf(w, "%12v fault %v %d<->%d\n", f.At, f.Kind, f.Node, f.Peer)
+			} else {
+				fmt.Fprintf(w, "%12v fault %v node=%d\n", f.At, f.Kind, f.Node)
+			}
+			fi++
+		}
+	}
 	for _, e := range t.events {
+		emitFaultsThrough(e.At)
 		origin := "fwd"
 		if e.Local {
 			origin = "org"
@@ -164,6 +240,7 @@ func (t *Trace) WriteLog(w io.Writer) {
 		fmt.Fprintf(w, "%12v node=%d %s %s id=%v hops=%d\n",
 			e.At, e.Node, origin, e.Class, e.ID, e.Hops)
 	}
+	emitFaultsThrough(time.Duration(1<<62 - 1))
 }
 
 func (t *Trace) span() time.Duration {

@@ -110,6 +110,88 @@ func TestTraceReports(t *testing.T) {
 	}
 }
 
+func TestTraceRecordsFaultsAndRepairs(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     15,
+		Topology: diffusion.LineTopology(4, 10),
+		Radio:    ptr(diffusion.PerfectRadio()),
+	})
+	tr := net.NewTrace(0)
+	interest, publication := surveillance()
+	net.Node(1).Subscribe(interest, nil)
+	src := net.Node(4)
+	pub := src.Publish(publication)
+	seq := int32(0)
+	net.Every(5*time.Second, func() {
+		seq++
+		src.Send(pub, diffusion.Attributes{diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq)})
+	})
+	// Crash the only relay mid-run and bring it back: on a line there is no
+	// alternate path, so repair can only complete after the reboot — and
+	// the positive reinforcement that follows is the repair signature.
+	net.After(2*time.Minute, func() { net.CrashNode(2) })
+	net.After(3*time.Minute, func() { net.RebootNode(2) })
+	net.Run(6 * time.Minute)
+
+	faults := tr.Faults()
+	if len(faults) != 2 {
+		t.Fatalf("traced %d faults, want 2 (down+up): %v", len(faults), faults)
+	}
+	if faults[0].Kind != diffusion.FaultNodeDown || faults[0].Node != 2 {
+		t.Errorf("first fault = %v", faults[0])
+	}
+	if faults[1].Kind != diffusion.FaultNodeUp || faults[1].Node != 2 {
+		t.Errorf("second fault = %v", faults[1])
+	}
+	if got := tr.Repairs(); got != 1 {
+		t.Errorf("Repairs() = %d, want 1 (reinforcement resumed after the outage)", got)
+	}
+
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	if !strings.Contains(buf.String(), "faults: 1 node-down, 1 node-up") ||
+		!strings.Contains(buf.String(), "repairs: 1/1") {
+		t.Errorf("summary missing fault line:\n%s", buf.String())
+	}
+	buf.Reset()
+	tr.WriteLog(&buf)
+	for _, want := range []string{"fault node-down node=2", "fault node-up node=2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("log missing %q", want)
+		}
+	}
+}
+
+func TestTraceRecordsLinkFaults(t *testing.T) {
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     16,
+		Topology: diffusion.LineTopology(3, 10),
+	})
+	tr := net.NewTrace(0)
+	inj := net.NewFaultInjector()
+	inj.LinkDownAt(time.Minute, 1, 2)
+	inj.LinkUpAt(2*time.Minute, 1, 2)
+	net.Run(3 * time.Minute)
+	downs, ups := 0, 0
+	for _, f := range tr.Faults() {
+		switch f.Kind {
+		case diffusion.FaultLinkDown:
+			downs++
+		case diffusion.FaultLinkUp:
+			ups++
+		}
+	}
+	// LinkDownAt/LinkUpAt act on both directions.
+	if downs != 2 || ups != 2 {
+		t.Errorf("link faults: %d down, %d up, want 2 each", downs, ups)
+	}
+	var buf bytes.Buffer
+	tr.WriteLog(&buf)
+	if !strings.Contains(buf.String(), "fault link-down 1<->2") {
+		t.Errorf("log missing link fault:\n%s", buf.String())
+	}
+}
+
 func TestTraceLimit(t *testing.T) {
 	net := diffusion.NewNetwork(diffusion.NetworkConfig{
 		Seed:     14,

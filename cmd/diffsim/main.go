@@ -23,7 +23,9 @@
 //
 // -quick shrinks runs for a fast smoke pass; -seeds and -duration override
 // the repetition count and per-run virtual time of the simulated
-// experiments.
+// experiments. For the churn experiment, -metrics prints the first seed's
+// end-of-run per-layer metrics snapshot and -trace-out FILE exports its
+// relay-kill message trace as JSONL for cmd/difftrace.
 package main
 
 import (
@@ -42,10 +44,12 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		seeds      = flag.Int("seeds", 0, "override the number of repetitions")
 		duration   = flag.Duration("duration", 0, "override the per-run virtual duration")
+		metrics    = flag.Bool("metrics", false, "print the end-of-run per-layer metrics snapshot (churn experiment, first seed)")
+		traceOut   = flag.String("trace-out", "", "export the churn experiment's first-seed relay-kill trace as JSONL to this file (analyze with difftrace)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *experiment, *quick, *seeds, *duration); err != nil {
+	if err := run(os.Stdout, *experiment, *quick, *seeds, *duration, *metrics, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "diffsim:", err)
 		os.Exit(1)
 	}
@@ -59,7 +63,7 @@ func seedList(n int) []int64 {
 	return out
 }
 
-func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Duration) error {
+func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Duration, metrics bool, traceOut string) error {
 	sep := func() { fmt.Fprintln(w) }
 
 	fig8 := func() {
@@ -223,7 +227,7 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		experiments.PrintNegRFAblation(w, experiments.RunNegRFAblation(sl, d))
 	}
 
-	churn := func() {
+	churn := func() error {
 		cfg := experiments.DefaultChurn()
 		if quick {
 			cfg.Seeds = seedList(2)
@@ -238,6 +242,32 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 			cfg.KillAt = duration / 2
 		}
 		experiments.PrintChurn(w, experiments.RunRelayKill(cfg), experiments.RunChurnSweep(cfg))
+		if !metrics && traceOut == "" {
+			return nil
+		}
+		// Re-run the first seed traced: the tap is pass-through, so the
+		// traced run reproduces the printed one exactly.
+		_, tr, snap := experiments.RunRelayKillTraced(cfg, cfg.Seeds[0])
+		if metrics {
+			fmt.Fprintln(w)
+			snap.Write(w)
+		}
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tr.ExportJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\ntrace: %d records (seed %d) written to %s\n",
+				tr.Len()+len(tr.Faults()), cfg.Seeds[0], traceOut)
+		}
+		return nil
 	}
 
 	switch experiment {
@@ -272,7 +302,7 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 	case "sweep-capture":
 		sweepCapture()
 	case "churn":
-		churn()
+		return churn()
 	case "all":
 		fig8()
 		sep()
@@ -304,7 +334,7 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		sep()
 		sweepCapture()
 		sep()
-		churn()
+		return churn()
 	default:
 		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, or all)", experiment)
 	}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diffusion"
+	"diffusion/internal/experiments"
+	"diffusion/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/golden.jsonl")
+
+const goldenPath = "testdata/golden.jsonl"
+
+// generateGolden produces the fixture trace: a four-node line with a
+// surveillance-style flow and a scripted mid-run link blackout, exported
+// as JSONL. The simulation is deterministic, so this byte stream is stable
+// across runs and machines.
+func generateGolden(t *testing.T) []byte {
+	t.Helper()
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     7,
+		Topology: diffusion.LineTopology(4, 10),
+	})
+	tr := net.NewTrace(0)
+	inj := net.NewFaultInjector()
+	inj.LinkDownAt(90*time.Second, 2, 3)
+	inj.LinkUpAt(150*time.Second, 2, 3)
+	tr.SetFaultScript(inj.Script())
+
+	sink := net.Node(1)
+	sink.Subscribe(diffusion.Attributes{
+		diffusion.String(diffusion.KeyType, diffusion.EQ, "temperature"),
+	}, func(m *diffusion.Message) {})
+	source := net.Node(4)
+	pub := source.Publish(diffusion.Attributes{
+		diffusion.String(diffusion.KeyType, diffusion.IS, "temperature"),
+	})
+	seq := int32(0)
+	net.Every(10*time.Second, func() {
+		seq++
+		source.Send(pub, diffusion.Attributes{
+			diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+		})
+	})
+	net.Run(4 * time.Minute)
+
+	var buf bytes.Buffer
+	if err := tr.ExportJSONL(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenUpToDate regenerates the fixture in memory and requires the
+// checked-in file to match byte for byte — both a staleness guard and a
+// determinism check. Run with -update to rewrite it.
+func TestGoldenUpToDate(t *testing.T) {
+	got := generateGolden(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with go test ./cmd/difftrace -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden trace is stale: regenerated %d bytes differ from checked-in %d bytes; run go test ./cmd/difftrace -run Golden -update", len(got), len(want))
+	}
+}
+
+func TestInfoOnGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"info", goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"seed=7", "nodes=4", "fault script:", "link 2<->3 down at 1m30s", "records:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBudgetOnGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"budget", goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"message budget", "INTEREST", "DATA", "control (interest+reinforcement)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("budget output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlowsOnGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"flows", "-top", "3", goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "data originations") || !strings.Contains(out, "slowest 3 flows:") {
+		t.Errorf("flows output:\n%s", out)
+	}
+
+	// Pick a real flow ID out of the trace and ask for its hop-by-hop view.
+	_, recs, err := load(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ""
+	for _, r := range recs {
+		if r.Class == "DATA" || r.Class == "EXPLORATORY_DATA" {
+			id = r.ID
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no data record in golden trace")
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"flows", "-id", id, goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flow "+id) || !strings.Contains(buf.String(), "node=") {
+		t.Errorf("flow detail output:\n%s", buf.String())
+	}
+}
+
+func TestGradientsOnGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"gradients", "-node", "2", goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "gradient timeline for node 2") || !strings.Contains(out, "gradient -> ") {
+		t.Errorf("gradients output:\n%s", out)
+	}
+	// The 2<->3 blackout involves node 2, so it must appear in the timeline.
+	if !strings.Contains(out, "fault link-down") {
+		t.Errorf("gradients output missing the node's fault events:\n%s", out)
+	}
+}
+
+func TestDiffIdenticalAndDivergent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"diff", goldenPath, goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traces are identical") {
+		t.Errorf("self-diff output:\n%s", buf.String())
+	}
+
+	// Mutate one record and diff again: the tool must localize the change.
+	info, recs, err := load(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs[len(recs)/2].Hops++
+	mutated := filepath.Join(t.TempDir(), "mutated.jsonl")
+	f, err := os.Create(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteJSONL(f, info, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	buf.Reset()
+	if err := run(&buf, []string{"diff", goldenPath, mutated}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "first divergence at record") {
+		t.Errorf("diff output:\n%s", buf.String())
+	}
+}
+
+func TestChromeOnGolden(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"chrome", "-o", out, goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome output has no trace events")
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"bogus", goldenPath},
+		{"info"},
+		{"info", "no-such-file.jsonl"},
+		{"diff", goldenPath},
+	} {
+		if err := run(&bytes.Buffer{}, args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+// TestBudgetMatchesExperimentSummary is the end-to-end determinism check:
+// a traced churn (relay-kill) run exported as JSONL and re-read by this
+// tool must yield exactly the per-class counts the experiment's own trace
+// reports. Any skew means export, parse, or the trace itself is lossy.
+func TestBudgetMatchesExperimentSummary(t *testing.T) {
+	cfg := experiments.DefaultChurn()
+	cfg.Seeds = []int64{1}
+	cfg.Duration = 10 * time.Minute
+	cfg.KillAt = 5 * time.Minute
+	_, tr, snap := experiments.RunRelayKillTraced(cfg, 1)
+
+	var buf bytes.Buffer
+	if err := tr.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, recs, err := telemetry.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := classCounts(recs)
+	want := tr.CountByClass()
+	total := 0
+	for class, n := range want {
+		if counts[class.String()] != n {
+			t.Errorf("class %v: trace has %d, exported budget has %d", class, n, counts[class.String()])
+		}
+		total += n
+	}
+	if got := len(recs) - len(tr.Faults()); got != total {
+		t.Errorf("exported %d message records, trace holds %d events", got, total)
+	}
+	if len(info.FaultScript) == 0 {
+		t.Error("exported churn trace has no fault script")
+	}
+	if snap.Total("core.sent.data") == 0 {
+		t.Error("metrics snapshot shows no reinforced data sent")
+	}
+}

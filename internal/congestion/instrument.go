@@ -1,0 +1,23 @@
+package congestion
+
+import "diffusion/internal/telemetry"
+
+// Instrument publishes the sink-side feedback counters on reg.
+func (f *Feedback) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		emit("congestion.feedback_reports", float64(f.Reports))
+	})
+}
+
+// Instrument publishes the source-side controller's counters and live
+// throttle state on reg.
+func (c *Controller) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		emit("congestion.offered", float64(c.Offered))
+		emit("congestion.admitted", float64(c.Admitted))
+		emit("congestion.decimated", float64(c.Decimated))
+		emit("congestion.decreases", float64(c.Decreases))
+		emit("congestion.increases", float64(c.Increases))
+		emit("congestion.rate", c.rate)
+	})
+}

@@ -74,6 +74,7 @@ func (n *Node) runChainFrom(m *message.Message, start int) {
 	for i := start; i < len(n.filters); i++ {
 		f := n.filters[i]
 		if attr.OneWayMatch(f.attrs, m.Attrs) {
+			n.Stats.FilterInvocations++
 			f.cb(m, f.handle)
 			return
 		}

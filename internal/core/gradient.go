@@ -154,6 +154,7 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 		if !ok {
 			g = &gradient{}
 			e.gradients[m.PrevHop] = g
+			n.Stats.GradientsCreated++
 		}
 		g.expires = now + n.cfg.GradientLifetime
 	}
@@ -163,6 +164,7 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 		return
 	}
 	n.markSeen(m.ID)
+	n.Stats.InterestsSeen++
 
 	// Local delivery to passive interest taps ("subscribe for
 	// subscriptions"). Locally originated interests deliver too: a tap
@@ -356,6 +358,7 @@ func (n *Node) coreReinforce(m *message.Message) {
 	if !ok {
 		g = &gradient{}
 		e.gradients[m.PrevHop] = g
+		n.Stats.GradientsCreated++
 	}
 	// Reinforcement is live evidence of demand: it refreshes the gradient
 	// lifetime too. In one-phase push this is the only refresh there is

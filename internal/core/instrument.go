@@ -1,0 +1,36 @@
+package core
+
+import "diffusion/internal/telemetry"
+
+// classSlugs are snake_case metric-name suffixes indexed by message class.
+var classSlugs = [5]string{
+	"interest", "data", "exploratory_data",
+	"positive_reinforcement", "negative_reinforcement",
+}
+
+// Instrument publishes the diffusion core's counters and live table sizes
+// on reg. Everything is read at snapshot time from the node's existing
+// Stats struct and maps; the message hot path is untouched.
+func (n *Node) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		s := &n.Stats
+		emit("core.bytes_sent", float64(s.BytesSent))
+		for c, slug := range classSlugs {
+			emit("core.sent."+slug, float64(s.SentByClass[c]))
+			emit("core.received."+slug, float64(s.ReceivedByClass[c]))
+		}
+		emit("core.cache_hits", float64(s.Duplicates))
+		emit("core.cache_misses", float64(s.SeenMisses))
+		emit("core.local_deliveries", float64(s.LocalDeliveries))
+		emit("core.data_suppressed", float64(s.DataSuppressed))
+		emit("core.data_no_path", float64(s.DataNoPath))
+		emit("core.neg_reinforcements", float64(s.NegReinforcements))
+		emit("core.link_send_errors", float64(s.LinkSendErrors))
+		emit("core.interests_seen", float64(s.InterestsSeen))
+		emit("core.gradients_created", float64(s.GradientsCreated))
+		emit("core.gradients_expired", float64(s.GradientsExpired))
+		emit("core.filter_invocations", float64(s.FilterInvocations))
+		emit("core.interest_entries", float64(len(n.entries)))
+		emit("core.seen_cache_size", float64(len(n.seen)))
+	})
+}

@@ -33,6 +33,7 @@ import (
 	"diffusion/internal/attr"
 	"diffusion/internal/message"
 	"diffusion/internal/sim"
+	"diffusion/internal/telemetry"
 )
 
 // Link is the hop-by-hop communication service beneath diffusion: broadcast
@@ -87,6 +88,10 @@ type Config struct {
 	// NegativeReinforcement enables duplicate-triggered negative
 	// reinforcement (on by default; DisableNegRF turns it off).
 	DisableNegRF bool
+	// Flight, when set, records every reception and transmission into the
+	// node's flight-recorder ring (always-on crash diagnostics). Nil
+	// disables recording.
+	Flight *telemetry.Flight
 }
 
 func (c *Config) fill() {
@@ -145,12 +150,17 @@ type Stats struct {
 	BytesSent         int
 	SentByClass       [5]int
 	ReceivedByClass   [5]int
-	Duplicates        int
+	Duplicates        int // duplicate-suppression cache hits
+	SeenMisses        int // cache misses (new message IDs cached)
 	LocalDeliveries   int
 	DataSuppressed    int // data with no matching gradient state
 	DataNoPath        int // locally originated data with no reinforced path
 	NegReinforcements int
 	LinkSendErrors    int
+	InterestsSeen     int // distinct (non-duplicate) interests processed
+	GradientsCreated  int
+	GradientsExpired  int
+	FilterInvocations int // messages handed to a filter callback
 }
 
 type subscription struct {
@@ -517,6 +527,12 @@ func (n *Node) Receive(from uint32, payload []byte) {
 	if int(m.Class) < len(n.Stats.ReceivedByClass) {
 		n.Stats.ReceivedByClass[m.Class]++
 	}
+	if n.cfg.Flight != nil {
+		n.cfg.Flight.Record(telemetry.FlightRecord{
+			At: n.cfg.Clock.Now(), Node: n.ID(), Peer: from, ID: m.ID,
+			Verb: telemetry.VerbRecv, Class: m.Class, Hops: m.HopCount,
+		})
+	}
 	n.dispatch(m)
 }
 
@@ -541,6 +557,12 @@ func (n *Node) transmit(m *message.Message) {
 	n.Stats.BytesSent += len(payload)
 	if int(m.Class) < len(n.Stats.SentByClass) {
 		n.Stats.SentByClass[m.Class]++
+	}
+	if n.cfg.Flight != nil {
+		n.cfg.Flight.Record(telemetry.FlightRecord{
+			At: n.cfg.Clock.Now(), Node: n.ID(), Peer: uint32(m.NextHop), ID: m.ID,
+			Verb: telemetry.VerbSend, Class: m.Class, Hops: m.HopCount,
+		})
 	}
 	if err := n.cfg.Link.Send(uint32(m.NextHop), payload); err != nil {
 		n.Stats.LinkSendErrors++
@@ -576,8 +598,12 @@ func (n *Node) originateInterest(s *subscription) {
 	n.dispatch(m)
 }
 
-// markSeen records a message ID in the duplicate-suppression cache.
-func (n *Node) markSeen(id message.ID) { n.seen[id] = n.cfg.Clock.Now() }
+// markSeen records a message ID in the duplicate-suppression cache. Every
+// insertion is by definition a cache miss (Duplicates counts the hits).
+func (n *Node) markSeen(id message.ID) {
+	n.Stats.SeenMisses++
+	n.seen[id] = n.cfg.Clock.Now()
+}
 
 // wasSeen reports whether id is in the cache.
 func (n *Node) wasSeen(id message.ID) bool {
@@ -598,6 +624,7 @@ func (n *Node) housekeeping() {
 		for nb, g := range e.gradients {
 			if now > g.expires {
 				delete(e.gradients, nb)
+				n.Stats.GradientsExpired++
 			}
 		}
 		// Stale duplicate counters from a closed negative-reinforcement

@@ -127,11 +127,31 @@ func RunRelayKill(cfg ChurnConfig) RelayKillResult {
 // runRelayKillOnce runs one seed: warm up the reinforced path, kill the
 // relay the sink reinforces, and watch the repair.
 func runRelayKillOnce(cfg ChurnConfig, seed int64) RelayKillRun {
+	run, _, _ := relayKill(cfg, seed, false)
+	return run
+}
+
+// RunRelayKillTraced runs one relay-kill seed with a full message trace
+// installed and returns the run outcome, the trace (fault script set, ready
+// for export), and the end-of-run metrics snapshot. The trace tap is
+// pass-through and draws no randomness, so the returned RelayKillRun is
+// bit-identical to the untraced RunRelayKill run for the same seed.
+func RunRelayKillTraced(cfg ChurnConfig, seed int64) (RelayKillRun, *diffusion.Trace, diffusion.MetricsSnapshot) {
+	return relayKill(cfg, seed, true)
+}
+
+// relayKill is the shared implementation; traced turns on the trace tap
+// and the closing metrics snapshot.
+func relayKill(cfg ChurnConfig, seed int64, traced bool) (RelayKillRun, *diffusion.Trace, diffusion.MetricsSnapshot) {
 	net := diffusion.NewNetwork(diffusion.NetworkConfig{
 		Seed:                seed,
 		Topology:            diffusion.TestbedTopology(),
 		ExploratoryInterval: cfg.ExploratoryInterval,
 	})
+	var tr *diffusion.Trace
+	if traced {
+		tr = net.NewTrace(0)
+	}
 	run := RelayKillRun{Seed: seed}
 	source := diffusion.TestbedSources()[3] // node 13, 4-5 hops from the sink
 
@@ -181,8 +201,19 @@ func runRelayKillOnce(cfg ChurnConfig, seed int64) RelayKillRun {
 		}
 		killSeq = seq
 		net.CrashNode(run.Victim)
+		if tr != nil {
+			// The kill bypasses the fault injector, so describe it by hand:
+			// exported traces must carry the scenario that shaped them.
+			tr.SetFaultScript([]string{
+				fmt.Sprintf("crash node %d (reinforced relay) at %v", run.Victim, cfg.KillAt),
+			})
+		}
 	})
 	net.Run(cfg.Duration)
+	var snap diffusion.MetricsSnapshot
+	if traced {
+		snap = net.MetricsSnapshot()
+	}
 
 	// Delivery ratios on either side of the kill.
 	preSent, preGot, postSent, postGot := 0, 0, 0, 0
@@ -207,7 +238,7 @@ func runRelayKillOnce(cfg ChurnConfig, seed int64) RelayKillRun {
 		run.DeliveryPost = float64(postGot) / float64(postSent)
 	}
 	if run.Victim == 0 {
-		return run
+		return run, tr, snap
 	}
 
 	// Time to repair: first delivery of an event originated after the kill.
@@ -218,7 +249,7 @@ func runRelayKillOnce(cfg ChurnConfig, seed int64) RelayKillRun {
 		}
 	}
 	if repairAt < 0 {
-		return run
+		return run, tr, snap
 	}
 	run.Repaired = true
 	run.TimeToRepair = repairAt - cfg.KillAt
@@ -240,7 +271,7 @@ func runRelayKillOnce(cfg ChurnConfig, seed int64) RelayKillRun {
 	preRate := float64(bytesAt(cfg.KillAt)-bytesAt(preWindow)) / (cfg.KillAt - preWindow).Seconds()
 	spent := float64(bytesAt(repairAt) - bytesAt(cfg.KillAt))
 	run.OverheadBytes = spent - preRate*run.TimeToRepair.Seconds()
-	return run
+	return run, tr, snap
 }
 
 // ChurnSweepPoint is one (MTBF, MTTR) row of the random-churn sweep.

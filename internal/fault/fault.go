@@ -99,6 +99,7 @@ type Injector struct {
 	target Target
 	down   map[uint32]bool
 	events []Event
+	script []string
 }
 
 // New returns an injector driving target on the scheduler's clock.
@@ -130,6 +131,16 @@ func (in *Injector) Summarize() Summary {
 
 // NodeDown reports whether the injector currently holds id down.
 func (in *Injector) NodeDown(id uint32) bool { return in.down[id] }
+
+// Script returns one human-readable line per scheduled fault scenario, in
+// scheduling order — the self-describing fault script exported in trace
+// headers.
+func (in *Injector) Script() []string { return in.script }
+
+// note appends one script line.
+func (in *Injector) note(format string, args ...any) {
+	in.script = append(in.script, fmt.Sprintf(format, args...))
+}
 
 // record appends an event stamped now.
 func (in *Injector) record(k Kind, node, peer uint32) {
@@ -164,11 +175,13 @@ func (in *Injector) after(at time.Duration, fn func()) {
 
 // CrashAt schedules a node crash at absolute simulation time at.
 func (in *Injector) CrashAt(at time.Duration, id uint32) {
+	in.note("crash node %d at %v", id, at)
 	in.after(at, func() { in.crash(id) })
 }
 
 // RebootAt schedules a reboot at absolute simulation time at.
 func (in *Injector) RebootAt(at time.Duration, id uint32) {
+	in.note("reboot node %d at %v", id, at)
 	in.after(at, func() { in.reboot(id) })
 }
 
@@ -181,6 +194,7 @@ func (in *Injector) CrashFor(at time.Duration, id uint32, outage time.Duration) 
 // LinkDownAt schedules a bidirectional blackout of the a↔b link at the
 // given absolute time.
 func (in *Injector) LinkDownAt(at time.Duration, a, b uint32) {
+	in.note("link %d<->%d down at %v", a, b, at)
 	in.after(at, func() {
 		in.target.SetLinkDown(a, b, true)
 		in.target.SetLinkDown(b, a, true)
@@ -190,6 +204,7 @@ func (in *Injector) LinkDownAt(at time.Duration, a, b uint32) {
 
 // LinkUpAt schedules the a↔b link's restoration.
 func (in *Injector) LinkUpAt(at time.Duration, a, b uint32) {
+	in.note("link %d<->%d up at %v", a, b, at)
 	in.after(at, func() {
 		in.target.SetLinkDown(a, b, false)
 		in.target.SetLinkDown(b, a, false)
@@ -224,6 +239,7 @@ func (in *Injector) DepleteEnergy(id uint32, budget float64, checkEvery time.Dur
 	if checkEvery <= 0 {
 		checkEvery = 10 * time.Second
 	}
+	in.note("deplete node %d at energy budget %g (poll %v)", id, budget, checkEvery)
 	var poll func()
 	poll = func() {
 		if in.down[id] {
@@ -258,6 +274,8 @@ func (in *Injector) Churn(cfg ChurnConfig) {
 	if cfg.Stop <= cfg.Start {
 		panic(fmt.Sprintf("fault: churn window [%v,%v) is empty", cfg.Start, cfg.Stop))
 	}
+	in.note("churn %d nodes mtbf=%v mttr=%v window=[%v,%v)",
+		len(cfg.Nodes), cfg.MTBF, cfg.MTTR, cfg.Start, cfg.Stop)
 	for _, id := range cfg.Nodes {
 		in.scheduleFailure(id, cfg, cfg.Start+in.expDraw(cfg.MTBF))
 	}

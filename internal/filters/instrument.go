@@ -1,0 +1,20 @@
+package filters
+
+import "diffusion/internal/telemetry"
+
+// Instrument publishes the suppression filter's counters on reg.
+func (s *Suppression) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		emit("filter.suppression.suppressed", float64(s.Suppressed))
+		emit("filter.suppression.passed", float64(s.Passed))
+	})
+}
+
+// Instrument publishes the counting aggregator's counters on reg.
+func (c *CountingAggregator) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		emit("filter.counting.merged", float64(c.Merged))
+		emit("filter.counting.flushed", float64(c.Flushed))
+		emit("filter.counting.pending", float64(len(c.pending)))
+	})
+}

@@ -15,6 +15,7 @@ import (
 
 	"diffusion/internal/radio"
 	"diffusion/internal/sim"
+	"diffusion/internal/telemetry"
 )
 
 // Params configures the MAC.
@@ -114,6 +115,7 @@ type Stats struct {
 	FragmentsSent     int
 	FragmentsReceived int
 	Backoffs          int
+	BackoffTime       time.Duration // cumulative carrier-sense backoff delay
 	ReassemblyExpired int
 	SleepDrops        int // frames missed because the radio was asleep
 	SleepDeferrals    int // transmissions postponed to an active window
@@ -132,6 +134,9 @@ type Mac struct {
 	seq      uint16
 
 	reasm map[reasmKey]*partial
+
+	// backoffHist, when instrumented, observes every backoff wait (µs).
+	backoffHist *telemetry.Histogram
 
 	Stats Stats
 }
@@ -346,7 +351,12 @@ func (m *Mac) attempt() {
 			window = m.params.MaxBackoffSlots
 		}
 		slots := 1 + m.sched.Rand().Intn(window)
-		m.sched.After(time.Duration(slots)*m.params.SlotTime, m.attempt)
+		wait := time.Duration(slots) * m.params.SlotTime
+		m.Stats.BackoffTime += wait
+		if m.backoffHist != nil {
+			m.backoffHist.Observe(wait.Microseconds())
+		}
+		m.sched.After(wait, m.attempt)
 		return
 	}
 	air := m.tx.Transmit(cur.frags[cur.next])

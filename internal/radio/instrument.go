@@ -1,0 +1,31 @@
+package radio
+
+import "diffusion/internal/telemetry"
+
+// Instrument publishes the medium-wide counters on reg. The channel keeps
+// incrementing its plain Stats fields on the hot path; the registry reads
+// them only at snapshot time.
+func (c *Channel) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		s := &c.Stats
+		emit("radio.channel.frames_sent", float64(s.FramesSent))
+		emit("radio.channel.frames_delivered", float64(s.FramesDelivered))
+		emit("radio.channel.frames_lost", float64(s.FramesLost))
+		emit("radio.channel.frames_collided", float64(s.FramesCollided))
+		emit("radio.channel.frames_half_duplex", float64(s.FramesHalfDuplex))
+		emit("radio.channel.frames_blackout", float64(s.FramesBlackout))
+	})
+}
+
+// Instrument publishes this transceiver's counters on reg.
+func (t *Transceiver) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		s := &t.Stats
+		emit("radio.frames_sent", float64(s.FramesSent))
+		emit("radio.bytes_sent", float64(s.BytesSent))
+		emit("radio.frames_received", float64(s.FramesReceived))
+		emit("radio.bytes_received", float64(s.BytesReceived))
+		emit("radio.tx_seconds", s.TxTime.Seconds())
+		emit("radio.rx_seconds", s.RxTime.Seconds())
+	})
+}

@@ -115,6 +115,7 @@ type ChannelStats struct {
 	FramesLost       int // channel loss draws
 	FramesCollided   int // receptions corrupted by overlap
 	FramesHalfDuplex int // receptions missed because the receiver was sending
+	FramesBlackout   int // receptions suppressed by a forced-down link (fault injection)
 }
 
 type linkKey struct{ from, to uint32 }
@@ -237,16 +238,6 @@ func (c *Channel) lossProb(d float64) float64 {
 	}
 }
 
-// audible reports whether a transmission from 'from' is audible at 'to'
-// (contributes carrier and collisions), and the link if so.
-func (c *Channel) audible(from, to uint32) (*link, bool) {
-	l, ok := c.links[linkKey{from, to}]
-	if !ok || l.forcedDown || l.effDist >= c.params.MaxRange {
-		return nil, false
-	}
-	return l, true
-}
-
 // SetLinkDown forces the directed link from→to into (or out of) blackout.
 // While down the link delivers nothing and contributes no carrier or
 // interference, modelling a severed path rather than a noisy one. Fault
@@ -355,8 +346,19 @@ func (t *Transceiver) Transmit(payload []byte) time.Duration {
 		if !attached || id == t.id {
 			continue
 		}
-		l, ok := c.audible(t.id, id)
+		l, ok := c.links[linkKey{t.id, id}]
 		if !ok {
+			continue
+		}
+		if l.forcedDown {
+			// The link is blacked out by fault injection: the frame would
+			// have been audible here but the severed path swallows it.
+			if l.effDist < c.params.MaxRange {
+				c.Stats.FramesBlackout++
+			}
+			continue
+		}
+		if l.effDist >= c.params.MaxRange {
 			continue
 		}
 		c.sched.After(c.params.PropDelay, func() { rx.beginReception(t.id, l, data, air) })

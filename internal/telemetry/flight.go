@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"diffusion/internal/message"
+)
+
+// Verb classifies a flight-recorder entry.
+type Verb uint8
+
+// Flight-recorder verbs.
+const (
+	VerbRecv Verb = iota
+	VerbSend
+	VerbFault
+)
+
+// String renders the verb.
+func (v Verb) String() string {
+	switch v {
+	case VerbRecv:
+		return "recv"
+	case VerbSend:
+		return "send"
+	case VerbFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("Verb(%d)", uint8(v))
+	}
+}
+
+// FlightRecord is one compact flight-recorder entry. For message verbs,
+// Class/Hops/ID describe the message and Peer the neighbor it came from
+// (recv) or goes to (send). For VerbFault, Kind holds the fault kind and
+// Peer the other endpoint of link faults.
+type FlightRecord struct {
+	At    time.Duration
+	Node  uint32
+	Peer  uint32
+	ID    message.ID
+	Verb  Verb
+	Class message.Class
+	Kind  uint8
+	Hops  uint8
+}
+
+// Flight is a fixed-size, always-on ring of the most recent records at
+// one node — the crash dump that makes soak and churn failures
+// self-diagnosing. Record overwrites the oldest entry and never
+// allocates.
+type Flight struct {
+	buf   []FlightRecord
+	next  int
+	total uint64
+}
+
+// DefaultFlightSize is the per-node ring capacity the network wires up.
+const DefaultFlightSize = 256
+
+// NewFlight returns a ring holding the last size records (size <= 0 takes
+// DefaultFlightSize).
+func NewFlight(size int) *Flight {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	return &Flight{buf: make([]FlightRecord, size)}
+}
+
+// Record appends r, overwriting the oldest entry when full.
+func (f *Flight) Record(r FlightRecord) {
+	f.buf[f.next] = r
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+	}
+	f.total++
+}
+
+// Len returns the number of records currently held.
+func (f *Flight) Len() int {
+	if f.total < uint64(len(f.buf)) {
+		return int(f.total)
+	}
+	return len(f.buf)
+}
+
+// Total returns the number of records ever written (Len plus overwrites).
+func (f *Flight) Total() uint64 { return f.total }
+
+// Records returns the held records oldest-first (a copy).
+func (f *Flight) Records() []FlightRecord {
+	n := f.Len()
+	out := make([]FlightRecord, 0, n)
+	start := 0
+	if f.total >= uint64(len(f.buf)) {
+		start = f.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, f.buf[(start+i)%len(f.buf)])
+	}
+	return out
+}
+
+// Dump writes the ring's contents as one line per record, oldest first.
+// kindName renders fault kinds (nil prints the raw number).
+func (f *Flight) Dump(w io.Writer, kindName func(uint8) string) {
+	recs := f.Records()
+	fmt.Fprintf(w, "flight recorder node: %d records held, %d total\n", len(recs), f.total)
+	for _, r := range recs {
+		switch r.Verb {
+		case VerbFault:
+			kind := fmt.Sprintf("kind=%d", r.Kind)
+			if kindName != nil {
+				kind = kindName(r.Kind)
+			}
+			if r.Peer != 0 {
+				fmt.Fprintf(w, "%12v node=%d fault %s peer=%d\n", r.At, r.Node, kind, r.Peer)
+			} else {
+				fmt.Fprintf(w, "%12v node=%d fault %s\n", r.At, r.Node, kind)
+			}
+		default:
+			fmt.Fprintf(w, "%12v node=%d %s %s id=%v peer=%d hops=%d\n",
+				r.At, r.Node, r.Verb, r.Class, r.ID, r.Peer, r.Hops)
+		}
+	}
+}

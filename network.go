@@ -2,6 +2,7 @@ package diffusion
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"diffusion/internal/core"
@@ -10,6 +11,7 @@ import (
 	"diffusion/internal/microdiff"
 	"diffusion/internal/radio"
 	"diffusion/internal/sim"
+	"diffusion/internal/telemetry"
 	"diffusion/internal/topo"
 )
 
@@ -119,6 +121,13 @@ type Network struct {
 	// (see fault.go).
 	down       map[uint32]bool
 	faultHooks []func(FaultEvent)
+	// Telemetry wiring (see telemetry.go): one registry per node plus one
+	// for the shared channel, aggregated by the hub; one always-on flight
+	// recorder per full node.
+	hub        *telemetry.Hub
+	regs       map[uint32]*telemetry.Registry
+	flights    map[uint32]*telemetry.Flight
+	flightSink io.Writer
 }
 
 // Node is one network node: the diffusion engine plus its link stack. The
@@ -162,12 +171,19 @@ func NewNetwork(cfg NetworkConfig) *Network {
 		motes:   map[uint32]*Mote{},
 		order:   cfg.Topology.IDs(),
 		down:    map[uint32]bool{},
+		hub:     telemetry.NewHub(s.Now),
+		regs:    map[uint32]*telemetry.Registry{},
+		flights: map[uint32]*telemetry.Flight{},
 	}
+	net.channel.Instrument(net.hub.Register(telemetry.NewRegistry("channel")))
 	moteSet := map[uint32]bool{}
 	for _, id := range cfg.MoteNodes {
 		moteSet[id] = true
 	}
 	for _, id := range net.order {
+		reg := telemetry.NewRegistry(fmt.Sprintf("node-%d", id))
+		net.hub.Register(reg)
+		net.regs[id] = reg
 		if moteSet[id] {
 			var mote *Mote
 			m := mac.Attach(s, net.channel, id, mp, func(from uint32, payload []byte) {
@@ -175,12 +191,15 @@ func NewNetwork(cfg NetworkConfig) *Network {
 			})
 			mote = microdiff.NewMote(m)
 			net.motes[id] = mote
+			net.instrumentLink(reg, m)
 			continue
 		}
 		var n *Node
 		m := mac.Attach(s, net.channel, id, mp, func(from uint32, payload []byte) {
 			n.Receive(from, payload)
 		})
+		fl := telemetry.NewFlight(telemetry.DefaultFlightSize)
+		net.flights[id] = fl
 		n = &Node{
 			Node: core.NewNode(core.Config{
 				Clock:               s,
@@ -193,12 +212,33 @@ func NewNetwork(cfg NetworkConfig) *Network {
 				TTL:                 cfg.TTL,
 				ForwardJitter:       cfg.ForwardJitter,
 				DisableNegRF:        cfg.DisableNegativeReinforcement,
+				Flight:              fl,
 			}),
 			MAC: m,
 		}
 		net.nodes[id] = n
+		n.Node.Instrument(reg)
+		net.instrumentLink(reg, m)
 	}
+	// Stamp every fault into the affected nodes' flight recorders, and dump
+	// them when a sink is set (SetFlightDump) so fault-laden runs
+	// self-diagnose.
+	net.OnFault(net.recordFaultFlight)
 	return net
+}
+
+// instrumentLink wires a node's MAC, radio and energy metrics onto reg.
+func (net *Network) instrumentLink(reg *telemetry.Registry, m *mac.Mac) {
+	m.Instrument(reg)
+	m.Radio().Instrument(reg)
+	reg.AddCollector(func(emit func(string, float64)) {
+		st := m.Radio().Stats
+		b := energy.PaperRatios().Measured(st.TxTime, st.RxTime, net.sched.Now(), 1.0)
+		emit("energy.listen_j", b.Listen)
+		emit("energy.receive_j", b.Receive)
+		emit("energy.send_j", b.Send)
+		emit("energy.total_j", b.Total())
+	})
 }
 
 // Node returns the node with the given topology ID; it panics on unknown

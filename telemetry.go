@@ -1,0 +1,146 @@
+package diffusion
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"diffusion/internal/telemetry"
+)
+
+// Telemetry types, re-exported from the telemetry layer. The network
+// wires a MetricsRegistry per node (plus one named "channel" for the
+// shared medium) and an always-on FlightRecorder per full-diffusion node;
+// see Metrics, MetricsSnapshot and FlightRecorder.
+type (
+	// MetricsRegistry is one scope's named counters, gauges and histograms.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time view of every metric, per scope
+	// and summed network-wide.
+	MetricsSnapshot = telemetry.Snapshot
+	// FlightRecorder is a fixed-size always-on ring of recent per-node
+	// protocol activity, dumped when something goes wrong.
+	FlightRecorder = telemetry.Flight
+	// TraceRecord is one structured (JSONL/Chrome-exportable) trace record.
+	TraceRecord = telemetry.Record
+	// TraceRunInfo is the self-describing header of an exported trace.
+	TraceRunInfo = telemetry.RunInfo
+)
+
+// Telemetry returns the network-wide metrics hub (advanced use: register
+// extra scopes; most callers want MetricsSnapshot).
+func (net *Network) Telemetry() *telemetry.Hub { return net.hub }
+
+// Metrics returns the metrics registry of the node (or mote) with the
+// given topology ID; application code and filters register their own
+// counters here. It panics on unknown IDs (a configuration error).
+func (net *Network) Metrics(id uint32) *MetricsRegistry {
+	r, ok := net.regs[id]
+	if !ok {
+		panic(fmt.Sprintf("diffusion: no node %d in topology %q", id, net.cfg.Topology.Name))
+	}
+	return r
+}
+
+// MetricsSnapshot reads every layer's counters across every node — radio,
+// MAC, diffusion core, energy — keyed on the simulation clock. Equal
+// seeds produce identical snapshots at identical times.
+func (net *Network) MetricsSnapshot() MetricsSnapshot { return net.hub.Snapshot() }
+
+// FlightRecorder returns the node's flight-recorder ring. It panics on
+// unknown or mote IDs (motes are not flight-recorded).
+func (net *Network) FlightRecorder(id uint32) *FlightRecorder {
+	f, ok := net.flights[id]
+	if !ok {
+		panic(fmt.Sprintf("diffusion: no flight recorder for node %d in topology %q", id, net.cfg.Topology.Name))
+	}
+	return f
+}
+
+// SetFlightDump directs an automatic flight-recorder dump of the affected
+// node(s) to w on every subsequent fault event. nil disables dumping (the
+// rings keep recording either way).
+func (net *Network) SetFlightDump(w io.Writer) { net.flightSink = w }
+
+// DumpFlightRecorders writes every node's flight-recorder ring to w, in
+// topology order — call it from a failing test to make the run
+// self-diagnosing.
+func (net *Network) DumpFlightRecorders(w io.Writer) {
+	for _, id := range net.order {
+		if f, ok := net.flights[id]; ok {
+			fmt.Fprintf(w, "--- node %d ---\n", id)
+			f.Dump(w, faultKindName)
+		}
+	}
+}
+
+// faultKindName renders a FlightRecord fault kind.
+func faultKindName(k uint8) string { return FaultKind(k).String() }
+
+// recordFaultFlight stamps ev into the affected nodes' flight recorders
+// and, when a dump sink is set, dumps those rings.
+func (net *Network) recordFaultFlight(ev FaultEvent) {
+	affected := make([]uint32, 0, 2)
+	stamp := func(id, peer uint32) {
+		f, ok := net.flights[id]
+		if !ok {
+			return
+		}
+		f.Record(telemetry.FlightRecord{
+			At: ev.At, Node: id, Peer: peer,
+			Verb: telemetry.VerbFault, Kind: uint8(ev.Kind),
+		})
+		affected = append(affected, id)
+	}
+	switch ev.Kind {
+	case FaultLinkDown, FaultLinkUp:
+		stamp(ev.Node, ev.Peer)
+		stamp(ev.Peer, ev.Node)
+	default:
+		stamp(ev.Node, 0)
+	}
+	if net.flightSink == nil {
+		return
+	}
+	fmt.Fprintf(net.flightSink, "flight dump on fault: %v\n", ev)
+	for _, id := range affected {
+		fmt.Fprintf(net.flightSink, "--- node %d ---\n", id)
+		net.flights[id].Dump(net.flightSink, faultKindName)
+	}
+}
+
+// RunInfo describes this network's configuration as a trace header:
+// seed, topology and the protocol rates with defaults applied — enough to
+// rebuild the network and replay the run.
+func (net *Network) RunInfo() TraceRunInfo {
+	cfg := net.cfg
+	ii := cfg.InterestInterval
+	if ii <= 0 {
+		ii = 60 * time.Second
+	}
+	gl := cfg.GradientLifetime
+	if gl <= 0 {
+		gl = ii*2 + ii/2
+	}
+	ei := cfg.ExploratoryInterval
+	if ei <= 0 && cfg.ExploratoryEvery <= 0 {
+		ei = 60 * time.Second
+	}
+	ttl := int(cfg.TTL)
+	if ttl == 0 {
+		ttl = 16
+	}
+	info := TraceRunInfo{
+		Seed:             cfg.Seed,
+		Topology:         cfg.Topology.Name,
+		Nodes:            len(net.order),
+		InterestInterval: ii.String(),
+		GradientLifetime: gl.String(),
+		ExploratoryEvery: cfg.ExploratoryEvery,
+		TTL:              ttl,
+	}
+	if ei > 0 {
+		info.ExploratoryInterval = ei.String()
+	}
+	return info
+}

@@ -1,0 +1,220 @@
+package diffusion_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"diffusion"
+)
+
+// telemetryRun builds the standard line network with a running flow, like
+// faultRun, for telemetry observations.
+func telemetryRun(seed int64, hops int) *diffusion.Network {
+	net, _, _ := faultRun(seed, hops)
+	return net
+}
+
+func TestMetricsSnapshotCoversAllLayers(t *testing.T) {
+	net := telemetryRun(61, 3)
+	net.Run(3 * time.Minute)
+	snap := net.MetricsSnapshot()
+	if snap.At != net.Now() {
+		t.Errorf("snapshot stamped %v, clock says %v", snap.At, net.Now())
+	}
+	// Every layer must contribute: radio, MAC, core, energy per node, plus
+	// the shared channel scope.
+	for _, key := range []string{
+		"radio.frames_sent", "radio.bytes_sent",
+		"mac.messages_sent", "mac.fragments_sent",
+		"core.sent.interest", "core.received.data", "core.gradients_created",
+		"energy.total_j",
+	} {
+		if snap.Total(key) <= 0 {
+			t.Errorf("network total %q = %v, want > 0", key, snap.Total(key))
+		}
+	}
+	ch := snap.Scope("channel")
+	if ch == nil || ch["radio.channel.frames_sent"] <= 0 {
+		t.Errorf("channel scope missing frame counts: %v", ch)
+	}
+	relay := snap.Scope("node-2")
+	if relay == nil || relay["core.interests_seen"] <= 0 {
+		t.Errorf("node-2 scope missing core counters: %v", relay)
+	}
+	var buf bytes.Buffer
+	snap.Write(&buf)
+	if !strings.Contains(buf.String(), "metrics @") {
+		t.Errorf("snapshot render:\n%s", buf.String())
+	}
+}
+
+func TestMetricsFreezeWhileDetachedResumeAfterRestart(t *testing.T) {
+	net := telemetryRun(62, 3)
+	net.Run(2 * time.Minute)
+	net.CrashNode(2)
+	down := net.MetricsSnapshot().Scope("node-2")
+
+	net.Run(3 * time.Minute)
+	still := net.MetricsSnapshot().Scope("node-2")
+	for _, key := range []string{"radio.frames_sent", "mac.messages_sent", "core.sent.interest"} {
+		if still[key] != down[key] {
+			t.Errorf("%s moved while node 2 was down: %v -> %v", key, down[key], still[key])
+		}
+	}
+
+	net.RebootNode(2)
+	net.Run(3 * time.Minute)
+	after := net.MetricsSnapshot().Scope("node-2")
+	for _, key := range []string{"radio.frames_sent", "mac.messages_sent"} {
+		if after[key] <= still[key] {
+			t.Errorf("%s did not resume after reboot: %v -> %v", key, still[key], after[key])
+		}
+	}
+}
+
+func TestFlightRecorderDumpsOnFault(t *testing.T) {
+	net := telemetryRun(63, 3)
+	var dump bytes.Buffer
+	net.SetFlightDump(&dump)
+	net.Run(2 * time.Minute)
+	if net.FlightRecorder(2).Total() == 0 {
+		t.Fatal("flight recorder saw no traffic before the fault")
+	}
+	net.CrashNode(2)
+	out := dump.String()
+	for _, want := range []string{"flight dump on fault", "--- node 2 ---", "node-down"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault dump missing %q:\n%s", want, out)
+		}
+	}
+	// The ring itself carries the fault record too.
+	recs := net.FlightRecorder(2).Records()
+	last := recs[len(recs)-1]
+	if last.Verb.String() != "fault" {
+		t.Errorf("last flight record is %v, want the fault", last)
+	}
+
+	// DumpFlightRecorders renders every node.
+	var all bytes.Buffer
+	net.DumpFlightRecorders(&all)
+	for _, want := range []string{"--- node 1 ---", "--- node 2 ---", "--- node 3 ---"} {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("full dump missing %q", want)
+		}
+	}
+}
+
+func TestFlightDumpDisabledByDefault(t *testing.T) {
+	net := telemetryRun(64, 3)
+	net.Run(time.Minute)
+	net.CrashNode(2) // no sink set: must not panic, ring still records
+	recs := net.FlightRecorder(2).Records()
+	if len(recs) == 0 || recs[len(recs)-1].Verb.String() != "fault" {
+		t.Error("flight ring did not record the fault without a dump sink")
+	}
+}
+
+func TestTraceDropAccounting(t *testing.T) {
+	net := telemetryRun(65, 3)
+	tr := net.NewTrace(10)
+	net.Run(5 * time.Minute)
+	if tr.Len() != 10 {
+		t.Fatalf("trace holds %d events at limit 10", tr.Len())
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("a busy 5-minute run must overflow a 10-event trace")
+	}
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	if !strings.Contains(buf.String(), "WARNING") || !strings.Contains(buf.String(), "dropped at the trace limit") {
+		t.Errorf("summary does not warn about drops:\n%s", buf.String())
+	}
+	// The exported header carries the drop counts.
+	if h := tr.Header(); h.DroppedEvents != tr.Dropped() {
+		t.Errorf("header dropped_events=%d, Dropped()=%d", h.DroppedEvents, tr.Dropped())
+	}
+}
+
+func TestTraceFaultLimitIndependent(t *testing.T) {
+	net := telemetryRun(66, 3)
+	tr := net.NewTrace(0)
+	tr.SetFaultLimit(2)
+	net.Run(time.Minute)
+	net.SetLinkDown(1, 2, true)
+	net.SetLinkDown(1, 2, false)
+	net.SetLinkDown(2, 3, true) // third fault: over the bound
+	if len(tr.Faults()) != 2 {
+		t.Errorf("trace holds %d faults at fault limit 2", len(tr.Faults()))
+	}
+	if tr.DroppedFaults() != 1 {
+		t.Errorf("DroppedFaults() = %d, want 1", tr.DroppedFaults())
+	}
+	// Message events keep flowing: the bounds are independent.
+	before := tr.Len()
+	net.Run(time.Minute)
+	if tr.Len() <= before {
+		t.Error("message events stopped when the fault bound filled")
+	}
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	if !strings.Contains(buf.String(), "1 faults dropped") {
+		t.Errorf("summary does not warn about dropped faults:\n%s", buf.String())
+	}
+}
+
+func TestTraceNoWarningUnderLimit(t *testing.T) {
+	net := telemetryRun(67, 3)
+	tr := net.NewTrace(0)
+	net.Run(time.Minute)
+	if tr.Dropped() != 0 || tr.DroppedFaults() != 0 {
+		t.Fatalf("unexpected drops: %d events, %d faults", tr.Dropped(), tr.DroppedFaults())
+	}
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Errorf("summary warns without drops:\n%s", buf.String())
+	}
+}
+
+func TestTraceHeaderDescribesRun(t *testing.T) {
+	net := telemetryRun(68, 3)
+	tr := net.NewTrace(0)
+	inj := net.NewFaultInjector()
+	inj.CrashFor(30*time.Second, 2, 20*time.Second)
+	tr.SetFaultScript(inj.Script())
+	net.Run(2 * time.Minute)
+
+	h := tr.Header()
+	if h.Seed != 68 || h.Nodes != 3 {
+		t.Errorf("header seed=%d nodes=%d", h.Seed, h.Nodes)
+	}
+	if h.InterestInterval == "" || h.GradientLifetime == "" || h.TTL == 0 {
+		t.Errorf("header missing protocol rates: %+v", h)
+	}
+	if len(h.FaultScript) != 2 ||
+		!strings.Contains(h.FaultScript[0], "crash node 2") ||
+		!strings.Contains(h.FaultScript[1], "reboot node 2") {
+		t.Errorf("fault script: %v", h.FaultScript)
+	}
+
+	// The exported JSONL round-trips the header.
+	var buf bytes.Buffer
+	if err := tr.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "crash node 2") {
+		t.Error("JSONL header line does not carry the fault script")
+	}
+}
+
+func TestMetricsAccessorPanicsOnUnknownNode(t *testing.T) {
+	net := telemetryRun(69, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Metrics(99) did not panic")
+		}
+	}()
+	net.Metrics(99)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"diffusion/internal/message"
+	"diffusion/internal/telemetry"
 )
 
 // Trace is the network-wide analysis tool the paper asks for (section 7:
@@ -21,7 +22,16 @@ type Trace struct {
 	net    *Network
 	events []TraceEvent
 	faults []FaultEvent
-	limit  int
+	// limit bounds message events; faults are far rarer and get their own
+	// bound so a chatty run cannot starve the fault record (or vice versa).
+	limit      int
+	faultLimit int
+	// dropped counts events lost to the limit — dropping truncates the
+	// *end* of the run, so summaries must warn when it is non-zero.
+	dropped       int
+	droppedFaults int
+	header        TraceRunInfo
+	faultScript   []string
 }
 
 // TraceEvent is one message processing record at one node.
@@ -31,20 +41,28 @@ type TraceEvent struct {
 	Class MessageClass
 	// ID identifies the message origination.
 	ID message.ID
+	// From is the neighbor the message arrived from (equal to Node when
+	// originated locally).
+	From uint32
 	// Local marks messages originated at the recording node.
 	Local bool
 	// Hops is the message's hop count when observed.
 	Hops uint8
 }
 
+// defaultFaultLimit bounds recorded fault events; even brutal churn runs
+// inject orders of magnitude fewer faults than messages.
+const defaultFaultLimit = 100_000
+
 // NewTrace installs the trace across every full-diffusion node. limit
-// bounds memory (0 means one million events); when reached, older events
-// are kept and new ones dropped.
+// bounds message-event memory (0 means one million events); once reached,
+// new events are dropped — truncating the end of the run — and counted in
+// Dropped, which Summary warns about. Fault events have their own bound.
 func (net *Network) NewTrace(limit int) *Trace {
 	if limit <= 0 {
 		limit = 1_000_000
 	}
-	t := &Trace{net: net, limit: limit}
+	t := &Trace{net: net, limit: limit, faultLimit: defaultFaultLimit, header: net.RunInfo()}
 	for _, id := range net.IDs() {
 		n, ok := net.nodes[id]
 		if !ok {
@@ -59,9 +77,12 @@ func (net *Network) NewTrace(limit int) *Trace {
 					Node:  id,
 					Class: m.Class,
 					ID:    m.ID,
+					From:  uint32(m.PrevHop),
 					Local: uint32(m.PrevHop) == id,
 					Hops:  m.HopCount,
 				})
+			} else {
+				t.dropped++
 			}
 			node.SendMessageToNext(m, h)
 		})
@@ -69,8 +90,10 @@ func (net *Network) NewTrace(limit int) *Trace {
 	// Fault events (node-down/up, link-down/up) are part of the run's
 	// story: record them so traces from churn runs are self-describing.
 	net.OnFault(func(ev FaultEvent) {
-		if len(t.faults) < t.limit {
+		if len(t.faults) < t.faultLimit {
 			t.faults = append(t.faults, ev)
+		} else {
+			t.droppedFaults++
 		}
 	})
 	return t
@@ -82,6 +105,29 @@ func (t *Trace) Events() []TraceEvent { return t.events }
 // Faults returns the fault events recorded during the run (shared slice;
 // do not mutate).
 func (t *Trace) Faults() []FaultEvent { return t.faults }
+
+// Dropped returns the number of message events lost to the trace limit.
+// Non-zero means the tail of the run is missing from Events.
+func (t *Trace) Dropped() int { return t.dropped }
+
+// DroppedFaults returns the number of fault events lost to the fault
+// bound.
+func (t *Trace) DroppedFaults() int { return t.droppedFaults }
+
+// SetFaultLimit overrides the fault-event bound (non-positive restores the
+// default). Fault events beyond it are dropped and counted in
+// DroppedFaults.
+func (t *Trace) SetFaultLimit(n int) {
+	if n <= 0 {
+		n = defaultFaultLimit
+	}
+	t.faultLimit = n
+}
+
+// SetFaultScript attaches a human-readable description of the run's
+// scheduled fault scenario; it is exported in the trace header so faulted
+// traces are self-describing.
+func (t *Trace) SetFaultScript(lines []string) { t.faultScript = lines }
 
 // Repairs counts the node-down faults after which positive-reinforcement
 // traffic was observed again before the next node-down — the visible
@@ -213,6 +259,10 @@ func (t *Trace) Summary(w io.Writer) {
 			counts[FaultLinkDown], counts[FaultLinkUp],
 			t.Repairs(), t.nodeDowns())
 	}
+	if t.dropped > 0 || t.droppedFaults > 0 {
+		fmt.Fprintf(w, "WARNING: %d events and %d faults dropped at the trace limit; the end of the run is missing\n",
+			t.dropped, t.droppedFaults)
+	}
 }
 
 // WriteLog streams every event as one line, for offline analysis. Fault
@@ -248,4 +298,58 @@ func (t *Trace) span() time.Duration {
 		return 0
 	}
 	return t.events[len(t.events)-1].At - t.events[0].At
+}
+
+// Header returns the trace's self-describing run header: the network
+// configuration captured at NewTrace, the fault script (SetFaultScript),
+// and drop accounting.
+func (t *Trace) Header() TraceRunInfo {
+	h := t.header
+	h.FaultScript = t.faultScript
+	h.DroppedEvents = t.dropped
+	h.DroppedFaults = t.droppedFaults
+	return h
+}
+
+// Records converts the trace into structured records: message events
+// (layer "core", verb "org"/"fwd") and fault events (layer "fault", the
+// kind as verb) merged in time order.
+func (t *Trace) Records() []TraceRecord {
+	out := make([]TraceRecord, 0, len(t.events)+len(t.faults))
+	fi := 0
+	emitFaultsThrough := func(at time.Duration) {
+		for fi < len(t.faults) && t.faults[fi].At <= at {
+			f := t.faults[fi]
+			out = append(out, TraceRecord{
+				US: f.At.Microseconds(), Node: f.Node, Layer: "fault",
+				Verb: f.Kind.String(), Peer: f.Peer,
+			})
+			fi++
+		}
+	}
+	for _, e := range t.events {
+		emitFaultsThrough(e.At)
+		verb := "fwd"
+		if e.Local {
+			verb = "org"
+		}
+		out = append(out, TraceRecord{
+			US: e.At.Microseconds(), Node: e.Node, Layer: "core", Verb: verb,
+			Class: e.Class.String(), ID: e.ID.String(), From: e.From, Hops: int(e.Hops),
+		})
+	}
+	emitFaultsThrough(time.Duration(1<<62 - 1))
+	return out
+}
+
+// ExportJSONL writes the trace — header line plus one record per line —
+// for cmd/difftrace and offline tooling.
+func (t *Trace) ExportJSONL(w io.Writer) error {
+	return telemetry.WriteJSONL(w, t.Header(), t.Records())
+}
+
+// ExportChromeTrace writes the trace in Chrome trace_event format: open
+// it in chrome://tracing or Perfetto to see one lane per node.
+func (t *Trace) ExportChromeTrace(w io.Writer) error {
+	return telemetry.WriteChromeTrace(w, t.Header(), t.Records())
 }

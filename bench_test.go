@@ -200,6 +200,30 @@ func BenchmarkSimulatedMinute(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelShards measures event-kernel throughput on a 1024-node
+// grid at increasing shard counts: one virtual minute of the full stack
+// with five active sources and four corner sinks per iteration. Sequential
+// (shards=1) is the baseline; the parallel runs produce byte-identical
+// traces (asserted in determinism_test.go), so any wall-clock difference
+// here is pure kernel overhead or speedup. On a single-core host the
+// parallel path can only show its overhead; speedup needs GOMAXPROCS > 1.
+// The checked-in baseline is BENCH_kernel.json.
+func BenchmarkKernelShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards-"+itoa(shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultParallelScale()
+				cfg.Duration = time.Minute
+				wall, delivered, _ := experiments.MeasureParallelScale(cfg, shards)
+				if delivered == 0 {
+					b.Fatal("workload delivered nothing")
+				}
+				_ = wall
+			}
+		})
+	}
+}
+
 // BenchmarkCompiledMatching quantifies the section 6.3 optimization
 // ("segregating actuals from formals can reduce search time"): the
 // pre-indexed matcher against the paper's scan, on the Figure 10 sets

@@ -19,13 +19,17 @@
 //	diffsim -experiment breakdown         # Fig.8 byte decomposition vs model
 //	diffsim -experiment sweep-capture     # ablation: radio capture effect
 //	diffsim -experiment churn             # fault injection: relay kill + MTBF/MTTR churn
+//	diffsim -experiment scale-parallel    # 1024-node grid on the sharded kernel
 //	diffsim -experiment all               # everything above
 //
 // -quick shrinks runs for a fast smoke pass; -seeds and -duration override
 // the repetition count and per-run virtual time of the simulated
 // experiments. For the churn experiment, -metrics prints the first seed's
 // end-of-run per-layer metrics snapshot and -trace-out FILE exports its
-// relay-kill message trace as JSONL for cmd/difftrace.
+// relay-kill message trace as JSONL for cmd/difftrace. For scale-parallel,
+// -shards sets the largest shard count compared (the sweep runs 2, 4, ...
+// up to it); every parallel run is checked byte-identical to the
+// sequential baseline.
 package main
 
 import (
@@ -40,16 +44,17 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, scale-parallel, all)")
 		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		seeds      = flag.Int("seeds", 0, "override the number of repetitions")
 		duration   = flag.Duration("duration", 0, "override the per-run virtual duration")
 		metrics    = flag.Bool("metrics", false, "print the end-of-run per-layer metrics snapshot (churn experiment, first seed)")
 		traceOut   = flag.String("trace-out", "", "export the churn experiment's first-seed relay-kill trace as JSONL to this file (analyze with difftrace)")
+		shards     = flag.Int("shards", 8, "largest shard count in the scale-parallel sweep (doubling from 2)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *experiment, *quick, *seeds, *duration, *metrics, *traceOut); err != nil {
+	if err := run(os.Stdout, *experiment, *quick, *seeds, *duration, *metrics, *traceOut, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "diffsim:", err)
 		os.Exit(1)
 	}
@@ -63,7 +68,7 @@ func seedList(n int) []int64 {
 	return out
 }
 
-func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Duration, metrics bool, traceOut string) error {
+func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Duration, metrics bool, traceOut string, shards int) error {
 	sep := func() { fmt.Fprintln(w) }
 
 	fig8 := func() {
@@ -227,6 +232,25 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		experiments.PrintNegRFAblation(w, experiments.RunNegRFAblation(sl, d))
 	}
 
+	scaleParallel := func() {
+		cfg := experiments.DefaultParallelScale()
+		if quick {
+			cfg.Side = 16
+			cfg.Duration = time.Minute
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		cfg.Shards = nil
+		for n := 2; n <= shards; n *= 2 {
+			cfg.Shards = append(cfg.Shards, n)
+		}
+		if len(cfg.Shards) == 0 {
+			cfg.Shards = []int{2}
+		}
+		experiments.PrintParallelScale(w, cfg, experiments.RunParallelScale(cfg))
+	}
+
 	churn := func() error {
 		cfg := experiments.DefaultChurn()
 		if quick {
@@ -303,6 +327,8 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		sweepCapture()
 	case "churn":
 		return churn()
+	case "scale-parallel":
+		scaleParallel()
 	case "all":
 		fig8()
 		sep()
@@ -334,9 +360,11 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		sep()
 		sweepCapture()
 		sep()
+		scaleParallel()
+		sep()
 		return churn()
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, scale-parallel, or all)", experiment)
 	}
 	return nil
 }

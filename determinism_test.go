@@ -1,0 +1,144 @@
+package diffusion_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"time"
+
+	"diffusion"
+)
+
+// The sharded kernel's contract: a run is a pure function of its seed —
+// not of the shard count, not of goroutine scheduling. These tests assert
+// it end to end, on the full protocol stack, by comparing the exported
+// JSONL trace and the metrics snapshot byte for byte.
+
+// detRun executes a loaded testbed scenario — four sources reporting to
+// the sink over the lossy default channel, with node churn injected — and
+// returns the exported trace and metrics snapshot.
+func detRun(t *testing.T, seed int64, shards int) (trace, metrics []byte) {
+	t.Helper()
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     seed,
+		Topology: diffusion.TestbedTopology(),
+		Shards:   shards,
+	})
+	tr := net.NewTrace(0)
+	interest, publication := surveillance()
+	net.Node(diffusion.TestbedSink).Subscribe(interest, func(*diffusion.Message) {})
+	for _, id := range diffusion.TestbedSources() {
+		src := net.Node(id)
+		pub := src.Publish(publication)
+		seq := int32(0)
+		net.Every(2*time.Second, func() {
+			seq++
+			src.Send(pub, diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+			})
+		})
+	}
+	inj := net.NewFaultInjector()
+	inj.Churn(diffusion.ChurnConfig{
+		Start: 30 * time.Second,
+		Stop:  4 * time.Minute,
+		MTBF:  time.Minute,
+		MTTR:  20 * time.Second,
+		Nodes: []uint32{20, 21, 24},
+	})
+	net.Run(5 * time.Minute)
+	var tb, mb bytes.Buffer
+	if err := tr.ExportJSONL(&tb); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	net.MetricsSnapshot().Write(&mb)
+	return tb.Bytes(), mb.Bytes()
+}
+
+func TestSameSeedIdenticalTraceHash(t *testing.T) {
+	t1, m1 := detRun(t, 42, 1)
+	t2, m2 := detRun(t, 42, 1)
+	if sha256.Sum256(t1) != sha256.Sum256(t2) {
+		t.Error("same seed produced different traces")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("same seed produced different metrics snapshots")
+	}
+	t3, _ := detRun(t, 43, 1)
+	if sha256.Sum256(t1) == sha256.Sum256(t3) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestShardCountInvarianceTestbed(t *testing.T) {
+	// Parallel runs at any shard count must be byte-identical to the
+	// sequential run — the acceptance bar for the sharded kernel.
+	baseTrace, baseMetrics := detRun(t, 42, 1)
+	if len(baseTrace) == 0 {
+		t.Fatal("sequential run produced an empty trace")
+	}
+	for _, shards := range []int{2, 4, 7} {
+		tr, m := detRun(t, 42, shards)
+		if !bytes.Equal(tr, baseTrace) {
+			t.Errorf("shards=%d: trace differs from sequential run (%d vs %d bytes)",
+				shards, len(tr), len(baseTrace))
+		}
+		if !bytes.Equal(m, baseMetrics) {
+			t.Errorf("shards=%d: metrics snapshot differs from sequential run", shards)
+		}
+	}
+}
+
+// gridRun exercises shard invariance on a 16x16 grid — 256 nodes, many
+// per shard, with shard boundaries cutting through active radio
+// neighborhoods.
+func gridRun(t *testing.T, shards int) (trace, metrics []byte) {
+	t.Helper()
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:     7,
+		Topology: diffusion.GridTopology(16, 16, 9),
+		Shards:   shards,
+	})
+	tr := net.NewTrace(0)
+	interest, publication := surveillance()
+	// Sink in one corner, sources in the other three: traffic crosses
+	// every strip of the partition.
+	net.Node(1).Subscribe(interest, func(*diffusion.Message) {})
+	for _, id := range []uint32{16, 241, 256} {
+		src := net.Node(id)
+		pub := src.Publish(publication)
+		seq := int32(0)
+		net.Every(5*time.Second, func() {
+			seq++
+			src.Send(pub, diffusion.Attributes{
+				diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+			})
+		})
+	}
+	net.Run(2 * time.Minute)
+	var tb, mb bytes.Buffer
+	if err := tr.ExportJSONL(&tb); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	net.MetricsSnapshot().Write(&mb)
+	return tb.Bytes(), mb.Bytes()
+}
+
+func TestShardCountInvarianceGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node grid run")
+	}
+	baseTrace, baseMetrics := gridRun(t, 1)
+	if len(baseTrace) == 0 {
+		t.Fatal("sequential run produced an empty trace")
+	}
+	for _, shards := range []int{4, 6} {
+		tr, m := gridRun(t, shards)
+		if !bytes.Equal(tr, baseTrace) {
+			t.Errorf("shards=%d: grid trace differs from sequential run", shards)
+		}
+		if !bytes.Equal(m, baseMetrics) {
+			t.Errorf("shards=%d: grid metrics differ from sequential run", shards)
+		}
+	}
+}

@@ -64,7 +64,7 @@ func TestFig8Shape(t *testing.T) {
 
 func TestFig9Shape(t *testing.T) {
 	cfg := DefaultFig9()
-	cfg.Seeds = []int64{1, 2}
+	cfg.Seeds = []int64{3, 4}
 	cfg.Duration = 10 * time.Minute
 	points := RunFig9(cfg)
 	if len(points) != 6 {

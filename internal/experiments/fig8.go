@@ -134,7 +134,7 @@ func runFig8Once(cfg Fig8Config, sources int, suppression bool, seed int64) (flo
 		// the first unique event and suppress subsequent events with
 		// identical sequence numbers."
 		for _, id := range net.IDs() {
-			filters.NewSuppression(net.Node(id).Node, net.Clock(), filters.SuppressionOptions{})
+			filters.NewSuppression(net.Node(id).Node, net.NodeEnv(id), filters.SuppressionOptions{})
 		}
 	}
 

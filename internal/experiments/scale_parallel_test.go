@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParallelScaleSmall(t *testing.T) {
+	// A shrunken grid keeps the test fast; the full 1024-node run is the
+	// experiment itself (cmd/diffsim -experiment scale-parallel).
+	cfg := ParallelScaleConfig{
+		Seed:           3,
+		Side:           8,
+		Spacing:        9,
+		Duration:       45 * time.Second,
+		Shards:         []int{2, 4},
+		ReportInterval: 5 * time.Second,
+		TraceLimit:     50_000,
+	}
+	points := RunParallelScale(cfg)
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	if points[0].Delivered == 0 {
+		t.Fatal("sequential baseline delivered nothing")
+	}
+	for _, p := range points {
+		if !p.Identical {
+			t.Errorf("shards=%d diverged from the sequential baseline (%s vs %s)",
+				p.Shards, p.TraceSHA, points[0].TraceSHA)
+		}
+		if p.Delivered != points[0].Delivered {
+			t.Errorf("shards=%d delivered %d, baseline %d",
+				p.Shards, p.Delivered, points[0].Delivered)
+		}
+	}
+	var buf bytes.Buffer
+	PrintParallelScale(&buf, cfg, points)
+	if !strings.Contains(buf.String(), "8x8 grid (64 nodes)") {
+		t.Errorf("table header missing grid size:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Errorf("table reports divergence:\n%s", buf.String())
+	}
+}

@@ -15,6 +15,7 @@ package fault
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"diffusion/internal/sim"
@@ -91,19 +92,29 @@ func (s Summary) String() string {
 		s.NodeDowns, s.NodeUps, s.LinkDowns, s.LinkUps)
 }
 
+// Env is the scheduling surface the injector runs on: the global clock
+// and seeded random stream of a sim.Scheduler or sim.Kernel. Faults are
+// global events — they touch radios and MACs across the whole network —
+// so they always run in global context, between the kernel's parallel
+// windows.
+type Env interface {
+	sim.Clock
+	Rand() *rand.Rand
+}
+
 // Injector schedules faults against a target. All randomness (churn
-// inter-fault times) comes from the scheduler's seeded source, so a fault
+// inter-fault times) comes from the engine's seeded source, so a fault
 // scenario replays exactly from its seed.
 type Injector struct {
-	sched  *sim.Scheduler
+	sched  Env
 	target Target
 	down   map[uint32]bool
 	events []Event
 	script []string
 }
 
-// New returns an injector driving target on the scheduler's clock.
-func New(s *sim.Scheduler, target Target) *Injector {
+// New returns an injector driving target on the engine's global clock.
+func New(s Env, target Target) *Injector {
 	return &Injector{sched: s, target: target, down: map[uint32]bool{}}
 }
 

@@ -38,6 +38,14 @@ type Params struct {
 	InterFragGap time.Duration
 	// ReassemblyTimeout expires incomplete partial messages.
 	ReassemblyTimeout time.Duration
+	// TxTurnaround is the radio's receive-to-transmit turnaround: the
+	// delay between a clear carrier-sense decision and energy on the air.
+	// The transmission is committed when carrier sense passes and cannot
+	// be aborted during the turnaround, exactly like the paper's
+	// Radiometrix hardware. The sharded kernel also uses it as lookahead:
+	// turnaround plus propagation bounds how soon one node's decision can
+	// affect another. Zero means DefaultTxTurnaround.
+	TxTurnaround time.Duration
 	// DutyCycle enables energy-aware duty cycling (the paper's section
 	// 6.1 analysis: "energy-conscious protocols like PAMAS or TDMA are
 	// necessary for long-lived sensor networks"): the radio listens only
@@ -62,8 +70,13 @@ func DefaultParams() Params {
 		QueueLimit:        20,
 		InterFragGap:      time.Millisecond,
 		ReassemblyTimeout: 5 * time.Second,
+		TxTurnaround:      DefaultTxTurnaround,
 	}
 }
+
+// DefaultTxTurnaround is the receive-to-transmit turnaround assumed when
+// Params.TxTurnaround is zero.
+const DefaultTxTurnaround = time.Millisecond
 
 // Broadcast is the link-layer broadcast address.
 const Broadcast uint32 = 0xFFFFFFFF
@@ -123,7 +136,7 @@ type Stats struct {
 
 // Mac is one node's link layer instance.
 type Mac struct {
-	sched   *sim.Scheduler
+	env     sim.Env
 	tx      *radio.Transceiver
 	params  Params
 	handler Handler
@@ -160,10 +173,12 @@ type partial struct {
 }
 
 // Attach creates a Mac for node id on the channel, delivering reassembled
-// messages to h.
-func Attach(s *sim.Scheduler, ch *radio.Channel, id uint32, p Params, h Handler) *Mac {
+// messages to h. env must be the node's own scheduling context (its
+// sim.Port under the sharded kernel; a Scheduler works directly in unit
+// tests).
+func Attach(env sim.Env, ch *radio.Channel, id uint32, p Params, h Handler) *Mac {
 	validate(p)
-	m := &Mac{sched: s, params: p, handler: h, reasm: map[reasmKey]*partial{}}
+	m := &Mac{env: env, params: p, handler: h, reasm: map[reasmKey]*partial{}}
 	m.tx = ch.Attach(id, m.onFrame)
 	return m
 }
@@ -176,6 +191,14 @@ func validate(p Params) {
 	if p.DutyCycle < 0 {
 		panic("mac: DutyCycle must be non-negative")
 	}
+}
+
+// Turnaround returns the effective receive-to-transmit turnaround.
+func (p Params) Turnaround() time.Duration {
+	if p.TxTurnaround > 0 {
+		return p.TxTurnaround
+	}
+	return DefaultTxTurnaround
 }
 
 // dutyCycled reports whether duty cycling is active.
@@ -311,8 +334,8 @@ func (m *Mac) kick() {
 		return
 	}
 	m.sending = true
-	defer0 := time.Duration(m.sched.Rand().Intn(4)) * m.params.SlotTime
-	m.sched.After(defer0, m.attempt)
+	defer0 := time.Duration(m.env.Rand().Intn(4)) * m.params.SlotTime
+	m.env.After(defer0, m.attempt)
 }
 
 // attempt tries to transmit the current fragment, backing off on carrier.
@@ -323,15 +346,15 @@ func (m *Mac) attempt() {
 	}
 	cur := m.queue[0]
 	if m.dutyCycled() {
-		now := m.sched.Now()
-		needed := m.airtimeOf(cur.frags[cur.next]) + m.params.InterFragGap
+		now := m.env.Now()
+		needed := m.params.Turnaround() + m.airtimeOf(cur.frags[cur.next]) + m.params.InterFragGap
 		if !m.awake(now) || m.activeRemaining(now) < needed {
 			// Sleep (or not enough window left for the whole fragment):
 			// defer to the next active window plus a small random offset
 			// so deferred senders do not stampede at wake-up.
 			m.Stats.SleepDeferrals++
-			jitter := time.Duration(m.sched.Rand().Intn(4)) * m.params.SlotTime
-			m.sched.After(m.nextWake(now)-now+jitter, m.attempt)
+			jitter := time.Duration(m.env.Rand().Intn(4)) * m.params.SlotTime
+			m.env.After(m.nextWake(now)-now+jitter, m.attempt)
 			return
 		}
 	}
@@ -342,7 +365,7 @@ func (m *Mac) attempt() {
 			// Drop the whole message, as a primitive MAC would.
 			m.queue = m.queue[1:]
 			m.Stats.MessagesDropped++
-			m.sched.After(0, m.attempt)
+			m.env.After(0, m.attempt)
 			return
 		}
 		// Binary-exponential-flavored backoff bounded by MaxBackoffSlots.
@@ -350,15 +373,40 @@ func (m *Mac) attempt() {
 		if window > m.params.MaxBackoffSlots {
 			window = m.params.MaxBackoffSlots
 		}
-		slots := 1 + m.sched.Rand().Intn(window)
+		slots := 1 + m.env.Rand().Intn(window)
 		wait := time.Duration(slots) * m.params.SlotTime
 		m.Stats.BackoffTime += wait
 		if m.backoffHist != nil {
 			m.backoffHist.Observe(wait.Microseconds())
 		}
-		m.sched.After(wait, m.attempt)
+		m.env.After(wait, m.attempt)
 		return
 	}
+	// Carrier is clear: commit the transmission. After the turnaround the
+	// fragment goes on the air regardless of what the channel does in the
+	// meantime — the hardware cannot abort a committed send, and the
+	// committed timestamp is what gives the sharded kernel its lookahead.
+	m.env.AfterTx(m.params.Turnaround(), m.fire)
+}
+
+// fire puts the head fragment on the air (a committed transmission) and
+// re-arms the pump after the airtime plus the inter-fragment gap.
+func (m *Mac) fire() {
+	if m.detached || len(m.queue) == 0 {
+		// Crashed (or the queue was flushed) during the turnaround.
+		m.sending = false
+		return
+	}
+	if m.tx.Busy() {
+		// Carrier appeared during the turnaround: the radio keeps sensing
+		// right up to transmit start, so abort and take the normal
+		// carrier-sense backoff path. Without this, two senders whose
+		// pumps drift within one turnaround of each other would collide
+		// every fragment forever.
+		m.env.After(0, m.attempt)
+		return
+	}
+	cur := m.queue[0]
 	air := m.tx.Transmit(cur.frags[cur.next])
 	m.Stats.FragmentsSent++
 	cur.next++
@@ -367,7 +415,7 @@ func (m *Mac) attempt() {
 		m.queue = m.queue[1:]
 		m.Stats.MessagesSent++
 	}
-	m.sched.After(air+m.params.InterFragGap, m.attempt)
+	m.env.After(air+m.params.InterFragGap, m.attempt)
 }
 
 // onFrame handles a frame from the radio.
@@ -378,7 +426,7 @@ func (m *Mac) onFrame(from uint32, frame []byte) {
 	if len(frame) < fragHeaderSize {
 		return // runt
 	}
-	if !m.awake(m.sched.Now()) {
+	if !m.awake(m.env.Now()) {
 		m.Stats.SleepDrops++
 		return // the radio was asleep when the frame finished arriving
 	}
@@ -398,7 +446,7 @@ func (m *Mac) onFrame(from uint32, frame []byte) {
 	p, ok := m.reasm[key]
 	if !ok {
 		p = &partial{frags: make([][]byte, count)}
-		p.expires = m.sched.After(m.params.ReassemblyTimeout, func() {
+		p.expires = m.env.After(m.params.ReassemblyTimeout, func() {
 			if _, still := m.reasm[key]; still {
 				delete(m.reasm, key)
 				m.Stats.ReassemblyExpired++

@@ -7,7 +7,7 @@ import "diffusion/internal/telemetry"
 // them only at snapshot time.
 func (c *Channel) Instrument(reg *telemetry.Registry) {
 	reg.AddCollector(func(emit func(string, float64)) {
-		s := &c.Stats
+		s := c.Stats()
 		emit("radio.channel.frames_sent", float64(s.FramesSent))
 		emit("radio.channel.frames_delivered", float64(s.FramesDelivered))
 		emit("radio.channel.frames_lost", float64(s.FramesLost))

@@ -17,10 +17,21 @@
 //     BitRate. Two transmissions overlapping at a receiver corrupt each
 //     other there (no capture), and a half-duplex transceiver cannot
 //     receive while sending — together these reproduce hidden terminals.
+//
+// The channel runs on any sim.Executor. Every stream of randomness is
+// derived per directed link from the master seed (sim.LinkStream), and all
+// link state is owned by exactly one node's context — the receiver for
+// Gilbert–Elliott evolution and loss draws, fault-injection (global)
+// events for blackout flags — so the sharded kernel can execute
+// transceivers in parallel without locks and still reproduce sequential
+// runs bit for bit. Cross-node delivery goes through Port.ScheduleRemote
+// with the propagation delay, which is exactly the lookahead the
+// conservative kernel schedules against.
 package radio
 
 import (
 	"fmt"
+	"math/rand"
 
 	"time"
 
@@ -100,12 +111,15 @@ type Handler func(from uint32, payload []byte)
 
 // Channel is the shared medium.
 type Channel struct {
-	sched  *sim.Scheduler
+	eng    sim.Executor
 	params Params
 	topo   *topo.Topology
 	nodes  map[uint32]*Transceiver
 	links  map[linkKey]*link
-	Stats  ChannelStats
+	// out lists each sender's audible links in topology order — the
+	// receivers a transmission must be scheduled at. Precomputing it makes
+	// Transmit O(neighbors) instead of O(nodes).
+	out map[uint32][]outLink
 }
 
 // ChannelStats aggregates medium-wide counters.
@@ -118,11 +132,33 @@ type ChannelStats struct {
 	FramesBlackout   int // receptions suppressed by a forced-down link (fault injection)
 }
 
+// add accumulates other into s.
+func (s *ChannelStats) add(o ChannelStats) {
+	s.FramesSent += o.FramesSent
+	s.FramesDelivered += o.FramesDelivered
+	s.FramesLost += o.FramesLost
+	s.FramesCollided += o.FramesCollided
+	s.FramesHalfDuplex += o.FramesHalfDuplex
+	s.FramesBlackout += o.FramesBlackout
+}
+
 type linkKey struct{ from, to uint32 }
 
-// link is frozen per-directed-link channel state.
+type outLink struct {
+	to uint32
+	l  *link
+}
+
+// link is per-directed-link channel state. Ownership: effDist is frozen at
+// construction; forcedDown is written only by global (fault-injection)
+// events; bad/nextTransition and the rng evolve only in the receiver's
+// context.
 type link struct {
 	effDist float64
+	// rng is the link's derived random stream (Gilbert–Elliott sojourns,
+	// loss draws); independent of every other stream, so traffic on one
+	// link never perturbs another.
+	rng *rand.Rand
 	// forcedDown blacks the link out entirely (fault injection): the
 	// transmitter is inaudible at the receiver — no delivery, no carrier,
 	// no collisions — as if an obstruction severed the path.
@@ -132,9 +168,17 @@ type link struct {
 	nextTransition time.Duration
 }
 
-// NewChannel builds a channel over the given topology. All randomness comes
-// from the scheduler's seeded source.
-func NewChannel(s *sim.Scheduler, tp *topo.Topology, p Params) *Channel {
+// audibleCutoff returns the base distance beyond which a directed link can
+// never be audible: MaxRange plus six sigmas of asymmetry offset. Pairs
+// past it carry no frames, so no link state is materialized for them —
+// a 1024-node grid stores thousands of links instead of a million.
+func (p Params) audibleCutoff() float64 {
+	return p.MaxRange + 6*p.AsymmetrySigma
+}
+
+// NewChannel builds a channel over the given topology on the executor. All
+// randomness comes from per-link streams derived from the executor's seed.
+func NewChannel(x sim.Executor, tp *topo.Topology, p Params) *Channel {
 	if p.BitRate <= 0 {
 		panic("radio: BitRate must be positive")
 	}
@@ -142,32 +186,42 @@ func NewChannel(s *sim.Scheduler, tp *topo.Topology, p Params) *Channel {
 		panic("radio: MaxRange must be >= SolidRange")
 	}
 	c := &Channel{
-		sched:  s,
+		eng:    x,
 		params: p,
 		topo:   tp,
 		nodes:  map[uint32]*Transceiver{},
 		links:  map[linkKey]*link{},
+		out:    map[uint32][]outLink{},
 	}
 	// Freeze per-directed-link effective distances up front so that the
 	// channel realization is independent of traffic order.
 	ids := tp.IDs()
+	cutoff := p.audibleCutoff()
 	for _, a := range ids {
 		for _, b := range ids {
 			if a == b {
 				continue
 			}
 			d := tp.Distance(a, b)
+			if d >= cutoff {
+				continue // inaudible regardless of the offset draw
+			}
+			rng := x.DeriveRand(sim.LinkStream(a, b)...)
 			if p.AsymmetrySigma > 0 {
-				d += s.Rand().NormFloat64() * p.AsymmetrySigma
+				d += rng.NormFloat64() * p.AsymmetrySigma
 				if d < 0 {
 					d = 0
 				}
 			}
-			l := &link{effDist: d}
+			if d >= p.MaxRange {
+				continue // inaudible; carries nothing, stores nothing
+			}
+			l := &link{effDist: d, rng: rng}
 			if p.MeanBad > 0 {
-				l.nextTransition = c.holdTime(false)
+				l.nextTransition = x.Now() + holdTime(l.rng, p.MeanGood)
 			}
 			c.links[linkKey{a, b}] = l
+			c.out[a] = append(c.out[a], outLink{to: b, l: l})
 		}
 	}
 	return c
@@ -187,26 +241,34 @@ func (c *Channel) Attach(id uint32, h Handler) *Transceiver {
 	if _, dup := c.nodes[id]; dup {
 		panic(fmt.Sprintf("radio: node %d already attached", id))
 	}
-	t := &Transceiver{ch: c, id: id, handler: h}
+	t := &Transceiver{ch: c, id: id, port: c.eng.Port(id), handler: h}
 	c.nodes[id] = t
 	return t
 }
 
-// holdTime draws a Gilbert–Elliott sojourn for the given state.
-func (c *Channel) holdTime(bad bool) time.Duration {
-	mean := c.params.MeanGood
-	if bad {
-		mean = c.params.MeanBad
+// Stats sums the per-transceiver channel counters into the medium-wide
+// view, in topology order.
+func (c *Channel) Stats() ChannelStats {
+	var s ChannelStats
+	for _, id := range c.topo.IDs() {
+		if t, ok := c.nodes[id]; ok {
+			s.add(t.chStats)
+		}
 	}
-	return c.sched.Now() + time.Duration(c.sched.Rand().ExpFloat64()*float64(mean))
+	return s
 }
 
-// linkBad lazily evolves and reports the Gilbert–Elliott state of l.
-func (c *Channel) linkBad(l *link) bool {
+// holdTime draws a Gilbert–Elliott sojourn with the given mean from rng.
+func holdTime(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// linkBad lazily evolves and reports the Gilbert–Elliott state of l at
+// time now (receiver context only).
+func (c *Channel) linkBad(l *link, now time.Duration) bool {
 	if c.params.MeanBad <= 0 {
 		return false
 	}
-	now := c.sched.Now()
 	for l.nextTransition <= now {
 		l.bad = !l.bad
 		at := l.nextTransition
@@ -214,7 +276,7 @@ func (c *Channel) linkBad(l *link) bool {
 		if l.bad {
 			mean = c.params.MeanBad
 		}
-		l.nextTransition = at + time.Duration(c.sched.Rand().ExpFloat64()*float64(mean))
+		l.nextTransition = at + holdTime(l.rng, mean)
 		if l.nextTransition <= at {
 			l.nextTransition = at + time.Nanosecond
 		}
@@ -242,30 +304,37 @@ func (c *Channel) lossProb(d float64) float64 {
 // While down the link delivers nothing and contributes no carrier or
 // interference, modelling a severed path rather than a noisy one. Fault
 // injection uses it for link blackouts and partitions; unknown IDs panic
-// (a scenario-construction error).
+// (a scenario-construction error). Blacking out a pair that is already out
+// of radio range is a no-op. Must be called from global (fault-injection)
+// context, never from node event handlers.
 func (c *Channel) SetLinkDown(from, to uint32, down bool) {
-	l, ok := c.links[linkKey{from, to}]
-	if !ok {
+	if _, ok := c.topo.Node(from); !ok {
 		panic(fmt.Sprintf("radio: no link %d->%d in topology", from, to))
 	}
-	l.forcedDown = down
+	if _, ok := c.topo.Node(to); !ok {
+		panic(fmt.Sprintf("radio: no link %d->%d in topology", from, to))
+	}
+	if l, ok := c.links[linkKey{from, to}]; ok {
+		l.forcedDown = down
+	}
 }
 
 // SetNodeDown blacks out (or restores) every directed link to and from id,
 // turning the node's radio off for the rest of the network: it neither
 // delivers, is heard, nor interferes. The node-crash fault uses it.
 // Restoring a node clears any per-link blackouts previously set on its
-// links with SetLinkDown.
+// links with SetLinkDown. Global (fault-injection) context only.
 func (c *Channel) SetNodeDown(id uint32, down bool) {
 	if _, ok := c.topo.Node(id); !ok {
 		panic(fmt.Sprintf("radio: node %d not in topology", id))
 	}
+	for _, ol := range c.out[id] {
+		ol.l.forcedDown = down
+	}
 	for _, other := range c.topo.IDs() {
-		if other == id {
-			continue
+		if l, ok := c.links[linkKey{other, id}]; ok {
+			l.forcedDown = down
 		}
-		c.links[linkKey{id, other}].forcedDown = down
-		c.links[linkKey{other, id}].forcedDown = down
 	}
 }
 
@@ -275,16 +344,23 @@ func (c *Channel) LinkDown(from, to uint32) bool {
 	return ok && l.forcedDown
 }
 
-// Transceiver is one node's half-duplex radio.
+// Transceiver is one node's half-duplex radio. All mutable state is owned
+// by the node's own event context.
 type Transceiver struct {
 	ch      *Channel
 	id      uint32
+	port    sim.Port
 	handler Handler
 
 	txUntil time.Duration // end of our own transmission
 	rxCount int           // ongoing audible receptions
 	ongoing []*reception
 	Stats   TransceiverStats
+	// chStats is this node's contribution to the medium-wide counters:
+	// sender-side counts (sent, blackout) accumulate at the transmitter,
+	// receiver-side counts (delivered, lost, collided, half-duplex) at the
+	// receiver — so no counter is shared across shard boundaries.
+	chStats ChannelStats
 }
 
 // TransceiverStats counts per-node radio activity; the Figure 8 experiment
@@ -308,11 +384,11 @@ func (t *Transceiver) Airtime(n int) time.Duration { return t.ch.Airtime(n) }
 // Busy reports carrier: true while this node is transmitting or any audible
 // transmission is in progress. MAC carrier sense uses this.
 func (t *Transceiver) Busy() bool {
-	return t.ch.sched.Now() < t.txUntil || t.rxCount > 0
+	return t.port.Now() < t.txUntil || t.rxCount > 0
 }
 
 // Transmitting reports whether this node's own transmitter is active.
-func (t *Transceiver) Transmitting() bool { return t.ch.sched.Now() < t.txUntil }
+func (t *Transceiver) Transmitting() bool { return t.port.Now() < t.txUntil }
 
 // reception tracks one incoming frame at one receiver.
 type reception struct {
@@ -323,10 +399,11 @@ type reception struct {
 // Transmit broadcasts payload on the medium. It returns the airtime. The
 // caller (the MAC) must not call Transmit again until the airtime elapses;
 // doing so panics, because it indicates a MAC bug rather than a channel
-// condition.
+// condition. Under the sharded kernel, Transmit is only legal inside a
+// transmission-commit (AfterTx) event.
 func (t *Transceiver) Transmit(payload []byte) time.Duration {
 	c := t.ch
-	now := c.sched.Now()
+	now := t.port.Now()
 	if now < t.txUntil {
 		panic(fmt.Sprintf("radio: node %d transmit while transmitting", t.id))
 	}
@@ -335,38 +412,34 @@ func (t *Transceiver) Transmit(payload []byte) time.Duration {
 	t.Stats.FramesSent++
 	t.Stats.BytesSent += len(payload)
 	t.Stats.TxTime += air
-	c.Stats.FramesSent++
+	t.chStats.FramesSent++
 
 	data := make([]byte, len(payload))
 	copy(data, payload)
 
-	// Iterate in topology order, not map order, to keep runs deterministic.
-	for _, id := range c.topo.IDs() {
-		rx, attached := c.nodes[id]
-		if !attached || id == t.id {
+	// Audible receivers were precomputed in topology order, so iteration
+	// is deterministic and O(neighbors).
+	for _, ol := range c.out[t.id] {
+		rx, attached := c.nodes[ol.to]
+		if !attached {
 			continue
 		}
-		l, ok := c.links[linkKey{t.id, id}]
-		if !ok {
-			continue
-		}
+		l := ol.l
 		if l.forcedDown {
 			// The link is blacked out by fault injection: the frame would
 			// have been audible here but the severed path swallows it.
-			if l.effDist < c.params.MaxRange {
-				c.Stats.FramesBlackout++
-			}
+			t.chStats.FramesBlackout++
 			continue
 		}
-		if l.effDist >= c.params.MaxRange {
-			continue
-		}
-		c.sched.After(c.params.PropDelay, func() { rx.beginReception(t.id, l, data, air) })
+		t.port.ScheduleRemote(ol.to, c.params.PropDelay, func() {
+			rx.beginReception(t.id, l, data, air)
+		})
 	}
 	return air
 }
 
-// beginReception starts one frame's arrival at this receiver.
+// beginReception starts one frame's arrival at this receiver (receiver
+// context).
 func (t *Transceiver) beginReception(from uint32, l *link, data []byte, air time.Duration) {
 	c := t.ch
 	rec := &reception{effDist: l.effDist}
@@ -388,30 +461,31 @@ func (t *Transceiver) beginReception(from uint32, l *link, data []byte, air time
 	t.Stats.RxTime += air
 	t.ongoing = append(t.ongoing, rec)
 
-	c.sched.After(air, func() {
+	t.port.After(air, func() {
 		t.rxCount--
 		t.removeOngoing(rec)
+		now := t.port.Now()
 		// Half-duplex: if we transmitted during any part of the reception
 		// window, the frame is missed.
-		if t.txOverlapped(c.sched.Now() - air) {
-			c.Stats.FramesHalfDuplex++
+		if t.txOverlapped(now - air) {
+			t.chStats.FramesHalfDuplex++
 			return
 		}
 		if rec.collided {
-			c.Stats.FramesCollided++
+			t.chStats.FramesCollided++
 			return
 		}
 		loss := c.lossProb(l.effDist)
-		if c.linkBad(l) {
+		if c.linkBad(l, now) {
 			loss = loss + (1-loss)*c.params.BadLoss
 		}
-		if c.sched.Rand().Float64() < loss {
-			c.Stats.FramesLost++
+		if l.rng.Float64() < loss {
+			t.chStats.FramesLost++
 			return
 		}
 		t.Stats.FramesReceived++
 		t.Stats.BytesReceived += len(data)
-		c.Stats.FramesDelivered++
+		t.chStats.FramesDelivered++
 		if t.handler != nil {
 			t.handler(from, data)
 		}

@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -34,8 +35,8 @@ func TestDeliveryInRange(t *testing.T) {
 	if len(*log) != 1 || (*log)[0] != "2<-hello" {
 		t.Fatalf("delivery log: %v", *log)
 	}
-	if c.Stats.FramesDelivered != 1 || c.Stats.FramesSent != 1 {
-		t.Errorf("stats: %+v", c.Stats)
+	if c.Stats().FramesDelivered != 1 || c.Stats().FramesSent != 1 {
+		t.Errorf("stats: %+v", c.Stats())
 	}
 	if t1.Stats.BytesSent != 5 || t1.Stats.FramesSent != 1 {
 		t.Errorf("tx stats: %+v", t1.Stats)
@@ -49,7 +50,7 @@ func TestNoDeliveryBeyondMaxRange(t *testing.T) {
 	if len(*log) != 0 {
 		t.Fatalf("should not deliver beyond MaxRange: %v", *log)
 	}
-	if t2.Stats.FramesReceived != 0 || c.Stats.FramesLost != 0 {
+	if t2.Stats.FramesReceived != 0 || c.Stats().FramesLost != 0 {
 		t.Error("out-of-range node should not even count a loss")
 	}
 }
@@ -117,8 +118,8 @@ func TestCollisionAtSharedReceiver(t *testing.T) {
 	if got != 0 {
 		t.Errorf("collided frames must not deliver, got %d", got)
 	}
-	if c.Stats.FramesCollided != 2 {
-		t.Errorf("both frames should be counted collided: %+v", c.Stats)
+	if c.Stats().FramesCollided != 2 {
+		t.Errorf("both frames should be counted collided: %+v", c.Stats())
 	}
 }
 
@@ -149,7 +150,7 @@ func TestHalfDuplex(t *testing.T) {
 			t.Error("node 2 must miss the frame while transmitting")
 		}
 	}
-	if c.Stats.FramesHalfDuplex == 0 {
+	if c.Stats().FramesHalfDuplex == 0 {
 		t.Error("half-duplex miss should be counted")
 	}
 	// Node 1 must also miss node 2's frame: it was transmitting.
@@ -168,8 +169,16 @@ func TestAsymmetricLinks(t *testing.T) {
 		tp := topo.Line(2, 15)
 		s := sim.New(seed)
 		c := NewChannel(s, tp, p)
-		fwd := c.links[linkKey{1, 2}].effDist
-		rev := c.links[linkKey{2, 1}].effDist
+		// A link whose offset pushed it past MaxRange is not stored at all;
+		// treat it as infinitely distant.
+		effDist := func(a, b uint32) float64 {
+			if l, ok := c.links[linkKey{a, b}]; ok {
+				return l.effDist
+			}
+			return math.Inf(1)
+		}
+		fwd := effDist(1, 2)
+		rev := effDist(2, 1)
 		if (fwd < p.SolidRange) != (rev < p.SolidRange) {
 			asymmetric++
 		}
@@ -214,7 +223,7 @@ func TestDeterministicRealization(t *testing.T) {
 			s.After(d, func() { tx.Transmit(make([]byte, 60)) })
 		}
 		s.Run()
-		return rx, c.Stats.FramesLost
+		return rx, c.Stats().FramesLost
 	}
 	r1, l1 := run()
 	r2, l2 := run()
@@ -305,7 +314,7 @@ func TestGilbertElliottLongRunFraction(t *testing.T) {
 	for i := 0; i < samples; i++ {
 		s.After(100*time.Millisecond, func() {})
 		s.Run()
-		if c.linkBad(l) {
+		if c.linkBad(l, s.Now()) {
 			bad++
 		}
 	}

@@ -1,15 +1,22 @@
-// Package sim provides the deterministic discrete-event scheduler that
-// substitutes for the paper's wall-clock testbed runs. Node logic is written
-// against the Clock interface and never blocks; the Scheduler executes
-// events in virtual-time order, so a 30-minute experiment completes in
-// milliseconds and every run is reproducible from its seed.
+// Package sim provides the deterministic discrete-event engines that
+// substitute for the paper's wall-clock testbed runs. Node logic is written
+// against the Clock interface and never blocks; events execute in virtual-
+// time order, so a 30-minute experiment completes in milliseconds and every
+// run is reproducible from its seed.
 //
-// A RealClock implementation of the same interface lets identical node code
-// run live on goroutine timers (used by the examples' live mode).
+// Two engines implement the Executor interface:
+//
+//   - Scheduler: the single-queue event loop mirroring the paper's
+//     single-threaded daemon. Simple, and the reference for unit tests.
+//   - Kernel (kernel.go): a sharded conservative parallel engine that
+//     executes the same canonical event order across any shard count, so
+//     parallel runs are bit-for-bit identical to sequential ones.
+//
+// A RealClock implementation of the same Clock interface lets identical
+// node code run live on goroutine timers (used by the examples' live mode).
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"sync"
 	"time"
@@ -31,10 +38,70 @@ type Timer interface {
 	Cancel() bool
 }
 
-// Scheduler is a deterministic discrete-event executor implementing Clock.
+// Env is the scheduling surface one node's protocol stack runs against: a
+// clock, a deterministic random stream, and the transmission-commit timer.
+type Env interface {
+	Clock
+	// AfterTx schedules a transmission-commit event: the only kind of
+	// event allowed to put a frame on the air (and hence to schedule
+	// cross-node work). Engines may clamp d up to the configured radio
+	// turnaround time; the MAC models that turnaround explicitly, so the
+	// clamp is never hit in practice.
+	AfterTx(d time.Duration, fn func()) Timer
+	// Rand returns the stream all of this context's randomness must come
+	// from, so runs are reproducible.
+	Rand() *rand.Rand
+}
+
+// Port is one node's scheduling handle. Everything a node schedules goes
+// through its own Port; cross-node effects go through ScheduleRemote, which
+// is how the Kernel keeps shards from touching each other's queues.
+type Port interface {
+	Env
+	// ScheduleRemote schedules fn to run in node to's context, d from now.
+	// It may only be called from within a transmission-commit (AfterTx)
+	// event, and d must be at least the engine's configured propagation
+	// delay — together these give the conservative engine its lookahead.
+	ScheduleRemote(to uint32, d time.Duration, fn func())
+}
+
+// Executor is a deterministic discrete-event engine: the global (network-
+// scoped) scheduling context plus per-node ports. Scheduler and Kernel
+// implement it.
+type Executor interface {
+	Clock
+	// Rand returns the global random stream (fault injection, experiment
+	// drivers). Node-scoped code must use its Port's stream instead.
+	Rand() *rand.Rand
+	// Every schedules fn at now+d and then every period thereafter until
+	// the returned Timer is cancelled. It panics when period is not
+	// positive (a zero period would re-arm at the same timestamp forever,
+	// livelocking the event loop).
+	Every(d, period time.Duration, fn func()) Timer
+	// Port returns node id's scheduling handle.
+	Port(id uint32) Port
+	// DeriveRand returns an independent deterministic stream derived from
+	// the engine's seed and a tag path (see DeriveSeed).
+	DeriveRand(tags ...uint64) *rand.Rand
+	// RunUntil executes events with timestamps <= t, then advances the
+	// clock to t.
+	RunUntil(t time.Duration)
+	// Run executes events until none remain (or Stop is called).
+	Run()
+	// Stop halts the event loop.
+	Stop()
+	// NextEventAt returns the timestamp of the next live event, or
+	// ok=false when no events are queued.
+	NextEventAt() (time.Duration, bool)
+	// Pending returns the number of live queued events (diagnostics).
+	Pending() int
+}
+
+// Scheduler is the single-queue deterministic executor implementing Clock.
 // It is not safe for concurrent use; all node logic runs inside its event
 // loop, exactly like the paper's single-threaded event-driven daemon.
 type Scheduler struct {
+	seed    int64
 	now     time.Duration
 	events  eventHeap
 	seq     uint64
@@ -44,7 +111,7 @@ type Scheduler struct {
 
 // New returns a Scheduler whose randomness derives entirely from seed.
 func New(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -55,6 +122,12 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // reproducible.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
+// DeriveRand returns an independent stream derived from the scheduler's
+// seed and a tag path.
+func (s *Scheduler) DeriveRand(tags ...uint64) *rand.Rand {
+	return newDerivedRand(s.seed, tags...)
+}
+
 // After schedules fn at now+d. Negative d is treated as zero.
 func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
@@ -63,20 +136,55 @@ func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	return s.at(s.now+d, fn)
 }
 
+// AfterTx schedules a transmission-commit event. On the single-queue
+// Scheduler it is equivalent to After; the Kernel uses the tx tag to bound
+// its conservative windows.
+func (s *Scheduler) AfterTx(d time.Duration, fn func()) Timer {
+	return s.After(d, fn)
+}
+
 func (s *Scheduler) at(t time.Duration, fn func()) *event {
 	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, ev)
+	ev := &event{key: evKey{at: t, kind: kindGlobal, b: s.seq}, fn: fn}
+	s.events.push(ev)
 	return ev
 }
 
+// Port returns a scheduling handle for node id. On the single-queue
+// Scheduler every port shares the one queue, clock and random stream, so
+// unit tests drive MACs and radios exactly as before sharding existed.
+func (s *Scheduler) Port(id uint32) Port { return schedPort{s} }
+
+// schedPort adapts the Scheduler to the Port interface.
+type schedPort struct{ s *Scheduler }
+
+func (p schedPort) Now() time.Duration                     { return p.s.now }
+func (p schedPort) After(d time.Duration, fn func()) Timer { return p.s.After(d, fn) }
+func (p schedPort) AfterTx(d time.Duration, fn func()) Timer {
+	return p.s.After(d, fn)
+}
+func (p schedPort) Rand() *rand.Rand { return p.s.rng }
+func (p schedPort) ScheduleRemote(to uint32, d time.Duration, fn func()) {
+	p.s.After(d, fn)
+}
+
 // Every schedules fn at now+d and then every period thereafter until the
-// returned Timer is cancelled. The first firing is at now+d.
+// returned Timer is cancelled. The first firing is at now+d. It panics when
+// period is not positive: re-arming at the same timestamp would livelock
+// the event loop.
 func (s *Scheduler) Every(d, period time.Duration, fn func()) Timer {
+	return repeatOn(s, d, period, fn)
+}
+
+// repeatOn implements Every over any Clock, validating the period.
+func repeatOn(c Clock, d, period time.Duration, fn func()) Timer {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
 	rt := &repeatTimer{}
 	var arm func(delay time.Duration)
 	arm = func(delay time.Duration) {
-		rt.inner = s.After(delay, func() {
+		rt.inner = c.After(delay, func() {
 			if rt.cancelled {
 				return
 			}
@@ -109,18 +217,18 @@ func (r *repeatTimer) Cancel() bool {
 // Step executes the next pending event. It reports false when no events
 // remain or the scheduler is stopped.
 func (s *Scheduler) Step() bool {
-	for s.events.Len() > 0 && !s.stopped {
-		ev := heap.Pop(&s.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		if ev.at > s.now {
-			s.now = ev.at
-		}
-		ev.fn()
-		return true
+	if s.stopped {
+		return false
 	}
-	return false
+	ev := s.events.popNext()
+	if ev == nil {
+		return false
+	}
+	if ev.key.at > s.now {
+		s.now = ev.key.at
+	}
+	ev.fn()
+	return true
 }
 
 // Run executes events until none remain (or Stop is called). Use RunUntil
@@ -134,8 +242,8 @@ func (s *Scheduler) Run() {
 // t. Pending later events remain queued.
 func (s *Scheduler) RunUntil(t time.Duration) {
 	for !s.stopped {
-		ev := s.peek()
-		if ev == nil || ev.at > t {
+		ev := s.events.peek()
+		if ev == nil || ev.key.at > t {
 			break
 		}
 		s.Step()
@@ -145,17 +253,6 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 	}
 }
 
-func (s *Scheduler) peek() *event {
-	for s.events.Len() > 0 {
-		ev := s.events[0]
-		if !ev.cancelled {
-			return ev
-		}
-		heap.Pop(&s.events)
-	}
-	return nil
-}
-
 // Stop halts the event loop; subsequent Step calls return false.
 func (s *Scheduler) Stop() { s.stopped = true }
 
@@ -163,69 +260,17 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // when the queue is empty. Real-time pacing drivers use it to sleep until
 // the wall clock catches up with virtual time.
 func (s *Scheduler) NextEventAt() (time.Duration, bool) {
-	ev := s.peek()
+	ev := s.events.peek()
 	if ev == nil {
 		return 0, false
 	}
-	return ev.at, true
+	return ev.key.at, true
 }
 
-// Pending returns the number of live queued events (diagnostics).
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
-
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	index     int
-	cancelled bool
-}
-
-// Cancel implements Timer.
-func (e *event) Cancel() bool {
-	if e.cancelled {
-		return false
-	}
-	e.cancelled = true
-	e.fn = nil
-	return true
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// Pending returns the number of live queued events (diagnostics). It is
+// O(1): the heap tracks its live count as events are pushed, popped and
+// cancelled.
+func (s *Scheduler) Pending() int { return s.events.live }
 
 // RealClock implements Clock over the wall clock, so the same node logic
 // can run live (the examples use it for interactive demos). It is safe for

@@ -243,8 +243,15 @@ func (h *Hub) Snapshot() Snapshot {
 	for _, r := range h.regs {
 		m := r.Snapshot()
 		s.Scopes[r.Name()] = m
-		for name, v := range m {
-			s.Totals[name] += v
+		// Sum in sorted name order: float addition is not associative, so
+		// map-iteration order would make totals differ across runs.
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s.Totals[name] += m[name]
 		}
 	}
 	return s

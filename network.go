@@ -105,6 +105,12 @@ type NetworkConfig struct {
 	// motes (second tier) instead of full diffusion nodes. Access them
 	// with Mote(id); bridge the tiers with NewGateway.
 	MoteNodes []uint32
+	// Shards is the number of parallel event shards (sim.Kernel). Zero or
+	// one runs the classic sequential path; any value produces bit-for-bit
+	// identical results — sharding only changes wall-clock time. Clamped
+	// to the node count. Networks with MoteNodes force one shard: a
+	// gateway couples a node and a mote into one event context.
+	Shards int
 }
 
 // Network is a simulated sensor network: one diffusion node per topology
@@ -112,10 +118,11 @@ type NetworkConfig struct {
 // clock.
 type Network struct {
 	cfg     NetworkConfig
-	sched   *sim.Scheduler
+	kern    *sim.Kernel
 	channel *radio.Channel
 	nodes   map[uint32]*Node
 	motes   map[uint32]*Mote
+	ports   map[uint32]sim.Port
 	order   []uint32
 	// down tracks crashed nodes; faultHooks observe every injected fault
 	// (see fault.go).
@@ -162,16 +169,39 @@ func NewNetwork(cfg NetworkConfig) *Network {
 	if cfg.MAC != nil {
 		mp = *cfg.MAC
 	}
-	s := sim.New(cfg.Seed)
+	if rp.PropDelay <= 0 {
+		// The kernel's conservative lookahead needs a positive propagation
+		// delay; a nanosecond keeps zero-delay configs running unchanged.
+		rp.PropDelay = time.Nanosecond
+	}
+	shards := cfg.Shards
+	if len(cfg.MoteNodes) > 0 {
+		// A gateway hands messages between a node and a mote synchronously,
+		// coupling two event contexts; run those networks sequentially.
+		shards = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if n := cfg.Topology.Len(); n > 0 && shards > n {
+		shards = n
+	}
+	kern := sim.NewKernel(sim.KernelConfig{
+		Seed:         cfg.Seed,
+		Shards:       shards,
+		Propagation:  rp.PropDelay,
+		TxTurnaround: mp.Turnaround(),
+	})
 	net := &Network{
 		cfg:     cfg,
-		sched:   s,
-		channel: radio.NewChannel(s, cfg.Topology, rp),
+		kern:    kern,
+		channel: radio.NewChannel(kern, cfg.Topology, rp),
 		nodes:   map[uint32]*Node{},
 		motes:   map[uint32]*Mote{},
+		ports:   map[uint32]sim.Port{},
 		order:   cfg.Topology.IDs(),
 		down:    map[uint32]bool{},
-		hub:     telemetry.NewHub(s.Now),
+		hub:     telemetry.NewHub(kern.Now),
 		regs:    map[uint32]*telemetry.Registry{},
 		flights: map[uint32]*telemetry.Flight{},
 	}
@@ -180,13 +210,18 @@ func NewNetwork(cfg NetworkConfig) *Network {
 	for _, id := range cfg.MoteNodes {
 		moteSet[id] = true
 	}
+	// Topology-aware shard assignment: contiguous spatial strips, so most
+	// radio neighborhoods stay shard-local.
+	partition := cfg.Topology.Partition(shards)
 	for _, id := range net.order {
+		port := kern.AddNode(id, partition[id])
+		net.ports[id] = port
 		reg := telemetry.NewRegistry(fmt.Sprintf("node-%d", id))
 		net.hub.Register(reg)
 		net.regs[id] = reg
 		if moteSet[id] {
 			var mote *Mote
-			m := mac.Attach(s, net.channel, id, mp, func(from uint32, payload []byte) {
+			m := mac.Attach(port, net.channel, id, mp, func(from uint32, payload []byte) {
 				mote.Receive(from, payload)
 			})
 			mote = microdiff.NewMote(m)
@@ -195,15 +230,15 @@ func NewNetwork(cfg NetworkConfig) *Network {
 			continue
 		}
 		var n *Node
-		m := mac.Attach(s, net.channel, id, mp, func(from uint32, payload []byte) {
+		m := mac.Attach(port, net.channel, id, mp, func(from uint32, payload []byte) {
 			n.Receive(from, payload)
 		})
 		fl := telemetry.NewFlight(telemetry.DefaultFlightSize)
 		net.flights[id] = fl
 		n = &Node{
 			Node: core.NewNode(core.Config{
-				Clock:               s,
-				Rand:                s.Rand(),
+				Clock:               port,
+				Rand:                port.Rand(),
 				Link:                m,
 				InterestInterval:    cfg.InterestInterval,
 				GradientLifetime:    cfg.GradientLifetime,
@@ -233,7 +268,7 @@ func (net *Network) instrumentLink(reg *telemetry.Registry, m *mac.Mac) {
 	m.Radio().Instrument(reg)
 	reg.AddCollector(func(emit func(string, float64)) {
 		st := m.Radio().Stats
-		b := energy.PaperRatios().Measured(st.TxTime, st.RxTime, net.sched.Now(), 1.0)
+		b := energy.PaperRatios().Measured(st.TxTime, st.RxTime, net.kern.Now(), 1.0)
 		emit("energy.listen_j", b.Listen)
 		emit("energy.receive_j", b.Receive)
 		emit("energy.send_j", b.Send)
@@ -280,29 +315,43 @@ func (net *Network) IDs() []uint32 {
 	return out
 }
 
-// Clock returns the network's clock (for timers in application code and
-// filters).
-func (net *Network) Clock() sim.Clock { return net.sched }
+// Clock returns the network's global clock, for timers in experiment
+// drivers and application setup code. Code running inside a node's
+// callbacks must use that node's own clock (NodeEnv) — under a parallel
+// kernel, scheduling globally from node context panics.
+func (net *Network) Clock() sim.Clock { return net.kern }
 
-// Scheduler exposes the discrete-event scheduler.
-func (net *Network) Scheduler() *sim.Scheduler { return net.sched }
+// Executor exposes the discrete-event engine.
+func (net *Network) Executor() sim.Executor { return net.kern }
 
-// Now returns the current simulated time.
-func (net *Network) Now() time.Duration { return net.sched.Now() }
-
-// After schedules fn once, d from now.
-func (net *Network) After(d time.Duration, fn func()) sim.Timer {
-	return net.sched.After(d, fn)
+// NodeEnv returns the scheduling context of one node: its clock, random
+// stream and transmission timer. Per-node services (filters, responders)
+// run on it. Panics on unknown IDs.
+func (net *Network) NodeEnv(id uint32) sim.Port {
+	p, ok := net.ports[id]
+	if !ok {
+		panic(fmt.Sprintf("diffusion: no node %d in topology %q", id, net.cfg.Topology.Name))
+	}
+	return p
 }
 
-// Every schedules fn every period (first firing after one period).
+// Now returns the current simulated time.
+func (net *Network) Now() time.Duration { return net.kern.Now() }
+
+// After schedules fn once, d from now, in global context.
+func (net *Network) After(d time.Duration, fn func()) sim.Timer {
+	return net.kern.After(d, fn)
+}
+
+// Every schedules fn every period (first firing after one period), in
+// global context.
 func (net *Network) Every(period time.Duration, fn func()) sim.Timer {
-	return net.sched.Every(period, period, fn)
+	return net.kern.Every(period, period, fn)
 }
 
 // Run advances the simulation by d of virtual time.
 func (net *Network) Run(d time.Duration) {
-	net.sched.RunUntil(net.sched.Now() + d)
+	net.kern.RunUntil(net.kern.Now() + d)
 }
 
 // RunRealtime advances the simulation by d of virtual time, pacing event
@@ -316,11 +365,11 @@ func (net *Network) RunRealtime(d time.Duration, speed float64) {
 		net.Run(d)
 		return
 	}
-	horizon := net.sched.Now() + d
+	horizon := net.kern.Now() + d
 	wallStart := time.Now()
-	virtStart := net.sched.Now()
+	virtStart := net.kern.Now()
 	for {
-		at, ok := net.sched.NextEventAt()
+		at, ok := net.kern.NextEventAt()
 		if !ok || at > horizon {
 			break
 		}
@@ -328,13 +377,13 @@ func (net *Network) RunRealtime(d time.Duration, speed float64) {
 		if wait > 0 {
 			time.Sleep(wait)
 		}
-		net.sched.Step()
+		net.kern.RunUntil(at)
 	}
-	net.sched.RunUntil(horizon)
+	net.kern.RunUntil(horizon)
 }
 
 // ChannelStats returns medium-wide radio counters (collisions, losses).
-func (net *Network) ChannelStats() radio.ChannelStats { return net.channel.Stats }
+func (net *Network) ChannelStats() radio.ChannelStats { return net.channel.Stats() }
 
 // TotalDiffusionBytes sums BytesSent over every node's diffusion layer —
 // the paper's Figure 8 metric ("bytes sent from all diffusion modules").

@@ -49,17 +49,17 @@ type (
 // NewSuppression installs a duplicate-suppression aggregation filter on a
 // node of the network.
 func (net *Network) NewSuppression(n *Node, opt SuppressionOptions) *Suppression {
-	return filters.NewSuppression(n.Node, net.Clock(), opt)
+	return filters.NewSuppression(n.Node, net.NodeEnv(n.ID()), opt)
 }
 
 // NewCountingAggregator installs a delay-and-count aggregation filter.
 func (net *Network) NewCountingAggregator(n *Node, pattern Attributes, window time.Duration) *CountingAggregator {
-	return filters.NewCountingAggregator(n.Node, net.Clock(), pattern, window, 0)
+	return filters.NewCountingAggregator(n.Node, net.NodeEnv(n.ID()), pattern, window, 0)
 }
 
 // NewCache installs an in-network data cache on a node.
 func (net *Network) NewCache(n *Node, opt CacheOptions) *Cache {
-	return filters.NewCache(n.Node, net.Clock(), opt)
+	return filters.NewCache(n.Node, net.NodeEnv(n.ID()), opt)
 }
 
 // NewTap installs an observation filter; if w is non-nil messages are
@@ -72,7 +72,7 @@ func (net *Network) NewTap(n *Node, pattern Attributes, w io.Writer) *Tap {
 // same (task, sequence) event from different modalities fold into one
 // report whose confidence combines them as independent evidence.
 func (net *Network) NewFusion(n *Node, pattern Attributes, window time.Duration) *Fusion {
-	return filters.NewFusion(n.Node, net.Clock(), pattern, window)
+	return filters.NewFusion(n.Node, net.NodeEnv(n.ID()), pattern, window)
 }
 
 // NewGeoScope installs geographic interest scoping on a node. Positions
@@ -94,10 +94,11 @@ func (net *Network) NewGeoScope(n *Node, radioRange float64) *GeoScope {
 
 // NewElection enters a node into a named election; lower scores win.
 func (net *Network) NewElection(n *Node, name string, score float64, scale float64, window time.Duration, decided func(bool)) *Election {
+	env := net.NodeEnv(n.ID())
 	return filters.NewElection(filters.ElectionConfig{
 		Node:       n.Node,
-		Clock:      net.Clock(),
-		Rand:       net.Scheduler().Rand(),
+		Clock:      env,
+		Rand:       env.Rand(),
 		Name:       name,
 		Score:      score,
 		ScoreScale: scale,

@@ -9,9 +9,13 @@ import (
 )
 
 func TestFacadeSuppression(t *testing.T) {
+	// A loss-free channel keeps the duplicate pair's fate deterministic;
+	// the test is about the relay's suppression logic, not channel luck.
+	rp := diffusion.PerfectRadio()
 	net := diffusion.NewNetwork(diffusion.NetworkConfig{
 		Seed:     1,
 		Topology: diffusion.LineTopology(3, 10),
+		Radio:    &rp,
 	})
 	relay := net.Node(2)
 	sup := net.NewSuppression(relay, diffusion.SuppressionOptions{

@@ -28,10 +28,11 @@ type (
 // NewScanResponder installs a scan responder on a node: it answers scans
 // named task with the reading returned by read.
 func (net *Network) NewScanResponder(n *Node, task string, read func() float64) *ScanResponder {
+	env := net.NodeEnv(n.ID())
 	return monitor.NewResponder(monitor.ResponderConfig{
 		Node:  n.Node,
-		Clock: net.Clock(),
-		Rand:  net.Scheduler().Rand(),
+		Clock: env,
+		Rand:  env.Rand(),
 		Task:  task,
 		Read:  read,
 	})
@@ -42,10 +43,11 @@ func (net *Network) NewScanResponder(n *Node, task string, read func() float64) 
 // battery is the node's budget in the model's relative units; dutyCycle is
 // its listen duty cycle.
 func (net *Network) NewEnergyScanResponder(n *Node, battery, dutyCycle float64) *ScanResponder {
+	env := net.NodeEnv(n.ID())
 	return monitor.NewEnergyResponder(monitor.ResponderConfig{
 		Node:  n.Node,
-		Clock: net.Clock(),
-		Rand:  net.Scheduler().Rand(),
+		Clock: env,
+		Rand:  env.Rand(),
 	}, PaperEnergyRatios(), battery, func() (time.Duration, time.Duration) {
 		st := n.MAC.Radio().Stats
 		return st.TxTime, st.RxTime
@@ -55,13 +57,13 @@ func (net *Network) NewEnergyScanResponder(n *Node, battery, dutyCycle float64) 
 // NewScanAggregator installs the in-network folding filter for a scan task
 // on a node.
 func (net *Network) NewScanAggregator(n *Node, task string, window time.Duration) *ScanAggregator {
-	return monitor.NewAggregator(n.Node, net.Clock(), task, window)
+	return monitor.NewAggregator(n.Node, net.NodeEnv(n.ID()), task, window)
 }
 
 // NewScanCollector installs a scan collector on a node; cb (optional)
 // fires as readings accumulate.
 func (net *Network) NewScanCollector(n *Node, task string, cb func(id int32, r ScanReadings)) *ScanCollector {
-	return monitor.NewCollector(n.Node, net.Clock(), task, cb)
+	return monitor.NewCollector(n.Node, net.NodeEnv(n.ID()), task, cb)
 }
 
 // Reliable bulk transfer, re-exported.
@@ -76,10 +78,11 @@ type (
 
 // OfferBulk serves a named object from a node.
 func (net *Network) OfferBulk(n *Node, name string, data []byte) *BulkSender {
+	env := net.NodeEnv(n.ID())
 	return reliable.Offer(reliable.SenderConfig{
 		Node:  n.Node,
-		Clock: net.Clock(),
-		Rand:  net.Scheduler().Rand(),
+		Clock: env,
+		Rand:  env.Rand(),
 		Name:  name,
 	}, data)
 }
@@ -89,7 +92,7 @@ func (net *Network) OfferBulk(n *Node, name string, data []byte) *BulkSender {
 func (net *Network) FetchBulk(n *Node, name string, onComplete func([]byte)) *BulkReceiver {
 	return reliable.Fetch(reliable.ReceiverConfig{
 		Node:       n.Node,
-		Clock:      net.Clock(),
+		Clock:      net.NodeEnv(n.ID()),
 		Name:       name,
 		OnComplete: onComplete,
 	})
@@ -108,7 +111,7 @@ type (
 func (net *Network) NewFlowFeedback(n *Node, flow string, window time.Duration) *FlowFeedback {
 	return congestion.NewFeedback(congestion.FeedbackConfig{
 		Node:   n.Node,
-		Clock:  net.Clock(),
+		Clock:  net.NodeEnv(n.ID()),
 		Flow:   flow,
 		Window: window,
 	})
@@ -119,7 +122,7 @@ func (net *Network) NewFlowFeedback(n *Node, flow string, window time.Duration) 
 func (net *Network) NewFlowController(n *Node, flow string, window time.Duration) *FlowController {
 	return congestion.NewController(congestion.ControllerConfig{
 		Node:   n.Node,
-		Clock:  net.Clock(),
+		Clock:  net.NodeEnv(n.ID()),
 		Flow:   flow,
 		Window: window,
 	})

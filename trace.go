@@ -19,19 +19,35 @@ import (
 // the simulation is deterministic, a trace is a complete, replayable
 // account of a run.
 type Trace struct {
-	net    *Network
-	events []TraceEvent
+	net *Network
+	// Recording is per node: each node's filter appends to its own buffer
+	// on its own clock, so under the sharded kernel nodes on different
+	// shards record concurrently without sharing state, and the recorded
+	// timestamps are exact event times at any shard count. Events reads
+	// the buffers merged into one canonical timeline.
+	bufs   map[uint32]*nodeTraceBuf
+	merged []TraceEvent // cached merge; rebuilt when stale
 	faults []FaultEvent
-	// limit bounds message events; faults are far rarer and get their own
-	// bound so a chatty run cannot starve the fault record (or vice versa).
+	// limit bounds message events, divided evenly across the nodes (the
+	// per-node bound is what keeps recording shard-local); faults are far
+	// rarer and get their own bound so a chatty run cannot starve the
+	// fault record (or vice versa).
 	limit      int
 	faultLimit int
-	// dropped counts events lost to the limit — dropping truncates the
-	// *end* of the run, so summaries must warn when it is non-zero.
-	dropped       int
+	// droppedFaults counts fault events lost to the fault bound; message
+	// drops are counted per node. Dropping truncates each node's view of
+	// the *end* of the run, so summaries must warn when non-zero.
 	droppedFaults int
 	header        TraceRunInfo
 	faultScript   []string
+}
+
+// nodeTraceBuf is one node's recording buffer; only that node's event
+// context touches it during a run.
+type nodeTraceBuf struct {
+	events  []TraceEvent
+	limit   int
+	dropped int
 }
 
 // TraceEvent is one message processing record at one node.
@@ -62,18 +78,47 @@ func (net *Network) NewTrace(limit int) *Trace {
 	if limit <= 0 {
 		limit = 1_000_000
 	}
-	t := &Trace{net: net, limit: limit, faultLimit: defaultFaultLimit, header: net.RunInfo()}
+	t := &Trace{
+		net:        net,
+		bufs:       map[uint32]*nodeTraceBuf{},
+		limit:      limit,
+		faultLimit: defaultFaultLimit,
+		header:     net.RunInfo(),
+	}
+	traced := 0
+	for _, id := range net.IDs() {
+		if _, ok := net.nodes[id]; ok {
+			traced++ // mote tiers are not traced
+		}
+	}
+	perNode, extra := limit, 0
+	if traced > 0 {
+		perNode = limit / traced
+		// The first limit%traced nodes (topology order) take one more, so
+		// the per-node bounds sum exactly to the requested limit.
+		extra = limit % traced
+		if perNode < 1 {
+			perNode, extra = 1, 0
+		}
+	}
 	for _, id := range net.IDs() {
 		n, ok := net.nodes[id]
 		if !ok {
-			continue // mote tiers are not traced
+			continue
 		}
 		id := id
 		node := n
+		buf := &nodeTraceBuf{limit: perNode}
+		if extra > 0 {
+			buf.limit++
+			extra--
+		}
+		t.bufs[id] = buf
+		clk := net.NodeEnv(id)
 		node.AddFilter(nil, 30100, func(m *Message, h FilterHandle) {
-			if len(t.events) < t.limit {
-				t.events = append(t.events, TraceEvent{
-					At:    net.Now(),
+			if len(buf.events) < buf.limit {
+				buf.events = append(buf.events, TraceEvent{
+					At:    clk.Now(),
 					Node:  id,
 					Class: m.Class,
 					ID:    m.ID,
@@ -82,7 +127,7 @@ func (net *Network) NewTrace(limit int) *Trace {
 					Hops:  m.HopCount,
 				})
 			} else {
-				t.dropped++
+				buf.dropped++
 			}
 			node.SendMessageToNext(m, h)
 		})
@@ -99,16 +144,42 @@ func (net *Network) NewTrace(limit int) *Trace {
 	return t
 }
 
-// Events returns the recorded events (shared slice; do not mutate).
-func (t *Trace) Events() []TraceEvent { return t.events }
+// Events returns the recorded events merged across nodes into one
+// canonical timeline — ordered by timestamp, ties broken by topology
+// position — independent of the kernel's shard layout (shared slice; do
+// not mutate).
+func (t *Trace) Events() []TraceEvent {
+	total := 0
+	for _, b := range t.bufs {
+		total += len(b.events)
+	}
+	if len(t.merged) == total {
+		return t.merged
+	}
+	merged := make([]TraceEvent, 0, total)
+	for _, id := range t.net.IDs() {
+		if b, ok := t.bufs[id]; ok {
+			merged = append(merged, b.events...)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].At < merged[j].At })
+	t.merged = merged
+	return t.merged
+}
 
 // Faults returns the fault events recorded during the run (shared slice;
 // do not mutate).
 func (t *Trace) Faults() []FaultEvent { return t.faults }
 
-// Dropped returns the number of message events lost to the trace limit.
-// Non-zero means the tail of the run is missing from Events.
-func (t *Trace) Dropped() int { return t.dropped }
+// Dropped returns the number of message events lost to the per-node trace
+// limits. Non-zero means the tail of the run is missing from Events.
+func (t *Trace) Dropped() int {
+	n := 0
+	for _, b := range t.bufs {
+		n += b.dropped
+	}
+	return n
+}
 
 // DroppedFaults returns the number of fault events lost to the fault
 // bound.
@@ -147,7 +218,7 @@ func (t *Trace) Repairs() int {
 				break
 			}
 		}
-		for _, e := range t.events {
+		for _, e := range t.Events() {
 			if e.Class == ClassPositiveReinf && e.At > f.At && e.At <= end {
 				repairs++
 				break
@@ -169,12 +240,12 @@ func (t *Trace) nodeDowns() int {
 }
 
 // Len returns the number of recorded events.
-func (t *Trace) Len() int { return len(t.events) }
+func (t *Trace) Len() int { return len(t.Events()) }
 
 // CountByClass tallies processing events per message class.
 func (t *Trace) CountByClass() map[MessageClass]int {
 	out := map[MessageClass]int{}
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		out[e.Class]++
 	}
 	return out
@@ -183,7 +254,7 @@ func (t *Trace) CountByClass() map[MessageClass]int {
 // CountByNode tallies processing events per node.
 func (t *Trace) CountByNode() map[uint32]int {
 	out := map[uint32]int{}
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		out[e.Node]++
 	}
 	return out
@@ -194,7 +265,7 @@ func (t *Trace) CountByNode() map[uint32]int {
 func (t *Trace) Originations() map[MessageClass]int {
 	seen := map[message.ID]bool{}
 	out := map[MessageClass]int{}
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		if e.Local && !seen[e.ID] {
 			seen[e.ID] = true
 			out[e.Class]++
@@ -206,7 +277,7 @@ func (t *Trace) Originations() map[MessageClass]int {
 // FirstDelivery returns when a given message origination was first
 // processed at the given node, or ok=false (per-message latency probing).
 func (t *Trace) FirstDelivery(id message.ID, node uint32) (time.Duration, bool) {
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		if e.ID == id && e.Node == node {
 			return e.At, true
 		}
@@ -218,7 +289,7 @@ func (t *Trace) FirstDelivery(id message.ID, node uint32) (time.Duration, bool) 
 // busiest nodes — the at-a-glance view of "what was going on in the
 // network".
 func (t *Trace) Summary(w io.Writer) {
-	fmt.Fprintf(w, "trace: %d events over %v\n", len(t.events), t.span())
+	fmt.Fprintf(w, "trace: %d events over %v\n", len(t.Events()), t.span())
 	byClass := t.CountByClass()
 	classes := make([]MessageClass, 0, len(byClass))
 	for c := range byClass {
@@ -259,9 +330,9 @@ func (t *Trace) Summary(w io.Writer) {
 			counts[FaultLinkDown], counts[FaultLinkUp],
 			t.Repairs(), t.nodeDowns())
 	}
-	if t.dropped > 0 || t.droppedFaults > 0 {
+	if t.Dropped() > 0 || t.droppedFaults > 0 {
 		fmt.Fprintf(w, "WARNING: %d events and %d faults dropped at the trace limit; the end of the run is missing\n",
-			t.dropped, t.droppedFaults)
+			t.Dropped(), t.droppedFaults)
 	}
 }
 
@@ -281,7 +352,7 @@ func (t *Trace) WriteLog(w io.Writer) {
 			fi++
 		}
 	}
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		emitFaultsThrough(e.At)
 		origin := "fwd"
 		if e.Local {
@@ -294,10 +365,11 @@ func (t *Trace) WriteLog(w io.Writer) {
 }
 
 func (t *Trace) span() time.Duration {
-	if len(t.events) == 0 {
+	ev := t.Events()
+	if len(ev) == 0 {
 		return 0
 	}
-	return t.events[len(t.events)-1].At - t.events[0].At
+	return ev[len(ev)-1].At - ev[0].At
 }
 
 // Header returns the trace's self-describing run header: the network
@@ -306,7 +378,7 @@ func (t *Trace) span() time.Duration {
 func (t *Trace) Header() TraceRunInfo {
 	h := t.header
 	h.FaultScript = t.faultScript
-	h.DroppedEvents = t.dropped
+	h.DroppedEvents = t.Dropped()
 	h.DroppedFaults = t.droppedFaults
 	return h
 }
@@ -315,7 +387,8 @@ func (t *Trace) Header() TraceRunInfo {
 // (layer "core", verb "org"/"fwd") and fault events (layer "fault", the
 // kind as verb) merged in time order.
 func (t *Trace) Records() []TraceRecord {
-	out := make([]TraceRecord, 0, len(t.events)+len(t.faults))
+	events := t.Events()
+	out := make([]TraceRecord, 0, len(events)+len(t.faults))
 	fi := 0
 	emitFaultsThrough := func(at time.Duration) {
 		for fi < len(t.faults) && t.faults[fi].At <= at {
@@ -327,7 +400,7 @@ func (t *Trace) Records() []TraceRecord {
 			fi++
 		}
 	}
-	for _, e := range t.events {
+	for _, e := range events {
 		emitFaultsThrough(e.At)
 		verb := "fwd"
 		if e.Local {

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterEndToEnd is the multi-process integration test: it builds the
+// diffnode binary, spawns a 5-node line topology over loopback UDP, drives
+// the quickstart pub/sub workload through the HTTP control plane, and
+// asserts delivery, live metrics on every node, and clean SIGTERM exits.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "diffnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	const n = 5
+	udp := freeUDPPorts(t, n)
+	httpPorts := freeTCPPorts(t, n)
+
+	// Line topology 1-2-3-4-5: node i's neighbors are i-1 and i+1.
+	procs := make([]*nodeProc, n)
+	for i := 0; i < n; i++ {
+		id := i + 1
+		var nb []string
+		if i > 0 {
+			nb = append(nb, fmt.Sprintf("%d=127.0.0.1:%d", id-1, udp[i-1]))
+		}
+		if i < n-1 {
+			nb = append(nb, fmt.Sprintf("%d=127.0.0.1:%d", id+1, udp[i+1]))
+		}
+		procs[i] = spawnNode(t, bin, id, udp[i], httpPorts[i], strings.Join(nb, ","))
+	}
+	for _, p := range procs {
+		p.waitHealthy(t)
+	}
+
+	sink, source := procs[0], procs[n-1]
+
+	// Quickstart workload: the sink subscribes, the source publishes.
+	if code, resp := sink.post(t, "/subscribe",
+		"type EQ four-legged-animal-search, interval IS 1"); code != 200 {
+		t.Fatalf("subscribe: %d %v", code, resp)
+	}
+	code, resp := source.post(t, "/publish", "type IS four-legged-animal-search")
+	if code != 200 {
+		t.Fatalf("publish: %d %v", code, resp)
+	}
+	pub := int(resp["handle"].(float64))
+
+	// Wait for the sink's interest to propagate the length of the line and
+	// install a gradient entry at the source.
+	waitCluster(t, 10*time.Second, "interest to reach source", func() bool {
+		code, st := source.get(t, "/state")
+		return code == 200 && st["interest_entries"].(float64) >= 1
+	})
+
+	// Send the event stream. The first send is exploratory (flood +
+	// reinforcement), the rest follow the reinforced path.
+	const events = 20
+	for i := 0; i < events; i++ {
+		code, resp := source.post(t, "/send",
+			fmt.Sprintf(`{"publication": %d, "attrs": "sequence IS %d"}`, pub, i))
+		if code != 200 {
+			t.Fatalf("send %d: %d %v", i, code, resp)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// ≥90% of distinct events must arrive at the sink on lossless loopback.
+	// "sequence" is a well-known pre-registered key, so its name survives
+	// crossing processes (app-specific keys would need the config's "keys"
+	// list — the paper's out-of-band key coordination).
+	seqRe := regexp.MustCompile(`sequence IS (\d+)`)
+	var got map[string]bool
+	waitCluster(t, 10*time.Second, "event delivery at sink", func() bool {
+		_, dv := sink.get(t, "/deliveries")
+		got = map[string]bool{}
+		recent, _ := dv["recent"].([]any)
+		for _, e := range recent {
+			m := seqRe.FindStringSubmatch(e.(map[string]any)["attrs"].(string))
+			if m != nil {
+				got[m[1]] = true
+			}
+		}
+		return len(got) >= events*9/10
+	})
+	t.Logf("sink delivered %d/%d distinct events", len(got), events)
+
+	// Every node must serve valid, non-empty Prometheus metrics showing it
+	// moved datagrams.
+	for _, p := range procs {
+		resp, err := http.Get(p.url("/metrics"))
+		if err != nil {
+			t.Fatalf("node %d metrics: %v", p.id, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(body) == 0 {
+			t.Fatalf("node %d metrics: %d (%d bytes)", p.id, resp.StatusCode, len(body))
+		}
+		checkPrometheusText(t, body)
+		if !bytes.Contains(body, []byte(fmt.Sprintf(`diffusion_transport_sent{scope="node%d"}`, p.id))) {
+			t.Errorf("node %d metrics missing transport_sent", p.id)
+		}
+		if sentValue(t, body, fmt.Sprintf(`diffusion_transport_sent{scope="node%d"}`, p.id)) == 0 {
+			t.Errorf("node %d reports zero datagrams sent", p.id)
+		}
+	}
+
+	// SIGTERM each node; all must exit cleanly (code 0) within the window.
+	for _, p := range procs {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, p := range procs {
+		select {
+		case <-p.exited:
+			if p.exitErr != nil {
+				t.Errorf("node %d exit: %v\n%s", p.id, p.exitErr, p.log.String())
+			}
+		case <-time.After(15 * time.Second):
+			p.cmd.Process.Kill()
+			t.Errorf("node %d did not exit on SIGTERM\n%s", p.id, p.log.String())
+		}
+	}
+}
+
+// nodeProc is one spawned diffnode process.
+type nodeProc struct {
+	id       int
+	httpPort int
+	cmd      *exec.Cmd
+	log      *lockedBuffer
+	// exited closes when Wait returns; exitErr is valid after that.
+	exited  chan struct{}
+	exitErr error
+}
+
+// lockedBuffer serializes writes from the child pipe against reads from
+// test failure paths.
+type lockedBuffer struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func newLockedBuffer() *lockedBuffer {
+	b := &lockedBuffer{mu: make(chan struct{}, 1)}
+	b.mu <- struct{}{}
+	return b
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	<-b.mu
+	defer func() { b.mu <- struct{}{} }()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	<-b.mu
+	defer func() { b.mu <- struct{}{} }()
+	return b.buf.String()
+}
+
+// spawnNode starts one diffnode with compressed protocol timings and
+// registers cleanup.
+func spawnNode(t *testing.T, bin string, id, udpPort, httpPort int, neighbors string) *nodeProc {
+	t.Helper()
+	p := &nodeProc{id: id, httpPort: httpPort, log: newLockedBuffer(), exited: make(chan struct{})}
+	p.cmd = exec.Command(bin,
+		"-id", fmt.Sprint(id),
+		"-listen", fmt.Sprintf("127.0.0.1:%d", udpPort),
+		"-http", fmt.Sprintf("127.0.0.1:%d", httpPort),
+		"-neighbors", neighbors,
+		"-interest-interval", "300ms",
+		"-exploratory-interval", "10s",
+		"-forward-jitter", "10ms",
+		"-drain", "200ms",
+	)
+	p.cmd.Stdout = p.log
+	p.cmd.Stderr = p.log
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start node %d: %v", id, err)
+	}
+	go func() { p.exitErr = p.cmd.Wait(); close(p.exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-p.exited:
+		default:
+			p.cmd.Process.Kill()
+			<-p.exited
+		}
+	})
+	return p
+}
+
+func (p *nodeProc) url(path string) string {
+	return fmt.Sprintf("http://127.0.0.1:%d%s", p.httpPort, path)
+}
+
+func (p *nodeProc) post(t *testing.T, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(p.url(path), "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("node %d POST %s: %v\n%s", p.id, path, err, p.log.String())
+	}
+	defer resp.Body.Close()
+	return decodeJSON(resp)
+}
+
+func (p *nodeProc) get(t *testing.T, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(p.url(path))
+	if err != nil {
+		t.Fatalf("node %d GET %s: %v\n%s", p.id, path, err, p.log.String())
+	}
+	defer resp.Body.Close()
+	return decodeJSON(resp)
+}
+
+func decodeJSON(resp *http.Response) (int, map[string]any) {
+	raw, _ := io.ReadAll(resp.Body)
+	var out map[string]any
+	_ = json.Unmarshal(raw, &out)
+	return resp.StatusCode, out
+}
+
+// waitHealthy polls /healthz until the control plane answers.
+func (p *nodeProc) waitHealthy(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(p.url("/healthz"))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d never became healthy\n%s", p.id, p.log.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitCluster polls cond until it holds or the deadline passes.
+func waitCluster(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// sentValue extracts one sample's value from an exposition.
+func sentValue(t *testing.T, body []byte, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			var v float64
+			fmt.Sscanf(strings.TrimPrefix(line, series+" "), "%g", &v)
+			return v
+		}
+	}
+	t.Errorf("series %s not found", series)
+	return 0
+}
+
+// freeUDPPorts reserves n distinct loopback UDP ports and releases them
+// for the children to rebind (the usual pick-then-spawn race, acceptable
+// on a quiet test host).
+func freeUDPPorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	conns := make([]net.PacketConn, n)
+	for i := range ports {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return ports
+}
+
+// freeTCPPorts reserves n distinct loopback TCP ports the same way.
+func freeTCPPorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}

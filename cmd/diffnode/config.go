@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config is one diffnode's deployment description: identity, sockets, the
+// static neighbor table, protocol timings, and the application state to
+// install at boot. It can be loaded from a JSON file (-config) with
+// individual flags overriding, so a cluster is a directory of small JSON
+// files plus one binary.
+type Config struct {
+	// ID is this node's link-layer identifier (required, nonzero).
+	ID uint32 `json:"id"`
+	// Listen is the UDP address for diffusion traffic ("127.0.0.1:7001").
+	Listen string `json:"listen"`
+	// HTTP is the control-plane listen address ("127.0.0.1:8001").
+	HTTP string `json:"http"`
+	// Neighbors maps neighbor IDs to their UDP addresses.
+	Neighbors map[uint32]string `json:"neighbors"`
+
+	// Keys pre-registers application attribute keys, in order. Attribute
+	// keys travel as 32-bit numbers (the paper "assume[s] out-of-band
+	// coordination of their values"); listing the same names in the same
+	// order in every node's config is that coordination. The paper's
+	// well-known vocabulary (type, interval, instance, sequence, ...) is
+	// always pre-registered and needs no entry here.
+	Keys []string `json:"keys"`
+
+	// Subscribe and Publish are attribute vectors (paper textual
+	// notation) installed at boot; handles are reported on the log and
+	// visible via GET /state.
+	Subscribe []string `json:"subscribe"`
+	Publish   []string `json:"publish"`
+	// Filters names in-network processing filters to install at boot:
+	// "tap", "suppress" or "cache", each optionally followed by
+	// ":<attrs>" restricting the filter to matching messages
+	// (e.g. "suppress:task EQ surveillance").
+	Filters []string `json:"filters"`
+
+	// Seed drives the node's jitter stream (default: the node ID).
+	Seed int64 `json:"seed"`
+	// Protocol timings; zero values take the paper's testbed defaults
+	// (see core.Config).
+	InterestInterval    time.Duration `json:"interest_interval"`
+	ExploratoryInterval time.Duration `json:"exploratory_interval"`
+	ExploratoryEvery    int           `json:"exploratory_every"`
+	ForwardJitter       time.Duration `json:"forward_jitter"`
+	TTL                 uint8         `json:"ttl"`
+
+	// Loss and Latency inject synthetic impairment on the UDP sends, for
+	// parity testing against the simulated radio.
+	Loss    float64       `json:"loss"`
+	Latency time.Duration `json:"latency"`
+
+	// Drain is how long shutdown keeps forwarding after withdrawing the
+	// application layer, letting in-flight traffic and reinforcement
+	// state settle (default 500ms).
+	Drain time.Duration `json:"drain"`
+}
+
+// UnmarshalJSON accepts durations as Go strings ("500ms") and neighbor
+// keys as JSON strings, the natural forms in a hand-written config file.
+func (c *Config) UnmarshalJSON(b []byte) error {
+	type raw struct {
+		ID                  uint32            `json:"id"`
+		Listen              string            `json:"listen"`
+		HTTP                string            `json:"http"`
+		Neighbors           map[string]string `json:"neighbors"`
+		Keys                []string          `json:"keys"`
+		Subscribe           []string          `json:"subscribe"`
+		Publish             []string          `json:"publish"`
+		Filters             []string          `json:"filters"`
+		Seed                int64             `json:"seed"`
+		InterestInterval    string            `json:"interest_interval"`
+		ExploratoryInterval string            `json:"exploratory_interval"`
+		ExploratoryEvery    int               `json:"exploratory_every"`
+		ForwardJitter       string            `json:"forward_jitter"`
+		TTL                 uint8             `json:"ttl"`
+		Loss                float64           `json:"loss"`
+		Latency             string            `json:"latency"`
+		Drain               string            `json:"drain"`
+	}
+	var r raw
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	c.ID, c.Listen, c.HTTP = r.ID, r.Listen, r.HTTP
+	c.Keys, c.Subscribe, c.Publish, c.Filters = r.Keys, r.Subscribe, r.Publish, r.Filters
+	c.Seed, c.ExploratoryEvery, c.TTL, c.Loss = r.Seed, r.ExploratoryEvery, r.TTL, r.Loss
+	if r.Neighbors != nil {
+		c.Neighbors = map[uint32]string{}
+		for k, v := range r.Neighbors {
+			id, err := strconv.ParseUint(k, 10, 32)
+			if err != nil {
+				return fmt.Errorf("neighbor key %q: %w", k, err)
+			}
+			c.Neighbors[uint32(id)] = v
+		}
+	}
+	for _, f := range []struct {
+		s   string
+		dst *time.Duration
+	}{
+		{r.InterestInterval, &c.InterestInterval},
+		{r.ExploratoryInterval, &c.ExploratoryInterval},
+		{r.ForwardJitter, &c.ForwardJitter},
+		{r.Latency, &c.Latency},
+		{r.Drain, &c.Drain},
+	} {
+		if f.s == "" {
+			continue
+		}
+		d, err := time.ParseDuration(f.s)
+		if err != nil {
+			return fmt.Errorf("duration %q: %w", f.s, err)
+		}
+		*f.dst = d
+	}
+	return nil
+}
+
+// loadConfig reads a JSON config file.
+func loadConfig(path string) (Config, error) {
+	var c Config
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(b, &c); err != nil {
+		return c, fmt.Errorf("config %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// parseNeighbors parses the -neighbors flag: "2=127.0.0.1:7002,3=...".
+func parseNeighbors(s string) (map[uint32]string, error) {
+	out := map[uint32]string{}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("neighbor %q: want ID=HOST:PORT", field)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(id), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("neighbor %q: %w", field, err)
+		}
+		out[uint32(n)] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}
+
+// validate fills defaults and rejects unusable configs.
+func (c *Config) validate() error {
+	if c.ID == 0 {
+		return fmt.Errorf("diffnode: config requires a nonzero node id")
+	}
+	if c.Listen == "" {
+		return fmt.Errorf("diffnode: config requires a UDP listen address")
+	}
+	if c.HTTP == "" {
+		return fmt.Errorf("diffnode: config requires an HTTP listen address")
+	}
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("diffnode: loss %v outside [0,1)", c.Loss)
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(c.ID)
+	}
+	if c.Drain <= 0 {
+		c.Drain = 500 * time.Millisecond
+	}
+	return nil
+}
+
+// neighborSummary renders the neighbor table for the startup log line.
+func (c *Config) neighborSummary() string {
+	ids := make([]uint32, 0, len(c.Neighbors))
+	for id := range c.Neighbors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d=%s", id, c.Neighbors[id])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,574 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/core"
+	"diffusion/internal/filters"
+	"diffusion/internal/message"
+	"diffusion/internal/rt"
+	"diffusion/internal/telemetry"
+	"diffusion/internal/transport"
+)
+
+// Daemon is one live diffusion node: a core.Node on a wall-clock rt.Loop,
+// a UDP link layer, and an HTTP control plane. All node state is owned by
+// the loop; HTTP handlers cross onto it with loop.Call, receptions with
+// loop.Post, so the protocol code runs exactly as single-threaded as it
+// does in the simulator.
+type Daemon struct {
+	cfg   Config
+	logw  io.Writer
+	start time.Time
+
+	loop *rt.Loop
+	node *core.Node
+	link *transport.UDP
+	reg  *telemetry.Registry
+	hub  *telemetry.Hub
+
+	httpLn   net.Listener
+	httpSrv  *http.Server
+	httpDone chan struct{}
+
+	// Loop-confined application state.
+	installed []removable
+	delivered *telemetry.Counter
+	ring      []delivery
+	total     int
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// removable is the uninstall surface the built-in filters share.
+type removable interface{ Remove() }
+
+// delivery is one locally delivered message, kept in a bounded ring for
+// GET /deliveries.
+type delivery struct {
+	Seq   int    `json:"seq"` // global delivery index, from 1
+	AtMS  int64  `json:"at_ms"`
+	Class string `json:"class"`
+	Attrs string `json:"attrs"`
+}
+
+// deliveryRingCap bounds the delivery ring; total keeps counting beyond
+// it.
+const deliveryRingCap = 1024
+
+// startDaemon brings a node up: transport, protocol stack, boot-time
+// application state, and the control plane. The caller owns Shutdown.
+func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Daemon{cfg: cfg, logw: logw, start: time.Now(), loop: rt.NewLoop()}
+
+	link, err := transport.ListenUDP(transport.UDPConfig{
+		ID:        cfg.ID,
+		Listen:    cfg.Listen,
+		Neighbors: cfg.Neighbors,
+		Loss:      cfg.Loss,
+		Latency:   cfg.Latency,
+		Seed:      cfg.Seed,
+		Deliver: func(from uint32, payload []byte) {
+			d.loop.Post(func() {
+				if d.node != nil {
+					d.node.Receive(from, payload)
+				}
+			})
+		},
+	})
+	if err != nil {
+		d.loop.Stop()
+		return nil, err
+	}
+	d.link = link
+
+	d.reg = telemetry.NewRegistry(fmt.Sprintf("node%d", cfg.ID))
+	d.hub = telemetry.NewHub(d.loop.Now)
+	d.hub.Register(d.reg)
+
+	err = d.loop.Call(func() {
+		d.node = core.NewNode(core.Config{
+			Clock:               d.loop,
+			Rand:                rand.New(rand.NewSource(cfg.Seed)),
+			Link:                link,
+			InterestInterval:    cfg.InterestInterval,
+			ExploratoryInterval: cfg.ExploratoryInterval,
+			ExploratoryEvery:    cfg.ExploratoryEvery,
+			ForwardJitter:       cfg.ForwardJitter,
+			TTL:                 cfg.TTL,
+		})
+		d.node.Instrument(d.reg)
+		d.link.Stats().Instrument(d.reg)
+		d.delivered = d.reg.Counter("ctl.deliveries")
+	})
+	if err != nil {
+		link.Close()
+		return nil, err
+	}
+
+	// Boot-time application state, all on the loop. Key registration goes
+	// first so the application vocabulary gets identical key numbers on
+	// every node that lists the same names in the same order.
+	var bootErr error
+	d.loop.Call(func() {
+		for _, name := range cfg.Keys {
+			attr.RegisterKey(name)
+		}
+		for _, spec := range cfg.Filters {
+			if err := d.installFilter(spec); err != nil {
+				bootErr = err
+				return
+			}
+		}
+		for _, s := range cfg.Subscribe {
+			if _, err := d.subscribeLocked(s); err != nil {
+				bootErr = err
+				return
+			}
+		}
+		for _, s := range cfg.Publish {
+			if _, err := d.publishLocked(s); err != nil {
+				bootErr = err
+				return
+			}
+		}
+	})
+	if bootErr != nil {
+		link.Close()
+		d.loop.Stop()
+		return nil, bootErr
+	}
+
+	ln, err := net.Listen("tcp", cfg.HTTP)
+	if err != nil {
+		link.Close()
+		d.loop.Stop()
+		return nil, fmt.Errorf("diffnode: control plane: %w", err)
+	}
+	d.httpLn = ln
+	d.httpSrv = &http.Server{Handler: d.routes()}
+	d.httpDone = make(chan struct{})
+	go func() {
+		defer close(d.httpDone)
+		if err := d.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(d.logw, "diffnode %d: http: %v\n", cfg.ID, err)
+		}
+	}()
+
+	fmt.Fprintf(d.logw, "diffnode %d: udp %s http %s neighbors [%s]\n",
+		cfg.ID, link.LocalAddr(), ln.Addr(), cfg.neighborSummary())
+	return d, nil
+}
+
+// HTTPAddr returns the control plane's bound address.
+func (d *Daemon) HTTPAddr() net.Addr { return d.httpLn.Addr() }
+
+// UDPAddr returns the diffusion socket's bound address.
+func (d *Daemon) UDPAddr() *net.UDPAddr { return d.link.LocalAddr() }
+
+// Shutdown is the SIGTERM path: withdraw the application layer (stopping
+// interest refreshes and data origination), keep forwarding while
+// in-flight traffic drains, then stop the control plane, the socket and
+// the loop. Idempotent.
+func (d *Daemon) Shutdown() error {
+	d.shutdownOnce.Do(func() {
+		fmt.Fprintf(d.logw, "diffnode %d: draining (%v)\n", d.cfg.ID, d.cfg.Drain)
+		d.loop.Call(func() {
+			for _, f := range d.installed {
+				f.Remove()
+			}
+			d.installed = nil
+			for _, h := range d.node.ActivePublications() {
+				d.node.Unpublish(h)
+			}
+			for _, h := range d.node.ActiveSubscriptions() {
+				d.node.Unsubscribe(h)
+			}
+		})
+		// Gradients toward this node now expire on their own (the paper's
+		// soft-state teardown); meanwhile keep relaying neighbors'
+		// traffic for the drain window.
+		time.Sleep(d.cfg.Drain)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := d.httpSrv.Shutdown(ctx); err != nil {
+			d.shutdownErr = err
+			d.httpSrv.Close()
+		}
+		<-d.httpDone
+		if err := d.link.Close(); err != nil && d.shutdownErr == nil {
+			d.shutdownErr = err
+		}
+		d.loop.Call(func() { d.node.Close() })
+		d.loop.Stop()
+		fmt.Fprintf(d.logw, "diffnode %d: stopped\n", d.cfg.ID)
+	})
+	return d.shutdownErr
+}
+
+// subscribeLocked parses attrs and subscribes; loop-confined.
+func (d *Daemon) subscribeLocked(attrsText string) (core.SubscriptionHandle, error) {
+	vec, err := attr.ParseVec(attrsText)
+	if err != nil {
+		return 0, err
+	}
+	h := d.node.Subscribe(vec, d.onDelivery)
+	fmt.Fprintf(d.logw, "diffnode %d: subscribed #%d %v\n", d.cfg.ID, h, vec)
+	return h, nil
+}
+
+// publishLocked parses attrs and publishes; loop-confined.
+func (d *Daemon) publishLocked(attrsText string) (core.PublicationHandle, error) {
+	vec, err := attr.ParseVec(attrsText)
+	if err != nil {
+		return 0, err
+	}
+	h := d.node.Publish(vec)
+	fmt.Fprintf(d.logw, "diffnode %d: published #%d %v\n", d.cfg.ID, h, vec)
+	return h, nil
+}
+
+// onDelivery records a locally delivered message; loop-confined.
+func (d *Daemon) onDelivery(m *message.Message) {
+	d.total++
+	d.delivered.Inc()
+	d.ring = append(d.ring, delivery{
+		Seq:   d.total,
+		AtMS:  d.loop.Now().Milliseconds(),
+		Class: m.Class.String(),
+		Attrs: m.Attrs.Notation(),
+	})
+	if len(d.ring) > deliveryRingCap {
+		d.ring = d.ring[len(d.ring)-deliveryRingCap:]
+	}
+}
+
+// installFilter interprets one config filter spec ("name" or
+// "name:<attrs>"); loop-confined.
+func (d *Daemon) installFilter(spec string) error {
+	name, pat := spec, ""
+	if i := indexByte(spec, ':'); i >= 0 {
+		name, pat = spec[:i], spec[i+1:]
+	}
+	var pattern attr.Vec
+	if pat != "" {
+		v, err := attr.ParseVec(pat)
+		if err != nil {
+			return fmt.Errorf("filter %q: %w", spec, err)
+		}
+		pattern = v
+	}
+	switch name {
+	case "tap":
+		d.installed = append(d.installed, filters.NewTap(d.node, pattern, d.logw))
+	case "suppress":
+		d.installed = append(d.installed, filters.NewSuppression(d.node, d.loop,
+			filters.SuppressionOptions{Pattern: pattern}))
+	case "cache":
+		d.installed = append(d.installed, filters.NewCache(d.node, d.loop,
+			filters.CacheOptions{Pattern: pattern}))
+	default:
+		return fmt.Errorf("filter %q: unknown name (want tap, suppress or cache)", spec)
+	}
+	fmt.Fprintf(d.logw, "diffnode %d: installed filter %s\n", d.cfg.ID, spec)
+	return nil
+}
+
+// indexByte is strings.IndexByte without the import noise.
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- HTTP control plane ---
+
+// routes builds the control-plane mux.
+func (d *Daemon) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /subscribe", d.handleSubscribe)
+	mux.HandleFunc("POST /unsubscribe", d.handleUnsubscribe)
+	mux.HandleFunc("POST /publish", d.handlePublish)
+	mux.HandleFunc("POST /unpublish", d.handleUnpublish)
+	mux.HandleFunc("POST /send", d.handleSend)
+	mux.HandleFunc("GET /deliveries", d.handleDeliveries)
+	mux.HandleFunc("GET /state", d.handleState)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	return mux
+}
+
+// maxBodyBytes bounds control-plane request bodies; attribute vectors are
+// small.
+const maxBodyBytes = 64 << 10
+
+// readBody reads a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable")
+		return nil, false
+	}
+	return b, true
+}
+
+// httpError writes a JSON error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// onLoop runs fn on the node's loop, translating a stopped loop into 503.
+func (d *Daemon) onLoop(w http.ResponseWriter, fn func()) bool {
+	if err := d.loop.Call(fn); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "daemon is shutting down")
+		return false
+	}
+	return true
+}
+
+// handleSubscribe installs a subscription. Body: attribute formals in the
+// paper's textual notation.
+func (d *Daemon) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var h core.SubscriptionHandle
+	var err error
+	var rendered string
+	if !d.onLoop(w, func() {
+		h, err = d.subscribeLocked(string(body))
+		if err == nil {
+			if v, ok := d.node.SubscriptionAttrs(h); ok {
+				rendered = v.Notation()
+			}
+		}
+	}) {
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"handle": h, "attrs": rendered})
+}
+
+// handlePublish declares a publication. Body: attribute actuals.
+func (d *Daemon) handlePublish(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var h core.PublicationHandle
+	var err error
+	var rendered string
+	if !d.onLoop(w, func() {
+		h, err = d.publishLocked(string(body))
+		if err == nil {
+			if v, ok := d.node.PublicationAttrs(h); ok {
+				rendered = v.Notation()
+			}
+		}
+	}) {
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"handle": h, "attrs": rendered})
+}
+
+// handleRef decodes the {"handle": N} body unsubscribe/unpublish take.
+func handleRef(w http.ResponseWriter, r *http.Request) (int, bool) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return 0, false
+	}
+	var req struct {
+		Handle int `json:"handle"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "want JSON {\"handle\": N}: %v", err)
+		return 0, false
+	}
+	return req.Handle, true
+}
+
+func (d *Daemon) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	h, ok := handleRef(w, r)
+	if !ok {
+		return
+	}
+	var err error
+	if !d.onLoop(w, func() { err = d.node.Unsubscribe(core.SubscriptionHandle(h)) }) {
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+func (d *Daemon) handleUnpublish(w http.ResponseWriter, r *http.Request) {
+	h, ok := handleRef(w, r)
+	if !ok {
+		return
+	}
+	var err error
+	if !d.onLoop(w, func() { err = d.node.Unpublish(core.PublicationHandle(h)) }) {
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// handleSend emits one data message. Body: JSON {"publication": N,
+// "attrs": "<actuals>", "exploratory": bool}.
+func (d *Daemon) handleSend(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Publication int    `json:"publication"`
+		Attrs       string `json:"attrs"`
+		Exploratory bool   `json:"exploratory"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "want JSON {\"publication\": N, \"attrs\": \"...\"}: %v", err)
+		return
+	}
+	extra, err := attr.ParseVec(req.Attrs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "attrs: %v", err)
+		return
+	}
+	var sendErr error
+	if !d.onLoop(w, func() {
+		h := core.PublicationHandle(req.Publication)
+		if req.Exploratory {
+			sendErr = d.node.SendExploratory(h, extra)
+		} else {
+			sendErr = d.node.Send(h, extra)
+		}
+	}) {
+		return
+	}
+	switch {
+	case errors.Is(sendErr, core.ErrUnknownHandle):
+		httpError(w, http.StatusNotFound, "%v", sendErr)
+	case sendErr != nil:
+		httpError(w, http.StatusConflict, "%v", sendErr)
+	default:
+		writeJSON(w, map[string]any{"ok": true})
+	}
+}
+
+// handleDeliveries reports local delivery history: the running total and
+// the most recent ring entries (newest last). ?since=N trims entries with
+// Seq <= N.
+func (d *Daemon) handleDeliveries(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if s := r.URL.Query().Get("since"); s != "" {
+		fmt.Sscanf(s, "%d", &since)
+	}
+	var total int
+	var recent []delivery
+	if !d.onLoop(w, func() {
+		total = d.total
+		for _, dv := range d.ring {
+			if dv.Seq > since {
+				recent = append(recent, dv)
+			}
+		}
+	}) {
+		return
+	}
+	writeJSON(w, map[string]any{"total": total, "recent": recent})
+}
+
+// handleState reports the application layer: live handles with attrs and
+// table sizes.
+func (d *Daemon) handleState(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Handle int    `json:"handle"`
+		Attrs  string `json:"attrs"`
+	}
+	var subs, pubs []entry
+	var entries, seen int
+	if !d.onLoop(w, func() {
+		for _, h := range d.node.ActiveSubscriptions() {
+			if v, ok := d.node.SubscriptionAttrs(h); ok {
+				subs = append(subs, entry{int(h), v.Notation()})
+			}
+		}
+		for _, h := range d.node.ActivePublications() {
+			if v, ok := d.node.PublicationAttrs(h); ok {
+				pubs = append(pubs, entry{int(h), v.Notation()})
+			}
+		}
+		entries, seen = d.node.Entries(), d.node.SeenSize()
+	}) {
+		return
+	}
+	writeJSON(w, map[string]any{
+		"id":               d.cfg.ID,
+		"subscriptions":    subs,
+		"publications":     pubs,
+		"interest_entries": entries,
+		"seen_cache":       seen,
+	})
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text format.
+// The snapshot is taken on the loop (collectors read live node state);
+// rendering happens on the handler goroutine.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap telemetry.Snapshot
+	if !d.onLoop(w, func() { snap = d.hub.Snapshot() }) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, snap, "diffusion")
+}
+
+// handleHealthz reports liveness.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"id":         d.cfg.ID,
+		"uptime_ms":  time.Since(d.start).Milliseconds(),
+		"goroutines": runtime.NumGoroutine(),
+	})
+}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestDaemon boots a daemon on ephemeral loopback ports and registers
+// its shutdown with the test.
+func startTestDaemon(t *testing.T, cfg Config) *Daemon {
+	t.Helper()
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.HTTP == "" {
+		cfg.HTTP = "127.0.0.1:0"
+	}
+	d, err := startDaemon(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Shutdown() })
+	return d
+}
+
+// ctl issues one control-plane request and decodes the JSON response.
+func ctl(t *testing.T, d *Daemon, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	url := fmt.Sprintf("http://%s%s", d.HTTPAddr(), path)
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if len(raw) > 0 {
+		// Mux-level rejections (405 etc) are plain text; ignore those.
+		_ = json.Unmarshal(raw, &out)
+	}
+	return resp.StatusCode, out
+}
+
+// TestControlPlaneLifecycle drives the full handle lifecycle over HTTP on a
+// single node: subscribe, publish, send-to-self delivery, state, withdraw.
+func TestControlPlaneLifecycle(t *testing.T) {
+	cfg := Config{ID: 1, Drain: 10 * time.Millisecond,
+		InterestInterval: 100 * time.Millisecond, ForwardJitter: time.Millisecond}
+	d := startTestDaemon(t, cfg)
+
+	code, resp := ctl(t, d, "POST", "/subscribe", "type EQ ping, interval IS 1")
+	if code != 200 {
+		t.Fatalf("subscribe: %d %v", code, resp)
+	}
+	sub := int(resp["handle"].(float64))
+	if !strings.Contains(resp["attrs"].(string), `type EQ "ping"`) {
+		t.Fatalf("subscribe echo = %v", resp["attrs"])
+	}
+
+	code, resp = ctl(t, d, "POST", "/publish", "type IS ping")
+	if code != 200 {
+		t.Fatalf("publish: %d %v", code, resp)
+	}
+	pub := int(resp["handle"].(float64))
+
+	// Local subscription + local publication: a send delivers to self once
+	// the subscription's interest entry has installed (the interest runs
+	// through the jittered dispatch chain, so retry until it lands).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		code, resp = ctl(t, d, "POST", "/send",
+			fmt.Sprintf(`{"publication": %d, "attrs": "seq IS 1", "exploratory": true}`, pub))
+		if code != 200 {
+			t.Fatalf("send: %d %v", code, resp)
+		}
+		code, resp = ctl(t, d, "GET", "/deliveries", "")
+		if code == 200 && resp["total"].(float64) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no delivery: %v", resp)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	recent := resp["recent"].([]any)
+	first := recent[0].(map[string]any)
+	if !strings.Contains(first["attrs"].(string), "seq IS 1") {
+		t.Fatalf("delivered attrs = %v", first["attrs"])
+	}
+
+	code, resp = ctl(t, d, "GET", "/state", "")
+	if code != 200 || len(resp["subscriptions"].([]any)) != 1 || len(resp["publications"].([]any)) != 1 {
+		t.Fatalf("state: %d %v", code, resp)
+	}
+
+	if code, resp = ctl(t, d, "POST", "/unsubscribe", fmt.Sprintf(`{"handle": %d}`, sub)); code != 200 {
+		t.Fatalf("unsubscribe: %d %v", code, resp)
+	}
+	if code, resp = ctl(t, d, "POST", "/unpublish", fmt.Sprintf(`{"handle": %d}`, pub)); code != 200 {
+		t.Fatalf("unpublish: %d %v", code, resp)
+	}
+	// Withdrawn handles now 404.
+	if code, _ = ctl(t, d, "POST", "/unsubscribe", fmt.Sprintf(`{"handle": %d}`, sub)); code != 404 {
+		t.Fatalf("double unsubscribe: %d", code)
+	}
+	if code, _ = ctl(t, d, "POST", "/send", fmt.Sprintf(`{"publication": %d, "attrs": ""}`, pub)); code != 404 {
+		t.Fatalf("send on dead publication: %d", code)
+	}
+}
+
+// TestControlPlaneRejectsBadInput checks malformed bodies come back 4xx
+// with a JSON error, never 500.
+func TestControlPlaneRejectsBadInput(t *testing.T) {
+	d := startTestDaemon(t, Config{ID: 1, Drain: 10 * time.Millisecond})
+	cases := []struct {
+		method, path, body string
+	}{
+		{"POST", "/subscribe", "type BETWEEN 1"},
+		{"POST", "/publish", "task EQ_ANY extra"},
+		{"POST", "/send", "not json"},
+		{"POST", "/send", `{"publication": 1, "attrs": "x NOPE 3"}`},
+		{"POST", "/unsubscribe", "{"},
+	}
+	for _, c := range cases {
+		code, resp := ctl(t, d, c.method, c.path, c.body)
+		if code < 400 || code >= 500 {
+			t.Errorf("%s %s %q: code %d, want 4xx", c.method, c.path, c.body, code)
+		}
+		if _, ok := resp["error"]; !ok {
+			t.Errorf("%s %s %q: no error field: %v", c.method, c.path, c.body, resp)
+		}
+	}
+	// Wrong method gets rejected by the mux.
+	code, _ := ctl(t, d, "GET", "/subscribe", "")
+	if code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /subscribe: %d, want 405", code)
+	}
+}
+
+// TestMetricsEndpoint checks /metrics serves valid, non-empty Prometheus
+// text including transport and core series.
+func TestMetricsEndpoint(t *testing.T) {
+	d := startTestDaemon(t, Config{ID: 7, Drain: 10 * time.Millisecond,
+		InterestInterval: 50 * time.Millisecond, ForwardJitter: time.Millisecond,
+		Subscribe: []string{"type EQ probe, interval IS 1"}})
+	time.Sleep(150 * time.Millisecond) // let a couple of interest refreshes run
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", d.HTTPAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	checkPrometheusText(t, body)
+	for _, want := range []string{
+		`diffusion_core_sent_interest{scope="node7"}`,
+		`diffusion_transport_sent{scope="node7"}`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// promSample matches one Prometheus text sample line.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*\{scope="[^"]*"\} (NaN|[+-]Inf|[-+0-9.eE]+)$`)
+
+// checkPrometheusText validates every line of a Prometheus exposition.
+func checkPrometheusText(t *testing.T, body []byte) {
+	t.Helper()
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("bad sample line %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Error("no samples in exposition")
+	}
+}
+
+// TestFiltersFromConfig installs each named filter at boot and checks an
+// unknown name is rejected.
+func TestFiltersFromConfig(t *testing.T) {
+	startTestDaemon(t, Config{ID: 1, Drain: time.Millisecond,
+		Filters: []string{"tap", "suppress:type EQ x", "cache"}})
+
+	_, err := startDaemon(Config{ID: 2, Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Filters: []string{"bogus"}}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown name") {
+		t.Fatalf("bogus filter: err = %v", err)
+	}
+}
+
+// TestShutdownWithdrawsAndStops checks Shutdown withdraws the application
+// layer, the control plane stops answering, and no goroutines leak — the
+// in-process form of the daemon's clean-SIGTERM guarantee.
+func TestShutdownWithdrawsAndStops(t *testing.T) {
+	base := runtime.NumGoroutine()
+	d := startTestDaemon(t, Config{ID: 3, Drain: 20 * time.Millisecond,
+		InterestInterval: 50 * time.Millisecond, ForwardJitter: time.Millisecond,
+		Subscribe: []string{"type EQ a"}, Publish: []string{"type IS a"},
+		Filters: []string{"suppress"}})
+	addr := d.HTTPAddr().String()
+
+	if err := d.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := d.Shutdown(); err != nil { // idempotent
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("control plane still answering after shutdown")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > base %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

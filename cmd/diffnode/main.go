@@ -1,0 +1,178 @@
+// Command diffnode is a deployable directed-diffusion node: the same
+// protocol core the simulator runs, driven by wall-clock timers
+// (internal/rt) over UDP datagrams (internal/transport), with an HTTP
+// control plane for the application layer.
+//
+// A node is configured with a JSON file (-config) or flags:
+//
+//	diffnode -id 1 -listen 127.0.0.1:7001 -http 127.0.0.1:8001 \
+//	    -neighbors 2=127.0.0.1:7002
+//
+// Control plane:
+//
+//	POST /subscribe    body: attribute formals ("type EQ x, interval IS 5")
+//	POST /unsubscribe  body: {"handle": N}
+//	POST /publish      body: attribute actuals
+//	POST /unpublish    body: {"handle": N}
+//	POST /send         body: {"publication": N, "attrs": "...", "exploratory": false}
+//	GET  /deliveries   locally delivered data (?since=SEQ)
+//	GET  /state        live subscriptions/publications and table sizes
+//	GET  /metrics      telemetry in Prometheus text format
+//	GET  /healthz      liveness
+//
+// SIGTERM/SIGINT triggers a graceful shutdown: the application layer is
+// withdrawn (unpublish + unsubscribe, stopping interest refresh so
+// upstream gradients age out), forwarding continues for the drain window,
+// then the sockets and the event loop stop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON config file (flags override)")
+		id         = flag.Uint("id", 0, "node ID (nonzero)")
+		listen     = flag.String("listen", "", "UDP listen address for diffusion traffic")
+		httpAddr   = flag.String("http", "", "HTTP control-plane listen address")
+		neighbors  = flag.String("neighbors", "", "neighbor table: ID=HOST:PORT,ID=HOST:PORT,...")
+		keys       = flag.String("keys", "", "comma-separated application attribute keys to pre-register, in order")
+		subscribe  = flag.String("subscribe", "", "attribute formals to subscribe at boot")
+		publish    = flag.String("publish", "", "attribute actuals to publish at boot")
+		filtersF   = flag.String("filters", "", "semicolon-separated filters: tap, suppress, cache (optionally name:<attrs>)")
+		seed       = flag.Int64("seed", 0, "jitter seed (default: node ID)")
+		interestIv = flag.Duration("interest-interval", 0, "interest refresh period (0: paper default)")
+		explIv     = flag.Duration("exploratory-interval", 0, "exploratory data period (0: paper default)")
+		jitter     = flag.Duration("forward-jitter", 0, "broadcast forwarding jitter (0: paper default)")
+		loss       = flag.Float64("loss", 0, "injected send loss probability [0,1)")
+		latency    = flag.Duration("latency", 0, "injected send latency")
+		drain      = flag.Duration("drain", 0, "shutdown drain window (default 500ms)")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*configPath, flagOverrides{
+		id: uint32(*id), listen: *listen, http: *httpAddr, neighbors: *neighbors, keys: *keys,
+		subscribe: *subscribe, publish: *publish, filters: *filtersF, seed: *seed,
+		interestInterval: *interestIv, exploratoryInterval: *explIv,
+		forwardJitter: *jitter, loss: *loss, latency: *latency, drain: *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	d, err := startDaemon(cfg, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	signal.Stop(sig)
+	fmt.Fprintf(os.Stderr, "diffnode %d: %v, shutting down\n", cfg.ID, s)
+	if err := d.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// flagOverrides carries the flag values into config assembly; zero values
+// leave the file's settings alone.
+type flagOverrides struct {
+	id                  uint32
+	listen, http        string
+	neighbors, keys     string
+	subscribe, publish  string
+	filters             string
+	seed                int64
+	interestInterval    time.Duration
+	exploratoryInterval time.Duration
+	forwardJitter       time.Duration
+	loss                float64
+	latency             time.Duration
+	drain               time.Duration
+}
+
+// buildConfig loads the optional config file and applies flag overrides.
+func buildConfig(path string, f flagOverrides) (Config, error) {
+	var cfg Config
+	if path != "" {
+		c, err := loadConfig(path)
+		if err != nil {
+			return cfg, err
+		}
+		cfg = c
+	}
+	if f.id != 0 {
+		cfg.ID = f.id
+	}
+	if f.listen != "" {
+		cfg.Listen = f.listen
+	}
+	if f.http != "" {
+		cfg.HTTP = f.http
+	}
+	if f.neighbors != "" {
+		nb, err := parseNeighbors(f.neighbors)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Neighbors = nb
+	}
+	if f.keys != "" {
+		cfg.Keys = append(cfg.Keys, splitList(f.keys, ',')...)
+	}
+	if f.subscribe != "" {
+		cfg.Subscribe = append(cfg.Subscribe, f.subscribe)
+	}
+	if f.publish != "" {
+		cfg.Publish = append(cfg.Publish, f.publish)
+	}
+	if f.filters != "" {
+		cfg.Filters = append(cfg.Filters, splitList(f.filters, ';')...)
+	}
+	if f.seed != 0 {
+		cfg.Seed = f.seed
+	}
+	if f.interestInterval != 0 {
+		cfg.InterestInterval = f.interestInterval
+	}
+	if f.exploratoryInterval != 0 {
+		cfg.ExploratoryInterval = f.exploratoryInterval
+	}
+	if f.forwardJitter != 0 {
+		cfg.ForwardJitter = f.forwardJitter
+	}
+	if f.loss != 0 {
+		cfg.Loss = f.loss
+	}
+	if f.latency != 0 {
+		cfg.Latency = f.latency
+	}
+	if f.drain != 0 {
+		cfg.Drain = f.drain
+	}
+	return cfg, nil
+}
+
+// splitList splits a list flag on sep, trimming blanks. The -filters flag
+// uses ';' because filter patterns are attribute vectors, whose clauses
+// are comma-separated; -keys uses ','.
+func splitList(s string, sep byte) []string {
+	var out []string
+	for _, f := range strings.Split(s, string(sep)) {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

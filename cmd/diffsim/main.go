@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"diffusion/internal/experiments"
@@ -294,77 +295,51 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		return nil
 	}
 
-	switch experiment {
-	case "fig8":
-		fig8()
-	case "fig9":
-		fig9()
-	case "fig11":
-		fig11()
-	case "model":
-		experiments.PrintTrafficModel(w)
-	case "energy":
-		experiments.PrintEnergyModel(w)
-	case "micro":
-		experiments.PrintMicroFootprint(w)
-	case "sweep-exploratory":
-		sweepExploratory()
-	case "sweep-asymmetry":
-		sweepAsymmetry()
-	case "ablate-negrf":
-		negrf()
-	case "duty-cycle":
-		dutyCycle()
-	case "scale":
-		scale()
-	case "push-pull":
-		pushPull()
-	case "latency":
-		latency()
-	case "breakdown":
-		breakdown()
-	case "sweep-capture":
-		sweepCapture()
-	case "churn":
-		return churn()
-	case "scale-parallel":
-		scaleParallel()
-	case "all":
-		fig8()
-		sep()
-		fig9()
-		sep()
-		fig11()
-		sep()
-		experiments.PrintTrafficModel(w)
-		sep()
-		experiments.PrintEnergyModel(w)
-		sep()
-		experiments.PrintMicroFootprint(w)
-		sep()
-		sweepExploratory()
-		sep()
-		sweepAsymmetry()
-		sep()
-		negrf()
-		sep()
-		dutyCycle()
-		sep()
-		scale()
-		sep()
-		pushPull()
-		sep()
-		latency()
-		sep()
-		breakdown()
-		sep()
-		sweepCapture()
-		sep()
-		scaleParallel()
-		sep()
-		return churn()
-	default:
-		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, scale-parallel, or all)", experiment)
+	// The experiment registry drives both dispatch and the unknown-name
+	// error, so the two cannot drift apart. Order is the "all" run order.
+	registry := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig8", func() error { fig8(); return nil }},
+		{"fig9", func() error { fig9(); return nil }},
+		{"fig11", func() error { fig11(); return nil }},
+		{"model", func() error { experiments.PrintTrafficModel(w); return nil }},
+		{"energy", func() error { experiments.PrintEnergyModel(w); return nil }},
+		{"micro", func() error { experiments.PrintMicroFootprint(w); return nil }},
+		{"sweep-exploratory", func() error { sweepExploratory(); return nil }},
+		{"sweep-asymmetry", func() error { sweepAsymmetry(); return nil }},
+		{"ablate-negrf", func() error { negrf(); return nil }},
+		{"duty-cycle", func() error { dutyCycle(); return nil }},
+		{"scale", func() error { scale(); return nil }},
+		{"push-pull", func() error { pushPull(); return nil }},
+		{"latency", func() error { latency(); return nil }},
+		{"breakdown", func() error { breakdown(); return nil }},
+		{"sweep-capture", func() error { sweepCapture(); return nil }},
+		{"scale-parallel", func() error { scaleParallel(); return nil }},
+		{"churn", churn},
 	}
-	return nil
+
+	if experiment == "all" {
+		for i, e := range registry {
+			if i > 0 {
+				sep()
+			}
+			if err := e.run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, e := range registry {
+		if e.name == experiment {
+			return e.run()
+		}
+	}
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return fmt.Errorf("unknown experiment %q (want %s, or all)",
+		experiment, strings.Join(names, ", "))
 }

@@ -37,8 +37,24 @@ func TestRunSimulatedExperimentTiny(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bogus", false, 0, 0, false, "", 0); err == nil {
-		t.Error("unknown experiment must error")
+	err := run(&buf, "bogus", false, 0, 0, false, "", 0)
+	if err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	// The error must name the rejected input and list every valid
+	// experiment, so a typo is self-correcting from the message alone.
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Errorf("error does not name the bad input: %v", err)
+	}
+	for _, name := range []string{
+		"fig8", "fig9", "fig11", "model", "energy", "micro",
+		"sweep-exploratory", "sweep-asymmetry", "ablate-negrf",
+		"duty-cycle", "scale", "push-pull", "latency", "breakdown",
+		"sweep-capture", "scale-parallel", "churn", "all",
+	} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list experiment %q: %v", name, err)
+		}
 	}
 }
 

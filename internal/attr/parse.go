@@ -18,6 +18,23 @@ import (
 // quoted strings are always strings. ParseVec is the inverse of
 // Vec.String up to value-type details, and is what the query CLI uses.
 
+// Notation renders v in the paper's parseable textual notation — the
+// clause list ParseVec accepts, without Vec.String's surrounding parens.
+// ParseVec(v.Notation()) reproduces v up to value-width details (an int64
+// that fits in 32 bits parses back as int32, a float32 widens to float64)
+// and except for blobs, which have no textual form. The HTTP control
+// plane uses it to echo what it parsed.
+func (v Vec) Notation() string {
+	var b strings.Builder
+	for i, a := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
 // ParseOp parses an operation name.
 func ParseOp(s string) (Op, error) {
 	switch strings.ToUpper(s) {

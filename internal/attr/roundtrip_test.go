@@ -1,0 +1,121 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+)
+
+// The HTTP control plane feeds untrusted text through ParseVec and echoes
+// results with Notation, so the pair must round-trip: parse → attrs →
+// render → parse must reproduce the attrs, and malformed input must fail
+// cleanly rather than panic.
+
+// TestNotationRoundTrip checks parse(render(parse(s))) is identical to
+// parse(s) across the notation's surface.
+func TestNotationRoundTrip(t *testing.T) {
+	inputs := []string{
+		"type EQ four-legged-animal-search, interval IS 6000",
+		"type IS four-legged-animal-search, instance IS elephant, confidence IS 0.85",
+		"x GE -100, x LE 200, y GE 0.5, y LE 300.1",
+		`target EQ "two words", note IS "comma, inside"`,
+		`quote IS "she said \"hi\""`,
+		"task EQ_ANY",
+		"seq IS 2147483647, big IS 9223372036854775807, neg IS -42",
+		"rate IS 1e-3, huge IS 1.5e300",
+		"class NE 4, hops LT 16, depth GT 2",
+		"", // empty vector
+		"  type  EQ   spaced  ,  interval IS 5  ",
+	}
+	for _, in := range inputs {
+		first, err := ParseVec(in)
+		if err != nil {
+			t.Fatalf("ParseVec(%q): %v", in, err)
+		}
+		rendered := first.Notation()
+		second, err := ParseVec(rendered)
+		if err != nil {
+			t.Fatalf("ParseVec(render(%q)) = ParseVec(%q): %v", in, rendered, err)
+		}
+		if !vecsEqual(first, second) {
+			t.Errorf("round trip drifted:\n  in:       %q\n  parsed:   %v\n  rendered: %q\n  reparsed: %v",
+				in, first, rendered, second)
+		}
+		// Rendering must be a fixpoint after one round.
+		if again := second.Notation(); again != rendered {
+			t.Errorf("render not stable: %q then %q", rendered, again)
+		}
+	}
+}
+
+// TestNotationRoundTripValueWidths documents the value-width conversions:
+// a small int64 comes back as int32 and a float32 widens, with the
+// numeric value preserved.
+func TestNotationRoundTripValueWidths(t *testing.T) {
+	v := Vec{
+		Int64Attr(RegisterKey("n64"), IS, 7),
+		Float32Attr(RegisterKey("f32"), IS, 0.25),
+	}
+	back, err := ParseVec(v.Notation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Val.Type != TypeInt32 || back[0].Val.AsFloat() != 7 {
+		t.Errorf("int64(7) reparsed as %v", back[0].Val)
+	}
+	if back[1].Val.Type != TypeFloat64 || back[1].Val.AsFloat() != 0.25 {
+		t.Errorf("float32(0.25) reparsed as %v", back[1].Val)
+	}
+}
+
+// vecsEqual compares two vectors attribute by attribute (key, op, value
+// type and rendered value).
+func vecsEqual(a, b Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Op != b[i].Op ||
+			a[i].Val.Type != b[i].Val.Type || a[i].Val.String() != b[i].Val.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParseRejectsMalformed checks every malformed shape errors (never
+// panics) with a message naming the offending clause.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"type",                     // no op
+		"type EQ",                  // missing value
+		"type BETWEEN 1",           // unknown op
+		"task EQ_ANY yes",          // EQ_ANY takes no value
+		"a EQ 1, b",                // second clause bad
+		"interval IS 1, type ALSO", // unknown op later
+	}
+	for _, in := range cases {
+		if _, err := ParseVec(in); err == nil {
+			t.Errorf("ParseVec(%q) accepted malformed input", in)
+		}
+	}
+}
+
+// TestParseUntrustedSoup throws byte soup at the parser: the control
+// plane's exposure means anything may arrive; it must error or parse, not
+// panic, and whatever parses must render.
+func TestParseUntrustedSoup(t *testing.T) {
+	soups := []string{
+		strings.Repeat(",", 1000),
+		strings.Repeat(`"`, 999),
+		"\x00\x01\x02 EQ \xff",
+		strings.Repeat("a EQ 1, ", 500) + "a EQ 1",
+		`x IS "unterminated`,
+		"𝓊𝓃𝒾𝒸ℴ𝒹ℯ IS 🜲",
+	}
+	for _, in := range soups {
+		v, err := ParseVec(in)
+		if err == nil {
+			_ = v.Notation()
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestHandleEnumeration covers the shutdown-path introspection API: live
+// handles enumerate in order, attrs round out, and withdrawn handles
+// disappear.
+func TestHandleEnumeration(t *testing.T) {
+	tn := newTestNet(9)
+	n := tn.addNode(1, nil)
+
+	s1 := n.Subscribe(surveillanceInterest(), nil)
+	s2 := n.Subscribe(surveillanceInterest(), nil)
+	p1 := n.Publish(surveillancePublication())
+
+	subs := n.ActiveSubscriptions()
+	if len(subs) != 2 || subs[0] != s1 || subs[1] != s2 {
+		t.Fatalf("ActiveSubscriptions = %v, want [%d %d]", subs, s1, s2)
+	}
+	pubs := n.ActivePublications()
+	if len(pubs) != 1 || pubs[0] != p1 {
+		t.Fatalf("ActivePublications = %v, want [%d]", pubs, p1)
+	}
+
+	if got, ok := n.SubscriptionAttrs(s1); !ok || len(got) != len(surveillanceInterest()) {
+		t.Fatalf("SubscriptionAttrs(%d) = %v, %v", s1, got, ok)
+	}
+	if got, ok := n.PublicationAttrs(p1); !ok || len(got) != len(surveillancePublication()) {
+		t.Fatalf("PublicationAttrs(%d) = %v, %v", p1, got, ok)
+	}
+	if _, ok := n.SubscriptionAttrs(999); ok {
+		t.Fatal("unknown subscription handle must report !ok")
+	}
+	if _, ok := n.PublicationAttrs(999); ok {
+		t.Fatal("unknown publication handle must report !ok")
+	}
+
+	// Withdrawing everything (the SIGTERM path) empties both sets.
+	for _, h := range n.ActivePublications() {
+		if err := n.Unpublish(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range n.ActiveSubscriptions() {
+		if err := n.Unsubscribe(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(n.ActiveSubscriptions())+len(n.ActivePublications()) != 0 {
+		t.Fatal("handles survived withdrawal")
+	}
+}

@@ -5,7 +5,10 @@
 //
 // A Node is event-driven and single-threaded, exactly like the paper's
 // reference daemon: it reacts to link-layer receptions and clock callbacks
-// and never blocks. All state transitions happen on the owning scheduler.
+// and never blocks. All state transitions happen on the owning executor —
+// the simulator's event loop (internal/sim) or a wall-clock rt.Loop
+// (internal/rt), which serializes receptions, timers and control-plane
+// calls onto one goroutine so the same node code runs live unmodified.
 //
 // The protocol follows section 3.1:
 //
@@ -28,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"diffusion/internal/attr"
@@ -38,7 +42,8 @@ import (
 
 // Link is the hop-by-hop communication service beneath diffusion: broadcast
 // or unicast to immediate neighbors, best effort. internal/mac implements
-// it over the simulated radio.
+// it over the simulated radio; internal/transport implements it over UDP
+// datagrams and in-process channels for live deployments.
 type Link interface {
 	// ID returns this node's link-layer identifier.
 	ID() uint32
@@ -638,6 +643,49 @@ func (n *Node) housekeeping() {
 			delete(n.entries, h)
 		}
 	}
+}
+
+// ActiveSubscriptions returns the handles of every live subscription in
+// ascending order. A live daemon's shutdown path uses it to withdraw the
+// application layer without bookkeeping of its own.
+func (n *Node) ActiveSubscriptions() []SubscriptionHandle {
+	out := make([]SubscriptionHandle, 0, len(n.subs))
+	for h := range n.subs {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActivePublications returns the handles of every live publication in
+// ascending order.
+func (n *Node) ActivePublications() []PublicationHandle {
+	out := make([]PublicationHandle, 0, len(n.pubs))
+	for h := range n.pubs {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubscriptionAttrs returns the attribute formals of a live subscription
+// (control-plane introspection); ok is false for unknown handles.
+func (n *Node) SubscriptionAttrs(h SubscriptionHandle) (attr.Vec, bool) {
+	s, ok := n.subs[h]
+	if !ok {
+		return nil, false
+	}
+	return s.attrs.Clone(), true
+}
+
+// PublicationAttrs returns the attributes of a live publication; ok is
+// false for unknown handles.
+func (n *Node) PublicationAttrs(h PublicationHandle) (attr.Vec, bool) {
+	p, ok := n.pubs[h]
+	if !ok {
+		return nil, false
+	}
+	return p.attrs.Clone(), true
 }
 
 // Entries returns the number of live interest entries (diagnostics).

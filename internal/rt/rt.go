@@ -1,0 +1,224 @@
+// Package rt is the live runtime: it runs the same single-threaded node
+// code the simulator drives — internal/core.Node, its filters, and the
+// services built on them — against the wall clock, as real processes on
+// real transports (see internal/transport and cmd/diffnode).
+//
+// The paper's daemon is an event-driven, single-threaded process; the
+// simulator preserves that by executing every node callback on one event
+// loop. Loop preserves it in real time: one goroutine per node owns all of
+// that node's protocol state, and everything that touches the node — timer
+// callbacks, link-layer receptions, control-plane requests — is posted onto
+// the loop and executed serially in arrival order. Node logic therefore
+// needs no locks and runs unmodified under either driver.
+//
+// Loop implements sim.Clock, so a core.Config{Clock: loop, ...} node keeps
+// the exact code paths exercised by the deterministic tests. Timers are
+// time.Timer underneath but fire on the loop, and Cancel retains the
+// simulator's guarantee: a successful Cancel means the callback will not
+// run, even if the underlying timer already expired and its dispatch is
+// sitting in the loop's queue.
+package rt
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"diffusion/internal/sim"
+)
+
+// ErrStopped is returned by Call once the loop has been stopped.
+var ErrStopped = errors.New("rt: loop is stopped")
+
+// Loop is a serialized wall-clock executor: a single goroutine that owns
+// one node's state and runs every callback in submission order. It
+// implements sim.Clock.
+type Loop struct {
+	start time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func()
+	stopping bool
+	stopped  bool
+	done     chan struct{}
+}
+
+// NewLoop starts a loop anchored at the current instant. The caller must
+// eventually Stop it to release the goroutine.
+func NewLoop() *Loop {
+	l := &Loop{start: time.Now(), done: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+// run is the loop goroutine: it drains posted callbacks in order until the
+// loop is stopped, then executes whatever was already queued and exits.
+func (l *Loop) run() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.stopping {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.stopping {
+			l.stopped = true
+			l.mu.Unlock()
+			return
+		}
+		fn := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		fn()
+	}
+}
+
+// Post enqueues fn to run on the loop goroutine. It never blocks and is
+// safe from any goroutine (link-layer readers, HTTP handlers, timer
+// dispatch). After Stop, posts are dropped and Post reports false.
+func (l *Loop) Post(fn func()) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopping {
+		return false
+	}
+	l.queue = append(l.queue, fn)
+	l.cond.Signal()
+	return true
+}
+
+// Call runs fn on the loop goroutine and waits for it to finish — the
+// synchronous entry point control planes use to query or mutate node
+// state. It must not be called from within a loop callback (that would
+// deadlock); loop-resident code simply calls fn directly.
+func (l *Loop) Call(fn func()) error {
+	ch := make(chan struct{})
+	if !l.Post(func() {
+		fn()
+		close(ch)
+	}) {
+		return ErrStopped
+	}
+	<-ch
+	return nil
+}
+
+// Stop shuts the loop down: already-queued callbacks still run, later
+// posts are dropped, and Stop returns once the loop goroutine has exited.
+// Timers that fire afterwards are silently discarded. Stop is idempotent
+// and must not be called from within a loop callback.
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	l.stopping = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-l.done
+}
+
+// Now returns the elapsed wall time since the loop was created, satisfying
+// the sim.Clock contract of time-as-offset-from-start.
+func (l *Loop) Now() time.Duration { return time.Since(l.start) }
+
+// After schedules fn to run on the loop d from now. The returned timer's
+// Cancel reports whether the callback was still pending and guarantees it
+// will not run.
+func (l *Loop) After(d time.Duration, fn func()) sim.Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &timer{loop: l, fn: fn}
+	t.t = time.AfterFunc(d, t.dispatch)
+	return t
+}
+
+// Every schedules fn at now+d and then every period thereafter until the
+// returned timer is cancelled, matching sim.Executor.Every. It panics when
+// period is not positive.
+func (l *Loop) Every(d, period time.Duration, fn func()) sim.Timer {
+	if period <= 0 {
+		panic("rt: Every requires a positive period")
+	}
+	rt := &repeatTimer{}
+	var arm func(delay time.Duration)
+	arm = func(delay time.Duration) {
+		rt.mu.Lock()
+		if !rt.cancelled {
+			rt.inner = l.After(delay, func() {
+				rt.mu.Lock()
+				dead := rt.cancelled
+				rt.mu.Unlock()
+				if dead {
+					return
+				}
+				fn()
+				arm(period)
+			})
+		}
+		rt.mu.Unlock()
+	}
+	arm(d)
+	return rt
+}
+
+// timer is one pending loop callback backed by a time.Timer. Its state is
+// guarded by a mutex because Cancel may race with the wall-clock dispatch
+// goroutine, unlike in the simulator where everything shares one thread.
+type timer struct {
+	loop *Loop
+	fn   func()
+	t    *time.Timer
+
+	mu        sync.Mutex
+	fired     bool
+	cancelled bool
+}
+
+// dispatch runs on the time.Timer's goroutine and hands the callback to
+// the loop. The cancelled check happens again on the loop goroutine, so a
+// Cancel that lands after dispatch but before execution still wins.
+func (t *timer) dispatch() {
+	t.loop.Post(func() {
+		t.mu.Lock()
+		if t.cancelled {
+			t.mu.Unlock()
+			return
+		}
+		t.fired = true
+		t.mu.Unlock()
+		t.fn()
+	})
+}
+
+// Cancel stops the timer; it reports whether the callback was still
+// pending (and is now guaranteed not to run).
+func (t *timer) Cancel() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired || t.cancelled {
+		return false
+	}
+	t.cancelled = true
+	t.t.Stop()
+	return true
+}
+
+// repeatTimer is the cancellation handle for Every.
+type repeatTimer struct {
+	mu        sync.Mutex
+	inner     sim.Timer
+	cancelled bool
+}
+
+func (r *repeatTimer) Cancel() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cancelled {
+		return false
+	}
+	r.cancelled = true
+	if r.inner != nil {
+		return r.inner.Cancel()
+	}
+	return false
+}

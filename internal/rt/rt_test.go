@@ -1,0 +1,202 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoopSerializesCallbacks hammers one loop from many goroutines and
+// checks callbacks never overlap: the invariant that lets lock-free node
+// code run live.
+func TestLoopSerializesCallbacks(t *testing.T) {
+	l := NewLoop()
+	defer l.Stop()
+
+	var inside, overlaps, ran int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Post(func() {
+					if atomic.AddInt32(&inside, 1) != 1 {
+						atomic.AddInt32(&overlaps, 1)
+					}
+					atomic.AddInt32(&ran, 1)
+					atomic.AddInt32(&inside, -1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Call(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if overlaps != 0 {
+		t.Fatalf("%d overlapping callback executions", overlaps)
+	}
+	if ran != 8*200 {
+		t.Fatalf("ran %d callbacks, want %d", ran, 8*200)
+	}
+}
+
+// TestLoopPreservesPostOrder checks same-goroutine posts execute FIFO.
+func TestLoopPreservesPostOrder(t *testing.T) {
+	l := NewLoop()
+	defer l.Stop()
+
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		l.Post(func() { got = append(got, i) })
+	}
+	if err := l.Call(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	l.Call(func() {
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("position %d holds %d; posts reordered", i, v)
+			}
+		}
+	})
+}
+
+// TestAfterFiresOnLoop checks timers dispatch onto the loop goroutine and
+// observe the clock monotonically.
+func TestAfterFiresOnLoop(t *testing.T) {
+	l := NewLoop()
+	defer l.Stop()
+
+	done := make(chan time.Duration, 1)
+	before := l.Now()
+	l.After(10*time.Millisecond, func() { done <- l.Now() })
+	select {
+	case at := <-done:
+		if at < before {
+			t.Fatalf("timer fired at %v, armed at %v", at, before)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+// TestCancelGuaranteesNoRun cancels timers whose underlying time.Timer has
+// already expired (dispatch queued behind a blocker): a successful Cancel
+// must still win.
+func TestCancelGuaranteesNoRun(t *testing.T) {
+	l := NewLoop()
+	defer l.Stop()
+
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	l.Post(func() { close(blocked); <-release })
+	<-blocked
+
+	fired := make(chan struct{}, 1)
+	tm := l.After(time.Millisecond, func() { fired <- struct{}{} })
+	// Let the wall timer expire and queue its dispatch behind the blocker.
+	time.Sleep(20 * time.Millisecond)
+	cancelled := tm.Cancel()
+	close(release)
+
+	if err := l.Call(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+		if cancelled {
+			t.Fatal("Cancel returned true but the callback ran")
+		}
+	default:
+		if !cancelled {
+			t.Fatal("callback never ran yet Cancel returned false")
+		}
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel must report not-pending")
+	}
+}
+
+// TestEveryRepeatsAndCancels checks the periodic timer fires repeatedly
+// and stops firing after Cancel.
+func TestEveryRepeatsAndCancels(t *testing.T) {
+	l := NewLoop()
+	defer l.Stop()
+
+	var n int32
+	tm := l.Every(time.Millisecond, time.Millisecond, func() { atomic.AddInt32(&n, 1) })
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt32(&n) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if atomic.LoadInt32(&n) < 3 {
+		t.Fatal("periodic timer did not fire repeatedly")
+	}
+	tm.Cancel()
+	l.Call(func() {})
+	frozen := atomic.LoadInt32(&n)
+	time.Sleep(20 * time.Millisecond)
+	l.Call(func() {})
+	// One in-flight firing may land around the Cancel; after that the
+	// count must not move.
+	if d := atomic.LoadInt32(&n) - frozen; d > 1 {
+		t.Fatalf("timer fired %d times after Cancel", d)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every with zero period must panic")
+		}
+	}()
+	l.Every(0, 0, func() {})
+}
+
+// TestStopDropsLatePostsAndCalls checks post-stop behavior: Post reports
+// false, Call returns ErrStopped, and neither blocks.
+func TestStopDropsLatePostsAndCalls(t *testing.T) {
+	l := NewLoop()
+	l.Stop()
+	l.Stop() // idempotent
+	if l.Post(func() { t.Error("post ran after Stop") }) {
+		t.Fatal("Post after Stop must report false")
+	}
+	if err := l.Call(func() {}); err != ErrStopped {
+		t.Fatalf("Call after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestLoopGoroutineExit checks Stop releases the loop goroutine — the
+// leak check the daemon's clean-shutdown guarantee builds on.
+func TestLoopGoroutineExit(t *testing.T) {
+	before := runtime.NumGoroutine()
+	loops := make([]*Loop, 50)
+	for i := range loops {
+		loops[i] = NewLoop()
+		loops[i].After(time.Hour, func() {})
+	}
+	for _, l := range loops {
+		l.Stop()
+	}
+	if !goroutinesSettle(before) {
+		t.Fatalf("goroutines did not settle: before=%d now=%d", before, runtime.NumGoroutine())
+	}
+}
+
+// goroutinesSettle polls until the goroutine count returns to within a
+// small tolerance of base (timer dispatch goroutines need a moment to
+// drain), reporting success.
+func goroutinesSettle(base int) bool {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

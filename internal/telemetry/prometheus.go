@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file renders snapshots in the Prometheus text exposition format —
+// the wall-clock serving path: a live node (cmd/diffnode) takes a Snapshot
+// on its event loop and streams it to scrapers from GET /metrics. The
+// registry/collector machinery is unchanged; only the rendering differs
+// from the simulator's table output.
+//
+// Mapping: a metric named "core.bytes_sent" in scope "node3" becomes
+//
+//	diffusion_core_bytes_sent{scope="node3"} 42
+//
+// Dots and any other characters outside [a-zA-Z0-9_:] turn into
+// underscores. Histogram-expanded entries (.count/.mean/.p99) are emitted
+// like any other sample. Every metric name gets one # HELP/# TYPE pair
+// (untyped: the registry does not distinguish counters from gauges at
+// snapshot time) followed by one sample line per scope, names sorted, so
+// output is deterministic.
+
+// WritePrometheus renders s in the Prometheus text exposition format.
+// Every sample carries a scope label; prefix (default "diffusion") is
+// prepended to each metric name.
+func WritePrometheus(w io.Writer, s Snapshot, prefix string) error {
+	if prefix == "" {
+		prefix = "diffusion"
+	}
+	// Collect the union of metric names, then the scopes carrying each.
+	names := make([]string, 0, len(s.Totals))
+	for name := range s.Totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	scopes := make([]string, 0, len(s.Scopes))
+	for scope := range s.Scopes {
+		scopes = append(scopes, scope)
+	}
+	sort.Strings(scopes)
+
+	for _, name := range names {
+		prom := prefix + "_" + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s untyped\n",
+			prom, name, prom); err != nil {
+			return err
+		}
+		for _, scope := range scopes {
+			v, ok := s.Scopes[scope][name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{scope=%q} %s\n",
+				prom, scope, formatSampleValue(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps a registry metric name onto the Prometheus
+// name alphabet [a-zA-Z0-9_:], collapsing every other rune to '_' and
+// prefixing an underscore when the name would start with a digit.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// formatSampleValue renders a float64 the way Prometheus expects: plain
+// decimal or scientific notation, with IEEE special values spelled out.
+func formatSampleValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one valid exposition-format sample line:
+// name{scope="..."} value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*\{scope="[^"\\]*"\} (NaN|[+-]Inf|-?[0-9.eE+-]+)$`)
+
+func sampleSnapshot() Snapshot {
+	h := NewHub(func() time.Duration { return time.Second })
+	r1 := h.Register(NewRegistry("node1"))
+	r1.Counter("core.bytes_sent").Add(42)
+	r1.Gauge("mac.queue_depth").Set(3)
+	r1.Histogram("rtt_us").Observe(100)
+	r2 := h.Register(NewRegistry("node2"))
+	r2.Counter("core.bytes_sent").Add(7)
+	r2.Gauge("weird name-with.chars").Set(1)
+	return h.Snapshot()
+}
+
+// TestWritePrometheusFormat checks every emitted line is either a comment
+// or a well-formed sample, and the content is complete.
+func TestWritePrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, sampleSnapshot(), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+	samples := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no sample lines")
+	}
+
+	for _, want := range []string{
+		`diffusion_core_bytes_sent{scope="node1"} 42`,
+		`diffusion_core_bytes_sent{scope="node2"} 7`,
+		`diffusion_mac_queue_depth{scope="node1"} 3`,
+		`diffusion_rtt_us_count{scope="node1"} 1`,
+		`diffusion_rtt_us_mean{scope="node1"} 100`,
+		`diffusion_weird_name_with_chars{scope="node2"} 1`,
+		"# TYPE diffusion_core_bytes_sent untyped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// A metric absent from a scope must not fabricate a zero sample.
+	if strings.Contains(out, `diffusion_mac_queue_depth{scope="node2"}`) {
+		t.Error("node2 must not report a metric it never registered")
+	}
+}
+
+// TestWritePrometheusDeterministic checks two renders of one snapshot are
+// byte-identical (sorted names and scopes), so scrape diffs are
+// meaningful.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	s := sampleSnapshot()
+	var a, b strings.Builder
+	WritePrometheus(&a, s, "")
+	WritePrometheus(&b, s, "")
+	if a.String() != b.String() {
+		t.Fatal("renders of the same snapshot differ")
+	}
+}
+
+// TestWritePrometheusSpecialValues checks IEEE specials render in the
+// exposition spelling.
+func TestWritePrometheusSpecialValues(t *testing.T) {
+	h := NewHub(nil)
+	r := h.Register(NewRegistry("n"))
+	r.Gauge("nan").Set(math.NaN())
+	r.Gauge("inf").Set(math.Inf(1))
+	r.Gauge("neginf").Set(math.Inf(-1))
+	var b strings.Builder
+	if err := WritePrometheus(&b, h.Snapshot(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`x_nan{scope="n"} NaN`,
+		`x_inf{scope="n"} +Inf`,
+		`x_neginf{scope="n"} -Inf`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"core.bytes_sent": "core_bytes_sent",
+		"a b-c/d":         "a_b_c_d",
+		"9lives":          "_9lives",
+		"ok_name:sub":     "ok_name:sub",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Mesh is the in-process transport: a set of nodes connected by an
+// explicit adjacency graph, with deliveries handed straight to the
+// receiver's Deliver callback (optionally delayed and dropped). It gives
+// live-runtime tests the multi-goroutine concurrency shape of the UDP
+// path — every node on its own rt.Loop, deliveries crossing goroutines —
+// without sockets, so a whole cluster runs in one test process.
+type Mesh struct {
+	mu    sync.Mutex
+	links map[uint32]*MeshLink
+	adj   map[uint32]map[uint32]bool
+	rng   *rand.Rand
+
+	// Latency delays every delivery (zero = immediate, on the sender's
+	// goroutine).
+	Latency time.Duration
+	// Loss drops each delivery independently with this probability.
+	Loss float64
+}
+
+// NewMesh returns an empty mesh; seed drives the loss stream.
+func NewMesh(seed int64) *Mesh {
+	return &Mesh{
+		links: map[uint32]*MeshLink{},
+		adj:   map[uint32]map[uint32]bool{},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Attach adds a node and returns its link. Attaching an existing ID
+// panics (test-configuration error).
+func (m *Mesh) Attach(id uint32, deliver Deliver) *MeshLink {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.links[id]; dup {
+		panic(fmt.Sprintf("transport: mesh node %d attached twice", id))
+	}
+	l := &MeshLink{mesh: m, id: id, deliver: deliver}
+	m.links[id] = l
+	if m.adj[id] == nil {
+		m.adj[id] = map[uint32]bool{}
+	}
+	return l
+}
+
+// Connect makes a and b bidirectional neighbors.
+func (m *Mesh) Connect(a, b uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.adj[a] == nil {
+		m.adj[a] = map[uint32]bool{}
+	}
+	if m.adj[b] == nil {
+		m.adj[b] = map[uint32]bool{}
+	}
+	m.adj[a][b] = true
+	m.adj[b][a] = true
+}
+
+// Line connects ids into a chain in order.
+func (m *Mesh) Line(ids ...uint32) {
+	for i := 1; i < len(ids); i++ {
+		m.Connect(ids[i-1], ids[i])
+	}
+}
+
+// MeshLink is one node's core.Link on a Mesh.
+type MeshLink struct {
+	mesh    *Mesh
+	id      uint32
+	deliver Deliver
+	stats   Stats
+}
+
+// ID returns the node's link-layer identifier (core.Link).
+func (l *MeshLink) ID() uint32 { return l.id }
+
+// Stats returns the link's packet accounting.
+func (l *MeshLink) Stats() *Stats { return &l.stats }
+
+// Send delivers payload to dst (a neighbor or Broadcast), applying the
+// mesh's loss and latency (core.Link). Each receiver gets its own copy.
+func (l *MeshLink) Send(dst uint32, payload []byte) error {
+	if len(payload) > maxPayload {
+		l.stats.SendErrors.Add(1)
+		return ErrTooLarge
+	}
+	m := l.mesh
+	m.mu.Lock()
+	if dst != Broadcast && !m.adj[l.id][dst] {
+		// Match the UDP transport: unicast to a non-neighbor is an error
+		// the diffusion layer counts as a link send failure.
+		m.mu.Unlock()
+		l.stats.SendErrors.Add(1)
+		return fmt.Errorf("transport: %d is not a neighbor of %d", dst, l.id)
+	}
+	var targets []*MeshLink
+	for nb := range m.adj[l.id] {
+		if dst != Broadcast && dst != nb {
+			continue
+		}
+		if to, ok := m.links[nb]; ok {
+			if m.Loss > 0 && m.rng.Float64() < m.Loss {
+				l.stats.LossInjected.Add(1)
+				continue
+			}
+			targets = append(targets, to)
+		}
+	}
+	latency := m.Latency
+	m.mu.Unlock()
+	for _, to := range targets {
+		to := to
+		data := make([]byte, len(payload))
+		copy(data, payload)
+		l.stats.onSend(headerSize + len(data))
+		deliver := func() {
+			to.stats.onRecv(headerSize + len(data))
+			to.deliver(l.id, data)
+		}
+		if latency > 0 {
+			time.AfterFunc(latency, deliver)
+		} else {
+			deliver()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeshDeliversAlongAdjacency(t *testing.T) {
+	m := NewMesh(1)
+	c1, c2, c3 := &collector{}, &collector{}, &collector{}
+	l1 := m.Attach(1, c1.deliver)
+	m.Attach(2, c2.deliver)
+	m.Attach(3, c3.deliver)
+	m.Line(1, 2, 3)
+
+	// Broadcast from 1 reaches only its neighbor 2, not 3.
+	if err := l1.Send(Broadcast, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got, from := c2.snapshot(); len(got) != 1 || got[0] != "hello" || from[0] != 1 {
+		t.Fatalf("node 2 got %v from %v", got, from)
+	}
+	if c3.count() != 0 {
+		t.Fatal("broadcast must not skip hops")
+	}
+
+	// Unicast to a non-neighbor errors; to a neighbor delivers.
+	if err := l1.Send(3, []byte("skip")); err == nil {
+		t.Fatal("unicast across two hops must error")
+	}
+	if err := l1.Send(2, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	if c2.count() != 2 {
+		t.Fatalf("node 2 got %d messages, want 2", c2.count())
+	}
+	if l1.Stats().Sent.Load() != 2 || l1.Stats().SendErrors.Load() != 1 {
+		t.Fatalf("accounting: %d sent %d errors, want 2/1",
+			l1.Stats().Sent.Load(), l1.Stats().SendErrors.Load())
+	}
+}
+
+func TestMeshLossAndLatency(t *testing.T) {
+	m := NewMesh(3)
+	m.Loss = 1.0
+	c2 := &collector{}
+	l1 := m.Attach(1, (&collector{}).deliver)
+	m.Attach(2, c2.deliver)
+	m.Connect(1, 2)
+	for i := 0; i < 10; i++ {
+		if err := l1.Send(2, []byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c2.count() != 0 || l1.Stats().LossInjected.Load() != 10 {
+		t.Fatalf("loss=1.0: delivered %d, accounted %d",
+			c2.count(), l1.Stats().LossInjected.Load())
+	}
+
+	m.Loss = 0
+	m.Latency = 30 * time.Millisecond
+	start := time.Now()
+	if err := l1.Send(2, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if c2.count() != 0 {
+		t.Fatal("latency>0 must not deliver synchronously")
+	}
+	waitFor(t, func() bool { return c2.count() == 1 }, "delayed mesh delivery")
+	if el := time.Since(start); el < m.Latency {
+		t.Fatalf("delivered after %v, want >= %v", el, m.Latency)
+	}
+}
+
+func TestMeshCopiesPayloadPerReceiver(t *testing.T) {
+	m := NewMesh(5)
+	var got []byte
+	l1 := m.Attach(1, nil)
+	m.Attach(2, func(from uint32, p []byte) { got = p })
+	m.Connect(1, 2)
+	buf := []byte("mutate-me")
+	if err := l1.Send(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	if string(got) != "mutate-me" {
+		t.Fatalf("receiver saw sender's mutation: %q", got)
+	}
+	_ = l1
+}

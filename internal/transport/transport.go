@@ -1,0 +1,130 @@
+// Package transport provides live link layers for the diffusion stack:
+// implementations of core.Link that move marshalled diffusion messages
+// between real processes (UDP, udp.go) or between in-process nodes on
+// goroutines (Mesh, mesh.go), in contrast to internal/mac which models the
+// paper's radio inside the simulator.
+//
+// Both transports share the same framing, neighbor-table broadcast
+// semantics, per-packet telemetry accounting, and optional injected loss
+// and latency — the latter so a live run can be parity-tested against the
+// simulated radio's loss models (internal/radio) without real packet
+// drops. Delivery is best effort and unordered, exactly the service the
+// diffusion core was designed for: duplicate suppression, exploratory
+// flooding and reinforcement already assume a lossy link.
+//
+// A transport delivers received payloads through a Deliver callback from
+// its own reader goroutine; callers that feed a single-threaded core.Node
+// must post the upcall onto the node's rt.Loop. cmd/diffnode wires this
+// up.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"diffusion/internal/message"
+	"diffusion/internal/telemetry"
+)
+
+// Broadcast is the link-layer broadcast destination, aliased from the
+// message package (the value core.Broadcast resolves to).
+const Broadcast = uint32(message.Broadcast)
+
+// Deliver is the reception upcall: one reassembled payload from a
+// neighbor. Implementations call it from transport-owned goroutines; the
+// payload is owned by the callee.
+type Deliver func(from uint32, payload []byte)
+
+// Frame layout: a fixed header in front of the diffusion payload.
+//
+//	byte  0     magic (frameMagic)
+//	byte  1     version (frameVersion)
+//	bytes 2-5   sender link ID, big endian
+//	bytes 6-9   destination link ID (Broadcast for floods), big endian
+//	bytes 10-   diffusion message payload
+const (
+	frameMagic   = 0xD1
+	frameVersion = 1
+	headerSize   = 10
+)
+
+// maxPayload bounds a single framed message; UDP datagrams beyond this are
+// rejected at send time rather than silently truncated on the wire.
+const maxPayload = 60 * 1024
+
+// Frame errors.
+var (
+	ErrClosed      = errors.New("transport: closed")
+	ErrTooLarge    = fmt.Errorf("transport: payload exceeds %d bytes", maxPayload)
+	errShortFrame  = errors.New("transport: short frame")
+	errBadMagic    = errors.New("transport: bad magic")
+	errBadVersion  = errors.New("transport: unsupported version")
+	errNotNeighbor = errors.New("transport: sender is not a configured neighbor")
+)
+
+// encodeFrame prepends the transport header to payload.
+func encodeFrame(from, dst uint32, payload []byte) []byte {
+	b := make([]byte, headerSize+len(payload))
+	b[0] = frameMagic
+	b[1] = frameVersion
+	binary.BigEndian.PutUint32(b[2:], from)
+	binary.BigEndian.PutUint32(b[6:], dst)
+	copy(b[headerSize:], payload)
+	return b
+}
+
+// decodeFrame validates the header and returns its fields. The returned
+// payload aliases b.
+func decodeFrame(b []byte) (from, dst uint32, payload []byte, err error) {
+	if len(b) < headerSize {
+		return 0, 0, nil, errShortFrame
+	}
+	if b[0] != frameMagic {
+		return 0, 0, nil, errBadMagic
+	}
+	if b[1] != frameVersion {
+		return 0, 0, nil, errBadVersion
+	}
+	return binary.BigEndian.Uint32(b[2:]), binary.BigEndian.Uint32(b[6:]), b[headerSize:], nil
+}
+
+// Stats is the per-packet accounting both transports maintain. Fields are
+// atomics because sends happen on the node's loop while receptions land on
+// the transport's reader goroutine; the simulator's plain Stats structs
+// rely on single-threadedness the live runtime does not have.
+type Stats struct {
+	Sent         atomic.Uint64 // datagrams handed to the medium
+	SentBytes    atomic.Uint64
+	Recv         atomic.Uint64 // well-formed datagrams delivered up
+	RecvBytes    atomic.Uint64
+	SendErrors   atomic.Uint64 // socket/medium write failures
+	RecvDropped  atomic.Uint64 // malformed, unknown-sender or oversize
+	LossInjected atomic.Uint64 // injected-loss discards
+}
+
+// Instrument publishes the transport counters on reg at snapshot time,
+// mirroring how the MAC and core layers instrument: the datagram paths
+// keep bumping atomics and pay nothing string-keyed.
+func (s *Stats) Instrument(reg *telemetry.Registry) {
+	reg.AddCollector(func(emit func(string, float64)) {
+		emit("transport.sent", float64(s.Sent.Load()))
+		emit("transport.sent_bytes", float64(s.SentBytes.Load()))
+		emit("transport.recv", float64(s.Recv.Load()))
+		emit("transport.recv_bytes", float64(s.RecvBytes.Load()))
+		emit("transport.send_errors", float64(s.SendErrors.Load()))
+		emit("transport.recv_dropped", float64(s.RecvDropped.Load()))
+		emit("transport.loss_injected", float64(s.LossInjected.Load()))
+	})
+}
+
+func (s *Stats) onSend(n int) {
+	s.Sent.Add(1)
+	s.SentBytes.Add(uint64(n))
+}
+
+func (s *Stats) onRecv(n int) {
+	s.Recv.Add(1)
+	s.RecvBytes.Add(uint64(n))
+}

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPConfig parameterizes a UDP link endpoint.
+type UDPConfig struct {
+	// ID is this node's link-layer identifier. Required, and must not be
+	// the broadcast address.
+	ID uint32
+	// Listen is the local UDP address to bind ("127.0.0.1:7001"; port 0
+	// picks a free port, see LocalAddr).
+	Listen string
+	// Neighbors maps neighbor link IDs to their UDP addresses. Broadcast
+	// sends one datagram per neighbor — the neighbor table takes the place
+	// of the radio's spatial reachability. The table is static for the
+	// life of the endpoint, like the paper's testbed's fixed node
+	// placement.
+	Neighbors map[uint32]string
+	// Deliver receives every well-formed datagram from a configured
+	// neighbor. Required. Called from the endpoint's reader goroutine.
+	Deliver Deliver
+	// Loss, in [0,1), drops each outgoing datagram independently with
+	// this probability — injected loss for parity testing against the
+	// simulated radio. Zero means lossless.
+	Loss float64
+	// Latency delays each outgoing datagram by this much before it is
+	// written to the socket, emulating propagation plus airtime.
+	Latency time.Duration
+	// Seed seeds the loss-draw stream (only used when Loss > 0).
+	Seed int64
+}
+
+// UDP is a core.Link over UDP datagrams: unicast sends one datagram to the
+// neighbor's address, broadcast sends one per neighbor. It accepts frames
+// only from configured neighbors, so a stray datagram cannot inject
+// traffic under an unknown ID.
+type UDP struct {
+	id       uint32
+	conn     *net.UDPConn
+	peers    map[uint32]*net.UDPAddr
+	deliver  Deliver
+	loss     float64
+	latency  time.Duration
+	stats    Stats
+	readerWG sync.WaitGroup
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	closed bool
+}
+
+// ListenUDP binds cfg.Listen and starts the reader goroutine. The caller
+// must Close the endpoint to release both.
+func ListenUDP(cfg UDPConfig) (*UDP, error) {
+	if cfg.ID == Broadcast {
+		return nil, fmt.Errorf("transport: node ID %d is the broadcast address", cfg.ID)
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("transport: UDPConfig requires Deliver")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Listen, err)
+	}
+	peers := make(map[uint32]*net.UDPAddr, len(cfg.Neighbors))
+	for id, addr := range cfg.Neighbors {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: neighbor %d %q: %w", id, addr, err)
+		}
+		peers[id] = a
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	u := &UDP{
+		id:      cfg.ID,
+		conn:    conn,
+		peers:   peers,
+		deliver: cfg.Deliver,
+		loss:    cfg.Loss,
+		latency: cfg.Latency,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	u.readerWG.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// ID returns this node's link-layer identifier (core.Link).
+func (u *UDP) ID() uint32 { return u.id }
+
+// LocalAddr returns the bound address (useful with port 0).
+func (u *UDP) LocalAddr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns the endpoint's packet accounting.
+func (u *UDP) Stats() *Stats { return &u.stats }
+
+// Neighbors returns the configured neighbor IDs (fresh slice, any order).
+func (u *UDP) Neighbors() []uint32 {
+	out := make([]uint32, 0, len(u.peers))
+	for id := range u.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Send transmits payload to dst — a neighbor ID or Broadcast — as one
+// datagram per destination (core.Link). Sends to unknown unicast
+// destinations are errors; injected loss consumes destinations silently,
+// like the radio it stands in for.
+func (u *UDP) Send(dst uint32, payload []byte) error {
+	if len(payload) > maxPayload {
+		u.stats.SendErrors.Add(1)
+		return ErrTooLarge
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return ErrClosed
+	}
+	u.mu.Unlock()
+	if dst != Broadcast {
+		peer, ok := u.peers[dst]
+		if !ok {
+			u.stats.SendErrors.Add(1)
+			return fmt.Errorf("transport: %d is not a neighbor of %d", dst, u.id)
+		}
+		u.sendTo(peer, dst, payload)
+		return nil
+	}
+	for id, peer := range u.peers {
+		u.sendTo(peer, id, payload)
+	}
+	return nil
+}
+
+// sendTo frames and writes one datagram, applying injected loss and
+// latency.
+func (u *UDP) sendTo(peer *net.UDPAddr, dst uint32, payload []byte) {
+	if u.loss > 0 {
+		u.mu.Lock()
+		drop := u.rng.Float64() < u.loss
+		u.mu.Unlock()
+		if drop {
+			u.stats.LossInjected.Add(1)
+			return
+		}
+	}
+	frame := encodeFrame(u.id, dst, payload)
+	if u.latency > 0 {
+		time.AfterFunc(u.latency, func() { u.write(frame, peer) })
+		return
+	}
+	u.write(frame, peer)
+}
+
+// write puts one frame on the wire, accounting the outcome.
+func (u *UDP) write(frame []byte, peer *net.UDPAddr) {
+	if _, err := u.conn.WriteToUDP(frame, peer); err != nil {
+		u.stats.SendErrors.Add(1)
+		return
+	}
+	u.stats.onSend(len(frame))
+}
+
+// readLoop receives datagrams until the socket closes, validating the
+// frame and the sender before delivering.
+func (u *UDP) readLoop() {
+	defer u.readerWG.Done()
+	buf := make([]byte, maxPayload+headerSize)
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket (or a transient error after close): exit.
+			u.mu.Lock()
+			closed := u.closed
+			u.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		from, dst, payload, err := decodeFrame(buf[:n])
+		if err != nil {
+			u.stats.RecvDropped.Add(1)
+			continue
+		}
+		if _, ok := u.peers[from]; !ok || from == u.id {
+			u.stats.RecvDropped.Add(1)
+			continue
+		}
+		if dst != Broadcast && dst != u.id {
+			u.stats.RecvDropped.Add(1)
+			continue
+		}
+		u.stats.onRecv(n)
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		u.deliver(from, out)
+	}
+}
+
+// Close shuts the endpoint down and waits for the reader goroutine to
+// exit. It is idempotent; Sends after Close return ErrClosed.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	err := u.conn.Close()
+	u.readerWG.Wait()
+	return err
+}

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector accumulates deliveries thread-safely for assertions.
+type collector struct {
+	mu   sync.Mutex
+	got  []string
+	from []uint32
+}
+
+func (c *collector) deliver(from uint32, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, string(payload))
+	c.from = append(c.from, from)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *collector) snapshot() ([]string, []uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.got...), append([]uint32(nil), c.from...)
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// pair builds two connected loopback UDP endpoints.
+func pair(t *testing.T, aCfg, bCfg UDPConfig) (*UDP, *UDP, *collector, *collector) {
+	t.Helper()
+	ca, cb := &collector{}, &collector{}
+	aCfg.ID, aCfg.Listen, aCfg.Deliver = 1, "127.0.0.1:0", ca.deliver
+	a, err := ListenUDP(aCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	bCfg.ID, bCfg.Listen, bCfg.Deliver = 2, "127.0.0.1:0", cb.deliver
+	bCfg.Neighbors = map[uint32]string{1: a.LocalAddr().String()}
+	b, err := ListenUDP(bCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	// a learns b's address only now that b is bound; rebuild a with the
+	// full neighbor table instead of mutating (the table is static).
+	a.Close()
+	aCfg.Listen = a.LocalAddr().String()
+	aCfg.Neighbors = map[uint32]string{2: b.LocalAddr().String()}
+	a2, err := ListenUDP(aCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a2.Close() })
+	return a2, b, ca, cb
+}
+
+func TestUDPUnicastRoundTrip(t *testing.T) {
+	a, b, ca, cb := pair(t, UDPConfig{}, UDPConfig{})
+	if err := a.Send(2, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return cb.count() == 1 }, "b to receive")
+	got, from := cb.snapshot()
+	if got[0] != "ping" || from[0] != 1 {
+		t.Fatalf("b received %q from %d", got[0], from[0])
+	}
+	if err := b.Send(1, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ca.count() == 1 }, "a to receive")
+	got, from = ca.snapshot()
+	if got[0] != "pong" || from[0] != 2 {
+		t.Fatalf("a received %q from %d", got[0], from[0])
+	}
+	if a.Stats().Sent.Load() != 1 || a.Stats().Recv.Load() != 1 {
+		t.Fatalf("a accounting: %d sent %d recv, want 1/1",
+			a.Stats().Sent.Load(), a.Stats().Recv.Load())
+	}
+	if a.Stats().SentBytes.Load() != uint64(headerSize+4) {
+		t.Fatalf("a sent %d bytes, want %d", a.Stats().SentBytes.Load(), headerSize+4)
+	}
+}
+
+func TestUDPBroadcastFansOutToNeighbors(t *testing.T) {
+	// Hub node 1 with neighbors 2 and 3; broadcast must reach both.
+	c2, c3 := &collector{}, &collector{}
+	b, err := ListenUDP(UDPConfig{ID: 2, Listen: "127.0.0.1:0", Deliver: c2.deliver,
+		Neighbors: map[uint32]string{1: "127.0.0.1:1"}}) // placeholder addr; b never sends
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := ListenUDP(UDPConfig{ID: 3, Listen: "127.0.0.1:0", Deliver: c3.deliver,
+		Neighbors: map[uint32]string{1: "127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hub, err := ListenUDP(UDPConfig{ID: 1, Listen: "127.0.0.1:0", Deliver: (&collector{}).deliver,
+		Neighbors: map[uint32]string{
+			2: b.LocalAddr().String(),
+			3: c.LocalAddr().String(),
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	if err := hub.Send(Broadcast, []byte("flood")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c2.count() == 1 && c3.count() == 1 }, "both neighbors")
+	if hub.Stats().Sent.Load() != 2 {
+		t.Fatalf("broadcast sent %d datagrams, want 2", hub.Stats().Sent.Load())
+	}
+}
+
+func TestUDPRejectsStrangersAndMalformed(t *testing.T) {
+	a, b, _, cb := pair(t, UDPConfig{}, UDPConfig{})
+
+	// A frame claiming an unconfigured sender ID must be dropped.
+	stranger, err := ListenUDP(UDPConfig{ID: 99, Listen: "127.0.0.1:0",
+		Deliver:   (&collector{}).deliver,
+		Neighbors: map[uint32]string{2: b.LocalAddr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+	if err := stranger.Send(2, []byte("spoof")); err != nil {
+		t.Fatal(err)
+	}
+	// Raw garbage straight at the socket must be dropped too.
+	raw, err := net.Dial("udp", b.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool { return b.Stats().RecvDropped.Load() >= 2 }, "drop accounting")
+	if cb.count() != 0 {
+		t.Fatalf("b delivered %d datagrams from a stranger", cb.count())
+	}
+
+	// A legitimate frame still gets through afterwards.
+	if err := a.Send(2, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return cb.count() == 1 }, "legit delivery")
+
+	// Unicast to an unknown neighbor errors without touching the wire.
+	if err := a.Send(42, []byte("x")); err == nil {
+		t.Fatal("send to unknown neighbor must error")
+	}
+	if a.Stats().SendErrors.Load() == 0 {
+		t.Fatal("unknown-neighbor send must be accounted")
+	}
+	// Oversize payloads are rejected before framing.
+	if err := a.Send(2, make([]byte, maxPayload+1)); err != ErrTooLarge {
+		t.Fatalf("oversize send = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUDPInjectedLossDropsEverything(t *testing.T) {
+	a, _, _, cb := pair(t, UDPConfig{Loss: 1.0, Seed: 7}, UDPConfig{})
+	for i := 0; i < 20; i++ {
+		if err := a.Send(2, []byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return a.Stats().LossInjected.Load() == 20 }, "loss accounting")
+	if got := a.Stats().Sent.Load(); got != 0 {
+		t.Fatalf("loss=1.0 still sent %d datagrams", got)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatalf("b received %d datagrams through loss=1.0", cb.count())
+	}
+}
+
+func TestUDPInjectedLatencyDelays(t *testing.T) {
+	const lat = 50 * time.Millisecond
+	a, _, _, cb := pair(t, UDPConfig{Latency: lat}, UDPConfig{})
+	start := time.Now()
+	if err := a.Send(2, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return cb.count() == 1 }, "delayed delivery")
+	if el := time.Since(start); el < lat {
+		t.Fatalf("delivery after %v, want >= %v", el, lat)
+	}
+}
+
+func TestUDPCloseIsIdempotentAndLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		u, err := ListenUDP(UDPConfig{ID: 1, Listen: "127.0.0.1:0",
+			Deliver: (&collector{}).deliver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Send(2, []byte("late")); err != ErrClosed {
+			t.Fatalf("Send after Close = %v, want ErrClosed", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, n)
+	}
+}

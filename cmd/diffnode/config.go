@@ -59,6 +59,29 @@ type Config struct {
 	Loss    float64       `json:"loss"`
 	Latency time.Duration `json:"latency"`
 
+	// Heartbeat is the neighbor failure detector's probe period. Zero
+	// takes the transport default (1s); a negative value disables the
+	// detector entirely (no heartbeats, no dead-neighbor events).
+	Heartbeat time.Duration `json:"heartbeat"`
+	// SuspectAfter and DeadAfter are the silence thresholds that mark a
+	// neighbor suspect and dead (defaults 3x and 8x the heartbeat).
+	SuspectAfter time.Duration `json:"suspect_after"`
+	DeadAfter    time.Duration `json:"dead_after"`
+
+	// Reliable turns on per-neighbor acknowledged unicast with
+	// retransmission and overload shedding (see transport.ReliableConfig).
+	// Broadcasts stay best-effort, as on a radio.
+	Reliable bool `json:"reliable"`
+	// ReliableRTO is the initial retransmission timeout (0: transport
+	// default, 200ms).
+	ReliableRTO time.Duration `json:"reliable_rto"`
+
+	// StateFile, when set, persists the application layer (keys,
+	// subscriptions, publications, filters) after every mutation so a
+	// crashed node warm-restarts into the same role. Empty disables
+	// persistence.
+	StateFile string `json:"state_file"`
+
 	// Drain is how long shutdown keeps forwarding after withdrawing the
 	// application layer, letting in-flight traffic and reinforcement
 	// state settle (default 500ms).
@@ -85,6 +108,12 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		TTL                 uint8             `json:"ttl"`
 		Loss                float64           `json:"loss"`
 		Latency             string            `json:"latency"`
+		Heartbeat           string            `json:"heartbeat"`
+		SuspectAfter        string            `json:"suspect_after"`
+		DeadAfter           string            `json:"dead_after"`
+		Reliable            bool              `json:"reliable"`
+		ReliableRTO         string            `json:"reliable_rto"`
+		StateFile           string            `json:"state_file"`
 		Drain               string            `json:"drain"`
 	}
 	var r raw
@@ -94,6 +123,7 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 	c.ID, c.Listen, c.HTTP = r.ID, r.Listen, r.HTTP
 	c.Keys, c.Subscribe, c.Publish, c.Filters = r.Keys, r.Subscribe, r.Publish, r.Filters
 	c.Seed, c.ExploratoryEvery, c.TTL, c.Loss = r.Seed, r.ExploratoryEvery, r.TTL, r.Loss
+	c.Reliable, c.StateFile = r.Reliable, r.StateFile
 	if r.Neighbors != nil {
 		c.Neighbors = map[uint32]string{}
 		for k, v := range r.Neighbors {
@@ -112,6 +142,10 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		{r.ExploratoryInterval, &c.ExploratoryInterval},
 		{r.ForwardJitter, &c.ForwardJitter},
 		{r.Latency, &c.Latency},
+		{r.Heartbeat, &c.Heartbeat},
+		{r.SuspectAfter, &c.SuspectAfter},
+		{r.DeadAfter, &c.DeadAfter},
+		{r.ReliableRTO, &c.ReliableRTO},
 		{r.Drain, &c.Drain},
 	} {
 		if f.s == "" {

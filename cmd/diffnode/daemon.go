@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -43,10 +44,24 @@ type Daemon struct {
 	httpDone chan struct{}
 
 	// Loop-confined application state.
-	installed []removable
-	delivered *telemetry.Counter
-	ring      []delivery
-	total     int
+	installed   []removable
+	filterSpecs []string
+	delivered   *telemetry.Counter
+	ring        []delivery
+	total       int
+
+	// Crash recovery (see state.go). bootKeys is the effective key list
+	// this boot registered — from the state file on a warm restart, from
+	// the config otherwise — persisted as-is so key numbering survives
+	// restarts.
+	warm       bool
+	bootKeys   []string
+	stateSaves *telemetry.Counter
+	lastSaveMS *telemetry.Gauge
+
+	// flight is the always-on ring of recent protocol activity, dumped to
+	// the log when a neighbor dies. Loop-confined, shared with the core.
+	flight *telemetry.Flight
 
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -74,8 +89,44 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	d := &Daemon{cfg: cfg, logw: logw, start: time.Now(), loop: rt.NewLoop()}
+	d := &Daemon{cfg: cfg, logw: logw, start: time.Now(), loop: rt.NewLoop(),
+		flight: telemetry.NewFlight(0)}
 
+	// Resolve the boot-time application state: a readable state file wins
+	// over the config lists (warm restart after a crash); anything else is
+	// a cold boot from the config.
+	d.bootKeys = cfg.Keys
+	bootSubs, bootPubs, bootFilters := cfg.Subscribe, cfg.Publish, cfg.Filters
+	if cfg.StateFile != "" {
+		st, found, err := loadState(cfg.StateFile)
+		switch {
+		case err != nil:
+			fmt.Fprintf(logw, "diffnode %d: %v (cold boot)\n", cfg.ID, err)
+		case found && st.ID != cfg.ID:
+			fmt.Fprintf(logw, "diffnode %d: state file %s belongs to node %d, ignoring\n",
+				cfg.ID, cfg.StateFile, st.ID)
+		case found:
+			d.warm = true
+			d.bootKeys, bootSubs, bootPubs, bootFilters = st.Keys, st.Subscribe, st.Publish, st.Filters
+			fmt.Fprintf(logw, "diffnode %d: warm restart from %s (%d subscriptions, %d publications, saved %v ago)\n",
+				cfg.ID, cfg.StateFile, len(bootSubs), len(bootPubs),
+				time.Since(time.UnixMilli(st.SavedAtMS)).Round(time.Millisecond))
+		}
+	}
+
+	var live *transport.LivenessConfig
+	if cfg.Heartbeat >= 0 {
+		live = &transport.LivenessConfig{
+			Interval:      cfg.Heartbeat, // 0 takes the transport default
+			SuspectAfter:  cfg.SuspectAfter,
+			DeadAfter:     cfg.DeadAfter,
+			OnStateChange: d.onPeerState,
+		}
+	}
+	var rel *transport.ReliableConfig
+	if cfg.Reliable {
+		rel = &transport.ReliableConfig{RTO: cfg.ReliableRTO}
+	}
 	link, err := transport.ListenUDP(transport.UDPConfig{
 		ID:        cfg.ID,
 		Listen:    cfg.Listen,
@@ -83,6 +134,8 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		Loss:      cfg.Loss,
 		Latency:   cfg.Latency,
 		Seed:      cfg.Seed,
+		Liveness:  live,
+		Reliable:  rel,
 		Deliver: func(from uint32, payload []byte) {
 			d.loop.Post(func() {
 				if d.node != nil {
@@ -111,10 +164,17 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 			ExploratoryEvery:    cfg.ExploratoryEvery,
 			ForwardJitter:       cfg.ForwardJitter,
 			TTL:                 cfg.TTL,
+			Flight:              d.flight,
 		})
 		d.node.Instrument(d.reg)
 		d.link.Stats().Instrument(d.reg)
 		d.delivered = d.reg.Counter("ctl.deliveries")
+		d.stateSaves = d.reg.Counter("recovery.state_saves")
+		d.lastSaveMS = d.reg.Gauge("recovery.last_save_ms")
+		warmGauge := d.reg.Gauge("recovery.warm_restart")
+		if d.warm {
+			warmGauge.Set(1)
+		}
 	})
 	if err != nil {
 		link.Close()
@@ -126,27 +186,28 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	// every node that lists the same names in the same order.
 	var bootErr error
 	d.loop.Call(func() {
-		for _, name := range cfg.Keys {
+		for _, name := range d.bootKeys {
 			attr.RegisterKey(name)
 		}
-		for _, spec := range cfg.Filters {
+		for _, spec := range bootFilters {
 			if err := d.installFilter(spec); err != nil {
 				bootErr = err
 				return
 			}
 		}
-		for _, s := range cfg.Subscribe {
+		for _, s := range bootSubs {
 			if _, err := d.subscribeLocked(s); err != nil {
 				bootErr = err
 				return
 			}
 		}
-		for _, s := range cfg.Publish {
+		for _, s := range bootPubs {
 			if _, err := d.publishLocked(s); err != nil {
 				bootErr = err
 				return
 			}
 		}
+		d.saveStateLocked()
 	})
 	if bootErr != nil {
 		link.Close()
@@ -222,6 +283,59 @@ func (d *Daemon) Shutdown() error {
 	return d.shutdownErr
 }
 
+// Fault kinds the daemon records into the flight ring on liveness
+// transitions.
+const (
+	faultPeerSuspect = iota + 1
+	faultPeerDead
+	faultPeerRecovered
+)
+
+// faultKindName renders daemon fault kinds for flight dumps.
+func faultKindName(k uint8) string {
+	switch k {
+	case faultPeerSuspect:
+		return "peer-suspect"
+	case faultPeerDead:
+		return "peer-dead"
+	case faultPeerRecovered:
+		return "peer-recovered"
+	default:
+		return fmt.Sprintf("kind=%d", k)
+	}
+}
+
+// onPeerState receives the failure detector's verdicts. It runs on a
+// transport goroutine, so everything protocol-touching is posted onto the
+// loop: a dead neighbor purges the core's state toward it (NeighborDead
+// re-primes interest and exploratory flooding around the hole), and the
+// flight recorder is dumped to the log so the traffic leading up to the
+// death is preserved for diagnosis.
+func (d *Daemon) onPeerState(peer uint32, s transport.PeerState) {
+	fmt.Fprintf(d.logw, "diffnode %d: neighbor %d is %s\n", d.cfg.ID, peer, s)
+	d.loop.Post(func() {
+		if d.node == nil {
+			return
+		}
+		kind := uint8(faultPeerRecovered)
+		switch s {
+		case transport.PeerSuspect:
+			kind = faultPeerSuspect
+		case transport.PeerDead:
+			kind = faultPeerDead
+		}
+		d.flight.Record(telemetry.FlightRecord{
+			At: d.loop.Now(), Node: d.cfg.ID, Peer: peer,
+			Verb: telemetry.VerbFault, Kind: kind,
+		})
+		if s == transport.PeerDead {
+			d.node.NeighborDead(peer)
+			fmt.Fprintf(d.logw, "diffnode %d: flight dump (neighbor %d died):\n", d.cfg.ID, peer)
+			d.flight.Dump(d.logw, faultKindName)
+		}
+	})
+}
+
 // subscribeLocked parses attrs and subscribes; loop-confined.
 func (d *Daemon) subscribeLocked(attrsText string) (core.SubscriptionHandle, error) {
 	vec, err := attr.ParseVec(attrsText)
@@ -286,6 +400,7 @@ func (d *Daemon) installFilter(spec string) error {
 	default:
 		return fmt.Errorf("filter %q: unknown name (want tap, suppress or cache)", spec)
 	}
+	d.filterSpecs = append(d.filterSpecs, spec)
 	fmt.Fprintf(d.logw, "diffnode %d: installed filter %s\n", d.cfg.ID, spec)
 	return nil
 }
@@ -314,6 +429,7 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("GET /state", d.handleState)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("POST /chaos", d.handleChaos)
 	return mux
 }
 
@@ -369,6 +485,7 @@ func (d *Daemon) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			if v, ok := d.node.SubscriptionAttrs(h); ok {
 				rendered = v.Notation()
 			}
+			d.saveStateLocked()
 		}
 	}) {
 		return
@@ -395,6 +512,7 @@ func (d *Daemon) handlePublish(w http.ResponseWriter, r *http.Request) {
 			if v, ok := d.node.PublicationAttrs(h); ok {
 				rendered = v.Notation()
 			}
+			d.saveStateLocked()
 		}
 	}) {
 		return
@@ -428,7 +546,11 @@ func (d *Daemon) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var err error
-	if !d.onLoop(w, func() { err = d.node.Unsubscribe(core.SubscriptionHandle(h)) }) {
+	if !d.onLoop(w, func() {
+		if err = d.node.Unsubscribe(core.SubscriptionHandle(h)); err == nil {
+			d.saveStateLocked()
+		}
+	}) {
 		return
 	}
 	if err != nil {
@@ -444,7 +566,11 @@ func (d *Daemon) handleUnpublish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var err error
-	if !d.onLoop(w, func() { err = d.node.Unpublish(core.PublicationHandle(h)) }) {
+	if !d.onLoop(w, func() {
+		if err = d.node.Unpublish(core.PublicationHandle(h)); err == nil {
+			d.saveStateLocked()
+		}
+	}) {
 		return
 	}
 	if err != nil {
@@ -564,11 +690,75 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WritePrometheus(w, snap, "diffusion")
 }
 
-// handleHealthz reports liveness.
+// handleHealthz reports liveness: the process itself plus every
+// neighbor's failure-detector state (alive/suspect/dead and how long ago
+// it was last heard). When every neighbor is dead the node is partitioned
+// from the network and the endpoint answers 503, so an external
+// supervisor can distinguish "process up, network gone" from healthy.
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	type neighborHealth struct {
+		State       string `json:"state"`
+		LastHeardMS int64  `json:"last_heard_ms"`
+		RTTMicros   int64  `json:"rtt_us,omitempty"`
+	}
+	resp := map[string]any{
 		"id":         d.cfg.ID,
 		"uptime_ms":  time.Since(d.start).Milliseconds(),
 		"goroutines": runtime.NumGoroutine(),
-	})
+	}
+	isolated := false
+	if ph := d.link.PeerHealth(); ph != nil {
+		neighbors := make(map[string]neighborHealth, len(ph))
+		for id, h := range ph {
+			neighbors[strconv.FormatUint(uint64(id), 10)] = neighborHealth{
+				State:       h.State.String(),
+				LastHeardMS: h.LastHeard.Milliseconds(),
+				RTTMicros:   h.RTTMicros,
+			}
+		}
+		isolated = d.link.Isolated()
+		resp["neighbors"] = neighbors
+		resp["isolated"] = isolated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if isolated {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleChaos adjusts live transport impairment, the process-level chaos
+// harness's lever for partitions and loss ramps. Body: JSON with optional
+// "loss" (egress drop probability in [0,1]) and "blocked" (neighbor IDs
+// whose traffic is dropped in both directions); omitted fields are left
+// alone. The response reports the impairment now in force.
+func (d *Daemon) handleChaos(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Loss    *float64  `json:"loss"`
+		Blocked *[]uint32 `json:"blocked"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "want JSON {\"loss\": P, \"blocked\": [ID, ...]}: %v", err)
+		return
+	}
+	if req.Loss != nil && (*req.Loss < 0 || *req.Loss > 1) {
+		httpError(w, http.StatusBadRequest, "loss %v outside [0,1]", *req.Loss)
+		return
+	}
+	if req.Loss != nil {
+		d.link.SetLoss(*req.Loss)
+	}
+	if req.Blocked != nil {
+		d.link.SetBlocked(*req.Blocked)
+	}
+	blocked := d.link.Blocked()
+	if blocked == nil {
+		blocked = []uint32{}
+	}
+	fmt.Fprintf(d.logw, "diffnode %d: chaos loss=%v blocked=%v\n", d.cfg.ID, d.link.Loss(), blocked)
+	writeJSON(w, map[string]any{"loss": d.link.Loss(), "blocked": blocked})
 }

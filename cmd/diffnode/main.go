@@ -18,7 +18,10 @@
 //	GET  /deliveries   locally delivered data (?since=SEQ)
 //	GET  /state        live subscriptions/publications and table sizes
 //	GET  /metrics      telemetry in Prometheus text format
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness incl. per-neighbor failure-detector state
+//	                   (503 when partitioned from every neighbor)
+//	POST /chaos        body: {"loss": P, "blocked": [ID, ...]} — live
+//	                   transport impairment for fault experiments
 //
 // SIGTERM/SIGINT triggers a graceful shutdown: the application layer is
 // withdrawn (unpublish + unsubscribe, stopping interest refresh so
@@ -53,6 +56,12 @@ func main() {
 		jitter     = flag.Duration("forward-jitter", 0, "broadcast forwarding jitter (0: paper default)")
 		loss       = flag.Float64("loss", 0, "injected send loss probability [0,1)")
 		latency    = flag.Duration("latency", 0, "injected send latency")
+		heartbeat  = flag.Duration("heartbeat", 0, "neighbor heartbeat period (0: 1s default, negative: disable failure detection)")
+		suspectAf  = flag.Duration("suspect-after", 0, "silence marking a neighbor suspect (0: 3x heartbeat)")
+		deadAf     = flag.Duration("dead-after", 0, "silence marking a neighbor dead (0: 8x heartbeat)")
+		reliable   = flag.Bool("reliable", false, "acknowledged unicast with retransmission")
+		relRTO     = flag.Duration("reliable-rto", 0, "initial retransmission timeout (0: 200ms default)")
+		stateFile  = flag.String("state-file", "", "persist application state here and warm-restart from it")
 		drain      = flag.Duration("drain", 0, "shutdown drain window (default 500ms)")
 	)
 	flag.Parse()
@@ -61,7 +70,10 @@ func main() {
 		id: uint32(*id), listen: *listen, http: *httpAddr, neighbors: *neighbors, keys: *keys,
 		subscribe: *subscribe, publish: *publish, filters: *filtersF, seed: *seed,
 		interestInterval: *interestIv, exploratoryInterval: *explIv,
-		forwardJitter: *jitter, loss: *loss, latency: *latency, drain: *drain,
+		forwardJitter: *jitter, loss: *loss, latency: *latency,
+		heartbeat: *heartbeat, suspectAfter: *suspectAf, deadAfter: *deadAf,
+		reliable: *reliable, reliableRTO: *relRTO, stateFile: *stateFile,
+		drain: *drain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -99,6 +111,12 @@ type flagOverrides struct {
 	forwardJitter       time.Duration
 	loss                float64
 	latency             time.Duration
+	heartbeat           time.Duration
+	suspectAfter        time.Duration
+	deadAfter           time.Duration
+	reliable            bool
+	reliableRTO         time.Duration
+	stateFile           string
 	drain               time.Duration
 }
 
@@ -157,6 +175,24 @@ func buildConfig(path string, f flagOverrides) (Config, error) {
 	}
 	if f.latency != 0 {
 		cfg.Latency = f.latency
+	}
+	if f.heartbeat != 0 {
+		cfg.Heartbeat = f.heartbeat
+	}
+	if f.suspectAfter != 0 {
+		cfg.SuspectAfter = f.suspectAfter
+	}
+	if f.deadAfter != 0 {
+		cfg.DeadAfter = f.deadAfter
+	}
+	if f.reliable {
+		cfg.Reliable = true
+	}
+	if f.reliableRTO != 0 {
+		cfg.ReliableRTO = f.reliableRTO
+	}
+	if f.stateFile != "" {
+		cfg.StateFile = f.stateFile
 	}
 	if f.drain != 0 {
 		cfg.Drain = f.drain

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readStateFile decodes the persisted state for assertions.
+func readStateFile(t *testing.T, path string) persistedState {
+	t.Helper()
+	st, found, err := loadState(path)
+	if err != nil || !found {
+		t.Fatalf("state file %s: found=%v err=%v", path, found, err)
+	}
+	return st
+}
+
+// TestWarmRestartFromStateFile drives the crash-recovery cycle in-process:
+// boot with application state, watch the state file track control-plane
+// mutations, then restart a daemon from the file alone and check it
+// resumes the same role.
+func TestWarmRestartFromStateFile(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "node1.state")
+	cfg := Config{ID: 1, Drain: time.Millisecond, StateFile: stateFile,
+		InterestInterval: 100 * time.Millisecond, ForwardJitter: time.Millisecond,
+		Subscribe: []string{"type EQ recovery-probe, interval IS 1"},
+		Publish:   []string{"type IS recovery-probe"},
+		Filters:   []string{"suppress:type EQ recovery-probe"}}
+	d := startTestDaemon(t, cfg)
+
+	// Boot wrote the initial snapshot.
+	st := readStateFile(t, stateFile)
+	if st.ID != 1 || len(st.Subscribe) != 1 || len(st.Publish) != 1 || len(st.Filters) != 1 {
+		t.Fatalf("boot snapshot = %+v", st)
+	}
+
+	// Control-plane mutations rewrite the file.
+	code, resp := ctl(t, d, "POST", "/subscribe", "type EQ second, interval IS 2")
+	if code != 200 {
+		t.Fatalf("subscribe: %d %v", code, resp)
+	}
+	if st = readStateFile(t, stateFile); len(st.Subscribe) != 2 {
+		t.Fatalf("after subscribe, snapshot subs = %v", st.Subscribe)
+	}
+	h := int(resp["handle"].(float64))
+	if code, _ = ctl(t, d, "POST", "/unsubscribe", fmt.Sprintf(`{"handle": %d}`, h)); code != 200 {
+		t.Fatalf("unsubscribe: %d", code)
+	}
+	if st = readStateFile(t, stateFile); len(st.Subscribe) != 1 {
+		t.Fatalf("after unsubscribe, snapshot subs = %v", st.Subscribe)
+	}
+
+	// Stop (a graceful stop withdraws the app layer but must leave the
+	// snapshot as the last live role), then warm-restart with a config
+	// that lists no application state at all.
+	d.Shutdown()
+	d2 := startTestDaemon(t, Config{ID: 1, Drain: time.Millisecond, StateFile: stateFile,
+		InterestInterval: 100 * time.Millisecond, ForwardJitter: time.Millisecond})
+	code, state := ctl(t, d2, "GET", "/state", "")
+	if code != 200 || len(state["subscriptions"].([]any)) != 1 || len(state["publications"].([]any)) != 1 {
+		t.Fatalf("restored state: %d %v", code, state)
+	}
+	sub := state["subscriptions"].([]any)[0].(map[string]any)["attrs"].(string)
+	if !strings.Contains(sub, `type EQ "recovery-probe"`) {
+		t.Fatalf("restored subscription = %q", sub)
+	}
+
+	// The restart is visible in telemetry.
+	mresp, err := http.Get(fmt.Sprintf("http://%s/metrics", d2.HTTPAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if v := sentValue(t, body, `diffusion_recovery_warm_restart{scope="node1"}`); v != 1 {
+		t.Errorf("warm_restart gauge = %v, want 1", v)
+	}
+	if v := sentValue(t, body, `diffusion_recovery_state_saves{scope="node1"}`); v < 1 {
+		t.Errorf("state_saves = %v, want >= 1", v)
+	}
+	d2.Shutdown()
+
+	// A state file belonging to a different node is ignored: cold boot.
+	d3 := startTestDaemon(t, Config{ID: 9, Drain: time.Millisecond, StateFile: stateFile})
+	if code, state = ctl(t, d3, "GET", "/state", ""); code != 200 ||
+		state["subscriptions"] != nil || state["publications"] != nil {
+		t.Fatalf("foreign state file not ignored: %d %v", code, state)
+	}
+}
+
+// TestStateFileUnreadableIsColdBoot: a corrupt state file must not stop
+// the daemon from booting with its config lists.
+func TestStateFileUnreadableIsColdBoot(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "bad.state")
+	if err := os.WriteFile(stateFile, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := startTestDaemon(t, Config{ID: 4, Drain: time.Millisecond, StateFile: stateFile,
+		Subscribe: []string{"type EQ fallback"}})
+	code, state := ctl(t, d, "GET", "/state", "")
+	if code != 200 || len(state["subscriptions"].([]any)) != 1 {
+		t.Fatalf("cold boot state: %d %v", code, state)
+	}
+	// The boot save replaced the corrupt file with a valid snapshot.
+	if st := readStateFile(t, stateFile); st.ID != 4 || len(st.Subscribe) != 1 {
+		t.Fatalf("snapshot after cold boot = %+v", st)
+	}
+}
+
+// TestHealthzLivenessAndChaos wires two in-process daemons with a fast
+// failure detector, then uses POST /chaos to partition them: /healthz
+// must report the neighbor's decline to dead and answer 503 while the
+// node is isolated, and recover to 200/alive once the partition lifts.
+func TestHealthzLivenessAndChaos(t *testing.T) {
+	udp := freeUDPPorts(t, 2)
+	mk := func(id, peer int, peerPort int) Config {
+		return Config{ID: uint32(id), Drain: time.Millisecond,
+			Listen:    fmt.Sprintf("127.0.0.1:%d", udp[id-1]),
+			Neighbors: map[uint32]string{uint32(peer): fmt.Sprintf("127.0.0.1:%d", peerPort)},
+			Heartbeat: 25 * time.Millisecond, SuspectAfter: 75 * time.Millisecond,
+			DeadAfter: 150 * time.Millisecond}
+	}
+	d1 := startTestDaemon(t, mk(1, 2, udp[1]))
+	d2 := startTestDaemon(t, mk(2, 1, udp[0]))
+	_ = d2
+
+	neighbor := func() (int, map[string]any, map[string]any) {
+		code, resp := ctl(t, d1, "GET", "/healthz", "")
+		nb, _ := resp["neighbors"].(map[string]any)
+		h, _ := nb["2"].(map[string]any)
+		return code, resp, h
+	}
+	waitCluster(t, 5*time.Second, "neighbor 2 alive", func() bool {
+		code, _, h := neighbor()
+		return code == 200 && h != nil && h["state"] == "alive"
+	})
+
+	// Partition: block all traffic to/from neighbor 2.
+	code, resp := ctl(t, d1, "POST", "/chaos", `{"blocked": [2]}`)
+	if code != 200 {
+		t.Fatalf("chaos: %d %v", code, resp)
+	}
+	if b, _ := json.Marshal(resp["blocked"]); string(b) != "[2]" {
+		t.Fatalf("chaos echo blocked = %v", resp["blocked"])
+	}
+	waitCluster(t, 5*time.Second, "neighbor 2 dead and node isolated", func() bool {
+		code, resp, h := neighbor()
+		return code == http.StatusServiceUnavailable && resp["isolated"] == true &&
+			h != nil && h["state"] == "dead"
+	})
+
+	// Heal; the next heartbeat exchange revives the peer.
+	if code, _ = ctl(t, d1, "POST", "/chaos", `{"blocked": []}`); code != 200 {
+		t.Fatalf("chaos unblock: %d", code)
+	}
+	waitCluster(t, 5*time.Second, "neighbor 2 recovered", func() bool {
+		code, resp, h := neighbor()
+		return code == 200 && resp["isolated"] == false && h != nil && h["state"] == "alive"
+	})
+
+	// Validation: loss outside [0,1] is rejected and leaves state alone.
+	if code, _ = ctl(t, d1, "POST", "/chaos", `{"loss": 1.5}`); code != 400 {
+		t.Fatalf("bad loss accepted: %d", code)
+	}
+	if code, resp = ctl(t, d1, "POST", "/chaos", `{"loss": 0.25}`); code != 200 || resp["loss"] != 0.25 {
+		t.Fatalf("chaos loss: %d %v", code, resp)
+	}
+}

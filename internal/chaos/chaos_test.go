@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubMember is a fake control plane recording /chaos bodies and serving
+// a switchable /healthz code.
+type stubMember struct {
+	mu      sync.Mutex
+	chaos   []map[string]any
+	healthy bool
+	srv     *httptest.Server
+}
+
+func newStubMember(t *testing.T) *stubMember {
+	s := &stubMember{healthy: true}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /chaos", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		var body map[string]any
+		json.Unmarshal(b, &body)
+		s.mu.Lock()
+		s.chaos = append(s.chaos, body)
+		s.mu.Unlock()
+		w.Write([]byte("{}"))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		ok := s.healthy
+		s.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte(`{"id": 1}`))
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *stubMember) addr() string { return strings.TrimPrefix(s.srv.URL, "http://") }
+
+func (s *stubMember) last(t *testing.T) map[string]any {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.chaos) == 0 {
+		t.Fatal("no /chaos posts recorded")
+	}
+	return s.chaos[len(s.chaos)-1]
+}
+
+// sleepArgv returns a command that just sleeps, the minimal process to
+// kill and restart.
+func sleepArgv(t *testing.T) []string {
+	t.Helper()
+	bin, err := exec.LookPath("sleep")
+	if err != nil {
+		t.Skip("no sleep binary on PATH")
+	}
+	return []string{bin, "60"}
+}
+
+// TestKillAndRestartLifecycle exercises the crash-fault cycle against a
+// real (trivial) process: alive, SIGKILL, dead, re-exec, alive again.
+func TestKillAndRestartLifecycle(t *testing.T) {
+	stub := newStubMember(t)
+	p, err := Start(ProcSpec{ID: 3, Argv: sleepArgv(t), HTTP: stub.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Kill() })
+
+	if !p.Alive() {
+		t.Fatal("not alive after Start")
+	}
+	if p.Pid() <= 0 {
+		t.Fatalf("pid = %d", p.Pid())
+	}
+	if err := p.Restart(); err == nil {
+		t.Fatal("Restart of a running member must fail")
+	}
+	if err := p.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Alive() {
+		t.Fatal("alive after Kill returned")
+	}
+	if err := p.WaitExit(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pid := p.Pid()
+	if err := p.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Alive() || p.Pid() == pid {
+		t.Fatalf("restart: alive=%v pid %d -> %d", p.Alive(), pid, p.Pid())
+	}
+	if err := p.WaitHealthy(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTerminateEscalates: a process ignoring SIGTERM is killed past the
+// deadline and Terminate reports the failure.
+func TestTerminateEscalates(t *testing.T) {
+	sh, err := exec.LookPath("sh")
+	if err != nil {
+		t.Skip("no sh on PATH")
+	}
+	stub := newStubMember(t)
+	p, err := Start(ProcSpec{ID: 4, HTTP: stub.addr(),
+		Argv: []string{sh, "-c", "trap '' TERM; while :; do sleep 1; done"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the trap install
+	if err := p.Terminate(300 * time.Millisecond); err == nil {
+		t.Fatal("Terminate of a TERM-ignoring process reported success")
+	}
+	if p.Alive() {
+		t.Fatal("process survived the SIGKILL escalation")
+	}
+}
+
+// TestImpairmentLevers checks SetLoss/Block/Unblock/Partition compose a
+// consistent blocked set and post it to the member's /chaos endpoint.
+func TestImpairmentLevers(t *testing.T) {
+	stubA, stubB := newStubMember(t), newStubMember(t)
+	a, err := Start(ProcSpec{ID: 1, Argv: sleepArgv(t), HTTP: stubA.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Start(ProcSpec{ID: 2, Argv: sleepArgv(t), HTTP: stubB.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Kill(); b.Kill() })
+
+	if err := a.SetLoss(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if v := stubA.last(t)["loss"]; v != 0.5 {
+		t.Fatalf("loss posted = %v", v)
+	}
+	if err := a.Block(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Block(2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(stubA.last(t)["blocked"]); string(got) != "[2,7]" {
+		t.Fatalf("blocked posted = %s", got)
+	}
+	if err := a.Unblock(7); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(stubA.last(t)["blocked"]); string(got) != "[2]" {
+		t.Fatalf("blocked after unblock = %s", got)
+	}
+
+	if err := Partition(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(stubB.last(t)["blocked"]); string(got) != "[1]" {
+		t.Fatalf("partition on b = %s", got)
+	}
+	if err := Heal(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(stubB.last(t)["blocked"]); string(got) != "[]" {
+		t.Fatalf("heal on b = %s", got)
+	}
+
+	// A restart resets the impairment mirror: the next Block posts a set
+	// without the pre-crash entries.
+	if err := a.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Block(9); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(stubA.last(t)["blocked"]); string(got) != "[9]" {
+		t.Fatalf("blocked after restart = %s", got)
+	}
+}
+
+// TestLossRamp steps loss in increments and leaves it at the target.
+func TestLossRamp(t *testing.T) {
+	stub := newStubMember(t)
+	p, err := Start(ProcSpec{ID: 5, Argv: sleepArgv(t), HTTP: stub.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Kill() })
+	if err := p.LossRamp(0.4, 4, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	stub.mu.Lock()
+	var losses []float64
+	for _, c := range stub.chaos {
+		if v, ok := c["loss"].(float64); ok {
+			losses = append(losses, v)
+		}
+	}
+	stub.mu.Unlock()
+	want := []float64{0.1, 0.2, 0.3, 0.4}
+	if len(losses) != len(want) {
+		t.Fatalf("ramp steps = %v", losses)
+	}
+	for i, v := range want {
+		if diff := losses[i] - v; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("ramp steps = %v, want %v", losses, want)
+		}
+	}
+}

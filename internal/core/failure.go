@@ -1,0 +1,73 @@
+package core
+
+import (
+	"diffusion/internal/message"
+)
+
+// NeighborDead tells the diffusion core that a link-layer failure detector
+// declared peer dead. The paper's soft state would eventually stop using
+// the dead neighbor on its own — gradients expire without interest
+// refreshes, reinforcement decays — but only after multiples of the
+// refresh intervals. This call collapses that window to the detector's
+// timeout by purging every piece of protocol state that routes traffic
+// through the dead peer and re-priming the discovery machinery:
+//
+//   - gradients toward the peer are dropped, so plain data stops being
+//     unicast into a black hole;
+//   - reinforcement and exploratory-arrival traces naming the peer are
+//     cleared, so the next reinforcement retraces a live path instead of
+//     the dead one;
+//   - every publication's next data message is exploratory again, flooding
+//     along surviving gradients to re-prime alternate paths;
+//   - every active subscription re-originates its interest promptly (the
+//     usual initial jitter applies), rebuilding gradients around the hole.
+//
+// Call it from the same executor that owns the node (the rt.Loop in live
+// deployments). A recovered peer needs no inverse call: its own interest
+// and exploratory traffic rebuilds state, exactly as for a new neighbor.
+func (n *Node) NeighborDead(peer uint32) {
+	if n.detached {
+		return
+	}
+	nb := message.NodeID(peer)
+	n.Stats.NeighborDeaths++
+	for h, e := range n.entries {
+		if _, ok := e.gradients[nb]; ok {
+			delete(e.gradients, nb)
+			n.Stats.GradientsExpired++
+		}
+		if e.hasReinforcedUpstream && e.reinforcedUpstream == nb {
+			e.hasReinforcedUpstream = false
+			// Forget the reinforcement cause too: the next exploratory
+			// arrival must be allowed to reinforce a fresh upstream even if
+			// it reuses an ID this entry already acted on.
+			e.lastReinforcedID = message.ID{}
+		}
+		if e.hasExpFrom && e.lastExpFrom == nb {
+			e.hasExpFrom = false
+		}
+		delete(e.dupFrom, nb)
+		if len(e.gradients) == 0 && len(e.localSubs) == 0 {
+			delete(n.entries, h)
+		}
+	}
+	for id, from := range n.expFrom {
+		if from == nb {
+			delete(n.expFrom, id)
+		}
+	}
+	for _, p := range n.pubs {
+		// Next Send per publication goes exploratory, flooding along the
+		// surviving gradients.
+		p.sentAny = false
+	}
+	for _, s := range n.subs {
+		if s.passive || s.local {
+			continue
+		}
+		if s.refresh != nil {
+			s.refresh.Cancel()
+		}
+		n.armRefresh(s)
+	}
+}

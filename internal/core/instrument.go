@@ -29,6 +29,7 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 		emit("core.interests_seen", float64(s.InterestsSeen))
 		emit("core.gradients_created", float64(s.GradientsCreated))
 		emit("core.gradients_expired", float64(s.GradientsExpired))
+		emit("core.neighbor_deaths", float64(s.NeighborDeaths))
 		emit("core.filter_invocations", float64(s.FilterInvocations))
 		emit("core.interest_entries", float64(len(n.entries)))
 		emit("core.seen_cache_size", float64(len(n.seen)))

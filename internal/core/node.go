@@ -166,6 +166,7 @@ type Stats struct {
 	GradientsCreated  int
 	GradientsExpired  int
 	FilterInvocations int // messages handed to a filter callback
+	NeighborDeaths    int // dead-neighbor events from the failure detector
 }
 
 type subscription struct {

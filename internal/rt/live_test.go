@@ -62,6 +62,7 @@ func newLiveCluster(t *testing.T, n int) []*liveNode {
 		for _, ln := range nodes {
 			ln.loop.Stop()
 		}
+		mesh.Close()
 	})
 	return nodes
 }
@@ -188,6 +189,7 @@ func TestLiveShutdownLeavesNoGoroutines(t *testing.T) {
 	for _, l := range loops {
 		l.Stop()
 	}
+	mesh.Close()
 
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {

@@ -61,6 +61,7 @@ func BenchmarkUDPRoundTrip(b *testing.B) {
 // cost from kernel UDP cost.
 func BenchmarkMeshRoundTrip(b *testing.B) {
 	m := NewMesh(1)
+	defer m.Close()
 	pong := make(chan struct{}, 1)
 	var l1, l2 *MeshLink
 	l1 = m.Attach(1, func(from uint32, p []byte) { pong <- struct{}{} })

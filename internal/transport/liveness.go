@@ -1,0 +1,320 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file implements the UDP endpoint's neighbor failure detector: a
+// lightweight heartbeat protocol plus a timeout classifier. Every frame
+// heard from a neighbor — data, ack or heartbeat — counts as proof of
+// life; in quiet periods the detector sends ping probes and expects pongs.
+// Silence beyond SuspectAfter marks the peer suspect, beyond DeadAfter
+// dead. Suspect and dead peers keep being probed, with exponential backoff
+// plus jitter (so a whole cluster does not probe a rebooting node in
+// lockstep), and any frame from the peer — including one with a fresh boot
+// nonce after a crash-restart — flips it back to alive immediately.
+//
+// The detector deliberately lives below the diffusion layer: the paper's
+// soft state would eventually stop using a dead neighbor's gradients on
+// its own, but only after interest refreshes and reinforcement decay time
+// out. The detector turns "stopped hearing frames" into an explicit event
+// the node can react to within a couple of heartbeat intervals.
+
+// PeerState classifies a neighbor's liveness.
+type PeerState uint8
+
+// Peer liveness states.
+const (
+	PeerAlive PeerState = iota
+	PeerSuspect
+	PeerDead
+)
+
+// String renders the state.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// PeerHealth is one neighbor's liveness snapshot.
+type PeerHealth struct {
+	State PeerState
+	// LastHeard is how long ago the last frame from this peer arrived
+	// (measured from endpoint start when nothing was ever heard).
+	LastHeard time.Duration
+	// RTTMicros is the most recent heartbeat round-trip time in
+	// microseconds (0 until a probe has completed).
+	RTTMicros int64
+}
+
+// LivenessConfig parameterizes the failure detector. The zero value of
+// every field takes a default derived from Interval.
+type LivenessConfig struct {
+	// Interval is the heartbeat period toward an alive neighbor
+	// (default 1s).
+	Interval time.Duration
+	// SuspectAfter is the silence that marks a peer suspect
+	// (default 3×Interval).
+	SuspectAfter time.Duration
+	// DeadAfter is the silence that marks a peer dead (default
+	// 8×Interval; must exceed SuspectAfter).
+	DeadAfter time.Duration
+	// MaxProbeBackoff caps the exponential probe backoff toward suspect
+	// and dead peers (default 8×Interval).
+	MaxProbeBackoff time.Duration
+	// OnStateChange, when set, is invoked on every peer state transition.
+	// It is called from transport-owned goroutines and must not call back
+	// into the endpoint synchronously; post onto the node's loop instead.
+	OnStateChange func(peer uint32, state PeerState)
+	// Seed drives the probe jitter stream (0 takes the endpoint's seed).
+	Seed int64
+}
+
+// fill applies defaults.
+func (c *LivenessConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.Interval
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = 8 * c.Interval
+		if c.DeadAfter <= c.SuspectAfter {
+			c.DeadAfter = 2 * c.SuspectAfter
+		}
+	}
+	if c.MaxProbeBackoff <= 0 {
+		c.MaxProbeBackoff = 8 * c.Interval
+	}
+}
+
+// peerLiveness is the detector's per-neighbor record.
+type peerLiveness struct {
+	state     PeerState
+	lastHeard time.Time
+	nextProbe time.Time
+	backoff   time.Duration // current probe period (grows while silent)
+	pingSeq   uint32        // seq of the outstanding probe
+	pingAt    time.Time     // when it was sent
+	rttMicros int64         // latest completed round trip
+}
+
+// detector is one endpoint's failure detector. sendProbe writes a ping
+// frame to the peer through the endpoint's impairment path.
+type detector struct {
+	cfg       LivenessConfig
+	stats     *Stats
+	sendProbe func(peer uint32, seq uint32)
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	peers   map[uint32]*peerLiveness
+	nextSeq uint32
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newDetector builds a detector for the given peers; run starts its
+// goroutine.
+func newDetector(cfg LivenessConfig, seed int64, peers []uint32, stats *Stats,
+	sendProbe func(peer, seq uint32)) *detector {
+	cfg.fill()
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	d := &detector{
+		cfg:       cfg,
+		stats:     stats,
+		sendProbe: sendProbe,
+		rng:       rand.New(rand.NewSource(seed)),
+		peers:     make(map[uint32]*peerLiveness, len(peers)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	now := time.Now()
+	for _, id := range peers {
+		// A fresh endpoint grants every neighbor a full DeadAfter of grace:
+		// peers start alive with "heard at boot".
+		d.peers[id] = &peerLiveness{
+			state:     PeerAlive,
+			lastHeard: now,
+			nextProbe: now, // probe immediately so RTTs appear early
+			backoff:   cfg.Interval,
+		}
+	}
+	return d
+}
+
+// run is the detector goroutine: a coarse tick drives probing and state
+// classification. The tick is a fraction of the heartbeat interval so
+// transitions land within ~Interval/4 of their deadline.
+func (d *detector) run() {
+	defer close(d.done)
+	tick := d.cfg.Interval / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.tick(time.Now())
+		}
+	}
+}
+
+// tick classifies every peer and sends due probes.
+func (d *detector) tick(now time.Time) {
+	type transition struct {
+		peer  uint32
+		state PeerState
+	}
+	var transitions []transition
+	type probe struct {
+		peer uint32
+		seq  uint32
+	}
+	var probes []probe
+
+	d.mu.Lock()
+	for id, p := range d.peers {
+		silence := now.Sub(p.lastHeard)
+		want := p.state
+		switch {
+		case silence >= d.cfg.DeadAfter:
+			want = PeerDead
+		case silence >= d.cfg.SuspectAfter:
+			want = PeerSuspect
+		}
+		// Only the detector goroutine worsens a state; recovery happens in
+		// markHeard. A peer never goes dead → suspect here.
+		if want > p.state {
+			if want == PeerSuspect {
+				d.stats.PeerSuspects.Add(1)
+			}
+			if want == PeerDead {
+				d.stats.PeerDeaths.Add(1)
+			}
+			p.state = want
+			transitions = append(transitions, transition{id, want})
+		}
+		if !now.Before(p.nextProbe) {
+			d.nextSeq++
+			p.pingSeq = d.nextSeq
+			p.pingAt = now
+			probes = append(probes, probe{id, p.pingSeq})
+			if p.state == PeerAlive {
+				p.backoff = d.cfg.Interval
+			} else {
+				// Exponential backoff while the peer stays silent, capped.
+				p.backoff *= 2
+				if p.backoff > d.cfg.MaxProbeBackoff {
+					p.backoff = d.cfg.MaxProbeBackoff
+				}
+			}
+			// ±25% jitter de-synchronizes probes across the cluster.
+			jitter := time.Duration(d.rng.Int63n(int64(p.backoff)/2+1)) - p.backoff/4
+			p.nextProbe = now.Add(p.backoff + jitter)
+		}
+	}
+	d.mu.Unlock()
+
+	for _, pr := range probes {
+		d.sendProbe(pr.peer, pr.seq)
+	}
+	if d.cfg.OnStateChange != nil {
+		for _, tr := range transitions {
+			d.cfg.OnStateChange(tr.peer, tr.state)
+		}
+	}
+}
+
+// markHeard records proof of life from a peer (any well-formed frame).
+func (d *detector) markHeard(peer uint32) {
+	d.mu.Lock()
+	p, ok := d.peers[peer]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	p.lastHeard = time.Now()
+	recovered := p.state != PeerAlive
+	if recovered {
+		p.state = PeerAlive
+		p.backoff = d.cfg.Interval
+		p.nextProbe = p.lastHeard.Add(p.backoff)
+		d.stats.PeerRecoveries.Add(1)
+	}
+	d.mu.Unlock()
+	if recovered && d.cfg.OnStateChange != nil {
+		d.cfg.OnStateChange(peer, PeerAlive)
+	}
+}
+
+// onPong completes an outstanding probe, recording its round trip.
+func (d *detector) onPong(peer, seq uint32) {
+	d.mu.Lock()
+	p, ok := d.peers[peer]
+	if ok && p.pingSeq == seq && !p.pingAt.IsZero() {
+		rtt := time.Since(p.pingAt)
+		p.rttMicros = rtt.Microseconds()
+		p.pingAt = time.Time{}
+		d.stats.RTTMicrosSum.Add(uint64(rtt.Microseconds()))
+		d.stats.RTTCount.Add(1)
+	}
+	d.mu.Unlock()
+	d.markHeard(peer)
+}
+
+// snapshot returns every peer's health.
+func (d *detector) snapshot() map[uint32]PeerHealth {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[uint32]PeerHealth, len(d.peers))
+	for id, p := range d.peers {
+		out[id] = PeerHealth{
+			State:     p.state,
+			LastHeard: now.Sub(p.lastHeard),
+			RTTMicros: p.rttMicros,
+		}
+	}
+	return out
+}
+
+// allDead reports whether the endpoint has neighbors and every one of
+// them is dead — the "isolated node" condition health checks act on.
+func (d *detector) allDead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.peers) == 0 {
+		return false
+	}
+	for _, p := range d.peers {
+		if p.state != PeerDead {
+			return false
+		}
+	}
+	return true
+}
+
+// close stops the detector goroutine.
+func (d *detector) close() {
+	close(d.stop)
+	<-d.done
+}

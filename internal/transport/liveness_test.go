@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// transitionLog records OnStateChange callbacks thread-safely.
+type transitionLog struct {
+	mu  sync.Mutex
+	seq []PeerState
+}
+
+func (l *transitionLog) record(peer uint32, s PeerState) {
+	l.mu.Lock()
+	l.seq = append(l.seq, s)
+	l.mu.Unlock()
+}
+
+func (l *transitionLog) snapshot() []PeerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]PeerState(nil), l.seq...)
+}
+
+// TestDetectorClassifiesSilence drives the detector's tick with synthetic
+// clock readings — no sleeping, no goroutine — and checks the full
+// alive → suspect → dead → alive cycle plus its accounting.
+func TestDetectorClassifiesSilence(t *testing.T) {
+	var stats Stats
+	var log transitionLog
+	var probes []uint32
+	cfg := LivenessConfig{
+		Interval:      time.Second,
+		OnStateChange: func(peer uint32, s PeerState) { log.record(peer, s) },
+	}
+	d := newDetector(cfg, 1, []uint32{2}, &stats,
+		func(peer, seq uint32) { probes = append(probes, seq) })
+	base := time.Now()
+
+	// Within SuspectAfter: still alive, but probes flow.
+	d.tick(base.Add(500 * time.Millisecond))
+	if got := d.snapshot()[2].State; got != PeerAlive {
+		t.Fatalf("state after 0.5s silence = %v, want alive", got)
+	}
+	if len(probes) == 0 {
+		t.Fatal("detector sent no probe")
+	}
+
+	// Past SuspectAfter (3×Interval default): suspect.
+	d.tick(base.Add(3500 * time.Millisecond))
+	if got := d.snapshot()[2].State; got != PeerSuspect {
+		t.Fatalf("state after 3.5s silence = %v, want suspect", got)
+	}
+	if stats.PeerSuspects.Load() != 1 {
+		t.Fatalf("suspects = %d, want 1", stats.PeerSuspects.Load())
+	}
+
+	// Past DeadAfter (8×Interval default): dead, and the node is isolated
+	// (its only neighbor is dead).
+	d.tick(base.Add(9 * time.Second))
+	if got := d.snapshot()[2].State; got != PeerDead {
+		t.Fatalf("state after 9s silence = %v, want dead", got)
+	}
+	if stats.PeerDeaths.Load() != 1 {
+		t.Fatalf("deaths = %d, want 1", stats.PeerDeaths.Load())
+	}
+	if !d.allDead() {
+		t.Fatal("allDead should report isolation with the only neighbor dead")
+	}
+	// Re-ticking must not re-fire the transition.
+	d.tick(base.Add(10 * time.Second))
+	if stats.PeerDeaths.Load() != 1 {
+		t.Fatal("dead transition fired twice")
+	}
+
+	// Any frame heard revives instantly.
+	d.markHeard(2)
+	if got := d.snapshot()[2].State; got != PeerAlive {
+		t.Fatalf("state after markHeard = %v, want alive", got)
+	}
+	if stats.PeerRecoveries.Load() != 1 {
+		t.Fatalf("recoveries = %d, want 1", stats.PeerRecoveries.Load())
+	}
+	if d.allDead() {
+		t.Fatal("recovered peer still counted dead")
+	}
+	want := []PeerState{PeerSuspect, PeerDead, PeerAlive}
+	got := log.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDetectorProbeBackoff checks that probes toward a silent peer back
+// off exponentially up to the cap, and that a completed pong records an
+// RTT.
+func TestDetectorProbeBackoff(t *testing.T) {
+	var stats Stats
+	var probes int
+	cfg := LivenessConfig{Interval: time.Second, MaxProbeBackoff: 4 * time.Second}
+	d := newDetector(cfg, 1, []uint32{7}, &stats, func(peer, seq uint32) { probes++ })
+	base := time.Now()
+
+	// Step a synthetic clock in fine increments over a long silence; with
+	// backoff doubling 1s → 2s → 4s (cap), far fewer probes must go out
+	// than the ~120 an un-backed-off 1 Hz probe stream would send.
+	for ms := 0; ms < 120_000; ms += 250 {
+		d.tick(base.Add(time.Duration(ms) * time.Millisecond))
+	}
+	if probes == 0 {
+		t.Fatal("no probes sent")
+	}
+	// 120s at the 4s cap is ~30 probes plus the pre-cap ramp, with ±25%
+	// jitter. Allow slack but reject anything near per-interval probing.
+	if probes > 60 {
+		t.Fatalf("probes = %d, backoff not applied", probes)
+	}
+
+	// A pong matching the outstanding probe seq records an RTT.
+	d.mu.Lock()
+	seq := d.peers[7].pingSeq
+	d.peers[7].pingAt = time.Now().Add(-3 * time.Millisecond)
+	d.mu.Unlock()
+	d.onPong(7, seq)
+	if stats.RTTCount.Load() != 1 || stats.RTTMicrosSum.Load() == 0 {
+		t.Fatalf("rtt accounting: count=%d sum=%d",
+			stats.RTTCount.Load(), stats.RTTMicrosSum.Load())
+	}
+}
+
+// TestUDPLivenessEndToEnd runs the detector over real sockets: a
+// partition (Block) silences the peer, which must go suspect then dead;
+// healing it must revive the peer and record heartbeat RTTs.
+func TestUDPLivenessEndToEnd(t *testing.T) {
+	live := &LivenessConfig{
+		Interval:     25 * time.Millisecond,
+		SuspectAfter: 75 * time.Millisecond,
+		DeadAfter:    150 * time.Millisecond,
+	}
+	a, b, _, _ := pair(t, UDPConfig{Liveness: live}, UDPConfig{Liveness: live})
+	_ = b
+
+	// Heartbeats alone must keep the peer alive and measure RTTs.
+	waitFor(t, func() bool { return a.Stats().RTTCount.Load() >= 1 }, "first RTT")
+	if h := a.PeerHealth()[2]; h.State != PeerAlive {
+		t.Fatalf("peer 2 = %v, want alive", h.State)
+	}
+	if a.Isolated() {
+		t.Fatal("node with a live neighbor reports isolated")
+	}
+
+	// Partition: a drops all frames to and from 2. With its only neighbor
+	// dead, a is isolated.
+	a.Block(2)
+	waitFor(t, func() bool { return a.PeerHealth()[2].State == PeerDead }, "peer death")
+	if a.Stats().PeerSuspects.Load() == 0 || a.Stats().PeerDeaths.Load() == 0 {
+		t.Fatalf("transition accounting: suspects=%d deaths=%d",
+			a.Stats().PeerSuspects.Load(), a.Stats().PeerDeaths.Load())
+	}
+	if !a.Isolated() {
+		t.Fatal("all neighbors dead but not isolated")
+	}
+	if a.Stats().PartitionDropped.Load() == 0 {
+		t.Fatal("partition drops not accounted")
+	}
+
+	// Heal: the next probe exchange revives the peer.
+	a.Unblock(2)
+	waitFor(t, func() bool { return a.PeerHealth()[2].State == PeerAlive }, "peer recovery")
+	if a.Stats().PeerRecoveries.Load() == 0 {
+		t.Fatal("recovery not accounted")
+	}
+	if a.Stats().HeartbeatsSent.Load() == 0 || a.Stats().HeartbeatsRecv.Load() == 0 {
+		t.Fatalf("heartbeat accounting: sent=%d recv=%d",
+			a.Stats().HeartbeatsSent.Load(), a.Stats().HeartbeatsRecv.Load())
+	}
+}

@@ -7,23 +7,38 @@ import (
 	"time"
 )
 
+// defaultMeshQueue bounds each link's delivery queue when Mesh.QueueLimit
+// is zero.
+const defaultMeshQueue = 256
+
 // Mesh is the in-process transport: a set of nodes connected by an
-// explicit adjacency graph, with deliveries handed straight to the
-// receiver's Deliver callback (optionally delayed and dropped). It gives
+// explicit adjacency graph, with deliveries queued to a per-link bounded
+// queue and handed to the receiver's Deliver callback from one delivery
+// goroutine per link (optionally delayed and dropped). It gives
 // live-runtime tests the multi-goroutine concurrency shape of the UDP
 // path — every node on its own rt.Loop, deliveries crossing goroutines —
 // without sockets, so a whole cluster runs in one test process.
+//
+// The bounded queue matches the UDP endpoint's accounting: when a
+// receiver falls behind and its queue overflows, the overflowing frame is
+// dropped and counted in the receiver's Stats.QueueDrops, instead of the
+// mesh spawning an unbounded goroutine (or growing an unbounded buffer)
+// per delivery. Call Close to stop the delivery goroutines.
 type Mesh struct {
-	mu    sync.Mutex
-	links map[uint32]*MeshLink
-	adj   map[uint32]map[uint32]bool
-	rng   *rand.Rand
+	mu     sync.Mutex
+	links  map[uint32]*MeshLink
+	adj    map[uint32]map[uint32]bool
+	rng    *rand.Rand
+	closed bool
 
-	// Latency delays every delivery (zero = immediate, on the sender's
-	// goroutine).
+	// Latency delays every delivery by this much before it is queued to
+	// the receiver (zero = queued immediately).
 	Latency time.Duration
 	// Loss drops each delivery independently with this probability.
 	Loss float64
+	// QueueLimit bounds each link's delivery queue (0 = defaultMeshQueue).
+	// Set it before the first Attach.
+	QueueLimit int
 }
 
 // NewMesh returns an empty mesh; seed drives the loss stream.
@@ -35,19 +50,30 @@ func NewMesh(seed int64) *Mesh {
 	}
 }
 
-// Attach adds a node and returns its link. Attaching an existing ID
-// panics (test-configuration error).
+// Attach adds a node, starts its delivery goroutine, and returns its
+// link. Attaching an existing ID panics (test-configuration error).
 func (m *Mesh) Attach(id uint32, deliver Deliver) *MeshLink {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.links[id]; dup {
 		panic(fmt.Sprintf("transport: mesh node %d attached twice", id))
 	}
-	l := &MeshLink{mesh: m, id: id, deliver: deliver}
+	limit := m.QueueLimit
+	if limit <= 0 {
+		limit = defaultMeshQueue
+	}
+	l := &MeshLink{
+		mesh:    m,
+		id:      id,
+		deliver: deliver,
+		queue:   make(chan meshPacket, limit),
+		done:    make(chan struct{}),
+	}
 	m.links[id] = l
 	if m.adj[id] == nil {
 		m.adj[id] = map[uint32]bool{}
 	}
+	go l.run()
 	return l
 }
 
@@ -72,12 +98,40 @@ func (m *Mesh) Line(ids ...uint32) {
 	}
 }
 
+// Close stops every link's delivery goroutine and waits for them to
+// drain. Sends after Close are dropped silently (the medium is gone).
+func (m *Mesh) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	links := make([]*MeshLink, 0, len(m.links))
+	for _, l := range m.links {
+		links = append(links, l)
+	}
+	m.mu.Unlock()
+	for _, l := range links {
+		close(l.queue)
+		<-l.done
+	}
+}
+
+// meshPacket is one queued delivery.
+type meshPacket struct {
+	from uint32
+	data []byte
+}
+
 // MeshLink is one node's core.Link on a Mesh.
 type MeshLink struct {
 	mesh    *Mesh
 	id      uint32
 	deliver Deliver
 	stats   Stats
+	queue   chan meshPacket
+	done    chan struct{}
 }
 
 // ID returns the node's link-layer identifier (core.Link).
@@ -85,6 +139,35 @@ func (l *MeshLink) ID() uint32 { return l.id }
 
 // Stats returns the link's packet accounting.
 func (l *MeshLink) Stats() *Stats { return &l.stats }
+
+// run is the link's delivery goroutine: it drains the bounded queue into
+// the Deliver callback until Close.
+func (l *MeshLink) run() {
+	defer close(l.done)
+	for pkt := range l.queue {
+		l.stats.onRecv(headerSize + len(pkt.data))
+		if l.deliver != nil {
+			l.deliver(pkt.from, pkt.data)
+		}
+	}
+}
+
+// enqueue puts one delivery on the link's bounded queue, counting an
+// overflow drop when the receiver has fallen behind. The mesh lock makes
+// the closed check and the channel send atomic with respect to Close.
+func (l *MeshLink) enqueue(from uint32, data []byte) {
+	m := l.mesh
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	select {
+	case l.queue <- meshPacket{from: from, data: data}:
+	default:
+		l.stats.QueueDrops.Add(1)
+	}
+}
 
 // Send delivers payload to dst (a neighbor or Broadcast), applying the
 // mesh's loss and latency (core.Link). Each receiver gets its own copy.
@@ -95,6 +178,10 @@ func (l *MeshLink) Send(dst uint32, payload []byte) error {
 	}
 	m := l.mesh
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
 	if dst != Broadcast && !m.adj[l.id][dst] {
 		// Match the UDP transport: unicast to a non-neighbor is an error
 		// the diffusion layer counts as a link send failure.
@@ -122,14 +209,10 @@ func (l *MeshLink) Send(dst uint32, payload []byte) error {
 		data := make([]byte, len(payload))
 		copy(data, payload)
 		l.stats.onSend(headerSize + len(data))
-		deliver := func() {
-			to.stats.onRecv(headerSize + len(data))
-			to.deliver(l.id, data)
-		}
 		if latency > 0 {
-			time.AfterFunc(latency, deliver)
+			time.AfterFunc(latency, func() { to.enqueue(l.id, data) })
 		} else {
-			deliver()
+			to.enqueue(l.id, data)
 		}
 	}
 	return nil

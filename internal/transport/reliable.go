@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"diffusion/internal/message"
+)
+
+// This file implements the UDP endpoint's reliable-unicast option:
+// per-neighbor ack/retransmit for unicast sends. Broadcast stays
+// fire-and-forget — flooding is already redundant by design — but the
+// paper's reinforced paths concentrate all high-rate data onto single
+// unicast hops, so one lossy link multiplies into end-to-end loss the
+// soft-state machinery is too slow to repair. Reliable unicast closes
+// that gap hop by hop:
+//
+//   - every reliable frame carries a per-neighbor sequence number and is
+//     retransmitted on an ack timeout with capped exponential backoff,
+//     up to MaxRetries attempts;
+//   - the per-neighbor send queue is bounded. When it overflows, the
+//     shedding policy mirrors internal/congestion's semantics: interest
+//     and exploratory traffic (the soft state that will be re-originated
+//     anyway) is dropped before reinforced data and reinforcements;
+//   - the receive side suppresses duplicates created by retransmission
+//     with a per-neighbor sliding window keyed on the sender's boot
+//     nonce, so a restarted neighbor's fresh sequence space is not
+//     mistaken for replays.
+
+// ReliableConfig parameterizes reliable unicast. Zero fields take
+// defaults.
+type ReliableConfig struct {
+	// RTO is the initial ack timeout before the first retransmission
+	// (default 200ms).
+	RTO time.Duration
+	// MaxRTO caps the exponential retransmit backoff (default 3s).
+	MaxRTO time.Duration
+	// MaxRetries is how many retransmissions are attempted before a frame
+	// is abandoned (default 5; the failure detector will usually declare
+	// the peer dead around the same time).
+	MaxRetries int
+	// Window is the maximum number of unacked frames in flight per
+	// neighbor (default 16).
+	Window int
+	// QueueLimit bounds in-flight plus queued frames per neighbor
+	// (default 64); beyond it the shedding policy applies.
+	QueueLimit int
+}
+
+// fill applies defaults.
+func (c *ReliableConfig) fill() {
+	if c.RTO <= 0 {
+		c.RTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 3 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.QueueLimit < c.Window {
+		c.QueueLimit = 64
+		if c.QueueLimit < c.Window {
+			c.QueueLimit = 4 * c.Window
+		}
+	}
+}
+
+// sheddable reports whether a queued payload may be dropped under
+// overload: interests and exploratory data are periodically re-originated
+// soft state, so losing one costs a refresh interval, not data. The class
+// is the payload's leading byte (message.Marshal's layout).
+func sheddable(payload []byte) bool {
+	if len(payload) == 0 {
+		return true
+	}
+	switch message.Class(payload[0]) {
+	case message.Interest, message.ExploratoryData:
+		return true
+	}
+	return false
+}
+
+// relFrame is one queued or in-flight reliable payload.
+type relFrame struct {
+	seq     uint32
+	payload []byte
+	tries   int // transmission attempts so far
+	timer   *time.Timer
+}
+
+// relPeer is the sender-side state toward one neighbor.
+type relPeer struct {
+	nextSeq  uint32
+	inflight map[uint32]*relFrame
+	queue    []*relFrame
+}
+
+// reliable is the sender half of reliable unicast for one endpoint.
+type reliable struct {
+	cfg   ReliableConfig
+	stats *Stats
+	write func(peer uint32, kind uint8, seq uint32, payload []byte)
+
+	mu     sync.Mutex
+	peers  map[uint32]*relPeer
+	closed bool
+}
+
+func newReliable(cfg ReliableConfig, stats *Stats,
+	write func(peer uint32, kind uint8, seq uint32, payload []byte)) *reliable {
+	cfg.fill()
+	return &reliable{cfg: cfg, stats: stats, write: write, peers: map[uint32]*relPeer{}}
+}
+
+// send enqueues payload toward peer, applying the overload-shedding
+// policy, and pumps the window. Shedding is not an error: the link-layer
+// contract is best effort, and the diffusion layer's own refresh
+// machinery recovers what overload drops.
+func (r *reliable) send(peer uint32, payload []byte) {
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	p, ok := r.peers[peer]
+	if !ok {
+		p = &relPeer{inflight: map[uint32]*relFrame{}}
+		r.peers[peer] = p
+	}
+	if len(p.inflight)+len(p.queue) >= r.cfg.QueueLimit {
+		if !r.shedLocked(p, buf) {
+			r.mu.Unlock()
+			return // the new frame itself was shed
+		}
+	}
+	p.nextSeq++
+	p.queue = append(p.queue, &relFrame{seq: p.nextSeq, payload: buf})
+	sends := r.pumpLocked(peer, p)
+	r.mu.Unlock()
+	r.flush(peer, sends)
+}
+
+// shedLocked makes room in a full queue. It prefers dropping a queued
+// sheddable frame (oldest first); failing that, an incoming sheddable
+// frame; failing that, the oldest queued frame of any class. In-flight
+// frames are never shed — they are already on the wire. Returns false
+// when the incoming frame is the one dropped.
+func (r *reliable) shedLocked(p *relPeer, incoming []byte) bool {
+	for i, f := range p.queue {
+		if sheddable(f.payload) {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			r.stats.QueueDrops.Add(1)
+			return true
+		}
+	}
+	if sheddable(incoming) || len(p.queue) == 0 {
+		r.stats.QueueDrops.Add(1)
+		return false
+	}
+	p.queue = p.queue[1:]
+	r.stats.QueueDrops.Add(1)
+	return true
+}
+
+// pumpLocked moves queued frames into the in-flight window, arming their
+// retransmit timers, and returns the frames to put on the wire (written
+// by the caller outside the lock).
+func (r *reliable) pumpLocked(peer uint32, p *relPeer) []*relFrame {
+	var out []*relFrame
+	for len(p.inflight) < r.cfg.Window && len(p.queue) > 0 {
+		f := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inflight[f.seq] = f
+		f.tries = 1
+		r.armLocked(peer, f)
+		out = append(out, f)
+	}
+	return out
+}
+
+// armLocked schedules frame f's next ack timeout: RTO doubled per attempt,
+// capped at MaxRTO.
+func (r *reliable) armLocked(peer uint32, f *relFrame) {
+	rto := r.cfg.RTO << (f.tries - 1)
+	if rto > r.cfg.MaxRTO || rto <= 0 {
+		rto = r.cfg.MaxRTO
+	}
+	seq := f.seq
+	f.timer = time.AfterFunc(rto, func() { r.onTimeout(peer, seq) })
+}
+
+// flush writes frames to the wire.
+func (r *reliable) flush(peer uint32, frames []*relFrame) {
+	for _, f := range frames {
+		r.write(peer, kindReliable, f.seq, f.payload)
+	}
+}
+
+// onTimeout retransmits an unacked frame or abandons it after MaxRetries.
+func (r *reliable) onTimeout(peer, seq uint32) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	p, ok := r.peers[peer]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	f, ok := p.inflight[seq]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	if f.tries > r.cfg.MaxRetries {
+		delete(p.inflight, seq)
+		r.stats.ReliableDrops.Add(1)
+		sends := r.pumpLocked(peer, p)
+		r.mu.Unlock()
+		r.flush(peer, sends)
+		return
+	}
+	f.tries++
+	r.stats.Retransmits.Add(1)
+	r.armLocked(peer, f)
+	r.mu.Unlock()
+	r.write(peer, kindReliable, seq, f.payload)
+}
+
+// onAck completes an in-flight frame and pumps the window.
+func (r *reliable) onAck(peer, seq uint32) {
+	r.stats.AcksRecv.Add(1)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	p, ok := r.peers[peer]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	f, ok := p.inflight[seq]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	f.timer.Stop()
+	delete(p.inflight, seq)
+	sends := r.pumpLocked(peer, p)
+	r.mu.Unlock()
+	r.flush(peer, sends)
+}
+
+// pending returns in-flight plus queued frames toward peer (tests).
+func (r *reliable) pending(peer uint32) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[peer]
+	if !ok {
+		return 0
+	}
+	return len(p.inflight) + len(p.queue)
+}
+
+// close stops every retransmit timer and drops all queues.
+func (r *reliable) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, p := range r.peers {
+		for _, f := range p.inflight {
+			f.timer.Stop()
+		}
+		p.inflight = map[uint32]*relFrame{}
+		p.queue = nil
+	}
+}
+
+// dupWindow is the receive-side duplicate-suppression state toward one
+// neighbor: a 64-entry sliding bitmap below the highest sequence seen,
+// keyed on the sender's boot nonce. It is owned by the endpoint's single
+// reader goroutine, so it needs no locking.
+type dupWindow struct {
+	boot uint32
+	max  uint32
+	mask uint64 // bit k set ⇒ seq (max-1-k) was seen
+	init bool
+}
+
+// fresh reports whether (boot, seq) is a first sighting, updating the
+// window. A changed boot nonce resets the window: the neighbor restarted
+// and its sequence space started over.
+func (w *dupWindow) fresh(boot, seq uint32) bool {
+	if !w.init || w.boot != boot {
+		w.init = true
+		w.boot = boot
+		w.max = seq
+		w.mask = 0
+		return true
+	}
+	switch {
+	case seq == w.max:
+		return false
+	case seq > w.max:
+		shift := uint64(seq - w.max)
+		if shift >= 64 {
+			w.mask = 0
+		} else {
+			w.mask = w.mask<<shift | 1<<(shift-1)
+		}
+		w.max = seq
+		return true
+	default:
+		d := uint64(w.max - seq)
+		if d > 64 {
+			// Older than the window: a stale replay beyond any plausible
+			// retransmission horizon. Count it as a duplicate.
+			return false
+		}
+		bit := uint64(1) << (d - 1)
+		if w.mask&bit != 0 {
+			return false
+		}
+		w.mask |= bit
+		return true
+	}
+}

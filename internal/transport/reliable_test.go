@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"diffusion/internal/message"
+)
+
+// payloadOf builds a minimal payload whose leading byte is the message
+// class — all the shedding policy looks at.
+func payloadOf(c message.Class, tag string) []byte {
+	return append([]byte{byte(c)}, tag...)
+}
+
+// writeLog records frames the reliable sender puts on the wire.
+type writeLog struct {
+	mu   sync.Mutex
+	tags []string
+	seqs []uint32
+}
+
+func (w *writeLog) write(peer uint32, kind uint8, seq uint32, payload []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tags = append(w.tags, string(payload[1:]))
+	w.seqs = append(w.seqs, seq)
+}
+
+func (w *writeLog) snapshot() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.tags...)
+}
+
+func TestDupWindow(t *testing.T) {
+	var w dupWindow
+	if !w.fresh(100, 5) {
+		t.Fatal("first frame must be fresh")
+	}
+	if w.fresh(100, 5) {
+		t.Fatal("retransmission must be a duplicate")
+	}
+	if !w.fresh(100, 6) || !w.fresh(100, 9) {
+		t.Fatal("forward progress must be fresh")
+	}
+	// Reordered delivery inside the window: 7 and 8 unseen, 6 seen.
+	if !w.fresh(100, 7) || !w.fresh(100, 8) {
+		t.Fatal("reordered unseen seqs must be fresh")
+	}
+	if w.fresh(100, 6) || w.fresh(100, 8) || w.fresh(100, 9) {
+		t.Fatal("seen seqs must be duplicates")
+	}
+	// Jump far ahead, then a seq far beyond the 64-deep window: stale
+	// replay, suppressed.
+	if !w.fresh(100, 200) {
+		t.Fatal("forward jump must be fresh")
+	}
+	if w.fresh(100, 100) {
+		t.Fatal("seq beyond the window must be suppressed")
+	}
+	// A new boot nonce resets the window: the peer restarted and its
+	// sequence space starts over.
+	if !w.fresh(200, 1) {
+		t.Fatal("restarted peer's first frame must be fresh")
+	}
+	if w.fresh(200, 1) || !w.fresh(200, 2) {
+		t.Fatal("window must track the new incarnation")
+	}
+	// A jump > 64 ahead clears the bitmap without losing freshness.
+	if !w.fresh(200, 500) || w.fresh(200, 500) {
+		t.Fatal("large jump must stay consistent")
+	}
+}
+
+func TestSheddable(t *testing.T) {
+	cases := []struct {
+		class message.Class
+		want  bool
+	}{
+		{message.Interest, true},
+		{message.ExploratoryData, true},
+		{message.Data, false},
+		{message.PositiveReinforcement, false},
+		{message.NegativeReinforcement, false},
+	}
+	for _, c := range cases {
+		if got := sheddable(payloadOf(c.class, "x")); got != c.want {
+			t.Errorf("sheddable(%v) = %v, want %v", c.class, got, c.want)
+		}
+	}
+	if !sheddable(nil) {
+		t.Error("empty payload should be sheddable")
+	}
+}
+
+// TestReliableShedsInterestBeforeData fills a bounded queue and checks the
+// overload policy: queued interest/exploratory traffic is dropped first,
+// then incoming sheddable traffic, and only then the oldest data frame —
+// reinforced data survives as long as anything else can go.
+func TestReliableShedsInterestBeforeData(t *testing.T) {
+	var stats Stats
+	log := &writeLog{}
+	r := newReliable(ReliableConfig{
+		RTO: time.Hour, Window: 1, QueueLimit: 3, MaxRetries: 1,
+	}, &stats, log.write)
+	defer r.close()
+
+	r.send(9, payloadOf(message.Data, "d1")) // in flight (window 1)
+	r.send(9, payloadOf(message.Interest, "i1"))
+	r.send(9, payloadOf(message.Data, "d2")) // queue: [i1 d2], pending 3
+	// Queue full; a queued interest exists, so it is shed for new data.
+	r.send(9, payloadOf(message.Data, "d3"))
+	if got := stats.QueueDrops.Load(); got != 1 {
+		t.Fatalf("queue drops = %d, want 1 (i1 shed)", got)
+	}
+	// Queue full of data; an incoming exploratory frame sheds itself.
+	r.send(9, payloadOf(message.ExploratoryData, "e1"))
+	if got := stats.QueueDrops.Load(); got != 2 {
+		t.Fatalf("queue drops = %d, want 2 (e1 shed)", got)
+	}
+	// Queue full of data and more data arrives: the oldest queued data
+	// frame gives way.
+	r.send(9, payloadOf(message.Data, "d4"))
+	if got := stats.QueueDrops.Load(); got != 3 {
+		t.Fatalf("queue drops = %d, want 3 (d2 evicted)", got)
+	}
+	if got := r.pending(9); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+
+	// Drain by acking whatever is written; the wire sequence must be all
+	// data, in order, with the shed frames never transmitted.
+	for i := 0; i < 3; i++ {
+		log.mu.Lock()
+		seq := log.seqs[len(log.seqs)-1]
+		log.mu.Unlock()
+		r.onAck(9, seq)
+	}
+	want := []string{"d1", "d3", "d4"}
+	got := log.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("wire = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wire = %v, want %v", got, want)
+		}
+	}
+	if r.pending(9) != 0 {
+		t.Fatalf("pending after drain = %d", r.pending(9))
+	}
+}
+
+// TestReliableRetransmitsThenGivesUp leaves acks unanswered: the sender
+// must retransmit MaxRetries times with backoff and then abandon the
+// frame, freeing the window.
+func TestReliableRetransmitsThenGivesUp(t *testing.T) {
+	var stats Stats
+	log := &writeLog{}
+	r := newReliable(ReliableConfig{
+		RTO: 5 * time.Millisecond, MaxRTO: 20 * time.Millisecond,
+		MaxRetries: 2, Window: 4, QueueLimit: 8,
+	}, &stats, log.write)
+	defer r.close()
+
+	r.send(3, payloadOf(message.Data, "lost"))
+	waitFor(t, func() bool { return stats.ReliableDrops.Load() == 1 }, "give-up")
+	if got := stats.Retransmits.Load(); got != 2 {
+		t.Fatalf("retransmits = %d, want 2", got)
+	}
+	if got := len(log.snapshot()); got != 3 {
+		t.Fatalf("wire attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+	if r.pending(3) != 0 {
+		t.Fatalf("abandoned frame still pending")
+	}
+}
+
+// TestUDPReliableEndToEnd runs reliable unicast over real sockets through
+// a one-way ack blackout: the receiver keeps delivering exactly once
+// (duplicates suppressed), and once the blackout heals the sender's
+// window drains.
+func TestUDPReliableEndToEnd(t *testing.T) {
+	rel := &ReliableConfig{RTO: 15 * time.Millisecond, MaxRTO: 30 * time.Millisecond,
+		MaxRetries: 50, Window: 4, QueueLimit: 16}
+	a, b, _, cb := pair(t, UDPConfig{Reliable: rel}, UDPConfig{Reliable: rel})
+
+	// Plain delivery: one send, one delivery, acked.
+	if err := a.Send(2, payloadOf(message.Data, "first")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return cb.count() == 1 }, "reliable delivery")
+	waitFor(t, func() bool { return a.rel.pending(2) == 0 }, "ack to drain window")
+	if a.Stats().AcksRecv.Load() == 0 || b.Stats().AcksSent.Load() == 0 {
+		t.Fatalf("ack accounting: recv=%d sent=%d",
+			a.Stats().AcksRecv.Load(), b.Stats().AcksSent.Load())
+	}
+
+	// Blackout b→a (egress loss on b only): data still flows a→b, but
+	// acks die, so a retransmits and b must suppress the duplicates.
+	b.SetLoss(1)
+	if err := a.Send(2, payloadOf(message.Data, "second")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return cb.count() == 2 }, "delivery through blackout")
+	waitFor(t, func() bool { return b.Stats().DupSuppressed.Load() >= 1 }, "dup suppression")
+	if cb.count() != 2 {
+		t.Fatalf("duplicate reached the application: %d deliveries", cb.count())
+	}
+	if a.Stats().Retransmits.Load() == 0 {
+		t.Fatal("no retransmissions through an ack blackout")
+	}
+
+	// Heal: the next retransmission gets acked and the window drains.
+	b.SetLoss(0)
+	waitFor(t, func() bool { return a.rel.pending(2) == 0 }, "window drain after heal")
+	if cb.count() != 2 {
+		t.Fatalf("deliveries after heal = %d, want still 2", cb.count())
+	}
+}

@@ -12,6 +12,18 @@
 // diffusion core was designed for: duplicate suppression, exploratory
 // flooding and reinforcement already assume a lossy link.
 //
+// On top of that baseline the UDP endpoint offers two resilience options
+// the paper's soft-state repair needs in real deployments:
+//
+//   - a heartbeat failure detector (liveness.go) that classifies each
+//     neighbor alive → suspect → dead from frame arrivals and probe
+//     responses, so the diffusion layer can stop using gradients toward
+//     dead peers instead of waiting for them to age out; and
+//   - reliable unicast (reliable.go): per-neighbor ack/retransmit with
+//     capped exponential backoff, a bounded send queue with an
+//     overload-shedding policy that drops exploratory/interest traffic
+//     before reinforced data, and duplicate suppression on receive.
+//
 // A transport delivers received payloads through a Deliver callback from
 // its own reader goroutine; callers that feed a single-threaded core.Node
 // must post the upcall onto the node's rt.Loop. cmd/diffnode wires this
@@ -23,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"diffusion/internal/message"
 	"diffusion/internal/telemetry"
@@ -41,13 +54,30 @@ type Deliver func(from uint32, payload []byte)
 //
 //	byte  0     magic (frameMagic)
 //	byte  1     version (frameVersion)
-//	bytes 2-5   sender link ID, big endian
-//	bytes 6-9   destination link ID (Broadcast for floods), big endian
-//	bytes 10-   diffusion message payload
+//	byte  2     kind (data, reliable data, ack, ping, pong)
+//	bytes 3-6   sender link ID, big endian
+//	bytes 7-10  destination link ID (Broadcast for floods), big endian
+//	bytes 11-14 sender boot nonce (distinguishes process incarnations)
+//	bytes 15-18 sequence number (reliable/heartbeat frames; 0 otherwise)
+//	bytes 19-   diffusion message payload (data kinds only)
+//
+// The boot nonce lets a receiver detect that a neighbor restarted: the
+// reliable-delivery duplicate window resets instead of black-holing the
+// rebooted sender's restarted sequence space.
 const (
 	frameMagic   = 0xD1
-	frameVersion = 1
-	headerSize   = 10
+	frameVersion = 2
+	headerSize   = 19
+)
+
+// Frame kinds.
+const (
+	kindData     = 0 // fire-and-forget diffusion payload
+	kindReliable = 1 // acked diffusion payload (reliable unicast)
+	kindAck      = 2 // acknowledges a kindReliable seq
+	kindPing     = 3 // heartbeat probe
+	kindPong     = 4 // heartbeat response
+	numKinds     = 5
 )
 
 // maxPayload bounds a single framed message; UDP datagrams beyond this are
@@ -61,33 +91,69 @@ var (
 	errShortFrame  = errors.New("transport: short frame")
 	errBadMagic    = errors.New("transport: bad magic")
 	errBadVersion  = errors.New("transport: unsupported version")
+	errBadKind     = errors.New("transport: unknown frame kind")
 	errNotNeighbor = errors.New("transport: sender is not a configured neighbor")
 )
 
-// encodeFrame prepends the transport header to payload.
-func encodeFrame(from, dst uint32, payload []byte) []byte {
+// frame is one decoded transport header plus its payload.
+type frame struct {
+	kind    uint8
+	from    uint32
+	dst     uint32
+	boot    uint32
+	seq     uint32
+	payload []byte // aliases the receive buffer
+}
+
+// encodeFrame builds the wire form of one frame.
+func encodeFrame(kind uint8, from, dst, boot, seq uint32, payload []byte) []byte {
 	b := make([]byte, headerSize+len(payload))
 	b[0] = frameMagic
 	b[1] = frameVersion
-	binary.BigEndian.PutUint32(b[2:], from)
-	binary.BigEndian.PutUint32(b[6:], dst)
+	b[2] = kind
+	binary.BigEndian.PutUint32(b[3:], from)
+	binary.BigEndian.PutUint32(b[7:], dst)
+	binary.BigEndian.PutUint32(b[11:], boot)
+	binary.BigEndian.PutUint32(b[15:], seq)
 	copy(b[headerSize:], payload)
 	return b
 }
 
 // decodeFrame validates the header and returns its fields. The returned
 // payload aliases b.
-func decodeFrame(b []byte) (from, dst uint32, payload []byte, err error) {
+func decodeFrame(b []byte) (frame, error) {
 	if len(b) < headerSize {
-		return 0, 0, nil, errShortFrame
+		return frame{}, errShortFrame
 	}
 	if b[0] != frameMagic {
-		return 0, 0, nil, errBadMagic
+		return frame{}, errBadMagic
 	}
 	if b[1] != frameVersion {
-		return 0, 0, nil, errBadVersion
+		return frame{}, errBadVersion
 	}
-	return binary.BigEndian.Uint32(b[2:]), binary.BigEndian.Uint32(b[6:]), b[headerSize:], nil
+	if b[2] >= numKinds {
+		return frame{}, errBadKind
+	}
+	return frame{
+		kind:    b[2],
+		from:    binary.BigEndian.Uint32(b[3:]),
+		dst:     binary.BigEndian.Uint32(b[7:]),
+		boot:    binary.BigEndian.Uint32(b[11:]),
+		seq:     binary.BigEndian.Uint32(b[15:]),
+		payload: b[headerSize:],
+	}, nil
+}
+
+// bootCounter makes boot nonces distinct within a process even when two
+// endpoints start in the same nanosecond.
+var bootCounter atomic.Uint32
+
+// newBootNonce returns a nonce that differs across process incarnations
+// (and across endpoints within one process). It deliberately does not use
+// any configured seed: two runs of the same config must get different
+// nonces, that is the point.
+func newBootNonce() uint32 {
+	return uint32(time.Now().UnixNano()) ^ (bootCounter.Add(1) << 20)
 }
 
 // Stats is the per-packet accounting both transports maintain. Fields are
@@ -102,6 +168,26 @@ type Stats struct {
 	SendErrors   atomic.Uint64 // socket/medium write failures
 	RecvDropped  atomic.Uint64 // malformed, unknown-sender or oversize
 	LossInjected atomic.Uint64 // injected-loss discards
+	QueueDrops   atomic.Uint64 // bounded-queue overflow discards
+
+	// Heartbeat / failure-detector accounting (liveness.go).
+	HeartbeatsSent atomic.Uint64 // pings + pongs written
+	HeartbeatsRecv atomic.Uint64 // pings + pongs received
+	PeerSuspects   atomic.Uint64 // alive → suspect transitions
+	PeerDeaths     atomic.Uint64 // suspect → dead transitions
+	PeerRecoveries atomic.Uint64 // suspect/dead → alive transitions
+	RTTMicrosSum   atomic.Uint64 // sum of measured heartbeat RTTs
+	RTTCount       atomic.Uint64
+
+	// Reliable-unicast accounting (reliable.go).
+	Retransmits   atomic.Uint64 // frames re-sent after an ack timeout
+	AcksSent      atomic.Uint64
+	AcksRecv      atomic.Uint64
+	ReliableDrops atomic.Uint64 // frames abandoned after max retries
+	DupSuppressed atomic.Uint64 // duplicate reliable frames not delivered
+
+	// Partition accounting (runtime impairment, udp.go).
+	PartitionDropped atomic.Uint64
 }
 
 // Instrument publishes the transport counters on reg at snapshot time,
@@ -116,6 +202,23 @@ func (s *Stats) Instrument(reg *telemetry.Registry) {
 		emit("transport.send_errors", float64(s.SendErrors.Load()))
 		emit("transport.recv_dropped", float64(s.RecvDropped.Load()))
 		emit("transport.loss_injected", float64(s.LossInjected.Load()))
+		emit("transport.queue_drops", float64(s.QueueDrops.Load()))
+		emit("transport.heartbeats_sent", float64(s.HeartbeatsSent.Load()))
+		emit("transport.heartbeats_recv", float64(s.HeartbeatsRecv.Load()))
+		emit("transport.peer_suspects", float64(s.PeerSuspects.Load()))
+		emit("transport.peer_deaths", float64(s.PeerDeaths.Load()))
+		emit("transport.peer_recoveries", float64(s.PeerRecoveries.Load()))
+		if c := s.RTTCount.Load(); c > 0 {
+			emit("transport.heartbeat_rtt_mean_us", float64(s.RTTMicrosSum.Load())/float64(c))
+		} else {
+			emit("transport.heartbeat_rtt_mean_us", 0)
+		}
+		emit("transport.retransmits", float64(s.Retransmits.Load()))
+		emit("transport.acks_sent", float64(s.AcksSent.Load()))
+		emit("transport.acks_recv", float64(s.AcksRecv.Load()))
+		emit("transport.reliable_drops", float64(s.ReliableDrops.Load()))
+		emit("transport.dup_suppressed", float64(s.DupSuppressed.Load()))
+		emit("transport.partition_dropped", float64(s.PartitionDropped.Load()))
 	})
 }
 

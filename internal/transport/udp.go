@@ -27,13 +27,25 @@ type UDPConfig struct {
 	Deliver Deliver
 	// Loss, in [0,1), drops each outgoing datagram independently with
 	// this probability — injected loss for parity testing against the
-	// simulated radio. Zero means lossless.
+	// simulated radio. Zero means lossless. Adjustable at runtime with
+	// SetLoss.
 	Loss float64
 	// Latency delays each outgoing datagram by this much before it is
 	// written to the socket, emulating propagation plus airtime.
 	Latency time.Duration
-	// Seed seeds the loss-draw stream (only used when Loss > 0).
+	// Seed seeds the loss-draw and probe-jitter streams.
 	Seed int64
+	// Liveness, when non-nil, enables the heartbeat failure detector
+	// (liveness.go): neighbors are classified alive/suspect/dead and
+	// state changes surface through Liveness.OnStateChange and
+	// PeerHealth.
+	Liveness *LivenessConfig
+	// Reliable, when non-nil, enables reliable unicast (reliable.go):
+	// unicast sends are acked and retransmitted with capped backoff,
+	// queued per neighbor with overload shedding, and duplicates from
+	// retransmission are suppressed on receive. Broadcast stays
+	// fire-and-forget.
+	Reliable *ReliableConfig
 }
 
 // UDP is a core.Link over UDP datagrams: unicast sends one datagram to the
@@ -42,21 +54,26 @@ type UDPConfig struct {
 // traffic under an unknown ID.
 type UDP struct {
 	id       uint32
+	boot     uint32
 	conn     *net.UDPConn
 	peers    map[uint32]*net.UDPAddr
 	deliver  Deliver
-	loss     float64
-	latency  time.Duration
 	stats    Stats
+	det      *detector
+	rel      *reliable
 	readerWG sync.WaitGroup
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	closed bool
+	mu      sync.Mutex
+	rng     *rand.Rand
+	loss    float64
+	latency time.Duration
+	blocked map[uint32]bool
+	closed  bool
 }
 
-// ListenUDP binds cfg.Listen and starts the reader goroutine. The caller
-// must Close the endpoint to release both.
+// ListenUDP binds cfg.Listen and starts the reader goroutine (plus the
+// failure-detector goroutine when cfg.Liveness is set). The caller must
+// Close the endpoint to release them.
 func ListenUDP(cfg UDPConfig) (*UDP, error) {
 	if cfg.ID == Broadcast {
 		return nil, fmt.Errorf("transport: node ID %d is the broadcast address", cfg.ID)
@@ -82,12 +99,26 @@ func ListenUDP(cfg UDPConfig) (*UDP, error) {
 	}
 	u := &UDP{
 		id:      cfg.ID,
+		boot:    newBootNonce(),
 		conn:    conn,
 		peers:   peers,
 		deliver: cfg.Deliver,
 		loss:    cfg.Loss,
 		latency: cfg.Latency,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		blocked: map[uint32]bool{},
+	}
+	if cfg.Reliable != nil {
+		u.rel = newReliable(*cfg.Reliable, &u.stats, u.writeTo)
+	}
+	if cfg.Liveness != nil {
+		ids := make([]uint32, 0, len(peers))
+		for id := range peers {
+			ids = append(ids, id)
+		}
+		u.det = newDetector(*cfg.Liveness, cfg.Seed^int64(cfg.ID), ids, &u.stats,
+			func(peer, seq uint32) { u.writeTo(peer, kindPing, seq, nil) })
+		go u.det.run()
 	}
 	u.readerWG.Add(1)
 	go u.readLoop()
@@ -112,10 +143,89 @@ func (u *UDP) Neighbors() []uint32 {
 	return out
 }
 
+// PeerHealth returns every neighbor's liveness snapshot, or nil when the
+// endpoint runs without a failure detector.
+func (u *UDP) PeerHealth() map[uint32]PeerHealth {
+	if u.det == nil {
+		return nil
+	}
+	return u.det.snapshot()
+}
+
+// Isolated reports whether the failure detector considers every neighbor
+// dead — the condition /healthz turns into a 503. Always false without a
+// detector.
+func (u *UDP) Isolated() bool {
+	return u.det != nil && u.det.allDead()
+}
+
+// SetLoss changes the injected-loss probability at runtime (chaos
+// harness). Values are clamped to [0,1].
+func (u *UDP) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	u.mu.Lock()
+	u.loss = p
+	u.mu.Unlock()
+}
+
+// Loss returns the current injected-loss probability.
+func (u *UDP) Loss() float64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.loss
+}
+
+// Block partitions this endpoint from peer: frames to and from it are
+// dropped (and counted in Stats.PartitionDropped) until Unblock. The
+// failure detector keeps probing through the partition, so it will mark
+// the peer suspect and then dead.
+func (u *UDP) Block(peer uint32) {
+	u.mu.Lock()
+	u.blocked[peer] = true
+	u.mu.Unlock()
+}
+
+// Unblock heals a partition created by Block.
+func (u *UDP) Unblock(peer uint32) {
+	u.mu.Lock()
+	delete(u.blocked, peer)
+	u.mu.Unlock()
+}
+
+// SetBlocked replaces the whole blocked-peer set (chaos harness: one call
+// describes the partition).
+func (u *UDP) SetBlocked(peers []uint32) {
+	set := make(map[uint32]bool, len(peers))
+	for _, p := range peers {
+		set[p] = true
+	}
+	u.mu.Lock()
+	u.blocked = set
+	u.mu.Unlock()
+}
+
+// Blocked returns the currently blocked peers (fresh slice, any order).
+func (u *UDP) Blocked() []uint32 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]uint32, 0, len(u.blocked))
+	for p := range u.blocked {
+		out = append(out, p)
+	}
+	return out
+}
+
 // Send transmits payload to dst — a neighbor ID or Broadcast — as one
 // datagram per destination (core.Link). Sends to unknown unicast
 // destinations are errors; injected loss consumes destinations silently,
-// like the radio it stands in for.
+// like the radio it stands in for. With the reliable option enabled,
+// unicast payloads go through the acked/retransmitted path; broadcast is
+// always fire-and-forget (flooding is its own redundancy).
 func (u *UDP) Send(dst uint32, payload []byte) error {
 	if len(payload) > maxPayload {
 		u.stats.SendErrors.Add(1)
@@ -128,35 +238,60 @@ func (u *UDP) Send(dst uint32, payload []byte) error {
 	}
 	u.mu.Unlock()
 	if dst != Broadcast {
-		peer, ok := u.peers[dst]
-		if !ok {
+		if _, ok := u.peers[dst]; !ok {
 			u.stats.SendErrors.Add(1)
 			return fmt.Errorf("transport: %d is not a neighbor of %d", dst, u.id)
 		}
-		u.sendTo(peer, dst, payload)
+		if u.rel != nil {
+			u.rel.send(dst, payload)
+			return nil
+		}
+		u.writeTo(dst, kindData, 0, payload)
 		return nil
 	}
-	for id, peer := range u.peers {
-		u.sendTo(peer, id, payload)
+	for id := range u.peers {
+		u.writeTo(id, kindData, 0, payload)
 	}
 	return nil
 }
 
-// sendTo frames and writes one datagram, applying injected loss and
-// latency.
-func (u *UDP) sendTo(peer *net.UDPAddr, dst uint32, payload []byte) {
-	if u.loss > 0 {
-		u.mu.Lock()
-		drop := u.rng.Float64() < u.loss
-		u.mu.Unlock()
-		if drop {
-			u.stats.LossInjected.Add(1)
-			return
-		}
+// writeTo frames and writes one datagram to neighbor id, applying runtime
+// impairment — blocked peers, injected loss, injected latency — in that
+// order. It is the single egress point: data, reliable frames,
+// retransmissions, acks and heartbeats all pass through it, so a
+// partition or loss ramp affects every frame kind, exactly like a real
+// bad link.
+func (u *UDP) writeTo(id uint32, kind uint8, seq uint32, payload []byte) {
+	peer, ok := u.peers[id]
+	if !ok {
+		return
 	}
-	frame := encodeFrame(u.id, dst, payload)
-	if u.latency > 0 {
-		time.AfterFunc(u.latency, func() { u.write(frame, peer) })
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return
+	}
+	if u.blocked[id] {
+		u.mu.Unlock()
+		u.stats.PartitionDropped.Add(1)
+		return
+	}
+	drop := u.loss > 0 && u.rng.Float64() < u.loss
+	latency := u.latency
+	u.mu.Unlock()
+	if drop {
+		u.stats.LossInjected.Add(1)
+		return
+	}
+	switch kind {
+	case kindPing, kindPong:
+		u.stats.HeartbeatsSent.Add(1)
+	case kindAck:
+		u.stats.AcksSent.Add(1)
+	}
+	frame := encodeFrame(kind, u.id, id, u.boot, seq, payload)
+	if latency > 0 {
+		time.AfterFunc(latency, func() { u.write(frame, peer) })
 		return
 	}
 	u.write(frame, peer)
@@ -172,10 +307,13 @@ func (u *UDP) write(frame []byte, peer *net.UDPAddr) {
 }
 
 // readLoop receives datagrams until the socket closes, validating the
-// frame and the sender before delivering.
+// frame and the sender, then dispatching on kind. Any valid frame counts
+// as proof of life for the failure detector. The per-neighbor duplicate
+// windows are owned by this goroutine, so they need no locking.
 func (u *UDP) readLoop() {
 	defer u.readerWG.Done()
 	buf := make([]byte, maxPayload+headerSize)
+	dups := map[uint32]*dupWindow{}
 	for {
 		n, _, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -188,28 +326,75 @@ func (u *UDP) readLoop() {
 			}
 			continue
 		}
-		from, dst, payload, err := decodeFrame(buf[:n])
+		f, err := decodeFrame(buf[:n])
 		if err != nil {
 			u.stats.RecvDropped.Add(1)
 			continue
 		}
-		if _, ok := u.peers[from]; !ok || from == u.id {
+		if _, ok := u.peers[f.from]; !ok || f.from == u.id {
 			u.stats.RecvDropped.Add(1)
 			continue
 		}
-		if dst != Broadcast && dst != u.id {
+		if f.dst != Broadcast && f.dst != u.id {
 			u.stats.RecvDropped.Add(1)
 			continue
 		}
-		u.stats.onRecv(n)
-		out := make([]byte, len(payload))
-		copy(out, payload)
-		u.deliver(from, out)
+		u.mu.Lock()
+		blocked := u.blocked[f.from]
+		u.mu.Unlock()
+		if blocked {
+			u.stats.PartitionDropped.Add(1)
+			continue
+		}
+		if u.det != nil {
+			if f.kind == kindPong {
+				u.det.onPong(f.from, f.seq) // records RTT, then marks heard
+			} else {
+				u.det.markHeard(f.from)
+			}
+		}
+		switch f.kind {
+		case kindPing:
+			u.stats.HeartbeatsRecv.Add(1)
+			u.writeTo(f.from, kindPong, f.seq, nil)
+		case kindPong:
+			u.stats.HeartbeatsRecv.Add(1)
+		case kindAck:
+			if u.rel != nil {
+				u.rel.onAck(f.from, f.seq)
+			}
+		case kindReliable:
+			// Ack first, duplicates included: the sender needs the ack to
+			// stop retransmitting whether or not we deliver.
+			u.writeTo(f.from, kindAck, f.seq, nil)
+			w := dups[f.from]
+			if w == nil {
+				w = &dupWindow{}
+				dups[f.from] = w
+			}
+			if !w.fresh(f.boot, f.seq) {
+				u.stats.DupSuppressed.Add(1)
+				continue
+			}
+			u.deliverUp(f.from, f.payload, n)
+		case kindData:
+			u.deliverUp(f.from, f.payload, n)
+		}
 	}
 }
 
-// Close shuts the endpoint down and waits for the reader goroutine to
-// exit. It is idempotent; Sends after Close return ErrClosed.
+// deliverUp copies a payload out of the receive buffer and hands it to the
+// Deliver callback.
+func (u *UDP) deliverUp(from uint32, payload []byte, n int) {
+	u.stats.onRecv(n)
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	u.deliver(from, out)
+}
+
+// Close shuts the endpoint down — failure detector, retransmit timers,
+// socket — and waits for the reader goroutine to exit. It is idempotent;
+// Sends after Close return ErrClosed.
 func (u *UDP) Close() error {
 	u.mu.Lock()
 	if u.closed {
@@ -218,6 +403,12 @@ func (u *UDP) Close() error {
 	}
 	u.closed = true
 	u.mu.Unlock()
+	if u.det != nil {
+		u.det.close()
+	}
+	if u.rel != nil {
+		u.rel.close()
+	}
 	err := u.conn.Close()
 	u.readerWG.Wait()
 	return err

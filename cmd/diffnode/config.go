@@ -76,6 +76,28 @@ type Config struct {
 	// default, 200ms).
 	ReliableRTO time.Duration `json:"reliable_rto"`
 
+	// Custody enables disruption-tolerant custody transfer: reinforced
+	// data that cannot be forwarded is parked in a bounded custody queue
+	// and replayed when a path appears, with hop-by-hop transfer to the
+	// next custodian acknowledged only after a durable accept. Setting
+	// CustodyFile or CustodyLimit implies Custody.
+	Custody bool `json:"custody"`
+	// CustodyFile is the fsync'd custody journal; custodial data in it
+	// survives SIGKILL and is replayed after a warm restart. Empty keeps
+	// custody memory-only (survives partitions, not crashes).
+	CustodyFile string `json:"custody_file"`
+	// CustodyLimit bounds the custody queue (0: 1024).
+	CustodyLimit int `json:"custody_limit"`
+	// SeenTTL is the duplicate-suppression horizon (0: 2m). Deployments
+	// expecting multi-minute partitions should raise it past the longest
+	// partition they must ride out, so replayed custody is not mistaken
+	// for fresh traffic after its ID aged out of the sink's cache.
+	SeenTTL time.Duration `json:"seen_ttl"`
+	// EnergyAware spreads reinforcement across equally-fresh exploratory
+	// deliverers instead of always reinforcing the first (see
+	// core.Config.EnergyAware).
+	EnergyAware bool `json:"energy_aware"`
+
 	// StateFile, when set, persists the application layer (keys,
 	// subscriptions, publications, filters) after every mutation so a
 	// crashed node warm-restarts into the same role. Empty disables
@@ -113,6 +135,11 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		DeadAfter           string            `json:"dead_after"`
 		Reliable            bool              `json:"reliable"`
 		ReliableRTO         string            `json:"reliable_rto"`
+		Custody             bool              `json:"custody"`
+		CustodyFile         string            `json:"custody_file"`
+		CustodyLimit        int               `json:"custody_limit"`
+		SeenTTL             string            `json:"seen_ttl"`
+		EnergyAware         bool              `json:"energy_aware"`
 		StateFile           string            `json:"state_file"`
 		Drain               string            `json:"drain"`
 	}
@@ -124,6 +151,8 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 	c.Keys, c.Subscribe, c.Publish, c.Filters = r.Keys, r.Subscribe, r.Publish, r.Filters
 	c.Seed, c.ExploratoryEvery, c.TTL, c.Loss = r.Seed, r.ExploratoryEvery, r.TTL, r.Loss
 	c.Reliable, c.StateFile = r.Reliable, r.StateFile
+	c.Custody, c.CustodyFile, c.CustodyLimit = r.Custody, r.CustodyFile, r.CustodyLimit
+	c.EnergyAware = r.EnergyAware
 	if r.Neighbors != nil {
 		c.Neighbors = map[uint32]string{}
 		for k, v := range r.Neighbors {
@@ -146,6 +175,7 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		{r.SuspectAfter, &c.SuspectAfter},
 		{r.DeadAfter, &c.DeadAfter},
 		{r.ReliableRTO, &c.ReliableRTO},
+		{r.SeenTTL, &c.SeenTTL},
 		{r.Drain, &c.Drain},
 	} {
 		if f.s == "" {
@@ -210,6 +240,12 @@ func (c *Config) validate() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = int64(c.ID)
+	}
+	if c.CustodyLimit < 0 {
+		return fmt.Errorf("diffnode: custody limit %d is negative", c.CustodyLimit)
+	}
+	if c.CustodyFile != "" || c.CustodyLimit > 0 {
+		c.Custody = true
 	}
 	if c.Drain <= 0 {
 		c.Drain = 500 * time.Millisecond

@@ -16,6 +16,7 @@ import (
 
 	"diffusion/internal/attr"
 	"diffusion/internal/core"
+	"diffusion/internal/custody"
 	"diffusion/internal/filters"
 	"diffusion/internal/message"
 	"diffusion/internal/rt"
@@ -38,6 +39,12 @@ type Daemon struct {
 	link *transport.UDP
 	reg  *telemetry.Registry
 	hub  *telemetry.Hub
+
+	// Custody transfer (nil unless cfg.Custody): the bounded queue that
+	// vouches for reinforced data across partitions, and its fsync'd
+	// journal when cfg.CustodyFile is set.
+	cusq     *custody.Queue
+	cusStore *custody.Store
 
 	httpLn   net.Listener
 	httpSrv  *http.Server
@@ -114,6 +121,42 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		}
 	}
 
+	// Custody store and queue come up before the transport: the endpoint's
+	// Accept callback journals straight into the queue, and an offer must
+	// never be acknowledged before the journal exists.
+	var cusOpts *transport.CustodyOptions
+	if cfg.Custody {
+		var restored []custody.Item
+		// journal stays a nil interface for memory-only custody: a typed
+		// nil *Store in it would pass the queue's != nil guard and crash.
+		var journal custody.Journal
+		if cfg.CustodyFile != "" {
+			store, items, err := custody.OpenStore(cfg.CustodyFile)
+			if err != nil {
+				return nil, fmt.Errorf("diffnode: custody journal: %w", err)
+			}
+			d.cusStore, restored, journal = store, items, store
+		}
+		d.cusq = custody.NewQueue(cfg.CustodyLimit, journal)
+		d.cusq.Restore(restored)
+		if len(restored) > 0 {
+			st := d.cusStore.Stats()
+			fmt.Fprintf(logw, "diffnode %d: custody recovered %d items from %s (%d bytes torn tail discarded)\n",
+				cfg.ID, len(restored), cfg.CustodyFile, st.TailTruncated)
+		}
+		cusOpts = &transport.CustodyOptions{
+			// Accept runs on the endpoint's reader goroutine; the queue is
+			// internally locked and journals (fsync) before reporting held,
+			// so the ack the transport sends is backed by disk.
+			Accept: func(from uint32, id message.ID, payload []byte) (held, fresh bool) {
+				return d.cusq.Accept(id, payload)
+			},
+			Release: func(peer uint32, id message.ID) {
+				d.cusq.Release(id)
+			},
+		}
+	}
+
 	var live *transport.LivenessConfig
 	if cfg.Heartbeat >= 0 {
 		live = &transport.LivenessConfig{
@@ -136,6 +179,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		Seed:      cfg.Seed,
 		Liveness:  live,
 		Reliable:  rel,
+		Custody:   cusOpts,
 		Deliver: func(from uint32, payload []byte) {
 			d.loop.Post(func() {
 				if d.node != nil {
@@ -146,6 +190,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	})
 	if err != nil {
 		d.loop.Stop()
+		d.closeCustody()
 		return nil, err
 	}
 	d.link = link
@@ -164,10 +209,23 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 			ExploratoryEvery:    cfg.ExploratoryEvery,
 			ForwardJitter:       cfg.ForwardJitter,
 			TTL:                 cfg.TTL,
+			SeenTTL:             cfg.SeenTTL,
+			Custody:             d.cusq,
+			EnergyAware:         cfg.EnergyAware,
 			Flight:              d.flight,
 		})
 		d.node.Instrument(d.reg)
 		d.link.Stats().Instrument(d.reg)
+		if d.cusStore != nil {
+			d.reg.AddCollector(func(emit func(string, float64)) {
+				st := d.cusStore.Stats()
+				emit("custody.store_appends", float64(st.Appends))
+				emit("custody.store_bytes_fsynced", float64(st.BytesFsynced))
+				emit("custody.store_syncs", float64(st.Syncs))
+				emit("custody.store_compactions", float64(st.Compactions))
+				emit("custody.store_recovered", float64(st.Recovered))
+			})
+		}
 		d.delivered = d.reg.Counter("ctl.deliveries")
 		d.stateSaves = d.reg.Counter("recovery.state_saves")
 		d.lastSaveMS = d.reg.Gauge("recovery.last_save_ms")
@@ -178,6 +236,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	})
 	if err != nil {
 		link.Close()
+		d.closeCustody()
 		return nil, err
 	}
 
@@ -212,6 +271,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	if bootErr != nil {
 		link.Close()
 		d.loop.Stop()
+		d.closeCustody()
 		return nil, bootErr
 	}
 
@@ -219,6 +279,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	if err != nil {
 		link.Close()
 		d.loop.Stop()
+		d.closeCustody()
 		return nil, fmt.Errorf("diffnode: control plane: %w", err)
 	}
 	d.httpLn = ln
@@ -278,9 +339,19 @@ func (d *Daemon) Shutdown() error {
 		}
 		d.loop.Call(func() { d.node.Close() })
 		d.loop.Stop()
+		d.closeCustody()
 		fmt.Fprintf(d.logw, "diffnode %d: stopped\n", d.cfg.ID)
 	})
 	return d.shutdownErr
+}
+
+// closeCustody closes the custody journal, if any. The queue itself needs
+// no teardown; undelivered custodial data is exactly what the journal is
+// for.
+func (d *Daemon) closeCustody() {
+	if d.cusStore != nil {
+		d.cusStore.Close()
+	}
 }
 
 // Fault kinds the daemon records into the flight ring on liveness
@@ -328,10 +399,17 @@ func (d *Daemon) onPeerState(peer uint32, s transport.PeerState) {
 			At: d.loop.Now(), Node: d.cfg.ID, Peer: peer,
 			Verb: telemetry.VerbFault, Kind: kind,
 		})
-		if s == transport.PeerDead {
+		switch s {
+		case transport.PeerDead:
 			d.node.NeighborDead(peer)
 			fmt.Fprintf(d.logw, "diffnode %d: flight dump (neighbor %d died):\n", d.cfg.ID, peer)
 			d.flight.Dump(d.logw, faultKindName)
+		case transport.PeerAlive:
+			// A recovery: re-prime discovery toward the healed peer and
+			// replay any custodial data that was waiting out the partition.
+			// (The transport has already re-offered its pending custody
+			// frames on this transition.)
+			d.node.NeighborRecovered(peer)
 		}
 	})
 }
@@ -429,6 +507,7 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("GET /state", d.handleState)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /custody", d.handleCustody)
 	mux.HandleFunc("POST /chaos", d.handleChaos)
 	return mux
 }
@@ -695,6 +774,9 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // it was last heard). When every neighbor is dead the node is partitioned
 // from the network and the endpoint answers 503, so an external
 // supervisor can distinguish "process up, network gone" from healthy.
+// A node with no configured neighbors is never "isolated": a single-node
+// or not-yet-joined deployment is a legitimate steady state, and a 503
+// there would have a supervisor restart-looping a healthy process.
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type neighborHealth struct {
 		State       string `json:"state"`
@@ -716,7 +798,7 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				RTTMicros:   h.RTTMicros,
 			}
 		}
-		isolated = d.link.Isolated()
+		isolated = len(d.cfg.Neighbors) > 0 && d.link.Isolated()
 		resp["neighbors"] = neighbors
 		resp["isolated"] = isolated
 	}
@@ -725,6 +807,42 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleCustody reports the custody layer: queue depth and counters,
+// outstanding wire offers, and journal accounting when a custody file is
+// configured. 404 when custody is disabled. The queue and store are
+// internally locked, so no loop crossing is needed.
+func (d *Daemon) handleCustody(w http.ResponseWriter, r *http.Request) {
+	if d.cusq == nil {
+		httpError(w, http.StatusNotFound, "custody is not enabled")
+		return
+	}
+	c := d.cusq.Counters()
+	resp := map[string]any{
+		"len":            d.cusq.Len(),
+		"limit":          d.cusq.Limit(),
+		"pending_offers": d.link.CustodyPending(),
+		"accepted":       c.Accepted,
+		"released":       c.Released,
+		"replayed":       c.Replayed,
+		"shed":           c.Shed,
+		"restored":       c.Restored,
+	}
+	if d.cusStore != nil {
+		st := d.cusStore.Stats()
+		resp["journal"] = map[string]any{
+			"appends":        st.Appends,
+			"bytes_appended": st.BytesAppended,
+			"bytes_fsynced":  st.BytesFsynced,
+			"syncs":          st.Syncs,
+			"compactions":    st.Compactions,
+			"tail_truncated": st.TailTruncated,
+			"recovered":      st.Recovered,
+			"live":           d.cusStore.Live(),
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // handleChaos adjusts live transport impairment, the process-level chaos

@@ -19,7 +19,9 @@
 //	GET  /state        live subscriptions/publications and table sizes
 //	GET  /metrics      telemetry in Prometheus text format
 //	GET  /healthz      liveness incl. per-neighbor failure-detector state
-//	                   (503 when partitioned from every neighbor)
+//	                   (503 when partitioned from every configured neighbor)
+//	GET  /custody      custody-transfer introspection: queue depth and
+//	                   counters, journal stats, pending offers
 //	POST /chaos        body: {"loss": P, "blocked": [ID, ...]} — live
 //	                   transport impairment for fault experiments
 //
@@ -61,6 +63,11 @@ func main() {
 		deadAf     = flag.Duration("dead-after", 0, "silence marking a neighbor dead (0: 8x heartbeat)")
 		reliable   = flag.Bool("reliable", false, "acknowledged unicast with retransmission")
 		relRTO     = flag.Duration("reliable-rto", 0, "initial retransmission timeout (0: 200ms default)")
+		custodyOn  = flag.Bool("custody", false, "disruption-tolerant custody transfer for reinforced data")
+		custFile   = flag.String("custody-file", "", "fsync'd custody journal (implies -custody; custody survives SIGKILL)")
+		custLimit  = flag.Int("custody-limit", 0, "custody queue bound (implies -custody; 0: 1024)")
+		seenTTL    = flag.Duration("seen-ttl", 0, "duplicate-suppression horizon (0: 2m; raise past the longest expected partition)")
+		energy     = flag.Bool("energy-aware", false, "energy-aware reinforcement: spread load across exploratory deliverers")
 		stateFile  = flag.String("state-file", "", "persist application state here and warm-restart from it")
 		drain      = flag.Duration("drain", 0, "shutdown drain window (default 500ms)")
 	)
@@ -72,8 +79,10 @@ func main() {
 		interestInterval: *interestIv, exploratoryInterval: *explIv,
 		forwardJitter: *jitter, loss: *loss, latency: *latency,
 		heartbeat: *heartbeat, suspectAfter: *suspectAf, deadAfter: *deadAf,
-		reliable: *reliable, reliableRTO: *relRTO, stateFile: *stateFile,
-		drain: *drain,
+		reliable: *reliable, reliableRTO: *relRTO,
+		custody: *custodyOn, custodyFile: *custFile, custodyLimit: *custLimit,
+		seenTTL: *seenTTL, energyAware: *energy,
+		stateFile: *stateFile, drain: *drain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -116,6 +125,11 @@ type flagOverrides struct {
 	deadAfter           time.Duration
 	reliable            bool
 	reliableRTO         time.Duration
+	custody             bool
+	custodyFile         string
+	custodyLimit        int
+	seenTTL             time.Duration
+	energyAware         bool
 	stateFile           string
 	drain               time.Duration
 }
@@ -190,6 +204,21 @@ func buildConfig(path string, f flagOverrides) (Config, error) {
 	}
 	if f.reliableRTO != 0 {
 		cfg.ReliableRTO = f.reliableRTO
+	}
+	if f.custody {
+		cfg.Custody = true
+	}
+	if f.custodyFile != "" {
+		cfg.CustodyFile = f.custodyFile
+	}
+	if f.custodyLimit != 0 {
+		cfg.CustodyLimit = f.custodyLimit
+	}
+	if f.seenTTL != 0 {
+		cfg.SeenTTL = f.seenTTL
+	}
+	if f.energyAware {
+		cfg.EnergyAware = true
 	}
 	if f.stateFile != "" {
 		cfg.StateFile = f.stateFile

@@ -96,7 +96,8 @@ func TestWarmRestartFromStateFile(t *testing.T) {
 }
 
 // TestStateFileUnreadableIsColdBoot: a corrupt state file must not stop
-// the daemon from booting with its config lists.
+// the daemon from booting with its config lists, and the bad bytes must
+// be quarantined for diagnosis rather than silently overwritten.
 func TestStateFileUnreadableIsColdBoot(t *testing.T) {
 	stateFile := filepath.Join(t.TempDir(), "bad.state")
 	if err := os.WriteFile(stateFile, []byte("not json"), 0o644); err != nil {
@@ -111,6 +112,52 @@ func TestStateFileUnreadableIsColdBoot(t *testing.T) {
 	// The boot save replaced the corrupt file with a valid snapshot.
 	if st := readStateFile(t, stateFile); st.ID != 4 || len(st.Subscribe) != 1 {
 		t.Fatalf("snapshot after cold boot = %+v", st)
+	}
+	// The original bytes were moved aside, not lost.
+	if b, err := os.ReadFile(stateFile + ".corrupt"); err != nil || string(b) != "not json" {
+		t.Fatalf("quarantine file: %q %v", b, err)
+	}
+}
+
+// TestStateFilePartialJSONQuarantined covers the likeliest real
+// corruption: a snapshot torn mid-write (truncated JSON). The daemon must
+// quarantine it and boot fresh, not crash-loop on the parse error.
+func TestStateFilePartialJSONQuarantined(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "torn.state")
+	torn := `{"id": 7, "subscribe": ["type EQ x`
+	if err := os.WriteFile(stateFile, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := startTestDaemon(t, Config{ID: 7, Drain: time.Millisecond, StateFile: stateFile,
+		Publish: []string{"type IS fresh-role"}})
+	code, state := ctl(t, d, "GET", "/state", "")
+	if code != 200 || state["subscriptions"] != nil || len(state["publications"].([]any)) != 1 {
+		t.Fatalf("cold boot after torn snapshot: %d %v", code, state)
+	}
+	if b, err := os.ReadFile(stateFile + ".corrupt"); err != nil || string(b) != torn {
+		t.Fatalf("quarantine file: %q %v", b, err)
+	}
+	// loadState on the rewritten file sees the fresh role.
+	if st := readStateFile(t, stateFile); st.ID != 7 || len(st.Publish) != 1 {
+		t.Fatalf("snapshot after cold boot = %+v", st)
+	}
+}
+
+// TestHealthzZeroNeighbors: a node with no configured neighbors — a
+// single-node or not-yet-joined deployment — must answer 200, never the
+// "isolated" 503, even with the failure detector running.
+func TestHealthzZeroNeighbors(t *testing.T) {
+	d := startTestDaemon(t, Config{ID: 11, Drain: time.Millisecond,
+		Heartbeat: 25 * time.Millisecond, SuspectAfter: 75 * time.Millisecond,
+		DeadAfter: 150 * time.Millisecond})
+	// Give the detector a few periods to (incorrectly) declare isolation.
+	time.Sleep(300 * time.Millisecond)
+	code, resp := ctl(t, d, "GET", "/healthz", "")
+	if code != 200 {
+		t.Fatalf("healthz with zero neighbors: %d %v", code, resp)
+	}
+	if iso, ok := resp["isolated"]; ok && iso == true {
+		t.Fatalf("zero-neighbor node reported isolated: %v", resp)
 	}
 }
 

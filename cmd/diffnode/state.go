@@ -35,7 +35,12 @@ type persistedState struct {
 }
 
 // loadState reads a state file. found is false when the file simply does
-// not exist (a cold boot, not an error).
+// not exist (a cold boot, not an error). A file that exists but does not
+// parse — a crash torn the bytes, disk corruption, an operator's stray
+// edit — is quarantined by renaming it to path+".corrupt" so the node
+// boots fresh from its config instead of crash-looping, while the bad
+// bytes stay on disk for diagnosis. The returned error describes the
+// corruption; the caller logs it and proceeds with a cold boot.
 func loadState(path string) (persistedState, bool, error) {
 	var st persistedState
 	b, err := os.ReadFile(path)
@@ -46,7 +51,13 @@ func loadState(path string) (persistedState, bool, error) {
 		return st, false, err
 	}
 	if err := json.Unmarshal(b, &st); err != nil {
-		return st, false, fmt.Errorf("state %s: %w", path, err)
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr != nil {
+			return persistedState{}, false,
+				fmt.Errorf("state %s: %w (quarantine failed: %v)", path, err, rerr)
+		}
+		return persistedState{}, false,
+			fmt.Errorf("state %s: %w (quarantined to %s)", path, err, quarantine)
 	}
 	return st, true, nil
 }

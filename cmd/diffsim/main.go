@@ -20,6 +20,7 @@
 //	diffsim -experiment sweep-capture     # ablation: radio capture effect
 //	diffsim -experiment churn             # fault injection: relay kill + MTBF/MTTR churn
 //	diffsim -experiment scale-parallel    # 1024-node grid on the sharded kernel
+//	diffsim -experiment ferry             # disruption tolerance: custody transfer vs baseline
 //	diffsim -experiment all               # everything above
 //
 // -quick shrinks runs for a fast smoke pass; -seeds and -duration override
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, scale-parallel, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, scale-parallel, ferry, all)")
 		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		seeds      = flag.Int("seeds", 0, "override the number of repetitions")
 		duration   = flag.Duration("duration", 0, "override the per-run virtual duration")
@@ -252,6 +253,21 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		experiments.PrintParallelScale(w, cfg, experiments.RunParallelScale(cfg))
 	}
 
+	ferry := func() {
+		cfg := experiments.DefaultFerry()
+		if quick {
+			cfg.Seeds = seedList(2)
+			cfg.Duration = 6 * time.Minute
+		}
+		if seeds > 0 {
+			cfg.Seeds = seedList(seeds)
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		experiments.PrintFerry(w, experiments.RunFerry(cfg))
+	}
+
 	churn := func() error {
 		cfg := experiments.DefaultChurn()
 		if quick {
@@ -318,6 +334,7 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		{"sweep-capture", func() error { sweepCapture(); return nil }},
 		{"scale-parallel", func() error { scaleParallel(); return nil }},
 		{"churn", churn},
+		{"ferry", func() error { ferry(); return nil }},
 	}
 
 	if experiment == "all" {

@@ -16,6 +16,7 @@ type testNet struct {
 	nodes map[uint32]*Node
 	adj   map[uint32]map[uint32]bool
 	dead  map[uint32]bool
+	cut   map[[2]uint32]bool // partitioned links (both directions)
 	delay time.Duration
 }
 
@@ -25,8 +26,21 @@ func newTestNet(seed int64) *testNet {
 		nodes: map[uint32]*Node{},
 		adj:   map[uint32]map[uint32]bool{},
 		dead:  map[uint32]bool{},
+		cut:   map[[2]uint32]bool{},
 		delay: time.Millisecond,
 	}
+}
+
+// setCut partitions (or heals) the link between a and b.
+func (tn *testNet) setCut(a, b uint32, down bool) {
+	tn.cut[linkKey(a, b)] = down
+}
+
+func linkKey(a, b uint32) [2]uint32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint32{a, b}
 }
 
 type testLink struct {
@@ -48,7 +62,7 @@ func (l *testLink) Send(dst uint32, payload []byte) error {
 			continue
 		}
 		nb := nb
-		if l.net.dead[nb] {
+		if l.net.dead[nb] || l.net.cut[linkKey(l.id, nb)] {
 			continue
 		}
 		l.net.s.After(l.net.delay, func() {

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"diffusion/internal/attr"
+	"diffusion/internal/custody"
+	"diffusion/internal/message"
+)
+
+// withCustody equips a test node with a (journal-free) custody queue.
+func withCustody(c *Config) {
+	c.Custody = custody.NewQueue(256, nil)
+}
+
+// TestCustodySurvivesPartitionAndReplays is the store-and-carry zero-loss
+// scenario: sink 1 — relay 2 — source 3, the sink-side link partitioned
+// for longer than every piece of soft state survives (gradient lifetime
+// 25 s here, partition 35 s), the source publishing throughout. Without
+// custody every message sent during the partition is silently dropped
+// once the gradients decay; with custody each one is captured at the
+// stuck hop and replayed after the heal, and the duplicate-suppression
+// caches keep delivery exactly-once.
+func TestCustodySurvivesPartitionAndReplays(t *testing.T) {
+	tn := newTestNet(23)
+	sink := tn.addNode(1, withCustody)
+	relay := tn.addNode(2, withCustody)
+	source := tn.addNode(3, withCustody)
+	tn.connect(1, 2)
+	tn.connect(2, 3)
+
+	delivered := map[int32]int{}
+	sink.Subscribe(surveillanceInterest(), func(m *message.Message) {
+		a, ok := m.Attrs.FindActual(attr.KeySequence)
+		if !ok {
+			t.Errorf("delivery without sequence attr")
+			return
+		}
+		delivered[int32(a.Val.AsFloat())]++
+	})
+	pub := source.Publish(surveillancePublication())
+
+	var sent int32
+	tn.s.Every(100*time.Millisecond, 500*time.Millisecond, func() {
+		if tn.s.Now() >= 55*time.Second {
+			return
+		}
+		sent++
+		source.Send(pub, attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, sent)})
+	})
+
+	// Healthy phase.
+	tn.s.RunUntil(10 * time.Second)
+	if len(delivered) == 0 {
+		t.Fatal("no deliveries in the healthy phase")
+	}
+
+	// Partition the sink-side link and deliver the detector verdicts, as
+	// the live stack would. The partition outlives the gradient lifetime
+	// (25 s): by the heal, no soft state bridges the cut.
+	tn.setCut(1, 2, true)
+	sink.NeighborDead(2)
+	relay.NeighborDead(1)
+	tn.s.RunUntil(45 * time.Second)
+
+	if relay.Stats.CustodyCaptured == 0 && source.Stats.CustodyCaptured == 0 {
+		t.Fatal("nothing captured into custody during the partition")
+	}
+
+	// Heal. Recovery hooks fire exactly as the live detector would.
+	tn.setCut(1, 2, false)
+	sink.NeighborRecovered(2)
+	relay.NeighborRecovered(1)
+	tn.s.RunUntil(80 * time.Second)
+
+	// Zero reinforced-message loss, zero duplicate deliveries.
+	if int32(len(delivered)) != sent {
+		missing := []int32{}
+		for s := int32(1); s <= sent; s++ {
+			if delivered[s] == 0 {
+				missing = append(missing, s)
+			}
+		}
+		t.Fatalf("delivered %d of %d distinct messages; missing %v",
+			len(delivered), sent, missing)
+	}
+	for s, cnt := range delivered {
+		if cnt != 1 {
+			t.Fatalf("sequence %d delivered %d times, want exactly once", s, cnt)
+		}
+	}
+	for name, n := range map[string]*Node{"sink": sink, "relay": relay, "source": source} {
+		if n.cfg.Custody.Len() != 0 {
+			t.Fatalf("%s still holds %d custodial items after drain", name, n.cfg.Custody.Len())
+		}
+	}
+	if c := relay.cfg.Custody.Counters(); c.Replayed == 0 {
+		t.Fatal("relay never replayed custodial data")
+	}
+}
+
+// TestNeighborRecoveredReoffersInterests checks the recovery hook's
+// interest re-offer: a neighbor that lost its interest cache (warm
+// restart) gets the cached interest unicast immediately, rebuilding its
+// gradient toward us without waiting for the sink's next refresh.
+func TestNeighborRecoveredReoffersInterests(t *testing.T) {
+	tn := newTestNet(31)
+	nodes := tn.line(3)
+	sink, relay, edge := nodes[0], nodes[1], nodes[2]
+	sink.Subscribe(surveillanceInterest(), func(*message.Message) {})
+	tn.s.RunUntil(3 * time.Second)
+	if edge.Entries() != 1 {
+		t.Fatalf("edge entries = %d, want 1 before the crash", edge.Entries())
+	}
+
+	// Edge node crashes and reboots: its interest cache is gone.
+	edge.Detach()
+	edge.Restart()
+	if edge.Entries() != 0 {
+		t.Fatalf("edge entries = %d after restart, want 0", edge.Entries())
+	}
+
+	before := relay.Stats.SentByClass[message.Interest]
+	relay.NeighborRecovered(3)
+	if relay.Stats.NeighborRecoveries != 1 {
+		t.Fatalf("neighbor recoveries = %d, want 1", relay.Stats.NeighborRecoveries)
+	}
+	if relay.Stats.SentByClass[message.Interest] != before+1 {
+		t.Fatalf("relay sent %d interests on recovery, want 1",
+			relay.Stats.SentByClass[message.Interest]-before)
+	}
+	tn.s.RunUntil(3*time.Second + 100*time.Millisecond)
+	if edge.Entries() != 1 {
+		t.Fatalf("edge entries = %d after re-offer, want 1", edge.Entries())
+	}
+
+	// The re-offered interest carried the cached hop budget, so the entry
+	// can still bound further flooding.
+	if e := relay.entriesInOrder(); len(e) != 1 || !e[0].hasHops {
+		t.Fatal("relay entry lost its hop budget")
+	}
+}
+
+// TestEnergyAwareReinforcementSpreadsLoad runs the diamond (sink 1,
+// relays 2 and 3, source 4) with energy-aware reinforcement: the sink
+// must rotate the reinforced path across both relays instead of pinning
+// the first deliverer forever.
+func TestEnergyAwareReinforcementSpreadsLoad(t *testing.T) {
+	tn := newTestNet(47)
+	aware := func(c *Config) { c.EnergyAware = true }
+	sink := tn.addNode(1, aware)
+	r2 := tn.addNode(2, aware)
+	r3 := tn.addNode(3, aware)
+	source := tn.addNode(4, aware)
+	tn.connect(1, 2)
+	tn.connect(1, 3)
+	tn.connect(2, 4)
+	tn.connect(3, 4)
+
+	delivered := 0
+	sink.Subscribe(surveillanceInterest(), func(*message.Message) { delivered++ })
+	pub := source.Publish(surveillancePublication())
+	var seq int32
+	tn.s.Every(100*time.Millisecond, 500*time.Millisecond, func() {
+		seq++
+		source.Send(pub, attr.Vec{attr.Int32Attr(attr.KeySequence, attr.IS, seq)})
+	})
+	tn.s.RunUntil(60 * time.Second)
+
+	if delivered == 0 {
+		t.Fatal("no deliveries")
+	}
+	if r2.Stats.SentByClass[message.Data] == 0 || r3.Stats.SentByClass[message.Data] == 0 {
+		t.Fatalf("load not spread: relay data sends %d / %d",
+			r2.Stats.SentByClass[message.Data], r3.Stats.SentByClass[message.Data])
+	}
+	if sink.Stats.EnergyShifts == 0 {
+		t.Fatal("sink never shifted reinforcement off the first deliverer")
+	}
+}

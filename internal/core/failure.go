@@ -23,8 +23,10 @@ import (
 //     usual initial jitter applies), rebuilding gradients around the hole.
 //
 // Call it from the same executor that owns the node (the rt.Loop in live
-// deployments). A recovered peer needs no inverse call: its own interest
-// and exploratory traffic rebuilds state, exactly as for a new neighbor.
+// deployments). NeighborRecovered (custody.go) is the inverse call: a
+// recovered peer's own traffic would rebuild state on its own within the
+// refresh intervals, but the recovery hook collapses that window too and
+// replays any custodial data waiting on the healed link.
 func (n *Node) NeighborDead(peer uint32) {
 	if n.detached {
 		return
@@ -35,6 +37,7 @@ func (n *Node) NeighborDead(peer uint32) {
 		if _, ok := e.gradients[nb]; ok {
 			delete(e.gradients, nb)
 			n.Stats.GradientsExpired++
+			n.noteStaleHop(e, nb)
 		}
 		if e.hasReinforcedUpstream && e.reinforcedUpstream == nb {
 			e.hasReinforcedUpstream = false
@@ -47,7 +50,9 @@ func (n *Node) NeighborDead(peer uint32) {
 			e.hasExpFrom = false
 		}
 		delete(e.dupFrom, nb)
-		if len(e.gradients) == 0 && len(e.localSubs) == 0 {
+		// Custody retains gradient-less entries as cached interests (see
+		// housekeeping).
+		if len(e.gradients) == 0 && len(e.localSubs) == 0 && !n.custodyOn() {
 			delete(n.entries, h)
 		}
 	}

@@ -35,6 +35,24 @@ type interestEntry struct {
 	// sending neighbor within the current window.
 	dupFrom  map[message.NodeID]int
 	dupSince time.Duration
+	// hops is the smallest hop count at which this interest has reached
+	// us (as it would leave this node), so a recovered neighbor can be
+	// re-offered the interest with an honest TTL budget.
+	hops    uint8
+	hasHops bool
+	// load counts plain data recently received per upstream neighbor —
+	// the energy-aware reinforcement signal, halved every housekeeping
+	// pass.
+	load map[message.NodeID]int
+	// staleHops remembers neighbors whose gradients for this entry decayed
+	// or died while custody was enabled: the last known next hops toward a
+	// sink. Store-and-carry replay falls back to them when no live
+	// gradient exists — the unicast, ack-gated re-offer is harmless toward
+	// an absent neighbor (no ack, so the item is retained), and it lets a
+	// custodian drain at the instant of the next contact instead of
+	// waiting for an interest to re-cross the partition. Bounded by the
+	// entry's historical neighbor count.
+	staleHops map[message.NodeID]bool
 }
 
 // gradient is the per-neighbor demand state. Reinforced gradients carry
@@ -75,6 +93,7 @@ func (n *Node) entryFor(attrs attr.Vec) *interestEntry {
 		gradients: map[message.NodeID]*gradient{},
 		localSubs: map[SubscriptionHandle]bool{},
 		dupFrom:   map[message.NodeID]int{},
+		load:      map[message.NodeID]int{},
 	}
 	n.entries[h] = e
 	return e
@@ -157,6 +176,10 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 			n.Stats.GradientsCreated++
 		}
 		g.expires = now + n.cfg.GradientLifetime
+		if h := m.HopCount + 1; !e.hasHops || h < e.hops {
+			e.hops = h
+			e.hasHops = true
+		}
 	}
 
 	if n.wasSeen(m.ID) {
@@ -198,6 +221,15 @@ func interestFromSub(attrs attr.Vec) attr.Vec {
 func (n *Node) coreData(m *message.Message, local bool) {
 	if n.wasSeen(m.ID) {
 		n.Stats.Duplicates++
+		// A duplicate unicast to us in store-and-carry mode is a custody
+		// re-offer (the sender never got its ack): re-acknowledge instead
+		// of treating it as a redundant path — negative reinforcement of
+		// a custody retry would tear down the very gradient the drain
+		// needs.
+		if n.carryMode() && !local && m.NextHop == selfID(n) {
+			n.custodyReoffer(m)
+			return
+		}
 		// A duplicate non-exploratory message means a redundant reinforced
 		// path is feeding us: negatively reinforce the sender (3.1:
 		// "negative reinforcements suppress loops or duplicate paths").
@@ -208,16 +240,34 @@ func (n *Node) coreData(m *message.Message, local bool) {
 		if m.Class == message.Data && !local && !n.cfg.DisableNegRF {
 			n.noteDuplicateData(m)
 		}
+		// Duplicate exploratory deliverers are exactly the alternative
+		// paths energy-aware reinforcement chooses between.
+		if m.Class == message.ExploratoryData && !local && n.cfg.EnergyAware {
+			n.addExpCand(m.ID, m.PrevHop)
+		}
 		return
 	}
 	n.markSeen(m.ID)
+
+	// Store-and-carry custody: receiving a data message makes this node a
+	// custodian. Admit it durably and confirm to the sender, which keeps
+	// its own copy until the ack arrives; a full queue withholds the ack
+	// (backpressure — the sender re-offers later, nothing is lost).
+	if n.carryMode() && !local {
+		n.custodyAdmit(m)
+	}
 
 	entries := n.matchingEntries(m.Attrs)
 	if len(entries) == 0 && !(m.Class == message.ExploratoryData && isPush(m.Attrs)) {
 		// No gradient state: nothing to do ("data is sent only where
 		// interests have established gradients"). One-phase-push
 		// exploratory data is the exception: it floods without interest
-		// state, and reinforcements install the state afterwards.
+		// state, and reinforcements install the state afterwards. With
+		// custody enabled this is the disruption case — the soft state
+		// decayed under us — so the data is held instead of dropped.
+		if n.custodyCapture(m) {
+			return
+		}
 		n.Stats.DataSuppressed++
 		return
 	}
@@ -233,11 +283,17 @@ func (n *Node) coreData(m *message.Message, local bool) {
 	reinforcedTargets := map[message.NodeID]bool{}
 	if m.Class == message.ExploratoryData && !local {
 		n.expFrom[m.ID] = m.PrevHop
+		if n.cfg.EnergyAware {
+			n.addExpCand(m.ID, m.PrevHop)
+		}
 	}
 	for _, e := range entries {
 		if m.Class == message.ExploratoryData && !local {
 			e.lastExpFrom = m.PrevHop
 			e.hasExpFrom = true
+		}
+		if m.Class == message.Data && !local {
+			e.load[m.PrevHop]++
 		}
 		if len(e.localSubs) > 0 {
 			isSinkFor = true
@@ -252,6 +308,11 @@ func (n *Node) coreData(m *message.Message, local bool) {
 				reinforcedTargets[nb] = true
 			}
 		}
+	}
+	// Data arriving at its sink has reached its destination: any custody
+	// this node holds for it (a durable transport accept) is discharged.
+	if isSinkFor {
+		n.custodyDischarge(m.ID)
 	}
 
 	if m.Class == message.ExploratoryData && isPush(m.Attrs) {
@@ -269,7 +330,16 @@ func (n *Node) coreData(m *message.Message, local bool) {
 			fwd.PrevHop = selfID(n)
 			fwd.NextHop = message.Broadcast
 			delay := time.Duration(n.cfg.Rand.Int63n(int64(n.cfg.ForwardJitter) + 1))
-			n.cfg.Clock.After(delay, func() { n.transmit(fwd) })
+			n.cfg.Clock.After(delay, func() {
+				// A link-refused forward (MAC queue overflow, typically
+				// under a custody replay burst) is a congestion loss:
+				// with custody on the message is held like any other
+				// disruption and retried at the link's pace, instead of
+				// becoming drop-tail loss mid-relay.
+				if n.transmit(fwd) != nil {
+					n.custodyCapture(fwd)
+				}
+			})
 		}
 		// Sink behaviour: reinforce the neighbor that delivered the first
 		// copy of this exploratory message. Intermediate nodes with live
@@ -284,18 +354,32 @@ func (n *Node) coreData(m *message.Message, local bool) {
 				sink := len(e.localSubs) > 0
 				refresh := e.hasReinforcedDownstream(now) &&
 					e.hasReinforcedUpstream && e.reinforcedUpstream == m.PrevHop
-				if sink || refresh {
+				switch {
+				case sink && n.cfg.EnergyAware:
+					n.reinforceEnergyAware(e, m.PrevHop, m.ID)
+				case sink || refresh:
 					n.reinforceUpstream(e, m.PrevHop, m.ID)
 				}
 			}
 		}
-		_ = isSinkFor
+		// Exploratory data that can go nowhere from here (gradients all
+		// point back where it came from, or decayed to nothing) and has
+		// no sink here either is the other disruption case: hold it.
+		if !anyForward && !isSinkFor {
+			n.custodyCapture(m)
+		}
 	case message.Data:
 		if local && len(reinforcedTargets) == 0 {
 			// Locally originated data with no reinforced path yet: it is
 			// dropped, as in the paper ("subsequent messages are sent
 			// only on reinforced paths").
 			n.Stats.DataNoPath++
+		}
+		if len(reinforcedTargets) == 0 && !isSinkFor {
+			// Reinforced-class data with nowhere to go: the reinforced
+			// path decayed (partition) or never reformed after a restart.
+			// Custody holds it until reinforcement returns.
+			n.custodyCapture(m)
 		}
 		// Sorted iteration: map order would make runs nondeterministic.
 		targets := make([]message.NodeID, 0, len(reinforcedTargets))
@@ -312,7 +396,11 @@ func (n *Node) coreData(m *message.Message, local bool) {
 			out.HopCount++
 			out.PrevHop = selfID(n)
 			out.NextHop = nb
-			n.transmit(out)
+			// Same congestion rule as the exploratory forward: a frame
+			// the link refuses goes into custody, not the floor.
+			if n.transmit(out) != nil {
+				n.custodyCapture(out)
+			}
 		}
 	}
 }
@@ -374,6 +462,61 @@ func (n *Node) coreReinforce(m *message.Message) {
 	} else if !ok && e.hasExpFrom && e.lastExpFrom != m.PrevHop {
 		n.reinforceUpstream(e, e.lastExpFrom, m.ID)
 	}
+	// A fresh reinforced gradient is exactly what stuck custodial data has
+	// been waiting for.
+	n.ReplayCustody()
+}
+
+// expCandLimit bounds the per-message candidate set for energy-aware
+// reinforcement; a sink has few enough neighbors that more is noise.
+const expCandLimit = 8
+
+// addExpCand records nb as a deliverer of exploratory message id.
+func (n *Node) addExpCand(id message.ID, nb message.NodeID) {
+	cands := n.expCand[id]
+	if len(cands) >= expCandLimit {
+		return
+	}
+	for _, c := range cands {
+		if c == nb {
+			return
+		}
+	}
+	n.expCand[id] = append(cands, nb)
+}
+
+// reinforceEnergyAware is the sink-side reinforcement decision with
+// EnergyAware set: instead of reinforcing the first deliverer
+// immediately, wait two forwarding-jitter windows for the duplicate
+// copies of the same exploratory message to arrive, then reinforce the
+// candidate that has forwarded the least plain data to us recently
+// (ties keep the first deliverer — the paper's low-delay choice). The
+// deferral costs one round-trip of path-switch latency per exploratory
+// cycle and in exchange rotates the high-rate path off relays that have
+// been burning energy.
+func (n *Node) reinforceEnergyAware(e *interestEntry, first message.NodeID, cause message.ID) {
+	if e.lastReinforcedID == cause {
+		return
+	}
+	n.cfg.Clock.After(2*n.cfg.ForwardJitter, func() {
+		if n.detached || e.lastReinforcedID == cause {
+			return
+		}
+		best := first
+		bestLoad := e.load[first]
+		for _, c := range n.expCand[cause] {
+			if c == best {
+				continue
+			}
+			if l := e.load[c]; l < bestLoad {
+				best, bestLoad = c, l
+			}
+		}
+		if best != first {
+			n.Stats.EnergyShifts++
+		}
+		n.reinforceUpstream(e, best, cause)
+	})
 }
 
 // coreNegReinforce handles negative reinforcement: the sending neighbor no

@@ -1,11 +1,14 @@
 package core
 
-import "diffusion/internal/telemetry"
+import (
+	"diffusion/internal/message"
+	"diffusion/internal/telemetry"
+)
 
 // classSlugs are snake_case metric-name suffixes indexed by message class.
-var classSlugs = [5]string{
+var classSlugs = [message.NumClasses]string{
 	"interest", "data", "exploratory_data",
-	"positive_reinforcement", "negative_reinforcement",
+	"positive_reinforcement", "negative_reinforcement", "custody_ack",
 }
 
 // Instrument publishes the diffusion core's counters and live table sizes
@@ -30,8 +33,21 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 		emit("core.gradients_created", float64(s.GradientsCreated))
 		emit("core.gradients_expired", float64(s.GradientsExpired))
 		emit("core.neighbor_deaths", float64(s.NeighborDeaths))
+		emit("core.neighbor_recoveries", float64(s.NeighborRecoveries))
 		emit("core.filter_invocations", float64(s.FilterInvocations))
 		emit("core.interest_entries", float64(len(n.entries)))
 		emit("core.seen_cache_size", float64(len(n.seen)))
+		emit("core.custody_captured", float64(s.CustodyCaptured))
+		emit("core.energy_shifts", float64(s.EnergyShifts))
+		if q := n.cfg.Custody; q != nil {
+			c := q.Counters()
+			emit("custody.accepted", float64(c.Accepted))
+			emit("custody.released", float64(c.Released))
+			emit("custody.replayed", float64(c.Replayed))
+			emit("custody.shed", float64(c.Shed))
+			emit("custody.restored", float64(c.Restored))
+			emit("custody.queue_len", float64(q.Len()))
+			emit("custody.queue_limit", float64(q.Limit()))
+		}
 	})
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"diffusion/internal/attr"
+	"diffusion/internal/custody"
 	"diffusion/internal/message"
 	"diffusion/internal/sim"
 	"diffusion/internal/telemetry"
@@ -97,6 +98,20 @@ type Config struct {
 	// node's flight-recorder ring (always-on crash diagnostics). Nil
 	// disables recording.
 	Flight *telemetry.Flight
+	// Custody, when set, enables disruption-tolerant custody transfer
+	// (custody.go): data with no forward path is queued here instead of
+	// dropped and replayed when gradients reform. The same queue is fed by
+	// the live transport's custody accepts; back it with a custody.Store
+	// for crash durability.
+	Custody *custody.Queue
+	// EnergyAware enables energy-aware reinforcement at sinks: instead of
+	// always reinforcing the first neighbor to deliver new exploratory
+	// data, the sink briefly collects the duplicate deliverers and picks
+	// the candidate that has carried the least plain data recently,
+	// spreading the high-rate path across relays (Raicu et al.'s
+	// e3D-style load balancing). Off by default: the paper's low-delay
+	// heuristic.
+	EnergyAware bool
 }
 
 func (c *Config) fill() {
@@ -152,21 +167,24 @@ type DataCallback func(m *message.Message)
 // Stats counts a node's diffusion-layer activity. BytesSent over all nodes,
 // normalized per distinct delivered event, is the Figure 8 metric.
 type Stats struct {
-	BytesSent         int
-	SentByClass       [5]int
-	ReceivedByClass   [5]int
-	Duplicates        int // duplicate-suppression cache hits
-	SeenMisses        int // cache misses (new message IDs cached)
-	LocalDeliveries   int
-	DataSuppressed    int // data with no matching gradient state
-	DataNoPath        int // locally originated data with no reinforced path
-	NegReinforcements int
-	LinkSendErrors    int
-	InterestsSeen     int // distinct (non-duplicate) interests processed
-	GradientsCreated  int
-	GradientsExpired  int
-	FilterInvocations int // messages handed to a filter callback
-	NeighborDeaths    int // dead-neighbor events from the failure detector
+	BytesSent          int
+	SentByClass        [message.NumClasses]int
+	ReceivedByClass    [message.NumClasses]int
+	Duplicates         int // duplicate-suppression cache hits
+	SeenMisses         int // cache misses (new message IDs cached)
+	LocalDeliveries    int
+	DataSuppressed     int // data with no matching gradient state
+	DataNoPath         int // locally originated data with no reinforced path
+	NegReinforcements  int
+	LinkSendErrors     int
+	InterestsSeen      int // distinct (non-duplicate) interests processed
+	GradientsCreated   int
+	GradientsExpired   int
+	FilterInvocations  int // messages handed to a filter callback
+	NeighborDeaths     int // dead-neighbor events from the failure detector
+	NeighborRecoveries int // recovered-neighbor events
+	CustodyCaptured    int // data taken into local custody (no forward path)
+	EnergyShifts       int // reinforcements steered off the first deliverer
 }
 
 type subscription struct {
@@ -203,6 +221,14 @@ type Node struct {
 	// message, so positive reinforcement can retrace that message's exact
 	// path (reinforcements carry the exploratory ID they reinforce).
 	expFrom map[message.ID]message.NodeID
+	// expCand collects every neighbor that delivered a copy of an
+	// exploratory message (first arrival and duplicates), the candidate
+	// set for energy-aware reinforcement. Populated only with EnergyAware.
+	expCand map[message.ID][]message.NodeID
+
+	// custodyLink is the link's custody-transfer surface, when it has one
+	// (the UDP transport). Nil means store-and-carry replay (simulator).
+	custodyLink CustodyLink
 
 	// suppressForward disables core re-flooding for the message being
 	// processed (set by ProcessNoForward).
@@ -229,6 +255,12 @@ func NewNode(cfg Config) *Node {
 		entries: map[uint64]*interestEntry{},
 		seen:    map[message.ID]time.Duration{},
 		expFrom: map[message.ID]message.NodeID{},
+		expCand: map[message.ID][]message.NodeID{},
+	}
+	if cfg.Custody != nil {
+		if cl, ok := cfg.Link.(CustodyLink); ok {
+			n.custodyLink = cl
+		}
 	}
 	n.housekeep = everyClock(cfg.Clock, housekeepInterval, n.housekeeping)
 	return n
@@ -320,6 +352,7 @@ func (n *Node) Restart() {
 	n.entries = map[uint64]*interestEntry{}
 	n.seen = map[message.ID]time.Duration{}
 	n.expFrom = map[message.ID]message.NodeID{}
+	n.expCand = map[message.ID][]message.NodeID{}
 	for _, p := range n.pubs {
 		p.count = 0
 		p.lastExp = 0
@@ -549,15 +582,28 @@ func (n *Node) dispatch(m *message.Message) {
 	if n.detached {
 		return
 	}
+	// Custody acks are pure link-local control: they release the named
+	// item and are never filtered, forwarded, or seen-cached (their ID is
+	// the acknowledged message's ID, which must stay ack-able).
+	if m.Class == message.CustodyAck {
+		if m.PrevHop != selfID(n) {
+			n.custodyDischarge(m.ID)
+		}
+		return
+	}
 	n.runChainFrom(m, 0)
 }
 
 // transmit sends m out the link to m.NextHop, accounting bytes. Jittered
 // forwards scheduled before a crash land here after it; a detached node
 // transmits nothing.
-func (n *Node) transmit(m *message.Message) {
+// transmit hands m to the link layer. The returned error is the link's
+// admission verdict (e.g. a full MAC transmit queue); soft-state traffic
+// ignores it — the next refresh retries — but custody replay uses it as
+// backpressure, keeping custody of anything the link would have dropped.
+func (n *Node) transmit(m *message.Message) error {
 	if n.detached {
-		return
+		return nil
 	}
 	payload := m.Marshal()
 	n.Stats.BytesSent += len(payload)
@@ -570,9 +616,36 @@ func (n *Node) transmit(m *message.Message) {
 			Verb: telemetry.VerbSend, Class: m.Class, Hops: m.HopCount,
 		})
 	}
+	// Store-and-carry custody holds every outgoing data message until the
+	// next hop's CustodyAck releases it: originations survive first-hop
+	// loss, and forwards (usually already admitted at receive time — the
+	// Accept is then a held no-op) survive collisions past the MAC.
+	if n.carryMode() && m.IsData() {
+		if _, fresh := n.cfg.Custody.Accept(m.ID, payload); fresh {
+			n.Stats.CustodyCaptured++
+		}
+	}
+	// Reinforced-class data over a custody-capable link moves hop-by-hop
+	// under custody transfer: take custody locally (durable when the queue
+	// is journaled), then offer it to the next hop. The item stays queued —
+	// surviving a partition or our own crash — until the peer's durable
+	// accept releases it.
+	if m.Class == message.Data && m.NextHop != message.Broadcast &&
+		n.custodyLink != nil && n.custodyOn() {
+		if held, _ := n.cfg.Custody.Accept(m.ID, payload); held {
+			if err := n.custodyLink.SendCustody(uint32(m.NextHop), m.ID, payload); err != nil {
+				n.Stats.LinkSendErrors++
+				return err
+			}
+			return nil
+		}
+		// Custody refused (queue full): fall through to best-effort send.
+	}
 	if err := n.cfg.Link.Send(uint32(m.NextHop), payload); err != nil {
 		n.Stats.LinkSendErrors++
+		return err
 	}
+	return nil
 }
 
 // SendDirect transmits m to m.NextHop without further filter or core
@@ -617,13 +690,17 @@ func (n *Node) wasSeen(id message.ID) bool {
 	return ok
 }
 
-// housekeeping purges expired gradients, empty entries, and old seen-IDs.
+// housekeeping purges expired gradients, empty entries, and old seen-IDs,
+// then gives custodial data a periodic chance to move (the catch-all
+// replay trigger: it needs no event, so it also drains custody restored
+// from the journal after a warm restart).
 func (n *Node) housekeeping() {
 	now := n.cfg.Clock.Now()
 	for id, at := range n.seen {
 		if now-at > n.cfg.SeenTTL {
 			delete(n.seen, id)
 			delete(n.expFrom, id)
+			delete(n.expCand, id)
 		}
 	}
 	for h, e := range n.entries {
@@ -631,6 +708,7 @@ func (n *Node) housekeeping() {
 			if now > g.expires {
 				delete(e.gradients, nb)
 				n.Stats.GradientsExpired++
+				n.noteStaleHop(e, nb)
 			}
 		}
 		// Stale duplicate counters from a closed negative-reinforcement
@@ -640,10 +718,25 @@ func (n *Node) housekeeping() {
 				delete(e.dupFrom, k)
 			}
 		}
-		if len(e.gradients) == 0 && len(e.localSubs) == 0 {
+		// Decay the per-neighbor data-forwarding load so energy-aware
+		// reinforcement tracks recent traffic, not history.
+		for nb, v := range e.load {
+			if v <= 1 {
+				delete(e.load, nb)
+			} else {
+				e.load[nb] = v / 2
+			}
+		}
+		// With custody on, an interest whose gradients all decayed is
+		// retained as a cached interest: a mobile custodian (the ferry)
+		// must still know *what* is wanted to re-offer the interest and
+		// route its custodial data at the next contact. The cache is
+		// bounded by the number of distinct interests, not by traffic.
+		if len(e.gradients) == 0 && len(e.localSubs) == 0 && !n.custodyOn() {
 			delete(n.entries, h)
 		}
 	}
+	n.ReplayCustody()
 }
 
 // ActiveSubscriptions returns the handles of every live subscription in

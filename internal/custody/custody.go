@@ -1,0 +1,230 @@
+// Package custody implements disruption-tolerant custody transfer for
+// reinforced-class diffusion data. Directed diffusion is soft state all
+// the way down: gradients, reinforcement and the duplicate cache all decay
+// within a few refresh intervals, so any partition that outlives them
+// silently drops every in-flight data message. Custody closes that gap
+// the way delay-tolerant networks do — a node that cannot make forward
+// progress with a data message takes *custody* of it: the message is held
+// in a bounded queue (durably, when a Store backs the queue) until a
+// forwarding path exists again, then replayed into the gradient machinery
+// with its original message ID so the existing duplicate-suppression
+// caches keep delivery exactly-once.
+//
+// The package has two pieces:
+//
+//   - Queue: the bounded in-memory custody queue, deterministic and
+//     shared between the simulator and the live daemon. Admission never
+//     sheds custodial data to make room for more custodial data — when
+//     the queue is full, new custody is refused (the Shed counter) and
+//     the soft-state machinery is left to retry, mirroring how the
+//     reliable-unicast queue sheds interest/exploratory traffic before
+//     reinforced data.
+//   - Store (store.go): an fsync'd append-only log of accept/release
+//     records with CRC framing, giving the queue crash durability in the
+//     live daemon. Recovery scans the intact prefix and truncates a torn
+//     tail (a crash mid-append), so a SIGKILL between write and sync
+//     costs at most the record being appended.
+package custody
+
+import (
+	"sync"
+
+	"diffusion/internal/message"
+)
+
+// Item is one custodial message: the marshalled wire form plus the
+// original message ID it is keyed on.
+type Item struct {
+	ID      message.ID
+	Payload []byte
+}
+
+// Journal is the durability hook the live daemon attaches (a *Store). The
+// queue calls it under its lock: an accept that fails to journal is
+// refused, so a custody acknowledgment is never sent for data that is not
+// actually on disk.
+type Journal interface {
+	JournalAccept(id message.ID, payload []byte) error
+	JournalRelease(id message.ID) error
+}
+
+// Counters is the custody accounting every node exports.
+type Counters struct {
+	Accepted uint64 // custody taken (fresh admissions)
+	Released uint64 // custody discharged (delivered or handed off)
+	Replayed uint64 // replay transmissions of custodial data
+	Shed     uint64 // admissions refused because the queue was full
+	Restored uint64 // items reloaded from the journal at warm restart
+}
+
+// Queue is a bounded FIFO of custodial data, keyed by message ID. All
+// methods are safe for concurrent use: the live daemon's transport
+// goroutines accept custody while the node loop replays it. In the
+// simulator every caller is the single event thread, so the lock costs
+// nothing and determinism is preserved (iteration is always in FIFO
+// order, never map order).
+type Queue struct {
+	mu      sync.Mutex
+	limit   int
+	journal Journal
+	order   []message.ID
+	items   map[message.ID][]byte
+	// released remembers recently discharged custody so a retransmitted
+	// offer (the acknowledgment was lost) is re-acknowledged without
+	// re-accepting, keeping hop-by-hop transfer exactly-once. Bounded
+	// FIFO; the sink's seen-cache is the backstop beyond it.
+	released map[message.ID]bool
+	relOrder []message.ID
+	c        Counters
+}
+
+// DefaultLimit bounds the custody queue when no limit is configured.
+const DefaultLimit = 1024
+
+// releasedMemoryFactor sizes the released-ID memory relative to the
+// queue limit.
+const releasedMemoryFactor = 4
+
+// NewQueue returns a custody queue holding at most limit items (0 or
+// negative: DefaultLimit). journal may be nil (simulator, tests).
+func NewQueue(limit int, journal Journal) *Queue {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Queue{
+		limit:    limit,
+		journal:  journal,
+		items:    map[message.ID][]byte{},
+		released: map[message.ID]bool{},
+	}
+}
+
+// Restore loads items recovered from a journal at warm restart, in order,
+// without re-journaling them. Items beyond the queue limit are dropped
+// (counted as shed).
+func (q *Queue) Restore(items []Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range items {
+		if _, ok := q.items[it.ID]; ok {
+			continue
+		}
+		if len(q.order) >= q.limit {
+			q.c.Shed++
+			continue
+		}
+		buf := make([]byte, len(it.Payload))
+		copy(buf, it.Payload)
+		q.items[it.ID] = buf
+		q.order = append(q.order, it.ID)
+		q.c.Restored++
+	}
+}
+
+// Accept takes custody of (id, payload). held reports whether this node
+// now vouches for the message (safe to acknowledge a custody offer);
+// fresh reports whether it was newly admitted (deliver it onward).
+// Duplicates of queued or recently released custody are held but not
+// fresh; a full queue or a failed journal append refuses custody
+// entirely.
+func (q *Queue) Accept(id message.ID, payload []byte) (held, fresh bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.items[id]; ok {
+		return true, false
+	}
+	if q.released[id] {
+		return true, false
+	}
+	if len(q.order) >= q.limit {
+		q.c.Shed++
+		return false, false
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	if q.journal != nil {
+		if err := q.journal.JournalAccept(id, buf); err != nil {
+			q.c.Shed++
+			return false, false
+		}
+	}
+	q.items[id] = buf
+	q.order = append(q.order, id)
+	q.c.Accepted++
+	return true, true
+}
+
+// Release discharges custody of id — the message was delivered locally or
+// a downstream custodian acknowledged it. Returns false when id is not in
+// custody.
+func (q *Queue) Release(id message.ID) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.items[id]; !ok {
+		return false
+	}
+	if q.journal != nil {
+		// A failed release journal entry is not fatal: the worst case is
+		// a re-replay after restart, which the released-memory and the
+		// sink's duplicate cache absorb.
+		_ = q.journal.JournalRelease(id)
+	}
+	delete(q.items, id)
+	for i, oid := range q.order {
+		if oid == id {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			break
+		}
+	}
+	q.released[id] = true
+	q.relOrder = append(q.relOrder, id)
+	for len(q.relOrder) > q.limit*releasedMemoryFactor {
+		delete(q.released, q.relOrder[0])
+		q.relOrder = q.relOrder[1:]
+	}
+	q.c.Released++
+	return true
+}
+
+// NoteReplay counts one replay transmission of custodial data.
+func (q *Queue) NoteReplay() {
+	q.mu.Lock()
+	q.c.Replayed++
+	q.mu.Unlock()
+}
+
+// Has reports whether id is currently in custody.
+func (q *Queue) Has(id message.ID) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.items[id]
+	return ok
+}
+
+// Items snapshots the queue in FIFO admission order.
+func (q *Queue) Items() []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Item, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, Item{ID: id, Payload: q.items[id]})
+	}
+	return out
+}
+
+// Len returns the number of items in custody.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.order)
+}
+
+// Limit returns the queue's admission bound.
+func (q *Queue) Limit() int { return q.limit }
+
+// Counters snapshots the custody accounting.
+func (q *Queue) Counters() Counters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.c
+}

@@ -1,0 +1,271 @@
+package custody
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diffusion/internal/message"
+)
+
+func mid(n uint32) message.ID { return message.ID{RandID: 0xabc0, PktNum: n} }
+
+func TestQueueAcceptReleaseDedup(t *testing.T) {
+	q := NewQueue(4, nil)
+	held, fresh := q.Accept(mid(1), []byte("a"))
+	if !held || !fresh {
+		t.Fatalf("first accept: held=%v fresh=%v", held, fresh)
+	}
+	held, fresh = q.Accept(mid(1), []byte("a"))
+	if !held || fresh {
+		t.Fatalf("duplicate accept: held=%v fresh=%v, want held, not fresh", held, fresh)
+	}
+	if !q.Release(mid(1)) {
+		t.Fatal("release failed")
+	}
+	// A retransmitted offer after release is re-acknowledged, not
+	// re-admitted: hop-by-hop transfer stays exactly-once.
+	held, fresh = q.Accept(mid(1), []byte("a"))
+	if !held || fresh {
+		t.Fatalf("post-release accept: held=%v fresh=%v, want held, not fresh", held, fresh)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue len = %d, want 0", q.Len())
+	}
+	c := q.Counters()
+	if c.Accepted != 1 || c.Released != 1 {
+		t.Fatalf("counters = %+v, want 1 accepted, 1 released", c)
+	}
+}
+
+func TestQueueAdmissionNeverEvictsCustody(t *testing.T) {
+	q := NewQueue(2, nil)
+	q.Accept(mid(1), []byte("a"))
+	q.Accept(mid(2), []byte("b"))
+	held, fresh := q.Accept(mid(3), []byte("c"))
+	if held || fresh {
+		t.Fatalf("over-limit accept: held=%v fresh=%v, want refused", held, fresh)
+	}
+	// The queued custodial data survives; the newcomer was shed.
+	if !q.Has(mid(1)) || !q.Has(mid(2)) || q.Has(mid(3)) {
+		t.Fatal("full queue evicted custodial data instead of shedding the newcomer")
+	}
+	if c := q.Counters(); c.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", c.Shed)
+	}
+	q.Release(mid(1))
+	if held, fresh := q.Accept(mid(3), []byte("c")); !held || !fresh {
+		t.Fatalf("accept after release: held=%v fresh=%v", held, fresh)
+	}
+}
+
+func TestQueueItemsFIFO(t *testing.T) {
+	q := NewQueue(8, nil)
+	for i := uint32(1); i <= 5; i++ {
+		q.Accept(mid(i), []byte{byte(i)})
+	}
+	q.Release(mid(2))
+	items := q.Items()
+	want := []uint32{1, 3, 4, 5}
+	if len(items) != len(want) {
+		t.Fatalf("items = %d, want %d", len(items), len(want))
+	}
+	for i, it := range items {
+		if it.ID != mid(want[i]) {
+			t.Fatalf("items[%d] = %v, want %v", i, it.ID, mid(want[i]))
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "custody.log")
+	s, items, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 0 {
+		t.Fatalf("fresh store recovered %d items", len(items))
+	}
+	if err := s.JournalAccept(mid(1), []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JournalAccept(mid(2), []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JournalRelease(mid(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, items, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(items) != 1 || items[0].ID != mid(2) || !bytes.Equal(items[0].Payload, []byte("beta")) {
+		t.Fatalf("recovered %+v, want just id 2 / beta", items)
+	}
+}
+
+// TestStoreTornTailRecovery simulates a SIGKILL mid-append: the log ends
+// in a partial record, which recovery must truncate away while keeping
+// every fully synced record.
+func TestStoreTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "custody.log")
+	s, _, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.JournalAccept(mid(1), []byte("keep-one"))
+	s.JournalAccept(mid(2), []byte("keep-two"))
+	s.Close()
+
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tail []byte
+	}{
+		{"partial-header", []byte{0x00, 0x00}},
+		{"partial-body", encodeRecord(opAccept, mid(3), []byte("torn"))[:recordHeaderSize+4]},
+		{"corrupt-crc", func() []byte {
+			r := encodeRecord(opAccept, mid(3), []byte("torn"))
+			r[len(r)-1] ^= 0xff
+			return r
+		}()},
+		{"garbage", []byte("not a record at all, just garbage bytes")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "custody.log")
+			if err := os.WriteFile(p, append(append([]byte{}, intact...), tc.tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, items, err := OpenStore(p)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer s.Close()
+			if len(items) != 2 || items[0].ID != mid(1) || items[1].ID != mid(2) {
+				t.Fatalf("recovered %+v, want ids 1 and 2", items)
+			}
+			if s.Stats().TailTruncated == 0 {
+				t.Fatal("recovery did not count the truncated tail")
+			}
+			// The store must be appendable after recovery.
+			if err := s.JournalAccept(mid(4), []byte("after")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStoreReplayAfterCrashLoop drives accept/release/crash cycles and
+// checks no synced accept is ever lost.
+func TestStoreReplayAfterCrashLoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "custody.log")
+	expect := map[message.ID]bool{}
+	for round := 0; round < 5; round++ {
+		s, items, err := OpenStore(path)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got := map[message.ID]bool{}
+		for _, it := range items {
+			got[it.ID] = true
+		}
+		for id := range expect {
+			if !got[id] {
+				t.Fatalf("round %d: synced item %v lost", round, id)
+			}
+		}
+		id := mid(uint32(100 + round))
+		s.JournalAccept(id, []byte(fmt.Sprintf("round-%d", round)))
+		expect[id] = true
+		if round%2 == 1 {
+			rel := mid(uint32(100 + round - 1))
+			s.JournalRelease(rel)
+			delete(expect, rel)
+		}
+		// Simulate SIGKILL: append garbage to the file as a torn tail and
+		// drop the handle without a clean close.
+		f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f.Write([]byte{0xde, 0xad})
+		f.Close()
+		s.Close()
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "custody.log")
+	s, _, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 128)
+	for i := uint32(0); i < compactMinReleases+8; i++ {
+		s.JournalAccept(mid(i), payload)
+		s.JournalRelease(mid(i))
+	}
+	s.JournalAccept(mid(9999), payload)
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no compaction after releases dominated the log")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without compaction the log would hold every accept/release pair
+	// (~12 KB here); compaction keeps it to the records since the last
+	// rewrite.
+	uncompacted := int64((compactMinReleases + 8) * (2*recordHeaderSize + 18 + len(payload)))
+	if fi.Size() > uncompacted/2 {
+		t.Fatalf("log is %d bytes after compaction (uncompacted would be ~%d)", fi.Size(), uncompacted)
+	}
+	s.Close()
+	s2, items, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(items) != 1 || items[0].ID != mid(9999) {
+		t.Fatalf("recovered %+v, want just id 9999", items)
+	}
+}
+
+func TestQueueWithJournalRefusesOnAppendError(t *testing.T) {
+	q := NewQueue(8, failingJournal{})
+	if held, _ := q.Accept(mid(1), []byte("a")); held {
+		t.Fatal("accept succeeded despite journal failure")
+	}
+	if q.Len() != 0 {
+		t.Fatal("item admitted despite journal failure")
+	}
+}
+
+type failingJournal struct{}
+
+func (failingJournal) JournalAccept(message.ID, []byte) error {
+	return fmt.Errorf("disk full")
+}
+func (failingJournal) JournalRelease(message.ID) error { return nil }
+
+func TestQueueRestore(t *testing.T) {
+	q := NewQueue(2, nil)
+	q.Restore([]Item{
+		{ID: mid(1), Payload: []byte("a")},
+		{ID: mid(2), Payload: []byte("b")},
+		{ID: mid(3), Payload: []byte("c")}, // beyond limit: shed
+	})
+	if q.Len() != 2 || !q.Has(mid(1)) || !q.Has(mid(2)) {
+		t.Fatalf("restore: len=%d", q.Len())
+	}
+	c := q.Counters()
+	if c.Restored != 2 || c.Shed != 1 || c.Accepted != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}

@@ -98,7 +98,7 @@ func runBreakdownOnce(seed int64, duration time.Duration, sources int, suppressi
 	byClass := map[message.Class]int{}
 	totalMsgs, totalBytes := 0, 0
 	for _, n := range net.Nodes() {
-		for c := 0; c < 5; c++ {
+		for c := 0; c < message.NumClasses; c++ {
 			byClass[message.Class(c)] += n.Stats.SentByClass[c]
 			totalMsgs += n.Stats.SentByClass[c]
 		}

@@ -26,9 +26,18 @@ const (
 	ExploratoryData
 	PositiveReinforcement
 	NegativeReinforcement
+	// CustodyAck confirms hop-by-hop custody transfer in store-and-carry
+	// mode: the receiver now vouches for the message named by ID, so the
+	// sender may release its own custody. It carries no attributes and is
+	// never forwarded.
+	CustodyAck
 
 	numClasses
 )
+
+// NumClasses is the number of defined message classes, for sizing
+// per-class counters.
+const NumClasses = int(numClasses)
 
 // String returns a short name for the class.
 func (c Class) String() string {
@@ -43,6 +52,8 @@ func (c Class) String() string {
 		return "POSITIVE_REINFORCEMENT"
 	case NegativeReinforcement:
 		return "NEGATIVE_REINFORCEMENT"
+	case CustodyAck:
+		return "CUSTODY_ACK"
 	default:
 		return fmt.Sprintf("Class(%d)", uint8(c))
 	}

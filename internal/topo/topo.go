@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 )
 
 // Node is a placed sensor node.
@@ -262,6 +263,110 @@ func Random(n int, w, h float64, rng *rand.Rand) *Topology {
 		t.Add(Node{ID: uint32(i + 1), X: rng.Float64() * w, Y: rng.Float64() * h, Floor: 1})
 	}
 	return t
+}
+
+// Mobility. A Trajectory models a mobile node — a message ferry, a data
+// mule, a commuter — as a piecewise-linear path over timed waypoints,
+// and Contacts derives the deterministic contact schedule between that
+// path and static nodes. Disruption-tolerance experiments turn the
+// schedule into link up/down and NeighborDead/NeighborRecovered events;
+// motion deliberately stays out of the radio model, so the schedule,
+// not radio luck, decides connectivity, and mobile scenarios remain
+// deterministic and comparable across protocol arms.
+
+// Waypoint is a point on a mobile node's path, reached at time T.
+type Waypoint struct {
+	T    time.Duration
+	X, Y float64
+}
+
+// Trajectory is a piecewise-linear mobility path: constant-speed motion
+// between consecutive waypoints (equal consecutive positions model a
+// dwell). Waypoints must be in nondecreasing time order. With Cyclic
+// set, the path repeats with period last.T−first.T; the last waypoint's
+// position should match the first for continuous motion.
+type Trajectory struct {
+	Waypoints []Waypoint
+	Cyclic    bool
+}
+
+// At returns the mobile node's position at time t: the first waypoint's
+// position before the path starts, the last's after it ends (unless
+// Cyclic), linear interpolation in between.
+func (tr *Trajectory) At(t time.Duration) (x, y float64) {
+	wps := tr.Waypoints
+	if len(wps) == 0 {
+		return 0, 0
+	}
+	first, last := wps[0], wps[len(wps)-1]
+	if tr.Cyclic && last.T > first.T && t > last.T {
+		t = first.T + (t-first.T)%(last.T-first.T)
+	}
+	if t <= first.T {
+		return first.X, first.Y
+	}
+	for i := 1; i < len(wps); i++ {
+		a, b := wps[i-1], wps[i]
+		if t > b.T {
+			continue
+		}
+		if b.T == a.T {
+			return b.X, b.Y
+		}
+		f := float64(t-a.T) / float64(b.T-a.T)
+		return a.X + f*(b.X-a.X), a.Y + f*(b.Y-a.Y)
+	}
+	return last.X, last.Y
+}
+
+// Contact is one maximal window during which a mobile node is within
+// contact radius of the static node Peer: [From, To).
+type Contact struct {
+	Peer     uint32
+	From, To time.Duration
+}
+
+// Contacts returns the maximal windows during which the trajectory is
+// within radius of each listed static node, sampled every step over
+// [0, until); window edges are step-granular, and windows still open at
+// until are closed there. The result is ordered by start time then
+// peer, and is a pure function of its arguments. Radius is plain
+// Euclidean distance — a mobile node dwells wherever it likes,
+// regardless of floors. It panics on unknown peers.
+func (t *Topology) Contacts(tr *Trajectory, peers []uint32, radius float64, until, step time.Duration) []Contact {
+	if until <= 0 || step <= 0 {
+		return nil
+	}
+	var out []Contact
+	for _, p := range peers {
+		pn, ok := t.nodes[p]
+		if !ok {
+			panic(fmt.Sprintf("topo: unknown node %d", p))
+		}
+		in := false
+		var from time.Duration
+		for at := time.Duration(0); at < until; at += step {
+			x, y := tr.At(at)
+			near := math.Hypot(x-pn.X, y-pn.Y) <= radius
+			switch {
+			case near && !in:
+				in, from = true, at
+			case !near && in:
+				in = false
+				out = append(out, Contact{Peer: p, From: from, To: at})
+			}
+		}
+		if in {
+			out = append(out, Contact{Peer: p, From: from, To: until})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
 }
 
 // Partition assigns every node to one of n shards for parallel simulation.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 )
 
 // solidRange mirrors the radio default used by the experiments: links up to
@@ -204,5 +205,81 @@ func TestWriteDOT(t *testing.T) {
 	// Distant pairs must not be edges.
 	if strings.Contains(s, "n13 -- n28") || strings.Contains(s, "n28 -- n13") {
 		t.Error("source and sink are not adjacent")
+	}
+}
+
+func TestTrajectoryAt(t *testing.T) {
+	sec := func(s int) time.Duration { return time.Duration(s) * 1e9 }
+	tr := &Trajectory{Waypoints: []Waypoint{
+		{T: sec(0), X: 0},
+		{T: sec(10), X: 0},  // dwell
+		{T: sec(20), X: 40}, // travel at 4 m/s
+		{T: sec(30), X: 40}, // dwell
+		{T: sec(40), X: 0},  // return
+	}, Cyclic: true}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{sec(0), 0}, {sec(5), 0}, {sec(10), 0},
+		{sec(15), 20}, {sec(20), 40}, {sec(25), 40},
+		{sec(35), 20}, {sec(40), 0},
+		// Cyclic wrap: t=45 ≡ t=5, t=55 ≡ t=15.
+		{sec(45), 0}, {sec(55), 20}, {sec(95), 20},
+	}
+	for _, c := range cases {
+		x, y := tr.At(c.at)
+		if math.Abs(x-c.want) > 1e-9 || y != 0 {
+			t.Errorf("At(%v) = (%g, %g), want (%g, 0)", c.at, x, y, c.want)
+		}
+	}
+	// Non-cyclic trajectories park at the endpoints.
+	tr.Cyclic = false
+	if x, _ := tr.At(sec(99)); x != 0 {
+		t.Errorf("non-cyclic At(99s) = %g, want terminal 0", x)
+	}
+	if x, _ := (&Trajectory{}).At(sec(1)); x != 0 {
+		t.Error("empty trajectory should sit at the origin")
+	}
+}
+
+func TestContacts(t *testing.T) {
+	sec := func(s int) time.Duration { return time.Duration(s) * 1e9 }
+	line := Line(5, 10) // nodes 1..5 at x = 0, 10, 20, 30, 40
+	// Shuttle between the two inner relays (x=10 and x=30), dwelling 10 s
+	// at each end, 10 s travel, 40 s cycle.
+	tr := &Trajectory{Waypoints: []Waypoint{
+		{T: sec(0), X: 10},
+		{T: sec(10), X: 10},
+		{T: sec(20), X: 30},
+		{T: sec(30), X: 30},
+		{T: sec(40), X: 10},
+	}, Cyclic: true}
+	contacts := line.Contacts(tr, []uint32{2, 4}, 5, sec(40), sec(1)/4)
+	if len(contacts) != 3 {
+		t.Fatalf("got %d contacts, want 3: %+v", len(contacts), contacts)
+	}
+	// Within radius 5 of node 2 (x=10) while x ≤ 15: [0, 12.5s) and from
+	// 37.5s to the horizon; within radius of node 4 (x=30) while x ≥ 25:
+	// [17.5s, 32.5s).
+	check := func(c Contact, peer uint32, from, to time.Duration) {
+		t.Helper()
+		if c.Peer != peer || c.From != from || c.To != to {
+			t.Errorf("contact %+v, want peer %d [%v, %v)", c, peer, from, to)
+		}
+	}
+	check(contacts[0], 2, sec(0), sec(12)+sec(1)/2+sec(1)/4)
+	check(contacts[1], 4, sec(17)+sec(1)/2, sec(32)+sec(1)/2+sec(1)/4)
+	check(contacts[2], 2, sec(37)+sec(1)/2, sec(40))
+	// No overlap between the two peers' windows: the islands stay isolated.
+	if contacts[0].To > contacts[1].From || contacts[1].To > contacts[2].From {
+		t.Error("contact windows overlap; islands are bridged")
+	}
+	// Determinism: the schedule is a pure function of its inputs.
+	again := line.Contacts(tr, []uint32{2, 4}, 5, sec(40), sec(1)/4)
+	for i := range contacts {
+		if contacts[i] != again[i] {
+			t.Fatal("contact schedule is not deterministic")
+		}
 	}
 }

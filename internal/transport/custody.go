@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"diffusion/internal/message"
+)
+
+// This file implements the UDP endpoint's custody-transfer option: the
+// link-layer half of disruption tolerance (internal/custody holds the
+// durable queue, internal/core decides what to hand off and when).
+// Custody frames differ from reliable unicast in one crucial way: the
+// acknowledgment is sent only after the receiver has *durably* accepted
+// the payload (fsync'd into its custody log), not on arrival. Combined
+// with unbounded retransmission — a custody offer is never abandoned,
+// only superseded — this makes the hand-off a transactional transfer of
+// responsibility: at every instant, at least one node's disk vouches for
+// the message.
+//
+//   - The sender keeps one pending offer per message ID, retransmitting
+//     with capped exponential backoff for as long as the offer stands.
+//     Re-offering the same ID is idempotent; re-offering it to a
+//     different peer (the reinforced path moved) supersedes the old
+//     offer.
+//   - On a neighbor-recovery event from the failure detector, pending
+//     offers toward that neighbor are re-sent immediately instead of
+//     waiting out the backoff — partitions heal at detector speed.
+//   - The receive side acks if and only if the Accept callback reports
+//     the payload held (already-queued and recently-released duplicates
+//     re-ack without re-admitting), and delivers it up only when it is
+//     fresh, keeping hop-by-hop transfer exactly-once.
+
+// CustodyOptions wires the endpoint's custody frames to the custody
+// queue. Accept and Release are required; they are called from the
+// endpoint's goroutines (Accept from the reader — it may block briefly on
+// the journal fsync, which is the price of ack-after-durability).
+type CustodyOptions struct {
+	// Accept durably admits custody of (id, payload) offered by from.
+	// held reports the payload is vouched for (ack it); fresh reports it
+	// was newly admitted (deliver it up).
+	Accept func(from uint32, id message.ID, payload []byte) (held, fresh bool)
+	// Release reports that peer acknowledged — durably accepted — custody
+	// of id, so this node's custody of it can be discharged.
+	Release func(peer uint32, id message.ID)
+	// RTO is the initial retransmit timeout (default 500ms); MaxRTO caps
+	// the exponential backoff (default 10s). Custody tolerates long RTOs:
+	// it is the partition-scale path, not the hot path.
+	RTO    time.Duration
+	MaxRTO time.Duration
+}
+
+func (c *CustodyOptions) fill() {
+	if c.RTO <= 0 {
+		c.RTO = 500 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 10 * time.Second
+	}
+}
+
+// custodyPayloadID extracts the message ID from a marshalled diffusion
+// payload (message.Marshal layout: class, hopcount, RandID, PktNum, ...).
+func custodyPayloadID(payload []byte) (message.ID, bool) {
+	m, err := message.Unmarshal(payload)
+	if err != nil {
+		return message.ID{}, false
+	}
+	return m.ID, true
+}
+
+// cusFrame is one pending custody offer.
+type cusFrame struct {
+	peer    uint32
+	seq     uint32
+	id      message.ID
+	payload []byte
+	tries   int
+	timer   *time.Timer
+}
+
+// custodian is the sender half of custody transfer for one endpoint.
+type custodian struct {
+	cfg   CustodyOptions
+	stats *Stats
+	write func(peer uint32, kind uint8, seq uint32, payload []byte)
+
+	mu      sync.Mutex
+	nextSeq uint32
+	byID    map[message.ID]*cusFrame // pending offers, keyed by message ID
+	bySeq   map[uint32]*cusFrame     // the same offers, keyed by wire seq
+	closed  bool
+}
+
+func newCustodian(cfg CustodyOptions, stats *Stats,
+	write func(peer uint32, kind uint8, seq uint32, payload []byte)) *custodian {
+	cfg.fill()
+	return &custodian{
+		cfg:   cfg,
+		stats: stats,
+		write: write,
+		byID:  map[message.ID]*cusFrame{},
+		bySeq: map[uint32]*cusFrame{},
+	}
+}
+
+// send offers custody of (id, payload) to peer. A pending offer of the
+// same ID to the same peer makes this a no-op (the core replays
+// periodically; the wire must not amplify that). An offer to a different
+// peer supersedes the old one — the reinforced path moved.
+func (c *custodian) send(peer uint32, id message.ID, payload []byte) {
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if f, ok := c.byID[id]; ok {
+		if f.peer == peer {
+			c.mu.Unlock()
+			return
+		}
+		c.dropLocked(f)
+	}
+	c.nextSeq++
+	f := &cusFrame{peer: peer, seq: c.nextSeq, id: id, payload: buf, tries: 1}
+	c.byID[id] = f
+	c.bySeq[f.seq] = f
+	c.armLocked(f)
+	c.mu.Unlock()
+
+	c.stats.CustodySent.Add(1)
+	c.write(peer, kindCustody, f.seq, buf)
+}
+
+// dropLocked forgets a pending offer (superseded or acked).
+func (c *custodian) dropLocked(f *cusFrame) {
+	if f.timer != nil {
+		f.timer.Stop()
+	}
+	delete(c.byID, f.id)
+	delete(c.bySeq, f.seq)
+}
+
+// armLocked schedules the next retransmission: RTO doubled per attempt,
+// capped at MaxRTO, never abandoned.
+func (c *custodian) armLocked(f *cusFrame) {
+	rto := c.cfg.RTO << (f.tries - 1)
+	if rto > c.cfg.MaxRTO || rto <= 0 {
+		rto = c.cfg.MaxRTO
+	}
+	seq := f.seq
+	f.timer = time.AfterFunc(rto, func() { c.onTimeout(seq) })
+}
+
+// onTimeout retransmits an unacknowledged offer.
+func (c *custodian) onTimeout(seq uint32) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	f, ok := c.bySeq[seq]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	f.tries++
+	c.armLocked(f)
+	peer, payload := f.peer, f.payload
+	c.mu.Unlock()
+	c.stats.CustodyRetransmits.Add(1)
+	c.write(peer, kindCustody, seq, payload)
+}
+
+// onAck completes a custody transfer: the peer durably holds the message,
+// so local custody is discharged via the Release callback.
+func (c *custodian) onAck(peer, seq uint32) {
+	c.stats.CustodyAcksRecv.Add(1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	f, ok := c.bySeq[seq]
+	if !ok || f.peer != peer {
+		c.mu.Unlock()
+		return
+	}
+	c.dropLocked(f)
+	id := f.id
+	c.mu.Unlock()
+	if c.cfg.Release != nil {
+		c.cfg.Release(peer, id)
+	}
+}
+
+// reoffer re-sends every pending offer toward peer immediately, resetting
+// its backoff — the failure detector just heard from it again.
+func (c *custodian) reoffer(peer uint32) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	var out []*cusFrame
+	for _, f := range c.bySeq {
+		if f.peer != peer {
+			continue
+		}
+		if f.timer != nil {
+			f.timer.Stop()
+		}
+		f.tries = 1
+		c.armLocked(f)
+		out = append(out, f)
+	}
+	c.mu.Unlock()
+	for _, f := range out {
+		c.stats.CustodyRetransmits.Add(1)
+		c.write(peer, kindCustody, f.seq, f.payload)
+	}
+}
+
+// pending returns the number of outstanding custody offers (tests,
+// introspection).
+func (c *custodian) pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bySeq)
+}
+
+// close stops every retransmit timer. Pending offers are not released:
+// the custody queue still holds the data, and a restart re-offers it.
+func (c *custodian) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, f := range c.bySeq {
+		if f.timer != nil {
+			f.timer.Stop()
+		}
+	}
+	c.byID = map[message.ID]*cusFrame{}
+	c.bySeq = map[uint32]*cusFrame{}
+}

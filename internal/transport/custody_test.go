@@ -1,0 +1,316 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"diffusion/internal/custody"
+	"diffusion/internal/message"
+)
+
+// custodyPayload builds a marshalled Data message carrying seq in its
+// packet number, returning the wire payload and its custody token.
+func custodyPayload(seq uint32) ([]byte, message.ID) {
+	m := message.Message{
+		Class:   message.Data,
+		ID:      message.ID{RandID: 0xc0de, PktNum: seq},
+		PrevHop: 1, NextHop: 2,
+	}
+	return m.Marshal(), m.ID
+}
+
+// custodyHarness wires a custody.Queue behind an endpoint's
+// CustodyOptions and records releases, the shape cmd/diffnode uses.
+type custodyHarness struct {
+	q        *custody.Queue
+	released chan message.ID
+}
+
+func newCustodyHarness(limit int) *custodyHarness {
+	return &custodyHarness{
+		q:        custody.NewQueue(limit, nil),
+		released: make(chan message.ID, 64),
+	}
+}
+
+func (h *custodyHarness) options(rto, maxRTO time.Duration) *CustodyOptions {
+	return &CustodyOptions{
+		Accept: func(from uint32, id message.ID, payload []byte) (held, fresh bool) {
+			return h.q.Accept(id, payload)
+		},
+		Release: func(peer uint32, id message.ID) {
+			h.q.Release(id)
+			h.released <- id
+		},
+		RTO:    rto,
+		MaxRTO: maxRTO,
+	}
+}
+
+// TestUDPCustodyTransfer walks the happy path over real sockets: the
+// sender holds custody, offers it, and discharges only after the
+// receiver's durable accept comes back as an ack. The payload is
+// delivered up exactly once.
+func TestUDPCustodyTransfer(t *testing.T) {
+	ha, hb := newCustodyHarness(16), newCustodyHarness(16)
+	a, _, _, cb := pair(t,
+		UDPConfig{Custody: ha.options(20*time.Millisecond, 100*time.Millisecond)},
+		UDPConfig{Custody: hb.options(20*time.Millisecond, 100*time.Millisecond)})
+
+	payload, id := custodyPayload(1)
+	// The sender is the current custodian: its queue vouches for the
+	// message until the peer's ack discharges it.
+	ha.q.Accept(id, payload)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool { return cb.count() == 1 }, "custody delivery")
+	select {
+	case got := <-ha.released:
+		if got != id {
+			t.Fatalf("released %v, want %v", got, id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for custody release")
+	}
+	waitFor(t, func() bool { return a.CustodyPending() == 0 }, "offer to clear")
+
+	if ha.q.Len() != 0 {
+		t.Fatalf("sender queue len = %d, want 0 after discharge", ha.q.Len())
+	}
+	if hb.q.Len() != 1 || !hb.q.Has(id) {
+		t.Fatalf("receiver queue len = %d, Has = %v; want custody held", hb.q.Len(), hb.q.Has(id))
+	}
+	if a.Stats().CustodySent.Load() == 0 || a.Stats().CustodyAcksRecv.Load() == 0 {
+		t.Fatalf("sender accounting: sent=%d acksRecv=%d",
+			a.Stats().CustodySent.Load(), a.Stats().CustodyAcksRecv.Load())
+	}
+}
+
+// TestUDPCustodyRetransmitsAcrossPartition blocks the receiver, offers
+// custody, and lets the offer ride out the partition on its capped
+// backoff: unlike reliable unicast there is no give-up, so the transfer
+// completes as soon as the partition heals.
+func TestUDPCustodyRetransmitsAcrossPartition(t *testing.T) {
+	ha, hb := newCustodyHarness(16), newCustodyHarness(16)
+	a, _, _, cb := pair(t,
+		UDPConfig{Custody: ha.options(10*time.Millisecond, 40*time.Millisecond)},
+		UDPConfig{Custody: hb.options(10*time.Millisecond, 40*time.Millisecond)})
+
+	a.Block(2)
+	payload, id := custodyPayload(7)
+	ha.q.Accept(id, payload)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// The offer must keep retrying into the partition, not be abandoned.
+	waitFor(t, func() bool { return a.Stats().CustodyRetransmits.Load() >= 3 },
+		"retransmissions during partition")
+	if cb.count() != 0 {
+		t.Fatal("payload crossed a blocked link")
+	}
+	if a.CustodyPending() != 1 {
+		t.Fatalf("pending = %d, want 1 (never abandoned)", a.CustodyPending())
+	}
+
+	a.Unblock(2)
+	waitFor(t, func() bool { return cb.count() == 1 }, "delivery after heal")
+	waitFor(t, func() bool { return a.CustodyPending() == 0 }, "discharge after heal")
+	if ha.q.Len() != 0 || hb.q.Len() != 1 {
+		t.Fatalf("queues after heal: sender=%d receiver=%d, want 0 and 1",
+			ha.q.Len(), hb.q.Len())
+	}
+}
+
+// TestUDPCustodyDuplicateOfferReacked re-offers an ID the receiver
+// already durably holds — the shape a lost ack or a custodian restart
+// produces. The duplicate must be re-acked (held) without being
+// re-delivered (not fresh), so the sender discharges and the receiver
+// still delivered exactly once.
+func TestUDPCustodyDuplicateOfferReacked(t *testing.T) {
+	ha, hb := newCustodyHarness(16), newCustodyHarness(16)
+	a, b, _, cb := pair(t,
+		UDPConfig{Custody: ha.options(10*time.Millisecond, 40*time.Millisecond)},
+		UDPConfig{Custody: hb.options(10*time.Millisecond, 40*time.Millisecond)})
+
+	payload, id := custodyPayload(9)
+	ha.q.Accept(id, payload)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return a.CustodyPending() == 0 }, "first transfer")
+
+	// Offer the same ID again, as a restarted custodian whose ack was
+	// lost would: the receiver re-acks from its held set without a second
+	// delivery, and the sender discharges again.
+	ha.q.Accept(id, payload)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return a.CustodyPending() == 0 }, "duplicate re-acked")
+	if got := cb.count(); got != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", got)
+	}
+	if got := b.Stats().CustodyAcksSent.Load(); got < 2 {
+		t.Fatalf("acks sent = %d, want >= 2", got)
+	}
+	if hb.q.Len() != 1 {
+		t.Fatalf("receiver queue len = %d, want 1", hb.q.Len())
+	}
+}
+
+// TestUDPCustodyRejectedWhenFull gives the receiver a zero-headroom
+// custody queue: offers are refused (no ack, counted as rejected) and
+// the payload is not delivered, so the sender retains custody. Once the
+// receiver frees a slot, a later retransmission is accepted.
+func TestUDPCustodyRejectedWhenFull(t *testing.T) {
+	ha, hb := newCustodyHarness(16), newCustodyHarness(1)
+	a, b, _, cb := pair(t,
+		UDPConfig{Custody: ha.options(10*time.Millisecond, 40*time.Millisecond)},
+		UDPConfig{Custody: hb.options(10*time.Millisecond, 40*time.Millisecond)})
+
+	// Fill the receiver's single slot with unrelated custody.
+	blocker, blockerID := custodyPayload(100)
+	hb.q.Accept(blockerID, blocker)
+
+	payload, id := custodyPayload(3)
+	ha.q.Accept(id, payload)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool { return b.Stats().CustodyRejected.Load() >= 2 },
+		"offers rejected while full")
+	if cb.count() != 0 {
+		t.Fatal("rejected offer was delivered")
+	}
+	if ha.q.Len() != 1 {
+		t.Fatalf("sender queue len = %d, want 1 (custody retained)", ha.q.Len())
+	}
+
+	hb.q.Release(blockerID)
+	waitFor(t, func() bool { return cb.count() == 1 }, "accept after slot freed")
+	waitFor(t, func() bool { return a.CustodyPending() == 0 }, "discharge")
+}
+
+// TestUDPCustodyReofferOnRecovery pairs custody with the failure
+// detector: a partition long enough to declare the peer dead, then a
+// heal — the PeerAlive transition must re-offer pending custody
+// immediately instead of waiting out the full backoff.
+func TestUDPCustodyReofferOnRecovery(t *testing.T) {
+	lv := &LivenessConfig{
+		Interval:        10 * time.Millisecond,
+		SuspectAfter:    30 * time.Millisecond,
+		DeadAfter:       60 * time.Millisecond,
+		MaxProbeBackoff: 20 * time.Millisecond,
+	}
+	ha, hb := newCustodyHarness(16), newCustodyHarness(16)
+	// A long RTO so only the recovery hook can explain a prompt re-offer.
+	la, lb := *lv, *lv
+	a, b, _, cb := pair(t,
+		UDPConfig{Liveness: &la, Custody: ha.options(2*time.Second, 4*time.Second)},
+		UDPConfig{Liveness: &lb, Custody: hb.options(2*time.Second, 4*time.Second)})
+
+	// Partition both directions and wait for a to declare 2 dead.
+	a.Block(2)
+	b.Block(1)
+	waitFor(t, func() bool { return a.Stats().PeerDeaths.Load() >= 1 }, "peer death")
+
+	payload, id := custodyPayload(5)
+	ha.q.Accept(id, payload)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatal("payload crossed the partition")
+	}
+
+	a.Unblock(2)
+	b.Unblock(1)
+	// Heartbeats resume, the detector flips 2 back to alive, and the
+	// recovery hook re-offers well before the 2 s RTO would fire.
+	waitFor(t, func() bool { return cb.count() == 1 }, "re-offer on recovery")
+	waitFor(t, func() bool { return a.CustodyPending() == 0 }, "discharge")
+	if a.Stats().PeerRecoveries.Load() == 0 {
+		t.Fatal("no recovery transition recorded")
+	}
+}
+
+// TestUDPCustodySupersede moves a pending offer to a new peer: the old
+// offer is dropped, and pending stays at one.
+func TestUDPCustodySupersede(t *testing.T) {
+	ha := newCustodyHarness(16)
+	hb := newCustodyHarness(16)
+	a, _, _, _ := pair(t,
+		UDPConfig{Custody: ha.options(time.Hour, time.Hour)},
+		UDPConfig{Custody: hb.options(time.Hour, time.Hour)})
+
+	payload, id := custodyPayload(11)
+	ha.q.Accept(id, payload)
+	a.Block(2)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+	if a.CustodyPending() != 1 {
+		t.Fatalf("pending = %d, want 1", a.CustodyPending())
+	}
+	// Re-offering to the same peer is a no-op on the wire state.
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+	if a.CustodyPending() != 1 {
+		t.Fatalf("pending after idempotent re-offer = %d, want 1", a.CustodyPending())
+	}
+	if got := a.Stats().CustodySent.Load(); got != 1 {
+		t.Fatalf("custody sent = %d, want 1 (re-offer suppressed)", got)
+	}
+
+	// Unknown destinations are refused outright.
+	if err := a.SendCustody(99, id, payload); err == nil {
+		t.Fatal("SendCustody to a stranger must fail")
+	}
+}
+
+// TestUDPCustodyToCustodylessPeer covers mixed deployments: an offer to
+// a peer running without custody still delivers the payload — exactly
+// once, retransmits deduplicated by offer seq — but is never
+// acknowledged, so responsibility stays with the sender (the offer
+// remains pending and the queue keeps the item). Before this contract
+// the frame was dropped outright and the data never arrived at all.
+func TestUDPCustodyToCustodylessPeer(t *testing.T) {
+	ha := newCustodyHarness(16)
+	a, _, _, cb := pair(t,
+		UDPConfig{Custody: ha.options(20*time.Millisecond, 50*time.Millisecond)},
+		UDPConfig{}) // receiver has no custody wired
+
+	payload, id := custodyPayload(7)
+	ha.q.Accept(id, payload)
+	if err := a.SendCustody(2, id, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool { return cb.count() == 1 }, "best-effort delivery")
+	// Let several retransmissions happen; none may double-deliver or ack.
+	time.Sleep(300 * time.Millisecond)
+	if got := cb.count(); got != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", got)
+	}
+	if a.Stats().CustodyRetransmits.Load() == 0 {
+		t.Fatal("sender should still be retransmitting the unacknowledged offer")
+	}
+	if a.Stats().CustodyAcksRecv.Load() != 0 {
+		t.Fatal("custody-less peer must never acknowledge an offer")
+	}
+	if a.CustodyPending() != 1 || ha.q.Len() != 1 || !ha.q.Has(id) {
+		t.Fatalf("pending=%d len=%d has=%v; sender must keep custody",
+			a.CustodyPending(), ha.q.Len(), ha.q.Has(id))
+	}
+	select {
+	case <-ha.released:
+		t.Fatal("custody must not be released without a durable accept")
+	default:
+	}
+}

@@ -54,7 +54,7 @@ type Deliver func(from uint32, payload []byte)
 //
 //	byte  0     magic (frameMagic)
 //	byte  1     version (frameVersion)
-//	byte  2     kind (data, reliable data, ack, ping, pong)
+//	byte  2     kind (data, reliable data, ack, ping, pong, custody, custody ack)
 //	bytes 3-6   sender link ID, big endian
 //	bytes 7-10  destination link ID (Broadcast for floods), big endian
 //	bytes 11-14 sender boot nonce (distinguishes process incarnations)
@@ -72,12 +72,14 @@ const (
 
 // Frame kinds.
 const (
-	kindData     = 0 // fire-and-forget diffusion payload
-	kindReliable = 1 // acked diffusion payload (reliable unicast)
-	kindAck      = 2 // acknowledges a kindReliable seq
-	kindPing     = 3 // heartbeat probe
-	kindPong     = 4 // heartbeat response
-	numKinds     = 5
+	kindData       = 0 // fire-and-forget diffusion payload
+	kindReliable   = 1 // acked diffusion payload (reliable unicast)
+	kindAck        = 2 // acknowledges a kindReliable seq
+	kindPing       = 3 // heartbeat probe
+	kindPong       = 4 // heartbeat response
+	kindCustody    = 5 // custody offer: acked only after durable accept
+	kindCustodyAck = 6 // acknowledges a kindCustody seq (custody.go)
+	numKinds       = 7
 )
 
 // maxPayload bounds a single framed message; UDP datagrams beyond this are
@@ -186,6 +188,13 @@ type Stats struct {
 	ReliableDrops atomic.Uint64 // frames abandoned after max retries
 	DupSuppressed atomic.Uint64 // duplicate reliable frames not delivered
 
+	// Custody-transfer accounting (custody.go).
+	CustodySent        atomic.Uint64 // first transmissions of custody offers
+	CustodyRetransmits atomic.Uint64 // offer retransmissions (incl. re-offers)
+	CustodyAcksSent    atomic.Uint64 // durable accepts acknowledged
+	CustodyAcksRecv    atomic.Uint64
+	CustodyRejected    atomic.Uint64 // offers refused by Accept (queue full)
+
 	// Partition accounting (runtime impairment, udp.go).
 	PartitionDropped atomic.Uint64
 }
@@ -218,6 +227,11 @@ func (s *Stats) Instrument(reg *telemetry.Registry) {
 		emit("transport.acks_recv", float64(s.AcksRecv.Load()))
 		emit("transport.reliable_drops", float64(s.ReliableDrops.Load()))
 		emit("transport.dup_suppressed", float64(s.DupSuppressed.Load()))
+		emit("transport.custody_sent", float64(s.CustodySent.Load()))
+		emit("transport.custody_retransmits", float64(s.CustodyRetransmits.Load()))
+		emit("transport.custody_acks_sent", float64(s.CustodyAcksSent.Load()))
+		emit("transport.custody_acks_recv", float64(s.CustodyAcksRecv.Load()))
+		emit("transport.custody_rejected", float64(s.CustodyRejected.Load()))
 		emit("transport.partition_dropped", float64(s.PartitionDropped.Load()))
 	})
 }

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"diffusion/internal/message"
 )
 
 // UDPConfig parameterizes a UDP link endpoint.
@@ -46,6 +48,13 @@ type UDPConfig struct {
 	// retransmission are suppressed on receive. Broadcast stays
 	// fire-and-forget.
 	Reliable *ReliableConfig
+	// Custody, when non-nil, enables custody transfer (custody.go):
+	// SendCustody offers are retransmitted until the peer durably accepts
+	// them, received offers are acked only after the Accept callback
+	// persists them, and pending offers are re-sent the moment the
+	// failure detector hears a neighbor again. Pair with Liveness for the
+	// recovery re-offers.
+	Custody *CustodyOptions
 }
 
 // UDP is a core.Link over UDP datagrams: unicast sends one datagram to the
@@ -61,6 +70,7 @@ type UDP struct {
 	stats    Stats
 	det      *detector
 	rel      *reliable
+	cus      *custodian
 	readerWG sync.WaitGroup
 
 	mu      sync.Mutex
@@ -110,6 +120,29 @@ func ListenUDP(cfg UDPConfig) (*UDP, error) {
 	}
 	if cfg.Reliable != nil {
 		u.rel = newReliable(*cfg.Reliable, &u.stats, u.writeTo)
+	}
+	if cfg.Custody != nil {
+		if cfg.Custody.Accept == nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: CustodyOptions requires Accept")
+		}
+		u.cus = newCustodian(*cfg.Custody, &u.stats, u.writeTo)
+		if cfg.Liveness != nil {
+			// Chain the custody re-offer in front of the caller's state-
+			// change hook: a recovered neighbor gets pending custody
+			// immediately, before the diffusion layer even reacts.
+			user := cfg.Liveness.OnStateChange
+			lv := *cfg.Liveness
+			lv.OnStateChange = func(peer uint32, state PeerState) {
+				if state == PeerAlive {
+					u.cus.reoffer(peer)
+				}
+				if user != nil {
+					user(peer, state)
+				}
+			}
+			cfg.Liveness = &lv
+		}
 	}
 	if cfg.Liveness != nil {
 		ids := make([]uint32, 0, len(peers))
@@ -255,6 +288,42 @@ func (u *UDP) Send(dst uint32, payload []byte) error {
 	return nil
 }
 
+// SendCustody offers custody of a diffusion payload to neighbor dst
+// (core.CustodyLink). The offer is retransmitted with capped backoff —
+// and re-sent on neighbor recovery — until dst durably accepts it; the
+// CustodyOptions.Release callback then fires. Requires the Custody
+// option.
+func (u *UDP) SendCustody(dst uint32, id message.ID, payload []byte) error {
+	if u.cus == nil {
+		return fmt.Errorf("transport: custody transfer not enabled")
+	}
+	if len(payload) > maxPayload {
+		u.stats.SendErrors.Add(1)
+		return ErrTooLarge
+	}
+	if _, ok := u.peers[dst]; !ok || dst == Broadcast {
+		u.stats.SendErrors.Add(1)
+		return fmt.Errorf("transport: %d is not a neighbor of %d", dst, u.id)
+	}
+	u.mu.Lock()
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	u.cus.send(dst, id, payload)
+	return nil
+}
+
+// CustodyPending returns the number of outstanding custody offers
+// (introspection; 0 without the Custody option).
+func (u *UDP) CustodyPending() int {
+	if u.cus == nil {
+		return 0
+	}
+	return u.cus.pending()
+}
+
 // writeTo frames and writes one datagram to neighbor id, applying runtime
 // impairment — blocked peers, injected loss, injected latency — in that
 // order. It is the single egress point: data, reliable frames,
@@ -288,6 +357,8 @@ func (u *UDP) writeTo(id uint32, kind uint8, seq uint32, payload []byte) {
 		u.stats.HeartbeatsSent.Add(1)
 	case kindAck:
 		u.stats.AcksSent.Add(1)
+	case kindCustodyAck:
+		u.stats.CustodyAcksSent.Add(1)
 	}
 	frame := encodeFrame(kind, u.id, id, u.boot, seq, payload)
 	if latency > 0 {
@@ -314,6 +385,10 @@ func (u *UDP) readLoop() {
 	defer u.readerWG.Done()
 	buf := make([]byte, maxPayload+headerSize)
 	dups := map[uint32]*dupWindow{}
+	// Custody offers number their own wire-seq space, so they get their
+	// own duplicate windows — a shared window would let a reliable frame
+	// and a custody offer with colliding seqs suppress each other.
+	cusDups := map[uint32]*dupWindow{}
 	for {
 		n, _, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -379,6 +454,51 @@ func (u *UDP) readLoop() {
 			u.deliverUp(f.from, f.payload, n)
 		case kindData:
 			u.deliverUp(f.from, f.payload, n)
+		case kindCustody:
+			if u.cus == nil {
+				// This node runs without custody, so it cannot vouch for
+				// the payload and must not ack — responsibility stays with
+				// the sender, which keeps the offer pending (visible in its
+				// /custody pending count) and retransmits at the capped
+				// backoff. The data itself is still delivered, deduplicated
+				// by offer seq so those retransmits cannot double-deliver:
+				// a mixed deployment makes progress, it just cannot drain
+				// upstream custody queues. Enable custody at this node
+				// (memory-only suffices) to complete transfers.
+				w := cusDups[f.from]
+				if w == nil {
+					w = &dupWindow{}
+					cusDups[f.from] = w
+				}
+				if !w.fresh(f.boot, f.seq) {
+					u.stats.DupSuppressed.Add(1)
+					continue
+				}
+				u.deliverUp(f.from, f.payload, n)
+				continue
+			}
+			id, ok := custodyPayloadID(f.payload)
+			if !ok {
+				u.stats.RecvDropped.Add(1)
+				continue
+			}
+			// Durable accept BEFORE the ack: the sender discharges its
+			// custody on our acknowledgment, so the ack must mean the
+			// payload is safe here. held-but-not-fresh covers lost acks:
+			// re-acked, not re-delivered.
+			held, fresh := u.cus.cfg.Accept(f.from, id, f.payload)
+			if !held {
+				u.stats.CustodyRejected.Add(1)
+				continue
+			}
+			u.writeTo(f.from, kindCustodyAck, f.seq, nil)
+			if fresh {
+				u.deliverUp(f.from, f.payload, n)
+			}
+		case kindCustodyAck:
+			if u.cus != nil {
+				u.cus.onAck(f.from, f.seq)
+			}
 		}
 	}
 }
@@ -408,6 +528,9 @@ func (u *UDP) Close() error {
 	}
 	if u.rel != nil {
 		u.rel.close()
+	}
+	if u.cus != nil {
+		u.cus.close()
 	}
 	err := u.conn.Close()
 	u.readerWG.Wait()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"diffusion/internal/core"
+	"diffusion/internal/custody"
 	"diffusion/internal/energy"
 	"diffusion/internal/mac"
 	"diffusion/internal/microdiff"
@@ -101,6 +102,20 @@ type NetworkConfig struct {
 	// DisableNegativeReinforcement turns off duplicate-triggered path
 	// teardown (ablation).
 	DisableNegativeReinforcement bool
+	// Custody gives every node a bounded custody queue (disruption
+	// tolerance): reinforced-class data with no forward path is parked
+	// and replayed when connectivity returns, instead of dropped. See
+	// core.Config.Custody.
+	Custody bool
+	// CustodyLimit bounds each node's custody queue (0: 1024).
+	CustodyLimit int
+	// SeenTTL overrides the duplicate-suppression horizon (0: 2m). Mobile
+	// and partitioned scenarios must keep it longer than the longest
+	// disconnection, so replayed custody is still deduplicated.
+	SeenTTL time.Duration
+	// EnergyAware spreads reinforcement across exploratory deliverers
+	// (see core.Config.EnergyAware).
+	EnergyAware bool
 	// MoteNodes lists topology IDs to instantiate as micro-diffusion
 	// motes (second tier) instead of full diffusion nodes. Access them
 	// with Mote(id); bridge the tiers with NewGateway.
@@ -235,6 +250,13 @@ func NewNetwork(cfg NetworkConfig) *Network {
 		})
 		fl := telemetry.NewFlight(telemetry.DefaultFlightSize)
 		net.flights[id] = fl
+		var cusq *custody.Queue
+		if cfg.Custody {
+			// Journal-less in the simulator: the queue's partition
+			// tolerance is what the scenarios measure, crash durability is
+			// the live daemon's concern.
+			cusq = custody.NewQueue(cfg.CustodyLimit, nil)
+		}
 		n = &Node{
 			Node: core.NewNode(core.Config{
 				Clock:               port,
@@ -246,7 +268,10 @@ func NewNetwork(cfg NetworkConfig) *Network {
 				ExploratoryEvery:    cfg.ExploratoryEvery,
 				TTL:                 cfg.TTL,
 				ForwardJitter:       cfg.ForwardJitter,
+				SeenTTL:             cfg.SeenTTL,
 				DisableNegRF:        cfg.DisableNegativeReinforcement,
+				Custody:             cusq,
+				EnergyAware:         cfg.EnergyAware,
 				Flight:              fl,
 			}),
 			MAC: m,

@@ -200,6 +200,54 @@ func BenchmarkSimulatedMinute(b *testing.B) {
 	}
 }
 
+// BenchmarkTracing measures the cost of causal flight-path tracing on
+// the BenchmarkSimulatedMinute workload at three sampling rates: off
+// (the only extra work is a skipped nil check plus, at origination
+// sites, nothing — the sampling RNG draw is not even taken), 1% (the
+// production setting: one RNG draw per origination, spans only for the
+// sampled flows), and 100% (every message records a span at every
+// layer). The off/minute ratio is the tracing tax on untraced runs and
+// must stay within noise of BenchmarkSimulatedMinute; the checked-in
+// baseline is BENCH_tracing.json.
+func BenchmarkTracing(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		sampling float64
+	}{
+		{"off", 0},
+		{"sample-1pct", 0.01},
+		{"sample-100pct", 1.0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			spans := 0
+			for i := 0; i < b.N; i++ {
+				net := diffusion.NewNetwork(diffusion.NetworkConfig{
+					Seed:          int64(i + 1),
+					Topology:      diffusion.TestbedTopology(),
+					TraceSampling: bc.sampling,
+				})
+				net.Node(diffusion.TestbedSink).Subscribe(diffusion.Attributes{
+					diffusion.String(diffusion.KeyTask, diffusion.EQ, "surveillance"),
+				}, nil)
+				src := net.Node(13)
+				pub := src.Publish(diffusion.Attributes{
+					diffusion.String(diffusion.KeyTask, diffusion.IS, "surveillance"),
+				})
+				seq := int32(0)
+				net.Every(6*time.Second, func() {
+					seq++
+					src.Send(pub, diffusion.Attributes{
+						diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+					})
+				})
+				net.Run(time.Minute)
+				spans += len(net.SpanRecords())
+			}
+			b.ReportMetric(float64(spans)/float64(b.N), "spans/run")
+		})
+	}
+}
+
 // BenchmarkKernelShards measures event-kernel throughput on a 1024-node
 // grid at increasing shard counts: one virtual minute of the full stack
 // with five active sources and four corner sinks per iteration. Sequential

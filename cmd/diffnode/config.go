@@ -98,6 +98,18 @@ type Config struct {
 	// core.Config.EnergyAware).
 	EnergyAware bool `json:"energy_aware"`
 
+	// TraceSample enables flight-path tracing: each origination is
+	// sampled with this probability (0: off, 1: every message) and tagged
+	// with a 16-bit flow ID that rides the wire; every layer records span
+	// events for tagged messages into a bounded ring served at GET /spans
+	// for cmd/diffscope to merge cluster-wide.
+	TraceSample float64 `json:"trace_sample"`
+
+	// Pprof mounts net/http/pprof's profiling endpoints on the control
+	// plane under /debug/pprof/. Off by default: the control plane is
+	// often reachable beyond localhost and profiles leak heap contents.
+	Pprof bool `json:"pprof"`
+
 	// StateFile, when set, persists the application layer (keys,
 	// subscriptions, publications, filters) after every mutation so a
 	// crashed node warm-restarts into the same role. Empty disables
@@ -140,6 +152,8 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		CustodyLimit        int               `json:"custody_limit"`
 		SeenTTL             string            `json:"seen_ttl"`
 		EnergyAware         bool              `json:"energy_aware"`
+		TraceSample         float64           `json:"trace_sample"`
+		Pprof               bool              `json:"pprof"`
 		StateFile           string            `json:"state_file"`
 		Drain               string            `json:"drain"`
 	}
@@ -153,6 +167,7 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 	c.Reliable, c.StateFile = r.Reliable, r.StateFile
 	c.Custody, c.CustodyFile, c.CustodyLimit = r.Custody, r.CustodyFile, r.CustodyLimit
 	c.EnergyAware = r.EnergyAware
+	c.TraceSample, c.Pprof = r.TraceSample, r.Pprof
 	if r.Neighbors != nil {
 		c.Neighbors = map[uint32]string{}
 		for k, v := range r.Neighbors {
@@ -243,6 +258,9 @@ func (c *Config) validate() error {
 	}
 	if c.CustodyLimit < 0 {
 		return fmt.Errorf("diffnode: custody limit %d is negative", c.CustodyLimit)
+	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return fmt.Errorf("diffnode: trace sample %v outside [0,1]", c.TraceSample)
 	}
 	if c.CustodyFile != "" || c.CustodyLimit > 0 {
 		c.Custody = true

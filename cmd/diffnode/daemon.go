@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -70,6 +71,12 @@ type Daemon struct {
 	// the log when a neighbor dies. Loop-confined, shared with the core.
 	flight *telemetry.Flight
 
+	// spans is the flight-path span ring (nil unless cfg.TraceSample > 0),
+	// shared by the core and the transport and served at GET /spans. The
+	// ring is internally locked; core writes happen on the loop, transport
+	// writes on its own goroutines.
+	spans *telemetry.SpanRing
+
 	shutdownOnce sync.Once
 	shutdownErr  error
 }
@@ -98,6 +105,9 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	}
 	d := &Daemon{cfg: cfg, logw: logw, start: time.Now(), loop: rt.NewLoop(),
 		flight: telemetry.NewFlight(0)}
+	if cfg.TraceSample > 0 {
+		d.spans = telemetry.NewSpanRing(telemetry.DefaultSpanSize)
+	}
 
 	// Resolve the boot-time application state: a readable state file wins
 	// over the config lists (warm restart after a crash); anything else is
@@ -180,6 +190,8 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		Liveness:  live,
 		Reliable:  rel,
 		Custody:   cusOpts,
+		Spans:     d.spans,
+		SpanClock: d.loop.Now,
 		Deliver: func(from uint32, payload []byte) {
 			d.loop.Post(func() {
 				if d.node != nil {
@@ -213,9 +225,24 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 			Custody:             d.cusq,
 			EnergyAware:         cfg.EnergyAware,
 			Flight:              d.flight,
+			TraceSample:         cfg.TraceSample,
+			Spans:               d.spans,
 		})
 		d.node.Instrument(d.reg)
 		d.link.Stats().Instrument(d.reg)
+		// Per-neighbor series, labeled with the peer ID via the registry's
+		// "name|peer=N" convention (rendered as a peer label by
+		// telemetry.WritePrometheus). Emitted at snapshot time only.
+		d.reg.AddCollector(func(emit func(string, float64)) {
+			for id, h := range d.link.PeerHealth() {
+				emit(fmt.Sprintf("transport.peer_rtt_us|peer=%d", id), float64(h.RTTMicros))
+				emit(fmt.Sprintf("transport.peer_state|peer=%d", id), float64(h.State))
+				emit(fmt.Sprintf("transport.peer_last_heard_ms|peer=%d", id), float64(h.LastHeard.Milliseconds()))
+			}
+			for id, n := range d.link.PeerRetransmits() {
+				emit(fmt.Sprintf("transport.peer_retransmits|peer=%d", id), float64(n))
+			}
+		})
 		if d.cusStore != nil {
 			d.reg.AddCollector(func(emit func(string, float64)) {
 				st := d.cusStore.Stats()
@@ -326,6 +353,15 @@ func (d *Daemon) Shutdown() error {
 		// soft-state teardown); meanwhile keep relaying neighbors'
 		// traffic for the drain window.
 		time.Sleep(d.cfg.Drain)
+
+		// Dump the flight recorder before tearing anything down: the last
+		// seconds of protocol activity are the evidence for whatever made
+		// the operator stop this node, and after the loop stops the ring
+		// is unreachable.
+		d.loop.Call(func() {
+			fmt.Fprintf(d.logw, "diffnode %d: flight dump (shutdown drain):\n", d.cfg.ID)
+			d.flight.Dump(d.logw, faultKindName)
+		})
 
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -509,6 +545,14 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /custody", d.handleCustody)
 	mux.HandleFunc("POST /chaos", d.handleChaos)
+	mux.HandleFunc("GET /spans", d.handleSpans)
+	if d.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -879,4 +923,28 @@ func (d *Daemon) handleChaos(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(d.logw, "diffnode %d: chaos loss=%v blocked=%v\n", d.cfg.ID, d.link.Loss(), blocked)
 	writeJSON(w, map[string]any{"loss": d.link.Loss(), "blocked": blocked})
+}
+
+// handleSpans serves the flight-path span ring as JSONL: one header line
+// carrying the node's identity, boot nonce and the ring clock's absolute
+// base, then one telemetry.Record per span with us relative to that base.
+// cmd/diffscope scrapes this from every node and rebases onto wall time
+// to merge cluster-wide causal timelines. 404 when tracing is off.
+func (d *Daemon) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if d.spans == nil {
+		httpError(w, http.StatusNotFound, "flight-path tracing is not enabled (set trace_sample > 0)")
+		return
+	}
+	spans := d.spans.Spans()
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]any{
+		"node":          d.cfg.ID,
+		"boot":          d.link.Boot(),
+		"start_unix_us": d.loop.Start().UnixMicro(),
+		"spans":         len(spans),
+	})
+	for _, sp := range spans {
+		enc.Encode(sp.TraceRecord())
+	}
 }

@@ -183,8 +183,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
-// promSample matches one Prometheus text sample line.
-var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*\{scope="[^"]*"\} (NaN|[+-]Inf|[-+0-9.eE]+)$`)
+// promSample matches one Prometheus text sample line: the scope label
+// plus any extra labels (per-neighbor series carry peer="N").
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*\{scope="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\} (NaN|[+-]Inf|[-+0-9.eE]+)$`)
 
 // checkPrometheusText validates every line of a Prometheus exposition.
 func checkPrometheusText(t *testing.T, body []byte) {
@@ -220,6 +221,128 @@ func TestFiltersFromConfig(t *testing.T) {
 // TestShutdownWithdrawsAndStops checks Shutdown withdraws the application
 // layer, the control plane stops answering, and no goroutines leak — the
 // in-process form of the daemon's clean-SIGTERM guarantee.
+// TestSpansEndpoint: a traced node serves its span ring as JSONL — a
+// header line with the clock base, then flow-tagged records — and an
+// untraced node answers 404.
+func TestSpansEndpoint(t *testing.T) {
+	cfg := Config{ID: 1, Drain: 10 * time.Millisecond, TraceSample: 1,
+		InterestInterval: 100 * time.Millisecond, ForwardJitter: time.Millisecond,
+		Subscribe: []string{"type EQ ping, interval IS 1"}, Publish: []string{"type IS ping"}}
+	d := startTestDaemon(t, cfg)
+
+	// Drive a self-delivery so the ring holds a complete flow.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		code, _ := ctl(t, d, "POST", "/send", `{"publication": 1, "attrs": "seq IS 1", "exploratory": true}`)
+		if code != 200 {
+			t.Fatalf("send: %d", code)
+		}
+		_, dv := ctl(t, d, "GET", "/deliveries", "")
+		if total, _ := dv["total"].(float64); total >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no self-delivery within 2s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/spans", d.HTTPAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/spans: %d %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("/spans served %d lines, want header + spans:\n%s", len(lines), body)
+	}
+	var hdr struct {
+		Node        uint32 `json:"node"`
+		Boot        uint32 `json:"boot"`
+		StartUnixUS int64  `json:"start_unix_us"`
+		Spans       int    `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if hdr.Node != 1 || hdr.Boot == 0 || hdr.StartUnixUS == 0 || hdr.Spans != len(lines)-1 {
+		t.Fatalf("header %+v (lines %d)", hdr, len(lines))
+	}
+	sawFlow, sawDeliver := false, false
+	for _, line := range lines[1:] {
+		var rec struct {
+			Flow uint16 `json:"flow"`
+			Verb string `json:"verb"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("span line %q: %v", line, err)
+		}
+		if rec.Flow != 0 {
+			sawFlow = true
+		}
+		if rec.Verb == "deliver" {
+			sawDeliver = true
+		}
+	}
+	if !sawFlow || !sawDeliver {
+		t.Errorf("spans missing flow tags (%v) or a deliver event (%v):\n%s", sawFlow, sawDeliver, body)
+	}
+
+	// Tracing off: 404.
+	off := startTestDaemon(t, Config{ID: 2, Drain: time.Millisecond,
+		InterestInterval: time.Second, ForwardJitter: time.Millisecond})
+	if code, _ := ctl(t, off, "GET", "/spans", ""); code != 404 {
+		t.Errorf("/spans without tracing: %d, want 404", code)
+	}
+}
+
+// TestPprofOptIn: the profiling endpoints exist only behind the flag.
+func TestPprofOptIn(t *testing.T) {
+	on := startTestDaemon(t, Config{ID: 1, Drain: time.Millisecond, Pprof: true,
+		InterestInterval: time.Second, ForwardJitter: time.Millisecond})
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", on.HTTPAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof index with -pprof: %d, want 200", resp.StatusCode)
+	}
+
+	off := startTestDaemon(t, Config{ID: 2, Drain: time.Millisecond,
+		InterestInterval: time.Second, ForwardJitter: time.Millisecond})
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", off.HTTPAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("pprof index reachable without -pprof")
+	}
+}
+
+// TestShutdownDumpsFlightRecorder: the drain path must dump the flight
+// ring to the log even when no fault ever fired.
+func TestShutdownDumpsFlightRecorder(t *testing.T) {
+	log := newLockedBuffer()
+	d, err := startDaemon(Config{ID: 9, Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Drain: time.Millisecond, InterestInterval: time.Second,
+		ForwardJitter: time.Millisecond}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "flight dump (shutdown drain)") {
+		t.Errorf("shutdown log has no flight dump:\n%s", log.String())
+	}
+}
+
 func TestShutdownWithdrawsAndStops(t *testing.T) {
 	base := runtime.NumGoroutine()
 	d := startTestDaemon(t, Config{ID: 3, Drain: 20 * time.Millisecond,

@@ -24,6 +24,9 @@
 //	                   counters, journal stats, pending offers
 //	POST /chaos        body: {"loss": P, "blocked": [ID, ...]} — live
 //	                   transport impairment for fault experiments
+//	GET  /spans        flight-path span ring as JSONL (requires
+//	                   -trace-sample > 0; scraped by cmd/diffscope)
+//	GET  /debug/pprof/ net/http/pprof profiling (requires -pprof)
 //
 // SIGTERM/SIGINT triggers a graceful shutdown: the application layer is
 // withdrawn (unpublish + unsubscribe, stopping interest refresh so
@@ -68,6 +71,8 @@ func main() {
 		custLimit  = flag.Int("custody-limit", 0, "custody queue bound (implies -custody; 0: 1024)")
 		seenTTL    = flag.Duration("seen-ttl", 0, "duplicate-suppression horizon (0: 2m; raise past the longest expected partition)")
 		energy     = flag.Bool("energy-aware", false, "energy-aware reinforcement: spread load across exploratory deliverers")
+		traceSamp  = flag.Float64("trace-sample", 0, "flight-path tracing sample probability [0,1]; spans served at GET /spans")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/ on the control plane")
 		stateFile  = flag.String("state-file", "", "persist application state here and warm-restart from it")
 		drain      = flag.Duration("drain", 0, "shutdown drain window (default 500ms)")
 	)
@@ -82,6 +87,7 @@ func main() {
 		reliable: *reliable, reliableRTO: *relRTO,
 		custody: *custodyOn, custodyFile: *custFile, custodyLimit: *custLimit,
 		seenTTL: *seenTTL, energyAware: *energy,
+		traceSample: *traceSamp, pprof: *pprofOn,
 		stateFile: *stateFile, drain: *drain,
 	})
 	if err != nil {
@@ -130,6 +136,8 @@ type flagOverrides struct {
 	custodyLimit        int
 	seenTTL             time.Duration
 	energyAware         bool
+	traceSample         float64
+	pprof               bool
 	stateFile           string
 	drain               time.Duration
 }
@@ -219,6 +227,12 @@ func buildConfig(path string, f flagOverrides) (Config, error) {
 	}
 	if f.energyAware {
 		cfg.EnergyAware = true
+	}
+	if f.traceSample != 0 {
+		cfg.TraceSample = f.traceSample
+	}
+	if f.pprof {
+		cfg.Pprof = true
 	}
 	if f.stateFile != "" {
 		cfg.StateFile = f.stateFile

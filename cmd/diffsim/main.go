@@ -52,11 +52,12 @@ func main() {
 		duration   = flag.Duration("duration", 0, "override the per-run virtual duration")
 		metrics    = flag.Bool("metrics", false, "print the end-of-run per-layer metrics snapshot (churn experiment, first seed)")
 		traceOut   = flag.String("trace-out", "", "export the churn experiment's first-seed relay-kill trace as JSONL to this file (analyze with difftrace)")
+		traceSamp  = flag.Float64("trace-sample", 0, "flight-path sampling rate [0,1] for the -trace-out export (difftrace paths/latency)")
 		shards     = flag.Int("shards", 8, "largest shard count in the scale-parallel sweep (doubling from 2)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *experiment, *quick, *seeds, *duration, *metrics, *traceOut, *shards); err != nil {
+	if err := run(os.Stdout, *experiment, *quick, *seeds, *duration, *metrics, *traceOut, *traceSamp, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "diffsim:", err)
 		os.Exit(1)
 	}
@@ -70,7 +71,10 @@ func seedList(n int) []int64 {
 	return out
 }
 
-func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Duration, metrics bool, traceOut string, shards int) error {
+func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Duration, metrics bool, traceOut string, traceSamp float64, shards int) error {
+	if traceSamp < 0 || traceSamp > 1 {
+		return fmt.Errorf("-trace-sample %v out of range [0,1]", traceSamp)
+	}
 	sep := func() { fmt.Fprintln(w) }
 
 	fig8 := func() {
@@ -286,8 +290,12 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		if !metrics && traceOut == "" {
 			return nil
 		}
-		// Re-run the first seed traced: the tap is pass-through, so the
-		// traced run reproduces the printed one exactly.
+		// Re-run the first seed traced: the tap is pass-through, so with
+		// sampling off the traced run reproduces the printed one exactly.
+		// -trace-sample > 0 adds flight-path spans to the export at the
+		// cost of extra per-origination random draws (the traced re-run's
+		// jitter then differs from the printed run's).
+		cfg.TraceSampling = traceSamp
 		_, tr, snap := experiments.RunRelayKillTraced(cfg, cfg.Seeds[0])
 		if metrics {
 			fmt.Fprintln(w)

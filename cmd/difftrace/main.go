@@ -11,6 +11,8 @@
 //	difftrace budget trace.jsonl                # message budget by class, control vs data
 //	difftrace flows [-top N] [-id ID] trace.jsonl   # per-flow hop-by-hop latency
 //	difftrace gradients -node N trace.jsonl     # gradient-table timeline for one node
+//	difftrace paths [-flow F] trace.jsonl       # causal flight paths (needs TraceSampling > 0)
+//	difftrace latency trace.jsonl               # per-hop and end-to-end latency percentiles
 //	difftrace diff a.jsonl b.jsonl              # where two runs diverge
 //	difftrace chrome [-o out.json] trace.jsonl  # convert for chrome://tracing
 package main
@@ -22,12 +24,15 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"diffusion/internal/flightpath"
 	"diffusion/internal/telemetry"
 )
 
-const usage = "usage: difftrace <info|budget|flows|gradients|diff|chrome> [flags] trace.jsonl [trace2.jsonl]"
+const usage = "usage: difftrace <info|budget|flows|gradients|paths|latency|diff|chrome> [flags] trace.jsonl [trace2.jsonl]"
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:]); err != nil {
@@ -80,6 +85,27 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 		return gradientReport(w, info, recs, uint32(*node))
+	case "paths":
+		fs := flag.NewFlagSet("paths", flag.ContinueOnError)
+		flowHex := fs.String("flow", "", "print one flow's full event timeline (hex flow ID as listed)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		flowID, err := parseFlowID(*flowHex)
+		if err != nil {
+			return err
+		}
+		_, recs, err := loadOne(fs.Args())
+		if err != nil {
+			return err
+		}
+		return pathsReport(w, recs, flowID)
+	case "latency":
+		_, recs, err := loadOne(rest)
+		if err != nil {
+			return err
+		}
+		return latencyReport(w, recs)
 	case "diff":
 		if len(rest) != 2 {
 			return errors.New("usage: difftrace diff a.jsonl b.jsonl")
@@ -422,6 +448,99 @@ func gradientReport(w io.Writer, info telemetry.RunInfo, recs []telemetry.Record
 	if lines == 0 {
 		fmt.Fprintf(w, "  (no gradient activity recorded for node %d)\n", node)
 	}
+	return nil
+}
+
+// parseFlowID parses a 16-bit flow ID in the hex spelling the reports
+// use ("0f5a", optionally 0x-prefixed); empty means no flow selected.
+func parseFlowID(s string) (uint16, error) {
+	if s == "" {
+		return 0, nil
+	}
+	s = strings.TrimPrefix(s, "0x")
+	v, err := strconv.ParseUint(s, 16, 16)
+	if err != nil || v == 0 {
+		return 0, fmt.Errorf("bad flow ID %q: want the 4-digit hex ID from the paths listing", s)
+	}
+	return uint16(v), nil
+}
+
+// pathsReport prints every sampled flight path: the relay chain, the
+// delivery or drop verdict, and reinforcement activity the flow triggered.
+// With flowID != 0, it prints that flow's full event timeline instead.
+func pathsReport(w io.Writer, recs []telemetry.Record, flowID uint16) error {
+	flows := flightpath.Assemble(recs)
+	if len(flows) == 0 {
+		fmt.Fprintln(w, "no flight-path spans in trace (run with TraceSampling > 0)")
+		return nil
+	}
+	if flowID != 0 {
+		for _, f := range flows {
+			if f.Flow != flowID {
+				continue
+			}
+			fmt.Fprintf(w, "flow %04x %s id=%s %s\n", f.Flow, f.Class, f.ID, flightpath.PathString(f))
+			for _, r := range f.Events {
+				fmt.Fprintf(w, "  +%-12v node=%-4d %-9s %-9s hops=%d", time.Duration(r.US-f.StartUS)*time.Microsecond,
+					r.Node, r.Layer, r.Verb, r.Hops)
+				if r.Cause != "" {
+					fmt.Fprintf(w, " cause=%s", r.Cause)
+				}
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "  %s\n", flightpath.Localize(f))
+			return nil
+		}
+		return fmt.Errorf("no spans for flow %04x", flowID)
+	}
+	delivered, dropped := 0, 0
+	for _, f := range flows {
+		if f.Delivered {
+			delivered++
+		} else if f.Dropped {
+			dropped++
+		}
+	}
+	fmt.Fprintf(w, "flight paths: %d sampled flows (%d delivered, %d dropped)\n", len(flows), delivered, dropped)
+	for _, f := range flows {
+		fmt.Fprintf(w, "  %04x %-18s %-28s %s\n", f.Flow, f.Class, flightpath.PathString(f), flightpath.Localize(f))
+		if len(f.Reinforcements) > 0 {
+			pos, neg := 0, 0
+			for _, e := range f.Reinforcements {
+				if e.Negative {
+					neg++
+				} else {
+					pos++
+				}
+			}
+			fmt.Fprintf(w, "       reinforcement: %d positive, %d negative events\n", pos, neg)
+		}
+	}
+	return nil
+}
+
+// latencyReport prints per-hop and end-to-end latency percentiles over
+// the sampled flows.
+func latencyReport(w io.Writer, recs []telemetry.Record) error {
+	flows := flightpath.Assemble(recs)
+	if len(flows) == 0 {
+		fmt.Fprintln(w, "no flight-path spans in trace (run with TraceSampling > 0)")
+		return nil
+	}
+	line := func(name string, samples []int64) {
+		if len(samples) == 0 {
+			fmt.Fprintf(w, "  %-10s (no samples)\n", name)
+			return
+		}
+		fmt.Fprintf(w, "  %-10s n=%-6d p50=%-10v p90=%-10v p99=%-10v max=%v\n", name, len(samples),
+			time.Duration(flightpath.Percentile(samples, 50))*time.Microsecond,
+			time.Duration(flightpath.Percentile(samples, 90))*time.Microsecond,
+			time.Duration(flightpath.Percentile(samples, 99))*time.Microsecond,
+			time.Duration(flightpath.Percentile(samples, 100))*time.Microsecond)
+	}
+	fmt.Fprintf(w, "latency over %d sampled flows:\n", len(flows))
+	line("per-hop", flightpath.PerHopLatencies(flows))
+	line("end-to-end", flightpath.E2ELatencies(flows))
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,9 +16,12 @@ import (
 	"diffusion/internal/telemetry"
 )
 
-var update = flag.Bool("update", false, "regenerate testdata/golden.jsonl")
+var update = flag.Bool("update", false, "regenerate testdata golden fixtures")
 
-const goldenPath = "testdata/golden.jsonl"
+const (
+	goldenPath      = "testdata/golden.jsonl"
+	goldenSpansPath = "testdata/golden_spans.jsonl"
+)
 
 // generateGolden produces the fixture trace: a four-node line with a
 // surveillance-style flow and a scripted mid-run link blackout, exported
@@ -80,6 +84,127 @@ func TestGoldenUpToDate(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("golden trace is stale: regenerated %d bytes differ from checked-in %d bytes; run go test ./cmd/difftrace -run Golden -update", len(got), len(want))
+	}
+}
+
+// generateGoldenSpans produces the flight-path fixture: the same
+// four-node line, traced with 100% sampling so every origination carries
+// a flow ID and the exported trace includes the span records.
+func generateGoldenSpans(t *testing.T) []byte {
+	t.Helper()
+	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+		Seed:          7,
+		Topology:      diffusion.LineTopology(4, 10),
+		TraceSampling: 1.0,
+	})
+	tr := net.NewTrace(0)
+	sink := net.Node(1)
+	sink.Subscribe(diffusion.Attributes{
+		diffusion.String(diffusion.KeyType, diffusion.EQ, "temperature"),
+	}, func(m *diffusion.Message) {})
+	source := net.Node(4)
+	pub := source.Publish(diffusion.Attributes{
+		diffusion.String(diffusion.KeyType, diffusion.IS, "temperature"),
+	})
+	seq := int32(0)
+	net.Every(10*time.Second, func() {
+		seq++
+		source.Send(pub, diffusion.Attributes{
+			diffusion.Int32(diffusion.KeySequence, diffusion.IS, seq),
+		})
+	})
+	net.Run(3 * time.Minute)
+
+	var buf bytes.Buffer
+	if err := tr.ExportJSONL(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenSpansUpToDate is the staleness/determinism guard for the
+// flight-path fixture. Run with -update to rewrite it.
+func TestGoldenSpansUpToDate(t *testing.T) {
+	got := generateGoldenSpans(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenSpansPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenSpansPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenSpansPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenSpansPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with go test ./cmd/difftrace -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden spans trace is stale: regenerated %d bytes differ from checked-in %d bytes; run go test ./cmd/difftrace -run Golden -update", len(got), len(want))
+	}
+}
+
+func TestPathsOnGoldenSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"paths", goldenSpansPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"flight paths:", "delivered", "n4", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("paths output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Single-flow timeline: pick a delivered flow out of the trace.
+	_, recs, err := load(goldenSpansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flowID uint16
+	for _, r := range recs {
+		if r.Flow != 0 && r.Verb == "deliver" {
+			flowID = r.Flow
+			break
+		}
+	}
+	if flowID == 0 {
+		t.Fatal("no delivered flow in golden spans trace")
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"paths", "-flow", fmt.Sprintf("%04x", flowID), goldenSpansPath}); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"deliver", "recv", "delivered at node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flow timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatencyOnGoldenSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"latency", goldenSpansPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"latency over", "per-hop", "end-to-end", "p50=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latency output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPathsOnUntracedGolden: the span-free fixture must degrade politely.
+func TestPathsOnUntracedGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"paths", goldenPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no flight-path spans") {
+		t.Errorf("paths on untraced trace:\n%s", buf.String())
 	}
 }
 

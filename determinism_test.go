@@ -18,11 +18,18 @@ import (
 // the sink over the lossy default channel, with node churn injected — and
 // returns the exported trace and metrics snapshot.
 func detRun(t *testing.T, seed int64, shards int) (trace, metrics []byte) {
+	return detRunSampled(t, seed, shards, 0)
+}
+
+// detRunSampled is detRun with flight-path tracing at the given sampling
+// rate.
+func detRunSampled(t *testing.T, seed int64, shards int, sampling float64) (trace, metrics []byte) {
 	t.Helper()
 	net := diffusion.NewNetwork(diffusion.NetworkConfig{
-		Seed:     seed,
-		Topology: diffusion.TestbedTopology(),
-		Shards:   shards,
+		Seed:          seed,
+		Topology:      diffusion.TestbedTopology(),
+		Shards:        shards,
+		TraceSampling: sampling,
 	})
 	tr := net.NewTrace(0)
 	interest, publication := surveillance()
@@ -86,6 +93,40 @@ func TestShardCountInvarianceTestbed(t *testing.T) {
 		if !bytes.Equal(m, baseMetrics) {
 			t.Errorf("shards=%d: metrics snapshot differs from sequential run", shards)
 		}
+	}
+}
+
+// TestShardCountInvarianceTraced is shard invariance with flight-path
+// tracing sampled at 100%: the span records merged into the exported
+// trace must be byte-identical at any shard count — per-node rings plus
+// a deterministic merge, never cross-shard state.
+func TestShardCountInvarianceTraced(t *testing.T) {
+	baseTrace, baseMetrics := detRunSampled(t, 42, 1, 1.0)
+	if !bytes.Contains(baseTrace, []byte(`"flow":`)) {
+		t.Fatal("sampled run exported no flight-path spans")
+	}
+	for _, shards := range []int{2, 7} {
+		tr, m := detRunSampled(t, 42, shards, 1.0)
+		if !bytes.Equal(tr, baseTrace) {
+			t.Errorf("shards=%d: traced run differs from sequential run (%d vs %d bytes)",
+				shards, len(tr), len(baseTrace))
+		}
+		if !bytes.Equal(m, baseMetrics) {
+			t.Errorf("shards=%d: traced metrics differ from sequential run", shards)
+		}
+	}
+	// Sub-unity sampling must be deterministic too (it draws from the
+	// per-node streams), and tracing off must stay byte-identical to the
+	// pre-trace baseline scenario.
+	p1, _ := detRunSampled(t, 42, 1, 0.25)
+	p2, _ := detRunSampled(t, 42, 4, 0.25)
+	if !bytes.Equal(p1, p2) {
+		t.Error("25% sampling: shard count changed the trace")
+	}
+	off, _ := detRunSampled(t, 42, 1, 0)
+	base, _ := detRun(t, 42, 1)
+	if !bytes.Equal(off, base) {
+		t.Error("sampling=0 run differs from untraced run")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"diffusion/internal/custody"
 	"diffusion/internal/message"
+	"diffusion/internal/telemetry"
 )
 
 // Custody-aware forwarding: the disruption-tolerance layer over the
@@ -78,6 +79,7 @@ func (n *Node) custodyAdmit(m *message.Message) {
 		n.Stats.CustodyCaptured++
 	}
 	if held {
+		n.span(telemetry.SpanCustodyAccept, telemetry.SpanLayerCustody, m, uint32(m.PrevHop), telemetry.DropNone)
 		n.sendCustodyAck(m.ID, m.PrevHop)
 	}
 }
@@ -123,6 +125,9 @@ func (n *Node) custodyCapture(m *message.Message) bool {
 	held, fresh := n.cfg.Custody.Accept(m.ID, m.Marshal())
 	if fresh {
 		n.Stats.CustodyCaptured++
+	}
+	if held {
+		n.span(telemetry.SpanCustodyAccept, telemetry.SpanLayerCustody, m, n.ID(), telemetry.DropNone)
 	}
 	return held
 }
@@ -212,6 +217,7 @@ func (n *Node) ReplayCustody() {
 			out.NextHop = reinforced[0]
 			n.markSeen(out.ID)
 			n.cfg.Custody.NoteReplay()
+			n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
 			n.transmit(out)
 		default:
 			// Store-and-carry: re-offer to one live next hop — reinforced
@@ -262,6 +268,7 @@ func (n *Node) ReplayCustody() {
 			out.PrevHop = selfID(n)
 			out.NextHop = targets[0]
 			n.markSeen(out.ID)
+			n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
 			if n.transmit(out) != nil {
 				return
 			}

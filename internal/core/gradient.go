@@ -5,6 +5,7 @@ import (
 
 	"diffusion/internal/attr"
 	"diffusion/internal/message"
+	"diffusion/internal/telemetry"
 )
 
 // interestEntry is the per-interest state a task-aware node keeps: the
@@ -184,6 +185,7 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 
 	if n.wasSeen(m.ID) {
 		n.Stats.Duplicates++
+		n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropDuplicate)
 		return
 	}
 	n.markSeen(m.ID)
@@ -198,6 +200,9 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 	// Re-flood with jitter. TTL bounds the flood. Filters that take over
 	// forwarding (ProcessNoForward) suppress this step.
 	if m.HopCount >= n.cfg.TTL || n.suppressForward {
+		if m.HopCount >= n.cfg.TTL {
+			n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropTTL)
+		}
 		return
 	}
 	fwd := m.Clone()
@@ -221,6 +226,7 @@ func interestFromSub(attrs attr.Vec) attr.Vec {
 func (n *Node) coreData(m *message.Message, local bool) {
 	if n.wasSeen(m.ID) {
 		n.Stats.Duplicates++
+		n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropDuplicate)
 		// A duplicate unicast to us in store-and-carry mode is a custody
 		// re-offer (the sender never got its ack): re-acknowledge instead
 		// of treating it as a redundant path — negative reinforcement of
@@ -269,8 +275,10 @@ func (n *Node) coreData(m *message.Message, local bool) {
 			return
 		}
 		n.Stats.DataSuppressed++
+		n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropNoGradient)
 		return
 	}
+	n.span(telemetry.SpanMatch, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropNone)
 
 	// Data loops back to co-located subscriptions as well — the daemon
 	// delivers a local publication to a local matching subscription, as
@@ -340,6 +348,8 @@ func (n *Node) coreData(m *message.Message, local bool) {
 					n.custodyCapture(fwd)
 				}
 			})
+		} else if anyForward && m.HopCount >= n.cfg.TTL {
+			n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropTTL)
 		}
 		// Sink behaviour: reinforce the neighbor that delivered the first
 		// copy of this exploratory message. Intermediate nodes with live
@@ -356,17 +366,17 @@ func (n *Node) coreData(m *message.Message, local bool) {
 					e.hasReinforcedUpstream && e.reinforcedUpstream == m.PrevHop
 				switch {
 				case sink && n.cfg.EnergyAware:
-					n.reinforceEnergyAware(e, m.PrevHop, m.ID)
+					n.reinforceEnergyAware(e, m.PrevHop, m.ID, m.Flow)
 				case sink || refresh:
-					n.reinforceUpstream(e, m.PrevHop, m.ID)
+					n.reinforceUpstream(e, m.PrevHop, m.ID, m.Flow)
 				}
 			}
 		}
 		// Exploratory data that can go nowhere from here (gradients all
 		// point back where it came from, or decayed to nothing) and has
 		// no sink here either is the other disruption case: hold it.
-		if !anyForward && !isSinkFor {
-			n.custodyCapture(m)
+		if !anyForward && !isSinkFor && !n.custodyCapture(m) {
+			n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropNoPath)
 		}
 	case message.Data:
 		if local && len(reinforcedTargets) == 0 {
@@ -375,11 +385,12 @@ func (n *Node) coreData(m *message.Message, local bool) {
 			// only on reinforced paths").
 			n.Stats.DataNoPath++
 		}
-		if len(reinforcedTargets) == 0 && !isSinkFor {
+		if len(reinforcedTargets) == 0 && !isSinkFor && !n.custodyCapture(m) {
 			// Reinforced-class data with nowhere to go: the reinforced
 			// path decayed (partition) or never reformed after a restart.
-			// Custody holds it until reinforcement returns.
-			n.custodyCapture(m)
+			// Custody holds it until reinforcement returns; without custody
+			// this hop is where the flow dies.
+			n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropNoPath)
 		}
 		// Sorted iteration: map order would make runs nondeterministic.
 		targets := make([]message.NodeID, 0, len(reinforcedTargets))
@@ -408,8 +419,10 @@ func (n *Node) coreData(m *message.Message, local bool) {
 // reinforceUpstream sends positive reinforcement for entry e to neighbor
 // nb, at most once per exploratory message. The reinforcement carries the
 // ID of the exploratory data being reinforced, so each upstream node can
-// retrace that message's exact arrival path via its expFrom record.
-func (n *Node) reinforceUpstream(e *interestEntry, nb message.NodeID, cause message.ID) {
+// retrace that message's exact arrival path via its expFrom record. It
+// inherits the exploratory message's trace flow, so a sampled flow's
+// timeline shows the reinforcement chain it triggered.
+func (n *Node) reinforceUpstream(e *interestEntry, nb message.NodeID, cause message.ID, flow uint16) {
 	if e.lastReinforcedID == cause {
 		return
 	}
@@ -421,6 +434,7 @@ func (n *Node) reinforceUpstream(e *interestEntry, nb message.NodeID, cause mess
 		ID:      cause,
 		PrevHop: selfID(n),
 		NextHop: nb,
+		Flow:    flow,
 		Attrs:   e.attrs.Clone(),
 	})
 }
@@ -458,9 +472,9 @@ func (n *Node) coreReinforce(m *message.Message) {
 	// arrival for this entry when the per-message record has expired. The
 	// data's origin has no record of an upstream and stops the chain.
 	if from, ok := n.expFrom[m.ID]; ok && from != m.PrevHop {
-		n.reinforceUpstream(e, from, m.ID)
+		n.reinforceUpstream(e, from, m.ID, m.Flow)
 	} else if !ok && e.hasExpFrom && e.lastExpFrom != m.PrevHop {
-		n.reinforceUpstream(e, e.lastExpFrom, m.ID)
+		n.reinforceUpstream(e, e.lastExpFrom, m.ID, m.Flow)
 	}
 	// A fresh reinforced gradient is exactly what stuck custodial data has
 	// been waiting for.
@@ -494,7 +508,7 @@ func (n *Node) addExpCand(id message.ID, nb message.NodeID) {
 // deferral costs one round-trip of path-switch latency per exploratory
 // cycle and in exchange rotates the high-rate path off relays that have
 // been burning energy.
-func (n *Node) reinforceEnergyAware(e *interestEntry, first message.NodeID, cause message.ID) {
+func (n *Node) reinforceEnergyAware(e *interestEntry, first message.NodeID, cause message.ID, flow uint16) {
 	if e.lastReinforcedID == cause {
 		return
 	}
@@ -515,7 +529,7 @@ func (n *Node) reinforceEnergyAware(e *interestEntry, first message.NodeID, caus
 		if best != first {
 			n.Stats.EnergyShifts++
 		}
-		n.reinforceUpstream(e, best, cause)
+		n.reinforceUpstream(e, best, cause, flow)
 	})
 }
 
@@ -585,6 +599,7 @@ func (n *Node) noteDuplicateData(m *message.Message) {
 		ID:      n.nextID(),
 		PrevHop: selfID(n),
 		NextHop: m.PrevHop,
+		Flow:    m.Flow,
 		Attrs:   e.attrs.Clone(),
 	})
 	n.Stats.NegReinforcements++
@@ -592,14 +607,19 @@ func (n *Node) noteDuplicateData(m *message.Message) {
 
 // deliverLocal invokes the callbacks of every subscription matching m.
 func (n *Node) deliverLocal(m *message.Message) {
+	delivered := false
 	for _, s := range n.subsInOrder() {
 		if s.cb == nil {
 			continue
 		}
 		if attr.Match(s.attrs, m.Attrs) {
 			n.Stats.LocalDeliveries++
+			delivered = true
 			s.cb(m)
 		}
+	}
+	if delivered {
+		n.span(telemetry.SpanDeliver, telemetry.SpanLayerCore, m, n.ID(), telemetry.DropNone)
 	}
 }
 

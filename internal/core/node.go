@@ -112,6 +112,16 @@ type Config struct {
 	// e3D-style load balancing). Off by default: the paper's low-delay
 	// heuristic.
 	EnergyAware bool
+	// TraceSample, in (0,1], enables flight-path tracing: each locally
+	// originated message (published data, interest floods) is tagged with
+	// a random 16-bit flow ID with this probability, and every layer that
+	// handles a sampled message records a span into Spans. Zero disables
+	// tracing entirely — the sampling draw then consumes no randomness, so
+	// untraced runs are bit-identical to pre-trace builds.
+	TraceSample float64
+	// Spans receives flight-path span events for sampled messages.
+	// Required when TraceSample > 0.
+	Spans *telemetry.SpanRing
 }
 
 func (c *Config) fill() {
@@ -385,6 +395,37 @@ func (n *Node) nextID() message.ID {
 	return message.ID{RandID: n.randID, PktNum: n.pktNum}
 }
 
+// allocFlow draws the flight-path sampling decision for one locally
+// originated message: zero (unsampled) or a non-zero 16-bit flow ID. The
+// random stream is consumed only when tracing is enabled, so a run with
+// TraceSample == 0 is byte-identical to one on a build without tracing.
+func (n *Node) allocFlow() uint16 {
+	if n.cfg.Spans == nil || n.cfg.TraceSample <= 0 {
+		return 0
+	}
+	if n.cfg.TraceSample < 1 && n.cfg.Rand.Float64() >= n.cfg.TraceSample {
+		return 0
+	}
+	f := uint16(n.cfg.Rand.Uint32())
+	if f == 0 {
+		f = 1 // zero means unsampled on the wire
+	}
+	return f
+}
+
+// span records a flight-path event for m. A nil ring or an unsampled
+// message (flow zero) costs one branch.
+func (n *Node) span(ev telemetry.SpanEvent, layer telemetry.SpanLayer, m *message.Message, peer uint32, reason telemetry.DropReason) {
+	if n.cfg.Spans == nil || m.Flow == 0 {
+		return
+	}
+	n.cfg.Spans.Record(telemetry.Span{
+		At: n.cfg.Clock.Now(), Node: n.ID(), Peer: peer, ID: m.ID,
+		Flow: m.Flow, Hop: m.HopCount, Event: ev, Layer: layer,
+		Reason: reason, Class: m.Class,
+	})
+}
+
 // API errors.
 var (
 	ErrUnknownHandle = errors.New("core: unknown handle")
@@ -545,6 +586,7 @@ func (n *Node) send(h PublicationHandle, extra attr.Vec, forceExploratory bool) 
 		ID:      n.nextID(),
 		PrevHop: selfID(n),
 		NextHop: message.Broadcast,
+		Flow:    n.allocFlow(),
 		Attrs:   attrs,
 	}
 	n.dispatch(m)
@@ -572,6 +614,7 @@ func (n *Node) Receive(from uint32, payload []byte) {
 			Verb: telemetry.VerbRecv, Class: m.Class, Hops: m.HopCount,
 		})
 	}
+	n.span(telemetry.SpanRecv, telemetry.SpanLayerCore, m, from, telemetry.DropNone)
 	n.dispatch(m)
 }
 
@@ -633,8 +676,10 @@ func (n *Node) transmit(m *message.Message) error {
 	if m.Class == message.Data && m.NextHop != message.Broadcast &&
 		n.custodyLink != nil && n.custodyOn() {
 		if held, _ := n.cfg.Custody.Accept(m.ID, payload); held {
+			n.span(telemetry.SpanCustodyAccept, telemetry.SpanLayerCustody, m, n.ID(), telemetry.DropNone)
 			if err := n.custodyLink.SendCustody(uint32(m.NextHop), m.ID, payload); err != nil {
 				n.Stats.LinkSendErrors++
+				n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.NextHop), telemetry.DropLinkRefused)
 				return err
 			}
 			return nil
@@ -643,6 +688,7 @@ func (n *Node) transmit(m *message.Message) error {
 	}
 	if err := n.cfg.Link.Send(uint32(m.NextHop), payload); err != nil {
 		n.Stats.LinkSendErrors++
+		n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.NextHop), telemetry.DropLinkRefused)
 		return err
 	}
 	return nil
@@ -672,6 +718,7 @@ func (n *Node) originateInterest(s *subscription) {
 		ID:      n.nextID(),
 		PrevHop: selfID(n),
 		NextHop: message.Broadcast,
+		Flow:    n.allocFlow(),
 		Attrs:   attrs,
 	}
 	n.dispatch(m)

@@ -41,6 +41,11 @@ type ChurnConfig struct {
 	PayloadBytes int
 	// ChurnPoints are the (MTBF, MTTR) settings of the random-churn sweep.
 	ChurnPoints []ChurnPoint
+	// TraceSampling enables causal flight-path tracing at this sampling
+	// rate on traced runs (see NetworkConfig.TraceSampling). Non-zero
+	// sampling consumes extra per-origination random draws, so a sampled
+	// run's jitter stream differs from an unsampled one's.
+	TraceSampling float64
 }
 
 // ChurnPoint is one setting of the random-churn process.
@@ -143,11 +148,15 @@ func RunRelayKillTraced(cfg ChurnConfig, seed int64) (RelayKillRun, *diffusion.T
 // relayKill is the shared implementation; traced turns on the trace tap
 // and the closing metrics snapshot.
 func relayKill(cfg ChurnConfig, seed int64, traced bool) (RelayKillRun, *diffusion.Trace, diffusion.MetricsSnapshot) {
-	net := diffusion.NewNetwork(diffusion.NetworkConfig{
+	netCfg := diffusion.NetworkConfig{
 		Seed:                seed,
 		Topology:            diffusion.TestbedTopology(),
 		ExploratoryInterval: cfg.ExploratoryInterval,
-	})
+	}
+	if traced {
+		netCfg.TraceSampling = cfg.TraceSampling
+	}
+	net := diffusion.NewNetwork(netCfg)
 	var tr *diffusion.Trace
 	if traced {
 		tr = net.NewTrace(0)

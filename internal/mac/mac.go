@@ -151,6 +151,12 @@ type Mac struct {
 	// backoffHist, when instrumented, observes every backoff wait (µs).
 	backoffHist *telemetry.Histogram
 
+	// spans and peek, when set via Trace, record flight-path span events
+	// for sampled payloads without the MAC knowing the diffusion wire
+	// format.
+	spans *telemetry.SpanRing
+	peek  func(payload []byte) (telemetry.Span, bool)
+
 	Stats Stats
 }
 
@@ -159,6 +165,10 @@ type outMsg struct {
 	frags    [][]byte // pre-built frames including headers
 	next     int
 	attempts int
+	// span is the trace-context template captured at enqueue time, so the
+	// eventual tx (or drop) event carries the same flow and message ID.
+	span   telemetry.Span
+	traced bool
 }
 
 type reasmKey struct {
@@ -293,10 +303,32 @@ func (m *Mac) Send(dst uint32, payload []byte) error {
 	}
 	m.seq++
 	om := &outMsg{dst: dst, frags: m.fragment(dst, m.seq, payload)}
+	if m.spans != nil && m.peek != nil {
+		if sp, ok := m.peek(payload); ok {
+			sp.At = m.env.Now()
+			sp.Node = m.ID()
+			sp.Peer = dst
+			sp.Event = telemetry.SpanEnqueue
+			sp.Layer = telemetry.SpanLayerMac
+			om.span = sp
+			om.traced = true
+			m.spans.Record(sp)
+		}
+	}
 	m.queue = append(m.queue, om)
 	m.Stats.MessagesQueued++
 	m.kick()
 	return nil
+}
+
+// Trace enables flight-path span recording: peek extracts a span template
+// (flow, hop count, message ID, class) from an encoded payload, returning
+// false for unsampled payloads, and ring receives an enqueue event per
+// sampled message admitted plus a tx event when its last fragment goes on
+// the air (or a drop event when backoff exhaustion discards it).
+func (m *Mac) Trace(ring *telemetry.SpanRing, peek func(payload []byte) (telemetry.Span, bool)) {
+	m.spans = ring
+	m.peek = peek
 }
 
 // fragment splits payload into framed fragments.
@@ -365,6 +397,13 @@ func (m *Mac) attempt() {
 			// Drop the whole message, as a primitive MAC would.
 			m.queue = m.queue[1:]
 			m.Stats.MessagesDropped++
+			if cur.traced && m.spans != nil {
+				sp := cur.span
+				sp.At = m.env.Now()
+				sp.Event = telemetry.SpanDrop
+				sp.Reason = telemetry.DropLinkRefused
+				m.spans.Record(sp)
+			}
 			m.env.After(0, m.attempt)
 			return
 		}
@@ -414,6 +453,12 @@ func (m *Mac) fire() {
 	if cur.next == len(cur.frags) {
 		m.queue = m.queue[1:]
 		m.Stats.MessagesSent++
+		if cur.traced && m.spans != nil {
+			sp := cur.span
+			sp.At = m.env.Now()
+			sp.Event = telemetry.SpanTx
+			m.spans.Record(sp)
+		}
 	}
 	m.env.After(air+m.params.InterFragGap, m.attempt)
 }

@@ -100,6 +100,11 @@ type Message struct {
 	PrevHop, NextHop NodeID
 	// HopCount counts link-layer hops since origination.
 	HopCount uint8
+	// Flow is the sampled trace-context flow ID, zero for unsampled
+	// messages. Sampled messages carry it on the wire (flagged by the high
+	// bit of the class byte); unsampled messages encode byte-identically
+	// to the pre-trace format.
+	Flow uint16
 	// Attrs is the attribute vector naming the message's data or interest.
 	Attrs attr.Vec
 }
@@ -107,10 +112,21 @@ type Message struct {
 // headerSize is the fixed wire header length in bytes.
 const headerSize = 1 + 1 + 4 + 4 + 4 + 4
 
+// flowFlag marks a class byte whose header is followed by a 16-bit trace
+// flow ID. Class values stay below it, so pre-trace decoders that validate
+// the raw byte reject sampled messages instead of misparsing them.
+const flowFlag = 0x80
+
 // Size returns the encoded size of the message in bytes. This is the
 // quantity the Figure 8 experiment accounts ("bytes sent from all diffusion
 // modules").
-func (m *Message) Size() int { return headerSize + m.Attrs.Size() }
+func (m *Message) Size() int {
+	n := headerSize + m.Attrs.Size()
+	if m.Flow != 0 {
+		n += 2
+	}
+	return n
+}
 
 // Clone returns a copy of the message with a copied attribute vector, so
 // filters can rewrite messages without aliasing.
@@ -123,11 +139,18 @@ func (m *Message) Clone() *Message {
 // Marshal returns the wire encoding of m.
 func (m *Message) Marshal() []byte {
 	b := make([]byte, 0, m.Size())
-	b = append(b, byte(m.Class), m.HopCount)
+	cls := byte(m.Class)
+	if m.Flow != 0 {
+		cls |= flowFlag
+	}
+	b = append(b, cls, m.HopCount)
 	b = binary.BigEndian.AppendUint32(b, m.ID.RandID)
 	b = binary.BigEndian.AppendUint32(b, m.ID.PktNum)
 	b = binary.BigEndian.AppendUint32(b, uint32(m.PrevHop))
 	b = binary.BigEndian.AppendUint32(b, uint32(m.NextHop))
+	if m.Flow != 0 {
+		b = binary.BigEndian.AppendUint16(b, m.Flow)
+	}
 	return m.Attrs.AppendEncode(b)
 }
 
@@ -143,7 +166,7 @@ func Unmarshal(b []byte) (*Message, error) {
 		return nil, ErrShortHeader
 	}
 	m := &Message{
-		Class:    Class(b[0]),
+		Class:    Class(b[0] &^ flowFlag),
 		HopCount: b[1],
 		ID: ID{
 			RandID: binary.BigEndian.Uint32(b[2:]),
@@ -155,12 +178,52 @@ func Unmarshal(b []byte) (*Message, error) {
 	if !m.Class.Valid() {
 		return nil, fmt.Errorf("%w: %d", ErrBadClass, b[0])
 	}
-	v, _, err := attr.DecodeVec(b[headerSize:])
+	rest := b[headerSize:]
+	if b[0]&flowFlag != 0 {
+		if len(rest) < 2 {
+			return nil, ErrShortHeader
+		}
+		m.Flow = binary.BigEndian.Uint16(rest)
+		rest = rest[2:]
+	}
+	v, _, err := attr.DecodeVec(rest)
 	if err != nil {
 		return nil, err
 	}
 	m.Attrs = v
 	return m, nil
+}
+
+// PeekClass reads the class of an encoded message without decoding it,
+// ignoring the trace-context flag bit. ok is false for an empty buffer.
+func PeekClass(b []byte) (c Class, ok bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	return Class(b[0] &^ flowFlag), true
+}
+
+// PeekID reads the origination ID of an encoded message without decoding
+// it; the zero ID for buffers shorter than the fixed header.
+func PeekID(b []byte) ID {
+	if len(b) < headerSize {
+		return ID{}
+	}
+	return ID{
+		RandID: binary.BigEndian.Uint32(b[2:]),
+		PktNum: binary.BigEndian.Uint32(b[6:]),
+	}
+}
+
+// PeekTrace reads the trace context out of an encoded message without
+// decoding it: the flow ID (zero when unsampled or when b is not a sampled
+// message header) and the hop count. Link layers use it to stamp span
+// events without parsing attribute vectors.
+func PeekTrace(b []byte) (flow uint16, hop uint8) {
+	if len(b) < headerSize+2 || b[0]&flowFlag == 0 {
+		return 0, 0
+	}
+	return binary.BigEndian.Uint16(b[headerSize:]), b[1]
 }
 
 // IsData reports whether the message carries data (exploratory or not).

@@ -150,3 +150,74 @@ func TestPaperMessageSizes(t *testing.T) {
 		t.Errorf("event message size %dB, want near the paper's ~112B", m.Size())
 	}
 }
+
+// TestFlowRoundTrip checks the sampled trace-context encoding: the flow ID
+// survives the codec, adds exactly two bytes, and the unsampled encoding is
+// byte-identical to the pre-trace wire format.
+func TestFlowRoundTrip(t *testing.T) {
+	m := sample()
+	plain := m.Marshal()
+	m.Flow = 0x1A2B
+	b := m.Marshal()
+	if len(b) != m.Size() || len(b) != len(plain)+2 {
+		t.Errorf("sampled encoding %dB, want %dB (Size()=%d)", len(b), len(plain)+2, m.Size())
+	}
+	if b[0]&0x80 == 0 {
+		t.Error("sampled message must set the class flag bit")
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow != m.Flow || got.Class != m.Class || got.HopCount != m.HopCount {
+		t.Errorf("got flow=%#x class=%v hops=%d, want %#x %v %d",
+			got.Flow, got.Class, got.HopCount, m.Flow, m.Class, m.HopCount)
+	}
+	if !got.Attrs.Equal(m.Attrs) {
+		t.Errorf("attrs mismatch: %v vs %v", got.Attrs, m.Attrs)
+	}
+
+	// Unsampled stays byte-identical to the legacy layout.
+	m.Flow = 0
+	again := m.Marshal()
+	if string(again) != string(plain) {
+		t.Error("unsampled encoding changed")
+	}
+	legacy, err := Unmarshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Flow != 0 {
+		t.Errorf("legacy message decoded with flow %#x", legacy.Flow)
+	}
+}
+
+// TestFlowTruncated checks that a sampled header cut before its flow bytes
+// errors instead of misreading attributes.
+func TestFlowTruncated(t *testing.T) {
+	m := sample()
+	m.Flow = 7
+	b := m.Marshal()
+	if _, err := Unmarshal(b[:headerSize+1]); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("truncated flow: %v", err)
+	}
+}
+
+func TestPeekHelpers(t *testing.T) {
+	m := sample()
+	if f, _ := PeekTrace(m.Marshal()); f != 0 {
+		t.Errorf("unsampled PeekTrace flow = %#x", f)
+	}
+	m.Flow = 0xBEEF
+	m.HopCount = 5
+	f, h := PeekTrace(m.Marshal())
+	if f != 0xBEEF || h != 5 {
+		t.Errorf("PeekTrace = %#x,%d want 0xbeef,5", f, h)
+	}
+	if c, ok := PeekClass(m.Marshal()); !ok || c != m.Class {
+		t.Errorf("PeekClass = %v,%v want %v,true", c, ok, m.Class)
+	}
+	if _, ok := PeekClass(nil); ok {
+		t.Error("PeekClass(nil) should report !ok")
+	}
+}

@@ -120,6 +120,11 @@ func (l *Loop) Stop() {
 // the sim.Clock contract of time-as-offset-from-start.
 func (l *Loop) Now() time.Duration { return time.Since(l.start) }
 
+// Start returns the wall-clock instant the loop was anchored at: Now() is
+// the offset from it. Span collectors use it to translate the loop's
+// node-local timestamps into absolute time.
+func (l *Loop) Start() time.Time { return l.start }
+
 // After schedules fn to run on the loop d from now. The returned timer's
 // Cancel reports whether the callback was still pending and guarantees it
 // will not run.

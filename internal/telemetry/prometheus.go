@@ -24,6 +24,17 @@ import (
 // (untyped: the registry does not distinguish counters from gauges at
 // snapshot time) followed by one sample line per scope, names sorted, so
 // output is deterministic.
+//
+// Labeled series: a registry name may carry extra labels after a '|',
+// as "transport.peer_rtt_us|peer=3" — comma-separated key=value pairs.
+// They render as additional labels next to scope:
+//
+//	diffusion_transport_peer_rtt_us{scope="node1",peer="3"} 512
+//
+// The registry machinery treats the whole string as an opaque name (the
+// labels participate in Totals summing like any other name), so
+// collectors emit one labeled name per peer and the rendering here is
+// the only place that parses them.
 
 // WritePrometheus renders s in the Prometheus text exposition format.
 // Every sample carries a scope label; prefix (default "diffusion") is
@@ -44,25 +55,72 @@ func WritePrometheus(w io.Writer, s Snapshot, prefix string) error {
 	}
 	sort.Strings(scopes)
 
+	lastHelp := ""
 	for _, name := range names {
-		prom := prefix + "_" + sanitizeMetricName(name)
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s untyped\n",
-			prom, name, prom); err != nil {
-			return err
+		base, labels := splitLabels(name)
+		prom := prefix + "_" + sanitizeMetricName(base)
+		// Labeled variants of one base name share a single HELP/TYPE pair
+		// (names are sorted, so they arrive consecutively).
+		if prom != lastHelp {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s untyped\n",
+				prom, escapeHelp(base), prom); err != nil {
+				return err
+			}
+			lastHelp = prom
 		}
 		for _, scope := range scopes {
 			v, ok := s.Scopes[scope][name]
 			if !ok {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s{scope=%q} %s\n",
-				prom, scope, formatSampleValue(v)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{scope=\"%s\"%s} %s\n",
+				prom, escapeLabelValue(scope), labels, formatSampleValue(v)); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
 }
+
+// splitLabels separates a registry name's optional "|k=v,k2=v2" suffix,
+// returning the base name and the rendered extra labels (",k=\"v\"..."
+// or ""). Malformed pairs (no '=') are dropped rather than emitted as
+// invalid exposition text.
+func splitLabels(name string) (base, rendered string) {
+	i := strings.IndexByte(name, '|')
+	if i < 0 {
+		return name, ""
+	}
+	var b strings.Builder
+	for _, pair := range strings.Split(name[i+1:], ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			continue
+		}
+		b.WriteByte(',')
+		b.WriteString(sanitizeMetricName(k))
+		b.WriteString("=\"")
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	return name[:i], b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only.
+func escapeHelp(v string) string {
+	return helpEscaper.Replace(v)
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
 
 // sanitizeMetricName maps a registry metric name onto the Prometheus
 // name alphabet [a-zA-Z0-9_:], collapsing every other rune to '_' and

@@ -108,6 +108,93 @@ func TestWritePrometheusSpecialValues(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusEmpty: an empty registry (or a snapshot with no
+// scopes at all) must render cleanly as zero samples, not error.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, Snapshot{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("empty snapshot rendered %q", b.String())
+	}
+	h := NewHub(nil)
+	h.Register(NewRegistry("empty"))
+	b.Reset()
+	if err := WritePrometheus(&b, h.Snapshot(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("empty registry rendered %q", b.String())
+	}
+}
+
+// TestWritePrometheusLabels: the "name|k=v" convention renders extra
+// labels next to scope, with one shared HELP/TYPE pair per base name and
+// exposition-format escaping of label values.
+func TestWritePrometheusLabels(t *testing.T) {
+	h := NewHub(nil)
+	r := h.Register(NewRegistry("node1"))
+	r.Gauge("transport.peer_rtt_us|peer=2").Set(512)
+	r.Gauge("transport.peer_rtt_us|peer=3").Set(1024)
+	r.Gauge(`odd|key="quo\te"` + "\n").Set(1)
+	r.Gauge("broken|novalue").Set(2)
+	var b strings.Builder
+	if err := WritePrometheus(&b, h.Snapshot(), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`diffusion_transport_peer_rtt_us{scope="node1",peer="2"} 512`,
+		`diffusion_transport_peer_rtt_us{scope="node1",peer="3"} 1024`,
+		`diffusion_odd{scope="node1",key="\"quo\\te\"\n"} 1`,
+		`diffusion_broken{scope="node1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# HELP diffusion_transport_peer_rtt_us"); got != 1 {
+		t.Errorf("labeled variants emitted %d HELP lines, want 1:\n%s", got, out)
+	}
+}
+
+// TestWritePrometheusScopeEscaping: scope names with exposition
+// metacharacters must be escaped, not emitted raw.
+func TestWritePrometheusScopeEscaping(t *testing.T) {
+	h := NewHub(nil)
+	r := h.Register(NewRegistry(`no"de\1` + "\n"))
+	r.Counter("c").Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, h.Snapshot(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if want := `diffusion_c{scope="no\"de\\1\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("missing %q in:\n%s", want, b.String())
+	}
+}
+
+// TestWritePrometheusNaNGauge: NaN gauges must render as literal NaN
+// sample values without disturbing neighboring series.
+func TestWritePrometheusNaNGauge(t *testing.T) {
+	h := NewHub(nil)
+	r := h.Register(NewRegistry("n"))
+	r.Gauge("ratio").Set(math.NaN())
+	r.Gauge("ok").Set(5)
+	var b strings.Builder
+	if err := WritePrometheus(&b, h.Snapshot(), ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`diffusion_ratio{scope="n"} NaN`,
+		`diffusion_ok{scope="n"} 5`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
 func TestSanitizeMetricName(t *testing.T) {
 	for in, want := range map[string]string{
 		"core.bytes_sent": "core_bytes_sent",

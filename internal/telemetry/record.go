@@ -30,8 +30,11 @@ type Record struct {
 	Peer uint32 `json:"peer,omitempty"`
 	Hops int    `json:"hops,omitempty"`
 	// Cause annotates why the event happened (e.g. a reinforcement's
-	// exploratory cause), free-form.
+	// exploratory cause, or a flight-path drop reason), free-form.
 	Cause string `json:"cause,omitempty"`
+	// Flow is the sampled flight-path flow ID; zero (omitted) on records
+	// that are not span events.
+	Flow uint16 `json:"flow,omitempty"`
 }
 
 // At returns the record's simulation time.

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"diffusion/internal/message"
+)
+
+// Flight-path spans: the causal trace of one sampled message across the
+// mesh. Each layer that touches a sampled message (flow ID non-zero)
+// records a compact Span into its node's SpanRing; an offline analyzer
+// (internal/flightpath) merges the rings on (flow, hop, node) into
+// per-message timelines. Recording is zero-alloc — a struct copy into a
+// fixed ring under a mutex — and entirely skipped for unsampled traffic,
+// so the hot path is untouched when the sampling knob is off.
+
+// SpanEvent classifies one step of a message's flight path.
+type SpanEvent uint8
+
+// Span events, in rough lifecycle order.
+const (
+	// SpanRecv: the diffusion core received the message from a neighbor.
+	SpanRecv SpanEvent = iota
+	// SpanMatch: the message matched at least one interest entry.
+	SpanMatch
+	// SpanEnqueue: the link layer accepted the message into its queue.
+	SpanEnqueue
+	// SpanTx: the link layer put the last fragment/frame on the air/wire.
+	SpanTx
+	// SpanCustodyAccept: a custodian took responsibility for the message.
+	SpanCustodyAccept
+	// SpanCustodyReplay: a custodian re-sent the message toward a path.
+	SpanCustodyReplay
+	// SpanDeliver: the message reached a local subscriber.
+	SpanDeliver
+	// SpanDrop: the message went no further here; Reason says why.
+	SpanDrop
+
+	numSpanEvents
+)
+
+// NumSpanEvents is the number of defined span events.
+const NumSpanEvents = int(numSpanEvents)
+
+// String renders the event as it appears in trace records.
+func (e SpanEvent) String() string {
+	switch e {
+	case SpanRecv:
+		return "recv"
+	case SpanMatch:
+		return "match"
+	case SpanEnqueue:
+		return "enqueue"
+	case SpanTx:
+		return "tx"
+	case SpanCustodyAccept:
+		return "custody-accept"
+	case SpanCustodyReplay:
+		return "custody-replay"
+	case SpanDeliver:
+		return "deliver"
+	case SpanDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("SpanEvent(%d)", uint8(e))
+	}
+}
+
+// SpanEventByName parses the String form; ok is false for unknown names.
+func SpanEventByName(s string) (SpanEvent, bool) {
+	for e := SpanEvent(0); e < numSpanEvents; e++ {
+		if e.String() == s {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// DropReason annotates a SpanDrop.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	DropNone DropReason = iota
+	// DropNoGradient: data arrived but no interest entry matched.
+	DropNoGradient
+	// DropNoPath: a matching entry exists but has no reinforced gradient.
+	DropNoPath
+	// DropLinkRefused: the link layer refused the send (queue full, down).
+	DropLinkRefused
+	// DropTTL: the hop count reached the configured TTL.
+	DropTTL
+	// DropDuplicate: the (RandID, PktNum) pair was already seen.
+	DropDuplicate
+)
+
+// String renders the reason as it appears in a record's cause field.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return ""
+	case DropNoGradient:
+		return "no-gradient"
+	case DropNoPath:
+		return "no-path"
+	case DropLinkRefused:
+		return "link-refused"
+	case DropTTL:
+		return "ttl"
+	case DropDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("DropReason(%d)", uint8(r))
+	}
+}
+
+// SpanLayer names the layer that recorded a span.
+type SpanLayer uint8
+
+// Span layers.
+const (
+	SpanLayerCore SpanLayer = iota
+	SpanLayerMac
+	SpanLayerCustody
+	SpanLayerTransport
+)
+
+// String renders the layer.
+func (l SpanLayer) String() string {
+	switch l {
+	case SpanLayerCore:
+		return "core"
+	case SpanLayerMac:
+		return "mac"
+	case SpanLayerCustody:
+		return "custody"
+	case SpanLayerTransport:
+		return "transport"
+	default:
+		return fmt.Sprintf("SpanLayer(%d)", uint8(l))
+	}
+}
+
+// Span is one flight-path event: a sampled message observed at one node,
+// one layer, one lifecycle step.
+type Span struct {
+	// At is node-local time: simulation time in the simulator, time since
+	// process start in a live diffnode.
+	At   time.Duration
+	Node uint32
+	// Peer is the neighbor involved: the sender on recv, the destination
+	// on tx/enqueue (0 for broadcast), the replay target on custody-replay.
+	Peer uint32
+	// ID is the message origination id (for merging across flows that
+	// collide on the 16-bit flow space).
+	ID message.ID
+	// Flow is the sampled flow ID (never zero in a recorded span).
+	Flow uint16
+	// Hop is the message's hop count when the event happened.
+	Hop    uint8
+	Event  SpanEvent
+	Layer  SpanLayer
+	Reason DropReason
+	Class  message.Class
+}
+
+// TraceRecord converts the span to the JSONL trace-record schema. Layer
+// and Verb carry the span layer and event; Cause the drop reason.
+func (s Span) TraceRecord() Record {
+	r := Record{
+		US:    s.At.Microseconds(),
+		Node:  s.Node,
+		Layer: s.Layer.String(),
+		Verb:  s.Event.String(),
+		Class: s.Class.String(),
+		ID:    s.ID.String(),
+		Peer:  s.Peer,
+		Hops:  int(s.Hop),
+		Flow:  s.Flow,
+	}
+	if s.Reason != DropNone {
+		r.Cause = s.Reason.String()
+	}
+	return r
+}
+
+// DefaultSpanSize is the per-node span-ring capacity wired up by default.
+const DefaultSpanSize = 4096
+
+// SpanRing is a bounded ring of the most recent spans at one node. Safe
+// for concurrent use (a live diffnode records from the loop goroutine and
+// the transport's reader while /spans scrapes it); Record never allocates.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewSpanRing returns a ring holding the last size spans (size <= 0 takes
+// DefaultSpanSize).
+func NewSpanRing(size int) *SpanRing {
+	if size <= 0 {
+		size = DefaultSpanSize
+	}
+	return &SpanRing{buf: make([]Span, size)}
+}
+
+// Record appends s, overwriting the oldest span when full.
+func (r *SpanRing) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of spans currently held.
+func (r *SpanRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lenLocked()
+}
+
+func (r *SpanRing) lenLocked() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of spans ever recorded (Len plus overwrites).
+func (r *SpanRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Spans returns the held spans oldest-first (a copy).
+func (r *SpanRing) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.lenLocked()
+	out := make([]Span, 0, n)
+	start := 0
+	if r.total >= uint64(len(r.buf)) {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

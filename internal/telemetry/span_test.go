@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"diffusion/internal/message"
+)
+
+func TestSpanRingWraps(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Span{Flow: uint16(i + 1)})
+	}
+	if r.Len() != 4 || r.Total() != 6 {
+		t.Fatalf("Len=%d Total=%d, want 4, 6", r.Len(), r.Total())
+	}
+	got := r.Spans()
+	for i, s := range got {
+		if want := uint16(i + 3); s.Flow != want {
+			t.Errorf("span[%d].Flow = %d, want %d (oldest-first after wrap)", i, s.Flow, want)
+		}
+	}
+}
+
+func TestSpanRingDefaultSize(t *testing.T) {
+	if got := NewSpanRing(0).buf; len(got) != DefaultSpanSize {
+		t.Errorf("default ring size %d, want %d", len(got), DefaultSpanSize)
+	}
+}
+
+func TestSpanTraceRecord(t *testing.T) {
+	s := Span{
+		At:     1500 * time.Microsecond,
+		Node:   4,
+		Peer:   3,
+		ID:     message.ID{RandID: 0xAB, PktNum: 7},
+		Flow:   0x1234,
+		Hop:    2,
+		Event:  SpanDrop,
+		Layer:  SpanLayerCore,
+		Reason: DropLinkRefused,
+		Class:  message.Data,
+	}
+	r := s.TraceRecord()
+	if r.US != 1500 || r.Node != 4 || r.Peer != 3 || r.Flow != 0x1234 || r.Hops != 2 {
+		t.Errorf("record fields wrong: %+v", r)
+	}
+	if r.Layer != "core" || r.Verb != "drop" || r.Cause != "link-refused" || r.Class != "DATA" {
+		t.Errorf("record names wrong: %+v", r)
+	}
+	s.Reason = DropNone
+	if got := s.TraceRecord().Cause; got != "" {
+		t.Errorf("DropNone should omit cause, got %q", got)
+	}
+}
+
+func TestSpanEventNames(t *testing.T) {
+	want := []string{"recv", "match", "enqueue", "tx", "custody-accept",
+		"custody-replay", "deliver", "drop"}
+	for e := SpanEvent(0); e < numSpanEvents; e++ {
+		if e.String() != want[e] {
+			t.Errorf("event %d = %q, want %q", e, e.String(), want[e])
+		}
+		got, ok := SpanEventByName(want[e])
+		if !ok || got != e {
+			t.Errorf("SpanEventByName(%q) = %v, %v", want[e], got, ok)
+		}
+	}
+	if _, ok := SpanEventByName("bogus"); ok {
+		t.Error("unknown name must not parse")
+	}
+}

@@ -74,10 +74,11 @@ func (c *ReliableConfig) fill() {
 // soft state, so losing one costs a refresh interval, not data. The class
 // is the payload's leading byte (message.Marshal's layout).
 func sheddable(payload []byte) bool {
-	if len(payload) == 0 {
+	cls, ok := message.PeekClass(payload)
+	if !ok {
 		return true
 	}
-	switch message.Class(payload[0]) {
+	switch cls {
 	case message.Interest, message.ExploratoryData:
 		return true
 	}
@@ -97,6 +98,9 @@ type relPeer struct {
 	nextSeq  uint32
 	inflight map[uint32]*relFrame
 	queue    []*relFrame
+	// retransmits counts this neighbor's ack-timeout resends, for the
+	// per-peer metrics series (Stats.Retransmits keeps the endpoint sum).
+	retransmits uint64
 }
 
 // reliable is the sender half of reliable unicast for one endpoint.
@@ -229,6 +233,7 @@ func (r *reliable) onTimeout(peer, seq uint32) {
 		return
 	}
 	f.tries++
+	p.retransmits++
 	r.stats.Retransmits.Add(1)
 	r.armLocked(peer, f)
 	r.mu.Unlock()
@@ -258,6 +263,17 @@ func (r *reliable) onAck(peer, seq uint32) {
 	sends := r.pumpLocked(peer, p)
 	r.mu.Unlock()
 	r.flush(peer, sends)
+}
+
+// perPeerRetransmits snapshots every neighbor's retransmission count.
+func (r *reliable) perPeerRetransmits() map[uint32]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[uint32]uint64, len(r.peers))
+	for id, p := range r.peers {
+		out[id] = p.retransmits
+	}
+	return out
 }
 
 // pending returns in-flight plus queued frames toward peer (tests).

@@ -64,10 +64,21 @@ type Deliver func(from uint32, payload []byte)
 // The boot nonce lets a receiver detect that a neighbor restarted: the
 // reliable-delivery duplicate window resets instead of black-holing the
 // rebooted sender's restarted sequence space.
+//
+// Trace extension (optional): when bit 7 of the kind byte
+// (kindTraceFlag) is set, three extension bytes follow the fixed header
+// before the payload — a 16-bit flight-path flow ID (big endian) and the
+// message's hop count — so the transport can stamp tx/recv spans without
+// parsing diffusion payloads. Frames from pre-extension peers never set
+// the bit and decode exactly as before; frames with the bit are decoded
+// by pre-extension peers as an unknown kind and dropped, never
+// misparsed.
 const (
-	frameMagic   = 0xD1
-	frameVersion = 2
-	headerSize   = 19
+	frameMagic    = 0xD1
+	frameVersion  = 2
+	headerSize    = 19
+	kindTraceFlag = 0x80
+	traceExtSize  = 3
 )
 
 // Frame kinds.
@@ -104,12 +115,25 @@ type frame struct {
 	dst     uint32
 	boot    uint32
 	seq     uint32
+	flow    uint16 // trace extension; 0 when absent
+	hop     uint8
 	payload []byte // aliases the receive buffer
 }
 
-// encodeFrame builds the wire form of one frame.
+// encodeFrame builds the wire form of one untraced frame.
 func encodeFrame(kind uint8, from, dst, boot, seq uint32, payload []byte) []byte {
-	b := make([]byte, headerSize+len(payload))
+	return encodeFrameTraced(kind, from, dst, boot, seq, 0, 0, payload)
+}
+
+// encodeFrameTraced builds the wire form of one frame, appending the
+// trace extension when flow is non-zero.
+func encodeFrameTraced(kind uint8, from, dst, boot, seq uint32, flow uint16, hop uint8, payload []byte) []byte {
+	ext := 0
+	if flow != 0 {
+		ext = traceExtSize
+		kind |= kindTraceFlag
+	}
+	b := make([]byte, headerSize+ext+len(payload))
 	b[0] = frameMagic
 	b[1] = frameVersion
 	b[2] = kind
@@ -117,7 +141,11 @@ func encodeFrame(kind uint8, from, dst, boot, seq uint32, payload []byte) []byte
 	binary.BigEndian.PutUint32(b[7:], dst)
 	binary.BigEndian.PutUint32(b[11:], boot)
 	binary.BigEndian.PutUint32(b[15:], seq)
-	copy(b[headerSize:], payload)
+	if ext > 0 {
+		binary.BigEndian.PutUint16(b[headerSize:], flow)
+		b[headerSize+2] = hop
+	}
+	copy(b[headerSize+ext:], payload)
 	return b
 }
 
@@ -133,17 +161,26 @@ func decodeFrame(b []byte) (frame, error) {
 	if b[1] != frameVersion {
 		return frame{}, errBadVersion
 	}
-	if b[2] >= numKinds {
+	if b[2]&^kindTraceFlag >= numKinds {
 		return frame{}, errBadKind
 	}
-	return frame{
-		kind:    b[2],
+	f := frame{
+		kind:    b[2] &^ kindTraceFlag,
 		from:    binary.BigEndian.Uint32(b[3:]),
 		dst:     binary.BigEndian.Uint32(b[7:]),
 		boot:    binary.BigEndian.Uint32(b[11:]),
 		seq:     binary.BigEndian.Uint32(b[15:]),
 		payload: b[headerSize:],
-	}, nil
+	}
+	if b[2]&kindTraceFlag != 0 {
+		if len(b) < headerSize+traceExtSize {
+			return frame{}, errShortFrame
+		}
+		f.flow = binary.BigEndian.Uint16(b[headerSize:])
+		f.hop = b[headerSize+2]
+		f.payload = b[headerSize+traceExtSize:]
+	}
+	return f, nil
 }
 
 // bootCounter makes boot nonces distinct within a process even when two

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"diffusion/internal/message"
+	"diffusion/internal/telemetry"
 )
 
 // UDPConfig parameterizes a UDP link endpoint.
@@ -55,6 +56,17 @@ type UDPConfig struct {
 	// failure detector hears a neighbor again. Pair with Liveness for the
 	// recovery re-offers.
 	Custody *CustodyOptions
+	// Spans, when non-nil, records flight-path tx/recv spans for sampled
+	// payloads (message flow ID non-zero): sampled frames carry the trace
+	// extension on the wire and stamp the ring on both ends. Nil disables
+	// transport-layer tracing; unsampled traffic never pays for it either
+	// way.
+	Spans *telemetry.SpanRing
+	// SpanClock overrides the span timestamp source, so transport spans
+	// share a time base with the node's other layers (the daemon passes
+	// its event loop's Now). Nil means time since the endpoint was
+	// created.
+	SpanClock func() time.Duration
 }
 
 // UDP is a core.Link over UDP datagrams: unicast sends one datagram to the
@@ -62,16 +74,19 @@ type UDPConfig struct {
 // only from configured neighbors, so a stray datagram cannot inject
 // traffic under an unknown ID.
 type UDP struct {
-	id       uint32
-	boot     uint32
-	conn     *net.UDPConn
-	peers    map[uint32]*net.UDPAddr
-	deliver  Deliver
-	stats    Stats
-	det      *detector
-	rel      *reliable
-	cus      *custodian
-	readerWG sync.WaitGroup
+	id        uint32
+	boot      uint32
+	conn      *net.UDPConn
+	peers     map[uint32]*net.UDPAddr
+	deliver   Deliver
+	stats     Stats
+	det       *detector
+	rel       *reliable
+	cus       *custodian
+	spans     *telemetry.SpanRing
+	spanClock func() time.Duration
+	start     time.Time
+	readerWG  sync.WaitGroup
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -108,15 +123,18 @@ func ListenUDP(cfg UDPConfig) (*UDP, error) {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
 	u := &UDP{
-		id:      cfg.ID,
-		boot:    newBootNonce(),
-		conn:    conn,
-		peers:   peers,
-		deliver: cfg.Deliver,
-		loss:    cfg.Loss,
-		latency: cfg.Latency,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		blocked: map[uint32]bool{},
+		id:        cfg.ID,
+		boot:      newBootNonce(),
+		conn:      conn,
+		peers:     peers,
+		deliver:   cfg.Deliver,
+		spans:     cfg.Spans,
+		spanClock: cfg.SpanClock,
+		start:     time.Now(),
+		loss:      cfg.Loss,
+		latency:   cfg.Latency,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		blocked:   map[uint32]bool{},
 	}
 	if cfg.Reliable != nil {
 		u.rel = newReliable(*cfg.Reliable, &u.stats, u.writeTo)
@@ -158,8 +176,21 @@ func ListenUDP(cfg UDPConfig) (*UDP, error) {
 	return u, nil
 }
 
+// spanNow is the timestamp source for span events.
+func (u *UDP) spanNow() time.Duration {
+	if u.spanClock != nil {
+		return u.spanClock()
+	}
+	return time.Since(u.start)
+}
+
 // ID returns this node's link-layer identifier (core.Link).
 func (u *UDP) ID() uint32 { return u.id }
+
+// Boot returns this endpoint's boot nonce — the value receivers use to
+// tell process incarnations apart, and the one a span collector needs to
+// scope spans to one incarnation.
+func (u *UDP) Boot() uint32 { return u.boot }
 
 // LocalAddr returns the bound address (useful with port 0).
 func (u *UDP) LocalAddr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
@@ -190,6 +221,15 @@ func (u *UDP) PeerHealth() map[uint32]PeerHealth {
 // detector.
 func (u *UDP) Isolated() bool {
 	return u.det != nil && u.det.allDead()
+}
+
+// PeerRetransmits snapshots per-neighbor reliable-unicast retransmission
+// counts (nil when reliable unicast is disabled).
+func (u *UDP) PeerRetransmits() map[uint32]uint64 {
+	if u.rel == nil {
+		return nil
+	}
+	return u.rel.perPeerRetransmits()
 }
 
 // SetLoss changes the injected-loss probability at runtime (chaos
@@ -360,7 +400,20 @@ func (u *UDP) writeTo(id uint32, kind uint8, seq uint32, payload []byte) {
 	case kindCustodyAck:
 		u.stats.CustodyAcksSent.Add(1)
 	}
-	frame := encodeFrame(kind, u.id, id, u.boot, seq, payload)
+	var flow uint16
+	var hop uint8
+	if u.spans != nil {
+		if flow, hop = message.PeekTrace(payload); flow != 0 {
+			cls, _ := message.PeekClass(payload)
+			u.spans.Record(telemetry.Span{
+				At: u.spanNow(), Node: u.id, Peer: id,
+				ID: message.PeekID(payload), Flow: flow, Hop: hop,
+				Event: telemetry.SpanTx, Layer: telemetry.SpanLayerTransport,
+				Class: cls,
+			})
+		}
+	}
+	frame := encodeFrameTraced(kind, u.id, id, u.boot, seq, flow, hop, payload)
 	if latency > 0 {
 		time.AfterFunc(latency, func() { u.write(frame, peer) })
 		return
@@ -383,7 +436,7 @@ func (u *UDP) write(frame []byte, peer *net.UDPAddr) {
 // windows are owned by this goroutine, so they need no locking.
 func (u *UDP) readLoop() {
 	defer u.readerWG.Done()
-	buf := make([]byte, maxPayload+headerSize)
+	buf := make([]byte, maxPayload+headerSize+traceExtSize)
 	dups := map[uint32]*dupWindow{}
 	// Custody offers number their own wire-seq space, so they get their
 	// own duplicate windows — a shared window would let a reliable frame
@@ -427,6 +480,15 @@ func (u *UDP) readLoop() {
 			} else {
 				u.det.markHeard(f.from)
 			}
+		}
+		if u.spans != nil && f.flow != 0 {
+			cls, _ := message.PeekClass(f.payload)
+			u.spans.Record(telemetry.Span{
+				At: u.spanNow(), Node: u.id, Peer: f.from,
+				ID: message.PeekID(f.payload), Flow: f.flow, Hop: f.hop,
+				Event: telemetry.SpanRecv, Layer: telemetry.SpanLayerTransport,
+				Class: cls,
+			})
 		}
 		switch f.kind {
 		case kindPing:

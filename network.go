@@ -9,6 +9,7 @@ import (
 	"diffusion/internal/custody"
 	"diffusion/internal/energy"
 	"diffusion/internal/mac"
+	"diffusion/internal/message"
 	"diffusion/internal/microdiff"
 	"diffusion/internal/radio"
 	"diffusion/internal/sim"
@@ -116,6 +117,13 @@ type NetworkConfig struct {
 	// EnergyAware spreads reinforcement across exploratory deliverers
 	// (see core.Config.EnergyAware).
 	EnergyAware bool
+	// TraceSampling, in (0,1], enables causal flight-path tracing: each
+	// locally originated message is tagged with a 16-bit flow ID with this
+	// probability, and every layer touching a sampled message (core, MAC,
+	// custody) records a span into the node's span ring (see Spans and
+	// Trace.Records). Zero disables tracing; runs are then bit-identical
+	// to pre-trace builds — the sampling draw consumes no randomness.
+	TraceSampling float64
 	// MoteNodes lists topology IDs to instantiate as micro-diffusion
 	// motes (second tier) instead of full diffusion nodes. Access them
 	// with Mote(id); bridge the tiers with NewGateway.
@@ -150,6 +158,9 @@ type Network struct {
 	regs       map[uint32]*telemetry.Registry
 	flights    map[uint32]*telemetry.Flight
 	flightSink io.Writer
+	// spans holds one flight-path span ring per full node when
+	// TraceSampling is enabled (see trace.go and cmd/difftrace paths).
+	spans map[uint32]*telemetry.SpanRing
 }
 
 // Node is one network node: the diffusion engine plus its link stack. The
@@ -219,6 +230,7 @@ func NewNetwork(cfg NetworkConfig) *Network {
 		hub:     telemetry.NewHub(kern.Now),
 		regs:    map[uint32]*telemetry.Registry{},
 		flights: map[uint32]*telemetry.Flight{},
+		spans:   map[uint32]*telemetry.SpanRing{},
 	}
 	net.channel.Instrument(net.hub.Register(telemetry.NewRegistry("channel")))
 	moteSet := map[uint32]bool{}
@@ -257,6 +269,12 @@ func NewNetwork(cfg NetworkConfig) *Network {
 			// the live daemon's concern.
 			cusq = custody.NewQueue(cfg.CustodyLimit, nil)
 		}
+		var ring *telemetry.SpanRing
+		if cfg.TraceSampling > 0 {
+			ring = telemetry.NewSpanRing(telemetry.DefaultSpanSize)
+			net.spans[id] = ring
+			m.Trace(ring, peekSpan)
+		}
 		n = &Node{
 			Node: core.NewNode(core.Config{
 				Clock:               port,
@@ -273,6 +291,8 @@ func NewNetwork(cfg NetworkConfig) *Network {
 				Custody:             cusq,
 				EnergyAware:         cfg.EnergyAware,
 				Flight:              fl,
+				TraceSample:         cfg.TraceSampling,
+				Spans:               ring,
 			}),
 			MAC: m,
 		}
@@ -285,6 +305,20 @@ func NewNetwork(cfg NetworkConfig) *Network {
 	// self-diagnose.
 	net.OnFault(net.recordFaultFlight)
 	return net
+}
+
+// peekSpan extracts a MAC-layer span template from an encoded diffusion
+// payload without a full decode; ok only for sampled messages (non-zero
+// flow). It keeps the MAC ignorant of the diffusion wire format.
+func peekSpan(payload []byte) (telemetry.Span, bool) {
+	flow, hop := message.PeekTrace(payload)
+	if flow == 0 {
+		return telemetry.Span{}, false
+	}
+	cls, _ := message.PeekClass(payload)
+	return telemetry.Span{
+		ID: message.PeekID(payload), Flow: flow, Hop: hop, Class: cls,
+	}, true
 }
 
 // instrumentLink wires a node's MAC, radio and energy metrics onto reg.

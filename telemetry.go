@@ -3,6 +3,7 @@ package diffusion
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"diffusion/internal/telemetry"
@@ -25,6 +26,11 @@ type (
 	TraceRecord = telemetry.Record
 	// TraceRunInfo is the self-describing header of an exported trace.
 	TraceRunInfo = telemetry.RunInfo
+	// Span is one flight-path event: a sampled message touching one layer
+	// of one node (see NetworkConfig.TraceSampling).
+	Span = telemetry.Span
+	// SpanRing is a bounded per-node ring of flight-path spans.
+	SpanRing = telemetry.SpanRing
 )
 
 // Telemetry returns the network-wide metrics hub (advanced use: register
@@ -55,6 +61,30 @@ func (net *Network) FlightRecorder(id uint32) *FlightRecorder {
 		panic(fmt.Sprintf("diffusion: no flight recorder for node %d in topology %q", id, net.cfg.Topology.Name))
 	}
 	return f
+}
+
+// Spans returns the node's flight-path span ring, or nil when
+// NetworkConfig.TraceSampling is zero (or for mote IDs — motes are not
+// traced).
+func (net *Network) Spans(id uint32) *SpanRing { return net.spans[id] }
+
+// SpanRecords converts every node's recorded spans into structured trace
+// records, merged across nodes into one deterministic timeline: ordered
+// by timestamp, ties broken by topology order (each node's ring is
+// already in its own event order). Empty when tracing is off.
+func (net *Network) SpanRecords() []TraceRecord {
+	var out []TraceRecord
+	for _, id := range net.order {
+		ring, ok := net.spans[id]
+		if !ok {
+			continue
+		}
+		for _, sp := range ring.Spans() {
+			out = append(out, sp.TraceRecord())
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].US < out[j].US })
+	return out
 }
 
 // SetFlightDump directs an automatic flight-recorder dump of the affected

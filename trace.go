@@ -384,8 +384,10 @@ func (t *Trace) Header() TraceRunInfo {
 }
 
 // Records converts the trace into structured records: message events
-// (layer "core", verb "org"/"fwd") and fault events (layer "fault", the
-// kind as verb) merged in time order.
+// (layer "core", verb "org"/"fwd"), fault events (layer "fault", the kind
+// as verb), and — when NetworkConfig.TraceSampling is on — flight-path
+// spans (non-zero flow field, layers core/mac/custody), merged in time
+// order. The merge is deterministic at any shard count.
 func (t *Trace) Records() []TraceRecord {
 	events := t.Events()
 	out := make([]TraceRecord, 0, len(events)+len(t.faults))
@@ -412,6 +414,10 @@ func (t *Trace) Records() []TraceRecord {
 		})
 	}
 	emitFaultsThrough(time.Duration(1<<62 - 1))
+	if spans := t.net.SpanRecords(); len(spans) > 0 {
+		out = append(out, spans...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].US < out[j].US })
+	}
 	return out
 }
 

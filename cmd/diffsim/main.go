@@ -21,6 +21,7 @@
 //	diffsim -experiment churn             # fault injection: relay kill + MTBF/MTTR churn
 //	diffsim -experiment scale-parallel    # 1024-node grid on the sharded kernel
 //	diffsim -experiment ferry             # disruption tolerance: custody transfer vs baseline
+//	diffsim -experiment broker            # million-subscription node on the inverted match index
 //	diffsim -experiment all               # everything above
 //
 // -quick shrinks runs for a fast smoke pass; -seeds and -duration override
@@ -46,7 +47,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, scale-parallel, ferry, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig8, fig9, fig11, model, energy, micro, sweep-exploratory, sweep-asymmetry, ablate-negrf, duty-cycle, scale, push-pull, latency, breakdown, sweep-capture, churn, scale-parallel, ferry, broker, all)")
 		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		seeds      = flag.Int("seeds", 0, "override the number of repetitions")
 		duration   = flag.Duration("duration", 0, "override the per-run virtual duration")
@@ -257,6 +258,15 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		experiments.PrintParallelScale(w, cfg, experiments.RunParallelScale(cfg))
 	}
 
+	broker := func() {
+		cfg := experiments.DefaultBroker()
+		if quick {
+			cfg.Sizes = []int{1000, 10000}
+			cfg.Msgs = 200
+		}
+		experiments.PrintBroker(w, experiments.RunBroker(cfg))
+	}
+
 	ferry := func() {
 		cfg := experiments.DefaultFerry()
 		if quick {
@@ -343,6 +353,7 @@ func run(w io.Writer, experiment string, quick bool, seeds int, duration time.Du
 		{"scale-parallel", func() error { scaleParallel(); return nil }},
 		{"churn", churn},
 		{"ferry", func() error { ferry(); return nil }},
+		{"broker", func() error { broker(); return nil }},
 	}
 
 	if experiment == "all" {

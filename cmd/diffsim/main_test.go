@@ -72,7 +72,7 @@ func TestRunAllBranchesTiny(t *testing.T) {
 	for _, exp := range []string{
 		"fig9", "fig11", "sweep-exploratory", "sweep-asymmetry",
 		"ablate-negrf", "duty-cycle", "scale", "push-pull", "latency",
-		"breakdown", "sweep-capture", "churn", "scale-parallel",
+		"breakdown", "sweep-capture", "churn", "scale-parallel", "broker",
 	} {
 		var buf bytes.Buffer
 		if err := run(&buf, exp, true, 1, 3*time.Minute, false, "", 0, 2); err != nil {

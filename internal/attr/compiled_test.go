@@ -39,8 +39,28 @@ func TestCompiledAccessors(t *testing.T) {
 	if !c.Vec().Equal(v) {
 		t.Error("Vec round trip")
 	}
-	if len(c.actuals[KeyConfidence]) != 1 {
+	if len(c.actualsFor(KeyConfidence)) != 1 {
 		t.Error("actual indexing")
+	}
+	if len(c.actualsFor(KeyTask)) != 0 {
+		t.Error("formal must not land in the actual index")
+	}
+}
+
+func TestCompiledReverseDirections(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVec(r, r.Intn(10))
+		b := randomVec(r, r.Intn(10))
+		ca := Compile(a)
+		if ca.ActualsSatisfy(b) != OneWayMatch(b, a) {
+			return false
+		}
+		return ca.MatchVec(b) == Match(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000, Rand: rng}); err != nil {
+		t.Error(err)
 	}
 }
 

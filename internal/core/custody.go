@@ -93,11 +93,18 @@ func (n *Node) custodyAdmit(m *message.Message) {
 // case: the earlier copy was seen but dropped under queue-full
 // backpressure that has since cleared.
 func (n *Node) custodyReoffer(m *message.Message) {
-	for _, e := range n.matchingEntries(m.Attrs) {
+	entries := n.matchingEntries(m.Attrs)
+	sink := false
+	for _, e := range entries {
 		if len(e.localSubs) > 0 {
-			n.sendCustodyAck(m.ID, m.PrevHop)
-			return
+			sink = true
+			break
 		}
+	}
+	n.putEntryBuf(entries)
+	if sink {
+		n.sendCustodyAck(m.ID, m.PrevHop)
+		return
 	}
 	n.custodyAdmit(m)
 }
@@ -150,140 +157,138 @@ func (n *Node) ReplayCustody() {
 	if !n.custodyOn() || n.detached {
 		return
 	}
-	now := n.cfg.Clock.Now()
 	for _, it := range n.cfg.Custody.Items() {
-		m, err := message.Unmarshal(it.Payload)
-		if err != nil {
-			// Poison item (torn write that survived CRC by miracle, or a
-			// version skew): custody cannot do anything with it.
-			n.cfg.Custody.Release(it.ID)
-			continue
-		}
-		m.ID = it.ID
-		// Never replay toward the hop the message arrived from: in
-		// store-and-carry mode that neighbor's duplicate cache would
-		// swallow the copy (a silent loss after the optimistic release),
-		// and in custody-transfer mode the upstream custodian's
-		// released-ID memory would acknowledge — and so discharge — data
-		// it no longer holds. Data captured at its own source carries
-		// PrevHop == self, which never matches a gradient.
-		avoid := m.PrevHop
-		entries := n.matchingEntries(m.Attrs)
-
-		// The role may have moved here since capture (warm restart):
-		// deliver locally and discharge.
-		for _, e := range entries {
-			if len(e.localSubs) > 0 {
-				n.deliverLocal(m)
-				n.custodyDischarge(it.ID)
-				break
-			}
-		}
-		if !n.cfg.Custody.Has(it.ID) {
-			continue
-		}
-
-		// Collect live forwarding options, deterministically ordered.
-		var reinforced, gradients []message.NodeID
-		seenNb := map[message.NodeID]bool{}
-		for _, e := range entries {
-			for nb, g := range e.gradients {
-				if nb == avoid || seenNb[nb] {
-					continue
-				}
-				seenNb[nb] = true
-				gradients = append(gradients, nb)
-				if g.reinforced(now) {
-					reinforced = append(reinforced, nb)
-				}
-			}
-		}
-		sortNodeIDs(reinforced)
-		sortNodeIDs(gradients)
-
-		switch {
-		case n.custodyLink != nil:
-			// Hop-by-hop custody transfer: hand the item to the first
-			// reinforced next hop as plain data. transmit() routes it
-			// through the custody link, and the item stays queued until
-			// the peer's durable accept releases it; re-invocations before
-			// the ack are deduplicated by the transport.
-			if len(reinforced) == 0 {
-				continue
-			}
-			out := m.Clone()
-			out.Class = message.Data
-			out.PrevHop = selfID(n)
-			out.NextHop = reinforced[0]
-			n.markSeen(out.ID)
-			n.cfg.Custody.NoteReplay()
-			n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
-			n.transmit(out)
-		default:
-			// Store-and-carry: re-offer to one live next hop — reinforced
-			// if available — as unicast exploratory data (the receiver
-			// refloods it along its own gradients), keeping custody until
-			// that hop's CustodyAck arrives; until then every replay
-			// trigger re-offers it again. Unicast matters twice over: only
-			// the addressed peer processes the offer, so an overhearing
-			// third node's released-ID memory cannot acknowledge — and so
-			// discharge — data it no longer holds; and the offer escapes
-			// the duplicate-suppression drop that would silently swallow a
-			// re-flooded broadcast at nodes that saw the ID before.
-			//
-			// A link-refused offer ends the pass: the MAC queue that
-			// refused this frame would refuse the rest too, and stopping
-			// paces a large drain to the link's rate instead of turning
-			// drop-tail into churn.
-			targets := gradients
-			if len(reinforced) > 0 {
-				targets = reinforced
-			}
-			if len(targets) == 0 {
-				// No live gradient: fall back on stale gradient memory,
-				// the last known next hops toward a sink before the soft
-				// state decayed or the neighbor died. A wrong guess costs
-				// one unanswered frame (no ack, item retained), while a
-				// right one drains custody at the instant of a contact —
-				// without this, draining depends on an interest making it
-				// back across the partition first, one lost frame away
-				// from stranding data for a whole contact cycle.
-				var stale []message.NodeID
-				for _, e := range entries {
-					for nb := range e.staleHops {
-						if nb != avoid && !seenNb[nb] {
-							seenNb[nb] = true
-							stale = append(stale, nb)
-						}
-					}
-				}
-				sortNodeIDs(stale)
-				targets = stale
-			}
-			if len(targets) == 0 {
-				continue
-			}
-			out := m.Clone()
-			out.Class = message.ExploratoryData
-			out.PrevHop = selfID(n)
-			out.NextHop = targets[0]
-			n.markSeen(out.ID)
-			n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
-			if n.transmit(out) != nil {
-				return
-			}
-			n.cfg.Custody.NoteReplay()
+		if n.replayItem(it) {
+			return
 		}
 	}
 }
 
-// sortNodeIDs orders neighbor IDs ascending (determinism over map order).
-func sortNodeIDs(ids []message.NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
+// replayItem gives one custody item a chance to move. stop=true aborts the
+// whole pass (link backpressure: the MAC queue that refused this frame
+// would refuse the rest too, and stopping paces a large drain to the
+// link's rate instead of turning drop-tail into churn).
+func (n *Node) replayItem(it custody.Item) (stop bool) {
+	m, err := message.Unmarshal(it.Payload)
+	if err != nil {
+		// Poison item (torn write that survived CRC by miracle, or a
+		// version skew): custody cannot do anything with it.
+		n.cfg.Custody.Release(it.ID)
+		return false
+	}
+	m.ID = it.ID
+	// Never replay toward the hop the message arrived from: in
+	// store-and-carry mode that neighbor's duplicate cache would
+	// swallow the copy (a silent loss after the optimistic release),
+	// and in custody-transfer mode the upstream custodian's
+	// released-ID memory would acknowledge — and so discharge — data
+	// it no longer holds. Data captured at its own source carries
+	// PrevHop == self, which never matches a gradient.
+	avoid := m.PrevHop
+	now := n.cfg.Clock.Now()
+	entries := n.matchingEntries(m.Attrs)
+	defer n.putEntryBuf(entries)
+
+	// The role may have moved here since capture (warm restart):
+	// deliver locally and discharge.
+	for _, e := range entries {
+		if len(e.localSubs) > 0 {
+			n.deliverLocal(m)
+			n.custodyDischarge(it.ID)
+			break
 		}
 	}
+	if !n.cfg.Custody.Has(it.ID) {
+		return false
+	}
+
+	// Collect live forwarding options, deterministically ordered.
+	var reinforced, gradients []message.NodeID
+	seenNb := map[message.NodeID]bool{}
+	for _, e := range entries {
+		for nb, g := range e.gradients {
+			if nb == avoid || seenNb[nb] {
+				continue
+			}
+			seenNb[nb] = true
+			gradients = append(gradients, nb)
+			if g.reinforced(now) {
+				reinforced = append(reinforced, nb)
+			}
+		}
+	}
+	sortAscending(reinforced)
+	sortAscending(gradients)
+
+	switch {
+	case n.custodyLink != nil:
+		// Hop-by-hop custody transfer: hand the item to the first
+		// reinforced next hop as plain data. transmit() routes it
+		// through the custody link, and the item stays queued until
+		// the peer's durable accept releases it; re-invocations before
+		// the ack are deduplicated by the transport.
+		if len(reinforced) == 0 {
+			return false
+		}
+		out := m.Clone()
+		out.Class = message.Data
+		out.PrevHop = selfID(n)
+		out.NextHop = reinforced[0]
+		n.markSeen(out.ID)
+		n.cfg.Custody.NoteReplay()
+		n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
+		n.transmit(out)
+	default:
+		// Store-and-carry: re-offer to one live next hop — reinforced
+		// if available — as unicast exploratory data (the receiver
+		// refloods it along its own gradients), keeping custody until
+		// that hop's CustodyAck arrives; until then every replay
+		// trigger re-offers it again. Unicast matters twice over: only
+		// the addressed peer processes the offer, so an overhearing
+		// third node's released-ID memory cannot acknowledge — and so
+		// discharge — data it no longer holds; and the offer escapes
+		// the duplicate-suppression drop that would silently swallow a
+		// re-flooded broadcast at nodes that saw the ID before.
+		targets := gradients
+		if len(reinforced) > 0 {
+			targets = reinforced
+		}
+		if len(targets) == 0 {
+			// No live gradient: fall back on stale gradient memory,
+			// the last known next hops toward a sink before the soft
+			// state decayed or the neighbor died. A wrong guess costs
+			// one unanswered frame (no ack, item retained), while a
+			// right one drains custody at the instant of a contact —
+			// without this, draining depends on an interest making it
+			// back across the partition first, one lost frame away
+			// from stranding data for a whole contact cycle.
+			var stale []message.NodeID
+			for _, e := range entries {
+				for nb := range e.staleHops {
+					if nb != avoid && !seenNb[nb] {
+						seenNb[nb] = true
+						stale = append(stale, nb)
+					}
+				}
+			}
+			sortAscending(stale)
+			targets = stale
+		}
+		if len(targets) == 0 {
+			return false
+		}
+		out := m.Clone()
+		out.Class = message.ExploratoryData
+		out.PrevHop = selfID(n)
+		out.NextHop = targets[0]
+		n.markSeen(out.ID)
+		n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
+		if n.transmit(out) != nil {
+			return true
+		}
+		n.cfg.Custody.NoteReplay()
+	}
+	return false
 }
 
 // NeighborRecovered tells the diffusion core that the failure detector
@@ -340,18 +345,4 @@ func (n *Node) NeighborRecovered(peer uint32) {
 		n.armRefresh(s)
 	}
 	n.ReplayCustody()
-}
-
-// entriesInOrder returns interest entries sorted by hash (determinism).
-func (n *Node) entriesInOrder() []*interestEntry {
-	out := make([]*interestEntry, 0, len(n.entries))
-	for _, e := range n.entries {
-		out = append(out, e)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1].hash > out[j].hash; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
-	}
-	return out
 }

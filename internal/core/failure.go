@@ -33,11 +33,19 @@ func (n *Node) NeighborDead(peer uint32) {
 	}
 	nb := message.NodeID(peer)
 	n.Stats.NeighborDeaths++
-	for h, e := range n.entries {
+	// Only entries that ever referenced the dead neighbor can hold state
+	// naming it; the per-neighbor touch index yields exactly those, so the
+	// purge is proportional to the peer's footprint, not the entry table.
+	touched := n.getEntryBuf()
+	for _, e := range n.nbTouch[nb] {
+		touched = append(touched, e)
+	}
+	for _, e := range touched {
 		if _, ok := e.gradients[nb]; ok {
 			delete(e.gradients, nb)
 			n.Stats.GradientsExpired++
 			n.noteStaleHop(e, nb)
+			n.noteEntryEmptiness(e)
 		}
 		if e.hasReinforcedUpstream && e.reinforcedUpstream == nb {
 			e.hasReinforcedUpstream = false
@@ -50,10 +58,15 @@ func (n *Node) NeighborDead(peer uint32) {
 			e.hasExpFrom = false
 		}
 		delete(e.dupFrom, nb)
-		// Custody retains gradient-less entries as cached interests (see
-		// housekeeping).
-		if len(e.gradients) == 0 && len(e.localSubs) == 0 && !n.custodyOn() {
-			delete(n.entries, h)
+	}
+	n.putEntryBuf(touched)
+	// Custody retains gradient-less entries as cached interests (see
+	// housekeeping). Without it, collect every empty entry — the old full
+	// scan purged any empty entry here, touched by this neighbor or not,
+	// and the empty-entry set preserves exactly that behaviour.
+	if !n.custodyOn() {
+		for _, e := range n.emptyEntries {
+			n.dropEntry(e)
 		}
 	}
 	for id, from := range n.expFrom {

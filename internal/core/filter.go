@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"diffusion/internal/attr"
+	"diffusion/internal/match"
 	"diffusion/internal/message"
 )
 
@@ -28,6 +29,11 @@ type filter struct {
 	attrs    attr.Vec
 	priority int16
 	cb       FilterCallback
+	// pos is the filter's current position in the priority-sorted chain,
+	// maintained on every install/remove.
+	pos int
+	// slot is the filter's handle in the chain match index.
+	slot match.Handle
 }
 
 // AddFilter installs a filter triggered by messages whose attributes
@@ -47,18 +53,31 @@ func (n *Node) AddFilter(attrs attr.Vec, priority int16, cb FilterCallback) Filt
 	sort.SliceStable(n.filters, func(i, j int) bool {
 		return n.filters[i].priority > n.filters[j].priority
 	})
+	n.renumberFilters()
+	n.filtersByHandle[f.handle] = f
+	f.slot = n.midx.filters.Add(f.attrs, uint64(f.handle))
 	return f.handle
 }
 
 // RemoveFilter uninstalls a filter.
 func (n *Node) RemoveFilter(h FilterHandle) error {
-	for i, f := range n.filters {
-		if f.handle == h {
-			n.filters = append(n.filters[:i], n.filters[i+1:]...)
-			return nil
-		}
+	f, ok := n.filtersByHandle[h]
+	if !ok {
+		return fmt.Errorf("%w: filter %d", ErrUnknownHandle, h)
 	}
-	return fmt.Errorf("%w: filter %d", ErrUnknownHandle, h)
+	n.filters = append(n.filters[:f.pos], n.filters[f.pos+1:]...)
+	n.renumberFilters()
+	delete(n.filtersByHandle, h)
+	n.midx.filters.Remove(f.slot)
+	return nil
+}
+
+// renumberFilters refreshes every filter's chain position after an
+// install or removal reshuffles the slice.
+func (n *Node) renumberFilters() {
+	for i, f := range n.filters {
+		f.pos = i
+	}
 }
 
 // runChainFrom delivers m to the first matching filter at chain position
@@ -71,11 +90,23 @@ func (n *Node) RemoveFilter(h FilterHandle) error {
 // data carrying that task actual. (Subscription delivery, by contrast, uses
 // the full two-way match of section 3.2.)
 func (n *Node) runChainFrom(m *message.Message, start int) {
-	for i := start; i < len(n.filters); i++ {
-		f := n.filters[i]
-		if attr.OneWayMatch(f.attrs, m.Attrs) {
+	if start < len(n.filters) {
+		// One-way index lookup yields every matching filter; the earliest
+		// chain position at or past start is exactly the filter the old
+		// in-order scan would have stopped at.
+		tags := n.midx.getTags()
+		tags = n.midx.filters.Lookup(m.Attrs, tags)
+		var best *filter
+		for _, t := range tags {
+			f := n.filtersByHandle[FilterHandle(t)]
+			if f != nil && f.pos >= start && (best == nil || f.pos < best.pos) {
+				best = f
+			}
+		}
+		n.midx.putTags(tags)
+		if best != nil {
 			n.Stats.FilterInvocations++
-			f.cb(m, f.handle)
+			best.cb(m, best.handle)
 			return
 		}
 	}
@@ -87,11 +118,9 @@ func (n *Node) runChainFrom(m *message.Message, start int) {
 // sendMessageToNext: filters that only observe or rewrite call it to keep
 // the message moving.
 func (n *Node) SendMessageToNext(m *message.Message, h FilterHandle) {
-	for i, f := range n.filters {
-		if f.handle == h {
-			n.runChainFrom(m, i+1)
-			return
-		}
+	if f, ok := n.filtersByHandle[h]; ok {
+		n.runChainFrom(m, f.pos+1)
+		return
 	}
 	// Unknown handle (filter was removed mid-flight): fall through to the
 	// core rather than dropping the message.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"diffusion/internal/attr"
+	"diffusion/internal/match"
 	"diffusion/internal/message"
 	"diffusion/internal/telemetry"
 )
@@ -54,6 +55,13 @@ type interestEntry struct {
 	// waiting for an interest to re-cross the partition. Bounded by the
 	// entry's historical neighbor count.
 	staleHops map[message.NodeID]bool
+	// slot is the entry's handle in the gradient match index.
+	slot match.Handle
+	// touched is the conservative, grow-only set of neighbors whose
+	// NeighborDead-purged state (gradients, reinforcement traces,
+	// exploratory arrivals, duplicate counters) this entry has ever
+	// referenced; nbTouch on the node is its inverse.
+	touched map[message.NodeID]bool
 }
 
 // gradient is the per-neighbor demand state. Reinforced gradients carry
@@ -88,15 +96,13 @@ func (n *Node) entryFor(attrs attr.Vec) *interestEntry {
 	if e, ok := n.entries[h]; ok {
 		return e
 	}
-	e := &interestEntry{
-		attrs:     attrs.Clone(),
-		hash:      h,
-		gradients: map[message.NodeID]*gradient{},
-		localSubs: map[SubscriptionHandle]bool{},
-		dupFrom:   map[message.NodeID]int{},
-		load:      map[message.NodeID]int{},
-	}
+	// Inner maps are allocated lazily at their write sites: a broker-scale
+	// node carries one entry per local subscription, and most of those
+	// never see a gradient, a duplicate or an energy-aware load sample.
+	e := &interestEntry{attrs: attrs.Clone(), hash: h}
+	e.slot = n.midx.entries.Add(e.attrs, h)
 	n.entries[h] = e
+	n.noteEntryEmptiness(e)
 	return e
 }
 
@@ -121,20 +127,21 @@ func (n *Node) ReinforcedUpstream(attrs attr.Vec) (uint32, bool) {
 }
 
 // matchingEntries returns entries whose interest attributes two-way match
-// the given data attributes, in deterministic (hash-insertion-free) order.
+// the given data attributes, ascending by hash (the same canonical order
+// the old full-table scan produced). The result comes from the node's
+// snapshot pool; callers must release it with putEntryBuf, and may hold it
+// across re-entrant core calls — nested lookups draw distinct buffers.
 func (n *Node) matchingEntries(data attr.Vec) []*interestEntry {
-	var out []*interestEntry
-	for _, e := range n.entries {
-		if attr.Match(e.attrs, data) {
+	tags := n.midx.getTags()
+	tags = n.midx.entries.Lookup(data, tags)
+	sortAscending(tags) // tags are entry hashes
+	out := n.getEntryBuf()
+	for _, h := range tags {
+		if e, ok := n.entries[h]; ok {
 			out = append(out, e)
 		}
 	}
-	// Sort by hash for determinism: map iteration order is random.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1].hash > out[j].hash; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
-	}
+	n.midx.putTags(tags)
 	return out
 }
 
@@ -161,11 +168,17 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 
 	if local {
 		// Local origination: mark our subscriptions as sinks of the entry.
-		for h, s := range n.subs {
-			if !s.passive && interestFromSub(s.attrs).Hash() == e.hash {
+		// The interest-hash grouping yields exactly the subscriptions whose
+		// wire form is this entry's attributes.
+		for _, h := range n.subsByHash[e.hash] {
+			if s := n.subs[h]; s != nil && !s.passive {
+				if e.localSubs == nil {
+					e.localSubs = map[SubscriptionHandle]bool{}
+				}
 				e.localSubs[h] = true
 			}
 		}
+		n.noteEntryEmptiness(e)
 	} else {
 		// Gradient setup/refresh toward the sending neighbor. Every copy
 		// of the interest refreshes its sender's gradient, even if the
@@ -173,8 +186,13 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 		g, ok := e.gradients[m.PrevHop]
 		if !ok {
 			g = &gradient{}
+			if e.gradients == nil {
+				e.gradients = map[message.NodeID]*gradient{}
+			}
 			e.gradients[m.PrevHop] = g
 			n.Stats.GradientsCreated++
+			n.touchNeighbor(e, m.PrevHop)
+			n.noteEntryEmptiness(e)
 		}
 		g.expires = now + n.cfg.GradientLifetime
 		if h := m.HopCount + 1; !e.hasHops || h < e.hops {
@@ -264,6 +282,7 @@ func (n *Node) coreData(m *message.Message, local bool) {
 	}
 
 	entries := n.matchingEntries(m.Attrs)
+	defer n.putEntryBuf(entries)
 	if len(entries) == 0 && !(m.Class == message.ExploratoryData && isPush(m.Attrs)) {
 		// No gradient state: nothing to do ("data is sent only where
 		// interests have established gradients"). One-phase-push
@@ -299,8 +318,14 @@ func (n *Node) coreData(m *message.Message, local bool) {
 		if m.Class == message.ExploratoryData && !local {
 			e.lastExpFrom = m.PrevHop
 			e.hasExpFrom = true
+			n.touchNeighbor(e, m.PrevHop)
 		}
-		if m.Class == message.Data && !local {
+		// The per-neighbor load signal feeds energy-aware reinforcement
+		// only; skip the bookkeeping entirely when that mode is off.
+		if m.Class == message.Data && !local && n.cfg.EnergyAware {
+			if e.load == nil {
+				e.load = map[message.NodeID]int{}
+			}
 			e.load[m.PrevHop]++
 		}
 		if len(e.localSubs) > 0 {
@@ -397,11 +422,7 @@ func (n *Node) coreData(m *message.Message, local bool) {
 		for nb := range reinforcedTargets {
 			targets = append(targets, nb)
 		}
-		for i := 1; i < len(targets); i++ {
-			for j := i; j > 0 && targets[j-1] > targets[j]; j-- {
-				targets[j-1], targets[j] = targets[j], targets[j-1]
-			}
-		}
+		sortAscending(targets)
 		for _, nb := range targets {
 			out := m.Clone()
 			out.HopCount++
@@ -429,6 +450,7 @@ func (n *Node) reinforceUpstream(e *interestEntry, nb message.NodeID, cause mess
 	e.lastReinforcedID = cause
 	e.reinforcedUpstream = nb
 	e.hasReinforcedUpstream = true
+	n.touchNeighbor(e, nb)
 	n.transmit(&message.Message{
 		Class:   message.PositiveReinforcement,
 		ID:      cause,
@@ -459,8 +481,13 @@ func (n *Node) coreReinforce(m *message.Message) {
 	g, ok := e.gradients[m.PrevHop]
 	if !ok {
 		g = &gradient{}
+		if e.gradients == nil {
+			e.gradients = map[message.NodeID]*gradient{}
+		}
 		e.gradients[m.PrevHop] = g
 		n.Stats.GradientsCreated++
+		n.touchNeighbor(e, m.PrevHop)
+		n.noteEntryEmptiness(e)
 	}
 	// Reinforcement is live evidence of demand: it refreshes the gradient
 	// lifetime too. In one-phase push this is the only refresh there is
@@ -578,6 +605,7 @@ const (
 // negative reinforcement to the sender once duplicates persist.
 func (n *Node) noteDuplicateData(m *message.Message) {
 	entries := n.matchingEntries(m.Attrs)
+	defer n.putEntryBuf(entries)
 	if len(entries) == 0 {
 		return
 	}
@@ -589,7 +617,11 @@ func (n *Node) noteDuplicateData(m *message.Message) {
 			delete(e.dupFrom, k)
 		}
 	}
+	if e.dupFrom == nil {
+		e.dupFrom = map[message.NodeID]int{}
+	}
 	e.dupFrom[m.PrevHop]++
+	n.touchNeighbor(e, m.PrevHop)
 	if e.dupFrom[m.PrevHop] < negRFThreshold {
 		return
 	}
@@ -605,31 +637,35 @@ func (n *Node) noteDuplicateData(m *message.Message) {
 	n.Stats.NegReinforcements++
 }
 
-// deliverLocal invokes the callbacks of every subscription matching m.
+// deliverLocal invokes the callbacks of every subscription matching m, in
+// ascending handle order (the order the old full-table walk produced).
 func (n *Node) deliverLocal(m *message.Message) {
-	delivered := false
-	for _, s := range n.subsInOrder() {
-		if s.cb == nil {
-			continue
-		}
-		if attr.Match(s.attrs, m.Attrs) {
-			n.Stats.LocalDeliveries++
-			delivered = true
-			s.cb(m)
+	tags := n.midx.getTags()
+	tags = n.midx.subs.Lookup(m.Attrs, tags)
+	if len(tags) == 0 {
+		n.midx.putTags(tags)
+		return
+	}
+	sortAscending(tags) // tags are subscription handles
+	// Resolve handles to subscriptions before any callback runs: this is
+	// the snapshot the pre-index delivery loop took, so a callback that
+	// unsubscribes another matched subscription does not suppress its
+	// delivery mid-message.
+	subs := n.getSubBuf()
+	for _, t := range tags {
+		if s, ok := n.subs[SubscriptionHandle(t)]; ok && s.cb != nil {
+			subs = append(subs, s)
 		}
 	}
+	n.midx.putTags(tags)
+	delivered := false
+	for _, s := range subs {
+		n.Stats.LocalDeliveries++
+		delivered = true
+		s.cb(m)
+	}
+	n.putSubBuf(subs)
 	if delivered {
 		n.span(telemetry.SpanDeliver, telemetry.SpanLayerCore, m, n.ID(), telemetry.DropNone)
 	}
-}
-
-// subsInOrder returns subscriptions in handle order for determinism.
-func (n *Node) subsInOrder() []*subscription {
-	out := make([]*subscription, 0, len(n.subs))
-	for h := SubscriptionHandle(1); h <= n.nextSub; h++ {
-		if s, ok := n.subs[h]; ok {
-			out = append(out, s)
-		}
-	}
-	return out
 }

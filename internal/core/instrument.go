@@ -39,6 +39,14 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 		emit("core.seen_cache_size", float64(len(n.seen)))
 		emit("core.custody_captured", float64(s.CustodyCaptured))
 		emit("core.energy_shifts", float64(s.EnergyShifts))
+		ms := n.MatchStats()
+		emit("match.index_keys", float64(ms.IndexKeys))
+		emit("match.index_size", float64(ms.IndexSize))
+		emit("match.fallback_size", float64(ms.FallbackSize))
+		emit("match.lookups", float64(ms.Lookups))
+		emit("match.candidates_scanned", float64(ms.CandidatesScanned))
+		emit("match.fallback_scans", float64(ms.FallbackScans))
+		emit("match.hits", float64(ms.Hits))
 		if q := n.cfg.Custody; q != nil {
 			c := q.Counters()
 			emit("custody.accepted", float64(c.Accepted))

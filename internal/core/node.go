@@ -31,11 +31,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"diffusion/internal/attr"
 	"diffusion/internal/custody"
+	"diffusion/internal/match"
 	"diffusion/internal/message"
 	"diffusion/internal/sim"
 	"diffusion/internal/telemetry"
@@ -203,6 +203,12 @@ type subscription struct {
 	passive bool // taps interests locally, originates no interest flood
 	local   bool // SubscribeLocal: sink entry installed, no interest flood
 	refresh sim.Timer
+	// ihash is the hash of the subscription's on-the-wire interest form,
+	// precomputed so interest origination finds its sibling subscriptions
+	// by table lookup instead of rehashing every subscription.
+	ihash uint64
+	// slot is the subscription's handle in the delivery match index.
+	slot match.Handle
 }
 
 type publication struct {
@@ -224,6 +230,28 @@ type Node struct {
 	nextSub SubscriptionHandle
 	nextPub PublicationHandle
 	nextFil FilterHandle
+
+	// subsByHash groups subscription handles by their interest-form hash,
+	// so a locally originated interest finds its sibling subscriptions
+	// without scanning the subscription table.
+	subsByHash map[uint64][]SubscriptionHandle
+	// filtersByHandle resolves a filter handle to its chain entry in O(1)
+	// (SendMessageToNext and indexed chain dispatch).
+	filtersByHandle map[FilterHandle]*filter
+
+	// midx holds the inverted match indexes behind every match site; see
+	// matchindex.go for the exactness and determinism contract.
+	midx matchIndexes
+	// emptyEntries tracks entries with no gradients and no local sinks —
+	// the GC condition — so purge paths need not scan the entry table.
+	emptyEntries map[uint64]*interestEntry
+	// nbTouch maps a neighbor to the entries whose state references it
+	// (conservatively), so NeighborDead purges by neighbor.
+	nbTouch map[message.NodeID]map[uint64]*interestEntry
+	// entryBufs/subBufs are free lists for pooled match-result snapshots
+	// (see matchindex.go).
+	entryBufs [][]*interestEntry
+	subBufs   [][]*subscription
 
 	entries map[uint64]*interestEntry // keyed by attr hash
 	seen    map[message.ID]time.Duration
@@ -258,15 +286,20 @@ type Node struct {
 func NewNode(cfg Config) *Node {
 	cfg.fill()
 	n := &Node{
-		cfg:     cfg,
-		randID:  cfg.Rand.Uint32(),
-		subs:    map[SubscriptionHandle]*subscription{},
-		pubs:    map[PublicationHandle]*publication{},
-		entries: map[uint64]*interestEntry{},
-		seen:    map[message.ID]time.Duration{},
-		expFrom: map[message.ID]message.NodeID{},
-		expCand: map[message.ID][]message.NodeID{},
+		cfg:             cfg,
+		randID:          cfg.Rand.Uint32(),
+		subs:            map[SubscriptionHandle]*subscription{},
+		pubs:            map[PublicationHandle]*publication{},
+		subsByHash:      map[uint64][]SubscriptionHandle{},
+		filtersByHandle: map[FilterHandle]*filter{},
+		emptyEntries:    map[uint64]*interestEntry{},
+		nbTouch:         map[message.NodeID]map[uint64]*interestEntry{},
+		entries:         map[uint64]*interestEntry{},
+		seen:            map[message.ID]time.Duration{},
+		expFrom:         map[message.ID]message.NodeID{},
+		expCand:         map[message.ID][]message.NodeID{},
 	}
+	n.midx.init()
 	if cfg.Custody != nil {
 		if cl, ok := cfg.Link.(CustodyLink); ok {
 			n.custodyLink = cl
@@ -360,6 +393,9 @@ func (n *Node) Restart() {
 	}
 	n.detached = false
 	n.entries = map[uint64]*interestEntry{}
+	n.midx.entries.Reset()
+	n.emptyEntries = map[uint64]*interestEntry{}
+	n.nbTouch = map[message.NodeID]map[uint64]*interestEntry{}
 	n.seen = map[message.ID]time.Duration{}
 	n.expFrom = map[message.ID]message.NodeID{}
 	n.expCand = map[message.ID][]message.NodeID{}
@@ -368,17 +404,17 @@ func (n *Node) Restart() {
 		p.lastExp = 0
 		p.sentAny = false
 	}
-	for _, s := range n.subs {
+	for h, s := range n.subs {
 		switch {
 		case s.local:
 			// Re-install the local sink entry (SubscribeLocal does this at
 			// subscription time).
 			e := n.entryFor(interestFromSub(s.attrs))
-			for h, sub := range n.subs {
-				if sub == s {
-					e.localSubs[h] = true
-				}
+			if e.localSubs == nil {
+				e.localSubs = map[SubscriptionHandle]bool{}
 			}
+			e.localSubs[h] = true
+			n.noteEntryEmptiness(e)
 		case !s.passive:
 			n.armRefresh(s)
 		}
@@ -442,11 +478,20 @@ func (n *Node) Subscribe(attrs attr.Vec, cb DataCallback) SubscriptionHandle {
 	n.nextSub++
 	h := n.nextSub
 	s := &subscription{attrs: attrs.Clone(), cb: cb, passive: isPassive(attrs)}
-	n.subs[h] = s
+	n.installSub(h, s)
 	if !s.passive {
 		n.armRefresh(s)
 	}
 	return h
+}
+
+// installSub registers a new subscription in the table and the secondary
+// structures: the delivery match index and the interest-hash grouping.
+func (n *Node) installSub(h SubscriptionHandle, s *subscription) {
+	s.ihash = interestFromSub(s.attrs).Hash()
+	s.slot = n.midx.subs.Add(s.attrs, uint64(h))
+	n.subs[h] = s
+	n.subsByHash[s.ihash] = append(n.subsByHash[s.ihash], h)
 }
 
 // armRefresh starts (or restarts) a subscription's periodic interest
@@ -486,10 +531,14 @@ func isPassive(attrs attr.Vec) bool {
 func (n *Node) SubscribeLocal(attrs attr.Vec, cb DataCallback) SubscriptionHandle {
 	n.nextSub++
 	h := n.nextSub
-	n.subs[h] = &subscription{attrs: attrs.Clone(), cb: cb, passive: true, local: true}
+	n.installSub(h, &subscription{attrs: attrs.Clone(), cb: cb, passive: true, local: true})
 	// Install the local entry so matching data finds a sink here.
 	e := n.entryFor(interestFromSub(attrs))
+	if e.localSubs == nil {
+		e.localSubs = map[SubscriptionHandle]bool{}
+	}
 	e.localSubs[h] = true
+	n.noteEntryEmptiness(e)
 	return h
 }
 
@@ -504,9 +553,25 @@ func (n *Node) Unsubscribe(h SubscriptionHandle) error {
 		s.refresh.Cancel()
 	}
 	delete(n.subs, h)
-	// Drop local-sink membership from entries.
-	for _, e := range n.entries {
+	n.midx.subs.Remove(s.slot)
+	if list := n.subsByHash[s.ihash]; len(list) <= 1 {
+		delete(n.subsByHash, s.ihash)
+	} else {
+		for i, hh := range list {
+			if hh == h {
+				list[i] = list[len(list)-1]
+				n.subsByHash[s.ihash] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+	// Drop local-sink membership. The only entry that can hold h as a sink
+	// is the subscription's own interest entry: every membership site
+	// (coreInterest's local branch, SubscribeLocal, Restart) keys by exactly
+	// interestFromSub(s.attrs).Hash(), which is s.ihash.
+	if e, ok := n.entries[s.ihash]; ok {
 		delete(e.localSubs, h)
+		n.noteEntryEmptiness(e)
 	}
 	return nil
 }
@@ -750,13 +815,18 @@ func (n *Node) housekeeping() {
 			delete(n.expCand, id)
 		}
 	}
-	for h, e := range n.entries {
+	for _, e := range n.entries {
+		expired := false
 		for nb, g := range e.gradients {
 			if now > g.expires {
 				delete(e.gradients, nb)
 				n.Stats.GradientsExpired++
 				n.noteStaleHop(e, nb)
+				expired = true
 			}
+		}
+		if expired {
+			n.noteEntryEmptiness(e)
 		}
 		// Stale duplicate counters from a closed negative-reinforcement
 		// window would otherwise pin one map entry per neighbor forever.
@@ -780,7 +850,7 @@ func (n *Node) housekeeping() {
 		// route its custodial data at the next contact. The cache is
 		// bounded by the number of distinct interests, not by traffic.
 		if len(e.gradients) == 0 && len(e.localSubs) == 0 && !n.custodyOn() {
-			delete(n.entries, h)
+			n.dropEntry(e)
 		}
 	}
 	n.ReplayCustody()
@@ -794,7 +864,7 @@ func (n *Node) ActiveSubscriptions() []SubscriptionHandle {
 	for h := range n.subs {
 		out = append(out, h)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortAscending(out)
 	return out
 }
 
@@ -805,7 +875,7 @@ func (n *Node) ActivePublications() []PublicationHandle {
 	for h := range n.pubs {
 		out = append(out, h)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortAscending(out)
 	return out
 }
 

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestBrokerDeliversExactlyOnce(t *testing.T) {
+	cfg := BrokerConfig{
+		Sizes:      []int{500, 2000},
+		Msgs:       300,
+		LinearMsgs: 10,
+		RangeEvery: 3,
+		Seed:       1,
+	}
+	points := RunBroker(cfg) // RunBroker panics on any delivery mismatch
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Deliveries != cfg.Msgs {
+			t.Errorf("subs=%d: %d deliveries, want %d", p.Subs, p.Deliveries, cfg.Msgs)
+		}
+		if p.IndexKeys == 0 {
+			t.Errorf("subs=%d: match index reports zero keys", p.Subs)
+		}
+		// The task-EQ pivot narrows each probe to its one topic: per-message
+		// verification work must be bounded, not proportional to the table.
+		if p.CandPerMsg > 16 {
+			t.Errorf("subs=%d: %.1f candidates/msg, want O(1)", p.Subs, p.CandPerMsg)
+		}
+	}
+}
+
+func TestBrokerNoRangeFormals(t *testing.T) {
+	p := runBrokerSize(BrokerConfig{Msgs: 100, LinearMsgs: 5, Seed: 2}, 300)
+	if p.Deliveries != 100 {
+		t.Errorf("deliveries = %d, want 100", p.Deliveries)
+	}
+}

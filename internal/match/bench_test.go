@@ -1,0 +1,101 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"diffusion/internal/attr"
+)
+
+// The BENCH_match.json workload: a broker-class node holding N
+// subscriptions, each a task-EQ formal plus (for a third of them) a
+// numeric range, matched against data messages carrying one task actual.
+// The linear baseline is the pre-index data path: scan every stored
+// vector with attr.Match.
+
+func benchPopulation(n int) []attr.Vec {
+	r := rand.New(rand.NewSource(7))
+	out := make([]attr.Vec, n)
+	for i := range out {
+		v := attr.Vec{
+			attr.StringAttr(attr.KeyTask, attr.EQ, fmt.Sprintf("task-%d", i)),
+			attr.Int32Attr(attr.KeyClass, attr.IS, attr.ClassInterest),
+		}
+		if i%3 == 0 {
+			v = append(v, attr.Float64Attr(attr.KeyConfidence, attr.GT, r.Float64()))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func benchMessages(n, count int) []attr.Vec {
+	r := rand.New(rand.NewSource(11))
+	out := make([]attr.Vec, count)
+	for i := range out {
+		out[i] = attr.Vec{
+			attr.Int32Attr(attr.KeyClass, attr.IS, attr.ClassData),
+			attr.StringAttr(attr.KeyTask, attr.IS, fmt.Sprintf("task-%d", r.Intn(n))),
+			attr.Float64Attr(attr.KeyConfidence, attr.IS, r.Float64()),
+		}
+	}
+	return out
+}
+
+func BenchmarkMatchLookup(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
+		pop := benchPopulation(n)
+		msgs := benchMessages(n, 256)
+
+		b.Run(fmt.Sprintf("subs=%d/indexed", n), func(b *testing.B) {
+			ix := New(TwoWay)
+			for i, v := range pop {
+				ix.Add(v, uint64(i))
+			}
+			dst := make([]uint64, 0, 16)
+			dst = ix.Lookup(msgs[0], dst[:0]) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = ix.Lookup(msgs[i%len(msgs)], dst[:0])
+			}
+			_ = dst
+		})
+
+		b.Run(fmt.Sprintf("subs=%d/linear", n), func(b *testing.B) {
+			dst := make([]uint64, 0, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg := msgs[i%len(msgs)]
+				dst = dst[:0]
+				for tag, v := range pop {
+					if attr.Match(v, msg) {
+						dst = append(dst, uint64(tag))
+					}
+				}
+			}
+			_ = dst
+		})
+	}
+}
+
+// BenchmarkMatchChurn measures the lifecycle path: add + remove per op.
+func BenchmarkMatchChurn(b *testing.B) {
+	pop := benchPopulation(10000)
+	ix := New(TwoWay)
+	for i, v := range pop {
+		ix.Add(v, uint64(i))
+	}
+	extra := attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, "task-churn"),
+		attr.Int32Attr(attr.KeyClass, attr.IS, attr.ClassInterest),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := ix.Add(extra, 1<<32)
+		ix.Remove(h)
+	}
+}

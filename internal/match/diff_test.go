@@ -1,0 +1,185 @@
+package match
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"diffusion/internal/attr"
+)
+
+// Differential property test: over random attribute soups — including the
+// nasty corners (NaN, signed zero, infinities, cross-type values, blobs,
+// duplicate keys) — and random add/remove interleavings, the index must
+// return exactly the tags the linear attr.Match/OneWayMatch scan returns.
+// The oracle is the plain matcher; any divergence is an index bug.
+
+// soupValue draws a random value biased toward collisions and edge cases.
+func soupValue(r *rand.Rand) attr.Value {
+	switch r.Intn(10) {
+	case 0:
+		return attr.Int32Value(int32(r.Intn(5) - 2))
+	case 1:
+		return attr.Int64Value(int64(r.Intn(7) - 3))
+	case 2:
+		return attr.Float32Value(float32(r.Intn(5)) / 2)
+	case 3:
+		switch r.Intn(5) {
+		case 0:
+			return attr.Float64Value(math.NaN())
+		case 1:
+			return attr.Float64Value(math.Copysign(0, -1))
+		case 2:
+			return attr.Float64Value(math.Inf(1))
+		case 3:
+			return attr.Float64Value(math.Inf(-1))
+		default:
+			return attr.Float64Value(float64(r.Intn(9)) / 4)
+		}
+	case 4, 5, 6:
+		return attr.StringValue(string(rune('a' + r.Intn(4))))
+	case 7:
+		return attr.BlobValue([]byte{byte(r.Intn(3))})
+	case 8:
+		return attr.Float64Value(float64(r.Intn(3)))
+	default:
+		return attr.Int32Value(int32(r.Intn(3)))
+	}
+}
+
+// soupVec draws a random attribute vector over a tiny key space so
+// formals and actuals collide often.
+func soupVec(r *rand.Rand, n int) attr.Vec {
+	v := make(attr.Vec, 0, n)
+	for i := 0; i < n; i++ {
+		k := attr.Key(1 + r.Intn(5))
+		op := attr.Op(r.Intn(8)) // IS..EQAny
+		v = append(v, attr.Attribute{Key: k, Op: op, Val: soupValue(r)})
+	}
+	return v
+}
+
+// mirror is the linear reference the index is differentially tested
+// against.
+type mirror struct {
+	mode Mode
+	vecs map[uint64]attr.Vec
+}
+
+func (m *mirror) lookup(msg attr.Vec) []uint64 {
+	var out []uint64
+	for tag, v := range m.vecs {
+		var ok bool
+		if m.mode == TwoWay {
+			ok = attr.Match(v, msg)
+		} else {
+			ok = attr.OneWayMatch(v, msg)
+		}
+		if ok {
+			out = append(out, tag)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestDifferentialAgainstLinear(t *testing.T) {
+	for _, mode := range []Mode{TwoWay, OneWay} {
+		mode := mode
+		name := map[Mode]string{TwoWay: "two-way", OneWay: "one-way"}[mode]
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 30; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				ix := New(mode)
+				ref := &mirror{mode: mode, vecs: map[uint64]attr.Vec{}}
+				handles := map[uint64]Handle{}
+				var tags []uint64
+				nextTag := uint64(0)
+
+				for op := 0; op < 400; op++ {
+					switch x := r.Intn(10); {
+					case x < 5: // add
+						v := soupVec(r, r.Intn(6))
+						nextTag++
+						handles[nextTag] = ix.Add(v, nextTag)
+						ref.vecs[nextTag] = v
+						tags = append(tags, nextTag)
+					case x < 7 && len(tags) > 0: // remove
+						i := r.Intn(len(tags))
+						tag := tags[i]
+						tags[i] = tags[len(tags)-1]
+						tags = tags[:len(tags)-1]
+						ix.Remove(handles[tag])
+						delete(handles, tag)
+						delete(ref.vecs, tag)
+					default: // lookup
+						msg := soupVec(r, r.Intn(6))
+						got := lookupTags(ix, msg)
+						want := ref.lookup(msg)
+						if !eqTags(got, want) {
+							t.Fatalf("seed=%d op=%d msg=%v:\nindex  %v\nlinear %v",
+								seed, op, msg, got, want)
+						}
+					}
+				}
+				// Every stored vector probed against itself and a fresh soup.
+				for tag, v := range ref.vecs {
+					got := lookupTags(ix, v)
+					want := ref.lookup(v)
+					if !eqTags(got, want) {
+						t.Fatalf("seed=%d self-probe tag=%d vec=%v:\nindex  %v\nlinear %v",
+							seed, tag, v, got, want)
+					}
+				}
+				if ix.Len() != len(ref.vecs) {
+					t.Fatalf("seed=%d Len=%d want %d", seed, ix.Len(), len(ref.vecs))
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialWiderKeySpace runs the same property over a wider key
+// space and longer vectors, where most probes miss — the broker-shaped
+// workload.
+func TestDifferentialWiderKeySpace(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	ix := New(TwoWay)
+	ref := &mirror{mode: TwoWay, vecs: map[uint64]attr.Vec{}}
+	for tag := uint64(1); tag <= 500; tag++ {
+		v := make(attr.Vec, 0, 3)
+		v = append(v, attr.Int32Attr(attr.Key(1+r.Intn(20)), attr.EQ, int32(r.Intn(50))))
+		if r.Intn(2) == 0 {
+			v = append(v, attr.Float64Attr(attr.Key(1+r.Intn(20)), attr.Op(3+r.Intn(4)), r.Float64()))
+		}
+		ix.Add(v, tag)
+		ref.vecs[tag] = v
+	}
+	for probe := 0; probe < 300; probe++ {
+		msg := attr.Vec{
+			attr.Int32Attr(attr.Key(1+r.Intn(20)), attr.IS, int32(r.Intn(50))),
+			attr.Float64Attr(attr.Key(1+r.Intn(20)), attr.IS, r.Float64()),
+		}
+		got := lookupTags(ix, msg)
+		want := ref.lookup(msg)
+		if !eqTags(got, want) {
+			t.Fatalf("probe=%d msg=%v:\nindex  %v\nlinear %v", probe, msg, got, want)
+		}
+	}
+}
+
+func ExampleIndex() {
+	ix := New(TwoWay)
+	ix.Add(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.EQ, "detectAnimal"),
+		attr.Float64Attr(attr.KeyConfidence, attr.GT, 0.5),
+	}, 42)
+	got := ix.Lookup(attr.Vec{
+		attr.StringAttr(attr.KeyTask, attr.IS, "detectAnimal"),
+		attr.Float64Attr(attr.KeyConfidence, attr.IS, 0.7),
+	}, nil)
+	fmt.Println(got)
+	// Output: [42]
+}

@@ -1,0 +1,596 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"diffusion/internal/chaos"
+)
+
+// fleetConfig parameterizes one fleet run. The zero value is unusable;
+// withDefaults fills everything a test or the CLI leaves blank.
+type fleetConfig struct {
+	// N is the fleet size, including the seed (node 1).
+	N int
+	// Bin is a prebuilt diffnode binary; "" builds one into Dir (requires
+	// running inside the module, as `go test` and the repo checkout do).
+	Bin string
+	// Dir holds the binary, address files and (with NodeLogs) node logs.
+	Dir string
+	// NodeLogs writes each node's stderr to Dir/node-<id>.log.
+	NodeLogs bool
+
+	DegreeCap           int
+	AnnounceInterval    time.Duration
+	Heartbeat           time.Duration
+	SuspectAfter        time.Duration
+	DeadAfter           time.Duration
+	InterestInterval    time.Duration
+	ExploratoryInterval time.Duration
+
+	// Events is the publish→subscribe workload size (all must arrive).
+	Events int
+	// Chaos kills the sink's busiest relay mid-stream and measures
+	// recovery.
+	Chaos bool
+
+	// Stagger paces the joiners' boots; ConvergeTimeout bounds the wait
+	// for full-mesh membership.
+	Stagger         time.Duration
+	ConvergeTimeout time.Duration
+
+	// Logw receives run narration (nil: discard).
+	Logw io.Writer
+}
+
+// withDefaults fills unset knobs. The timing profile is tuned for a
+// loopback fleet of ~100 race-built processes on one host: announce fast
+// enough that gossip converges in tens of seconds, heartbeats slow
+// enough that the aggregate packet rate stays civil.
+func (c fleetConfig) withDefaults() fleetConfig {
+	if c.N == 0 {
+		c.N = 100
+	}
+	if c.DegreeCap == 0 {
+		c.DegreeCap = 8
+	}
+	if c.AnnounceInterval == 0 {
+		c.AnnounceInterval = 100 * time.Millisecond
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 150 * time.Millisecond
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 450 * time.Millisecond
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 1200 * time.Millisecond
+	}
+	if c.InterestInterval == 0 {
+		c.InterestInterval = 500 * time.Millisecond
+	}
+	if c.ExploratoryInterval == 0 {
+		c.ExploratoryInterval = 3 * time.Second
+	}
+	if c.Events == 0 {
+		c.Events = 20
+	}
+	if c.Stagger == 0 {
+		c.Stagger = 15 * time.Millisecond
+	}
+	if c.ConvergeTimeout == 0 {
+		c.ConvergeTimeout = 3 * time.Minute
+	}
+	if c.Logw == nil {
+		c.Logw = io.Discard
+	}
+	return c
+}
+
+// fleetReport is what a run proves, JSON-rendered by the CLI.
+type fleetReport struct {
+	N             int    `json:"n"`
+	ConvergeMS    int64  `json:"converge_ms"`
+	AnnouncesSent uint64 `json:"announces_sent"`
+	Delivered     int    `json:"delivered"`
+	Events        int    `json:"events"`
+	RelayKilled   uint32 `json:"relay_killed,omitempty"`
+	RecoverMS     int64  `json:"recover_ms,omitempty"`
+	CleanExits    int    `json:"clean_exits"`
+}
+
+// fleet is one running fleet: the seed plus joiners, all reached through
+// their address files.
+type fleet struct {
+	cfg    fleetConfig
+	client *http.Client
+	procs  map[uint32]*chaos.Proc
+	seed   *chaos.Proc
+}
+
+// runFleet is the whole experiment: build, boot from a single seed,
+// converge, deliver the event stream, optionally kill the busiest relay
+// and measure recovery, tear down cleanly.
+func runFleet(cfg fleetConfig) (*fleetReport, error) {
+	cfg = cfg.withDefaults()
+	f := &fleet{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 5 * time.Second},
+		procs:  map[uint32]*chaos.Proc{},
+	}
+	defer f.teardownKill()
+
+	bin := cfg.Bin
+	if bin == "" {
+		bin = filepath.Join(cfg.Dir, "diffnode")
+		fmt.Fprintf(cfg.Logw, "difffleet: building %s\n", bin)
+		build := exec.Command("go", "build", "-o", bin, "diffusion/cmd/diffnode")
+		if out, err := build.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("difffleet: go build: %v\n%s", err, out)
+		}
+	}
+
+	rep := &fleetReport{N: cfg.N, Events: cfg.Events}
+	start := time.Now()
+
+	// Boot the seed: the only node that starts with zero knowledge. Every
+	// other node is pointed at the seed's UDP address and learns the rest
+	// of the mesh by gossip.
+	seed, seedAddr, err := f.spawn(bin, 1, "-discover")
+	if err != nil {
+		return nil, err
+	}
+	f.seed = seed
+	fmt.Fprintf(cfg.Logw, "difffleet: seed up at udp %s http %s\n", seedAddr.UDP, seedAddr.HTTP)
+	for id := uint32(2); id <= uint32(cfg.N); id++ {
+		if _, _, err := f.spawn(bin, id, "-seed", seedAddr.UDP); err != nil {
+			return nil, err
+		}
+		time.Sleep(cfg.Stagger)
+	}
+
+	// Convergence: walk the mesh from the seed until every node is
+	// reachable, has at least one live mutual neighbor, and respects the
+	// degree cap.
+	nodes, err := f.awaitConvergence(start)
+	if err != nil {
+		return nil, err
+	}
+	rep.ConvergeMS = time.Since(start).Milliseconds()
+	fmt.Fprintf(cfg.Logw, "difffleet: %d nodes converged in %v\n", cfg.N, time.Since(start).Round(time.Millisecond))
+
+	// Workload: the seed sinks, the deepest node sources — the longest
+	// gradient path the mesh offers.
+	sourceID := pickSource(nodes)
+	source := f.procs[sourceID]
+	fmt.Fprintf(cfg.Logw, "difffleet: sink 1, source %d (depth %d)\n", sourceID, nodes[sourceID].Depth)
+	if _, err := f.post(f.seed, "/subscribe", "type EQ fleet-sweep, interval IS 1"); err != nil {
+		return nil, err
+	}
+	pubResp, err := f.post(source, "/publish", "type IS fleet-sweep")
+	if err != nil {
+		return nil, err
+	}
+	pub := int(pubResp["handle"].(float64))
+
+	// The sink's interest must flood out to the source before data flows.
+	if err := f.await(30*time.Second, "interest at source", func() (bool, error) {
+		st, err := f.get(source, "/state")
+		if err != nil {
+			return false, nil
+		}
+		n, _ := st["interest_entries"].(float64)
+		return n >= 1, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Send the stream, then re-send whatever did not arrive: distinct
+	// sequence numbers make retries idempotent at the counter.
+	if rep.Delivered, err = f.deliver(source, pub, 0, cfg.Events); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Logw, "difffleet: delivered %d/%d events\n", rep.Delivered, cfg.Events)
+
+	if cfg.Chaos && rep.Delivered > 0 {
+		if err := f.chaosRelay(rep, sourceID, pub); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.AnnouncesSent = f.scrapeAnnounces()
+	rep.CleanExits = f.teardownGraceful()
+	return rep, nil
+}
+
+// spawn launches one diffnode on ephemeral ports and waits for its
+// address file.
+func (f *fleet) spawn(bin string, id uint32, extra ...string) (*chaos.Proc, chaos.AddrFile, error) {
+	cfg := f.cfg
+	addrPath := filepath.Join(cfg.Dir, fmt.Sprintf("node-%d.addr", id))
+	argv := []string{bin,
+		"-id", fmt.Sprint(id),
+		"-listen", "127.0.0.1:0",
+		"-http", "127.0.0.1:0",
+		"-addr-file", addrPath,
+		"-degree-cap", fmt.Sprint(cfg.DegreeCap),
+		"-announce-interval", cfg.AnnounceInterval.String(),
+		"-heartbeat", cfg.Heartbeat.String(),
+		"-suspect-after", cfg.SuspectAfter.String(),
+		"-dead-after", cfg.DeadAfter.String(),
+		"-interest-interval", cfg.InterestInterval.String(),
+		"-exploratory-interval", cfg.ExploratoryInterval.String(),
+		"-reliable",
+		"-drain", "50ms",
+	}
+	argv = append(argv, extra...)
+	var logw io.Writer
+	if cfg.NodeLogs {
+		lf, err := os.Create(filepath.Join(cfg.Dir, fmt.Sprintf("node-%d.log", id)))
+		if err != nil {
+			return nil, chaos.AddrFile{}, err
+		}
+		logw = lf
+	}
+	p, err := chaos.Start(chaos.ProcSpec{ID: id, Argv: argv, Log: logw})
+	if err != nil {
+		return nil, chaos.AddrFile{}, err
+	}
+	f.procs[id] = p
+	a, err := chaos.WaitAddrFile(addrPath, 15*time.Second)
+	if err != nil {
+		return nil, a, fmt.Errorf("difffleet: node %d: %w", id, err)
+	}
+	p.SetHTTP(a.HTTP)
+	return p, a, nil
+}
+
+// fleetNode is one node's membership view during a walk, annotated with
+// its BFS depth from the seed.
+type fleetNode struct {
+	HTTP   string
+	Degree int
+	Cap    int
+	Depth  int
+	Rows   []neighborRow
+}
+
+type neighborRow struct {
+	ID       uint32 `json:"id"`
+	HTTP     string `json:"http"`
+	Member   string `json:"member"`
+	Peered   bool   `json:"peered"`
+	State    string `json:"state"`
+	DataRecv uint64 `json:"data_recv"`
+}
+
+// walk BFS-walks GET /neighbors from the seed. Unreachable nodes are
+// simply absent from the result; convergence polling treats that as not
+// yet converged.
+func (f *fleet) walk() map[uint32]*fleetNode {
+	nodes := map[uint32]*fleetNode{}
+	type hop struct {
+		id    uint32
+		http  string
+		depth int
+	}
+	queue := []hop{{1, f.seed.HTTPAddr(), 0}}
+	seen := map[uint32]bool{1: true}
+	for i := 0; i < len(queue); i++ {
+		h := queue[i]
+		resp, err := f.client.Get("http://" + h.http + "/neighbors")
+		if err != nil {
+			continue
+		}
+		var body struct {
+			ID        uint32        `json:"id"`
+			Degree    int           `json:"degree"`
+			Cap       int           `json:"cap"`
+			Neighbors []neighborRow `json:"neighbors"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil || body.ID != h.id {
+			continue
+		}
+		nodes[h.id] = &fleetNode{HTTP: h.http, Degree: body.Degree, Cap: body.Cap,
+			Depth: h.depth, Rows: body.Neighbors}
+		for _, row := range body.Neighbors {
+			if row.Member == "neighbor" && row.HTTP != "" && !seen[row.ID] {
+				seen[row.ID] = true
+				queue = append(queue, hop{row.ID, row.HTTP, h.depth + 1})
+			}
+		}
+	}
+	return nodes
+}
+
+// awaitConvergence polls the walk until the whole fleet is present and
+// healthy: reachable from the seed, ≥1 live mutual neighbor each, degree
+// within the cap.
+func (f *fleet) awaitConvergence(start time.Time) (map[uint32]*fleetNode, error) {
+	var nodes map[uint32]*fleetNode
+	lastMissing := 0
+	err := f.await(f.cfg.ConvergeTimeout, "mesh convergence", func() (bool, error) {
+		nodes = f.walk()
+		lastMissing = f.cfg.N - len(nodes)
+		if len(nodes) != f.cfg.N {
+			return false, nil
+		}
+		for id, n := range nodes {
+			if n.Degree > n.Cap {
+				return false, fmt.Errorf("difffleet: node %d degree %d exceeds cap %d", id, n.Degree, n.Cap)
+			}
+			live := 0
+			for _, row := range n.Rows {
+				if row.Member == "neighbor" && row.Peered && row.State != "dead" {
+					live++
+				}
+			}
+			if live == 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w (last walk reached %d/%d nodes)", err, f.cfg.N-lastMissing, f.cfg.N)
+	}
+	return nodes, nil
+}
+
+// pickSource prefers the node deepest from the seed, so the workload
+// crosses real relays; ties go to the highest ID.
+func pickSource(nodes map[uint32]*fleetNode) uint32 {
+	best, bestDepth := uint32(0), -1
+	for id, n := range nodes {
+		if id == 1 {
+			continue
+		}
+		if n.Depth > bestDepth || (n.Depth == bestDepth && id > best) {
+			best, bestDepth = id, n.Depth
+		}
+	}
+	return best
+}
+
+// deliver sends events [base, base+count) from the source and waits for
+// every distinct sequence to arrive at the sink, re-sending stragglers.
+// Returns the number of distinct events delivered.
+func (f *fleet) deliver(source *chaos.Proc, pub, base, count int) (int, error) {
+	want := map[int]bool{}
+	for i := 0; i < count; i++ {
+		want[base+i] = true
+	}
+	send := func(seq int) error {
+		_, err := f.post(source, "/send",
+			fmt.Sprintf(`{"publication": %d, "attrs": "sequence IS %d"}`, pub, seq))
+		return err
+	}
+	for i := 0; i < count; i++ {
+		if err := send(base + i); err != nil {
+			return 0, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	var got map[int]bool
+	// Three rounds: wait, then re-send what is missing — explicitly
+	// exploratory, so a retry floods along every gradient instead of
+	// trusting a reinforced path that may have just churned.
+	for round := 0; round < 3; round++ {
+		f.await(15*time.Second, "event delivery", func() (bool, error) {
+			got = f.sinkSequences(base)
+			return len(got) >= count, nil
+		})
+		if len(got) >= count {
+			break
+		}
+		st, _ := f.get(source, "/state")
+		entries, _ := st["interest_entries"].(float64)
+		fmt.Fprintf(f.cfg.Logw, "difffleet: round %d: %d/%d delivered, source interest entries %.0f\n",
+			round, len(got), count, entries)
+		for seq := range want {
+			if !got[seq] {
+				if _, err := f.post(source, "/send",
+					fmt.Sprintf(`{"publication": %d, "attrs": "sequence IS %d", "exploratory": true}`, pub, seq)); err != nil {
+					return len(got), err
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+	return len(got), nil
+}
+
+// sinkSequences reads the sink's delivery ring and extracts distinct
+// sequence numbers at or above base.
+func (f *fleet) sinkSequences(base int) map[int]bool {
+	got := map[int]bool{}
+	dv, err := f.get(f.seed, "/deliveries")
+	if err != nil {
+		return got
+	}
+	recent, _ := dv["recent"].([]any)
+	for _, e := range recent {
+		attrs, _ := e.(map[string]any)["attrs"].(string)
+		m := seqRe.FindStringSubmatch(attrs)
+		if m == nil {
+			continue
+		}
+		var seq int
+		fmt.Sscanf(m[1], "%d", &seq)
+		if seq >= base {
+			got[seq] = true
+		}
+	}
+	return got
+}
+
+var seqRe = regexp.MustCompile(`sequence IS (\d+)`)
+
+// chaosRelay is the scale version of the kill-the-relay experiment: find
+// the neighbor delivering the most data into the sink, SIGKILL it, keep
+// publishing, and require delivery to resume within the detector's dead
+// window plus two exploratory floods.
+func (f *fleet) chaosRelay(rep *fleetReport, sourceID uint32, pub int) error {
+	sink, err := f.get(f.seed, "/neighbors")
+	if err != nil {
+		return err
+	}
+	raw, _ := json.Marshal(sink["neighbors"])
+	var rows []neighborRow
+	json.Unmarshal(raw, &rows)
+	var relay uint32
+	var busiest uint64
+	for _, row := range rows {
+		if row.Member != "neighbor" || row.ID == sourceID {
+			continue
+		}
+		if relay == 0 || row.DataRecv > busiest {
+			relay, busiest = row.ID, row.DataRecv
+		}
+	}
+	if relay == 0 {
+		fmt.Fprintf(f.cfg.Logw, "difffleet: chaos skipped: sink has no relay other than the source\n")
+		return nil
+	}
+	fmt.Fprintf(f.cfg.Logw, "difffleet: killing relay %d (%d frames into the sink)\n", relay, busiest)
+	if err := f.procs[relay].Kill(); err != nil {
+		return err
+	}
+	rep.RelayKilled = relay
+	killed := time.Now()
+
+	// Publish through the hole until a post-kill event lands. Detection
+	// takes up to DeadAfter; the next exploratory flood finds a path
+	// around the corpse and reinforcement follows it.
+	source := f.procs[sourceID]
+	deadline := f.cfg.DeadAfter + 2*f.cfg.ExploratoryInterval + 10*time.Second
+	const chaosBase = 1000
+	seq := chaosBase
+	err = f.await(deadline, "post-kill delivery", func() (bool, error) {
+		f.post(source, "/send",
+			fmt.Sprintf(`{"publication": %d, "attrs": "sequence IS %d"}`, pub, seq))
+		seq++
+		time.Sleep(150 * time.Millisecond)
+		return len(f.sinkSequences(chaosBase)) > 0, nil
+	})
+	if err != nil {
+		return fmt.Errorf("difffleet: no delivery after relay kill: %w", err)
+	}
+	rep.RecoverMS = time.Since(killed).Milliseconds()
+	fmt.Fprintf(f.cfg.Logw, "difffleet: delivery resumed %v after the kill\n",
+		time.Since(killed).Round(time.Millisecond))
+	return nil
+}
+
+// scrapeAnnounces sums discovery announces across the fleet's /metrics.
+func (f *fleet) scrapeAnnounces() uint64 {
+	var total uint64
+	for id, p := range f.procs {
+		if !p.Alive() {
+			continue
+		}
+		resp, err := f.client.Get(fmt.Sprintf("http://%s/metrics", p.HTTPAddr()))
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		series := fmt.Sprintf(`diffusion_discovery_announces_sent{scope="node%d"}`, id)
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, series+" ") {
+				var v float64
+				fmt.Sscanf(strings.TrimPrefix(line, series+" "), "%g", &v)
+				total += uint64(v)
+			}
+		}
+	}
+	return total
+}
+
+// teardownGraceful SIGTERMs every living node and counts clean exits.
+func (f *fleet) teardownGraceful() int {
+	clean := 0
+	for _, p := range f.procs {
+		if !p.Alive() {
+			continue
+		}
+		if err := p.Terminate(15 * time.Second); err != nil {
+			fmt.Fprintf(f.cfg.Logw, "difffleet: %v\n", err)
+			continue
+		}
+		clean++
+	}
+	return clean
+}
+
+// teardownKill is the deferred backstop: anything still alive when the
+// run unwinds gets SIGKILL so no orphan outlives the experiment.
+func (f *fleet) teardownKill() {
+	for _, p := range f.procs {
+		if p.Alive() {
+			p.Kill()
+		}
+	}
+}
+
+// await polls cond until it reports done, errors, or the deadline
+// passes.
+func (f *fleet) await(timeout time.Duration, what string, cond func() (bool, error)) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done, err := cond()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("difffleet: %s: timeout after %v", what, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// post issues one control-plane POST and decodes the JSON reply.
+func (f *fleet) post(p *chaos.Proc, path, body string) (map[string]any, error) {
+	resp, err := f.client.Post("http://"+p.HTTPAddr()+path, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("difffleet: node %d %s: %w", p.ID(), path, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	raw, _ := io.ReadAll(resp.Body)
+	json.Unmarshal(raw, &out)
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("difffleet: node %d %s: %d: %s", p.ID(), path, resp.StatusCode, raw)
+	}
+	return out, nil
+}
+
+// get issues one control-plane GET and decodes the JSON reply.
+func (f *fleet) get(p *chaos.Proc, path string) (map[string]any, error) {
+	resp, err := f.client.Get("http://" + p.HTTPAddr() + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("difffleet: node %d %s: %d", p.ID(), path, resp.StatusCode)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestFleetSmallConvergence is the everyday-CI version of the fleet
+// experiment: 10 processes from a single seed, full convergence, all
+// events delivered, relay killed, clean teardown.
+func TestFleetSmallConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fleet test skipped in -short mode")
+	}
+	runFleetTest(t, fleetConfig{
+		N:               10,
+		Dir:             t.TempDir(),
+		Events:          20,
+		Chaos:           true,
+		NodeLogs:        true,
+		ConvergeTimeout: time.Minute,
+	})
+}
+
+// TestFleetConvergence is the 100-node acceptance run, gated behind
+// DIFFUSION_FLEET=1: it boots a hundred diffnode processes from one
+// seed and proves convergence, 20/20 delivery, and recovery from a
+// SIGKILL'd relay at scale.
+func TestFleetConvergence(t *testing.T) {
+	if os.Getenv("DIFFUSION_FLEET") != "1" {
+		t.Skip("100-node fleet test skipped (set DIFFUSION_FLEET=1)")
+	}
+	runFleetTest(t, fleetConfig{
+		N:      100,
+		Dir:    t.TempDir(),
+		Events: 20,
+		Chaos:  true,
+		// A hundred processes share however many cores the host offers —
+		// on a loaded or single-core machine scheduling delay alone can
+		// exceed the default failure-detector budget, flapping membership
+		// and shedding the very traffic under test. Stretch every
+		// protocol timer so the fleet is limited by the protocol, not the
+		// scheduler.
+		AnnounceInterval:    300 * time.Millisecond,
+		Heartbeat:           750 * time.Millisecond,
+		SuspectAfter:        3 * time.Second,
+		DeadAfter:           8 * time.Second,
+		InterestInterval:    2 * time.Second,
+		ExploratoryInterval: 5 * time.Second,
+		ConvergeTimeout:     5 * time.Minute,
+	})
+}
+
+func runFleetTest(t *testing.T, cfg fleetConfig) {
+	t.Helper()
+	cfg.Logw = testWriter{t}
+	rep, err := runFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != rep.Events {
+		t.Errorf("delivered %d/%d events", rep.Delivered, rep.Events)
+	}
+	if rep.ConvergeMS <= 0 {
+		t.Errorf("converge_ms = %d, want > 0", rep.ConvergeMS)
+	}
+	if rep.AnnouncesSent == 0 {
+		t.Error("no discovery announces counted")
+	}
+	// One node may have been SIGKILL'd by chaos; everyone else must have
+	// exited cleanly on SIGTERM.
+	wantExits := cfg.N
+	if rep.RelayKilled != 0 {
+		wantExits--
+	}
+	if rep.CleanExits != wantExits {
+		t.Errorf("clean exits = %d, want %d", rep.CleanExits, wantExits)
+	}
+	if cfg.Chaos && rep.RelayKilled != 0 && rep.RecoverMS == 0 {
+		t.Error("relay killed but no recovery measured")
+	}
+	t.Logf("fleet report: %+v", rep)
+}
+
+// testWriter adapts t.Logf for run narration.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

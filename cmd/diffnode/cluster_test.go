@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os/exec"
 	"path/filepath"
@@ -14,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"diffusion/internal/chaos"
 )
 
 // TestClusterEndToEnd is the multi-process integration test: it builds the
@@ -288,21 +289,13 @@ func sentValue(t *testing.T, body []byte, series string) float64 {
 
 // freeUDPPorts reserves n distinct loopback UDP ports and releases them
 // for the children to rebind (the usual pick-then-spawn race, acceptable
-// on a quiet test host).
+// on a quiet test host; tests that cannot tolerate it use -listen :0
+// with an address file instead, like cmd/difffleet does).
 func freeUDPPorts(t *testing.T, n int) []int {
 	t.Helper()
-	ports := make([]int, n)
-	conns := make([]net.PacketConn, n)
-	for i := range ports {
-		c, err := net.ListenPacket("udp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		conns[i] = c
-		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
-	}
-	for _, c := range conns {
-		c.Close()
+	ports, err := chaos.FreePorts("udp", n)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return ports
 }
@@ -310,18 +303,9 @@ func freeUDPPorts(t *testing.T, n int) []int {
 // freeTCPPorts reserves n distinct loopback TCP ports the same way.
 func freeTCPPorts(t *testing.T, n int) []int {
 	t.Helper()
-	ports := make([]int, n)
-	lns := make([]net.Listener, n)
-	for i := range ports {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		lns[i] = ln
-		ports[i] = ln.Addr().(*net.TCPAddr).Port
-	}
-	for _, ln := range lns {
-		ln.Close()
+	ports, err := chaos.FreePorts("tcp", n)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return ports
 }

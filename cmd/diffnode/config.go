@@ -22,8 +22,37 @@ type Config struct {
 	Listen string `json:"listen"`
 	// HTTP is the control-plane listen address ("127.0.0.1:8001").
 	HTTP string `json:"http"`
-	// Neighbors maps neighbor IDs to their UDP addresses.
+	// Neighbors maps neighbor IDs to their UDP addresses. Optional when
+	// discovery is on (Seeds/Discover): the membership protocol finds
+	// neighbors at runtime, and any static entries are pinned — counted
+	// against the degree cap but never evicted.
 	Neighbors map[uint32]string `json:"neighbors"`
+
+	// Seeds are UDP addresses of existing mesh members to announce to at
+	// boot. Setting any enables neighbor discovery: the node introduces
+	// itself to the seeds, learns the rest of the mesh by gossip, and
+	// promotes/demotes neighbors at runtime.
+	Seeds []string `json:"seeds"`
+	// Discover enables discovery without seeds — the stance of the first
+	// node in a fresh mesh, which just listens for announces.
+	Discover bool `json:"discover"`
+	// DegreeCap bounds configured + discovered neighbors (0: 8). Slots go
+	// to the highest cluster-head scores; isolated nodes are always
+	// rescued (see transport.DiscoveryConfig).
+	DegreeCap int `json:"degree_cap"`
+	// AnnounceInterval is the discovery announce period (0: 1s).
+	AnnounceInterval time.Duration `json:"announce_interval"`
+	// Energy in (0,1] is the node's advertised energy level, the
+	// cluster-head tiebreak (0: 1.0).
+	Energy float64 `json:"energy"`
+	// Advertise is the UDP address announced to peers, for when the bound
+	// address is not the reachable one (default: the bound address).
+	Advertise string `json:"advertise"`
+
+	// AddrFile, when set, is written atomically after the sockets bind
+	// with {"id","udp","http"} — how an orchestrator learns the real ports
+	// when listening on ":0".
+	AddrFile string `json:"addr_file"`
 
 	// Keys pre-registers application attribute keys, in order. Attribute
 	// keys travel as 32-bit numbers (the paper "assume[s] out-of-band
@@ -130,6 +159,13 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		Listen              string            `json:"listen"`
 		HTTP                string            `json:"http"`
 		Neighbors           map[string]string `json:"neighbors"`
+		Seeds               []string          `json:"seeds"`
+		Discover            bool              `json:"discover"`
+		DegreeCap           int               `json:"degree_cap"`
+		AnnounceInterval    string            `json:"announce_interval"`
+		Energy              float64           `json:"energy"`
+		Advertise           string            `json:"advertise"`
+		AddrFile            string            `json:"addr_file"`
 		Keys                []string          `json:"keys"`
 		Subscribe           []string          `json:"subscribe"`
 		Publish             []string          `json:"publish"`
@@ -162,6 +198,8 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	c.ID, c.Listen, c.HTTP = r.ID, r.Listen, r.HTTP
+	c.Seeds, c.Discover, c.DegreeCap = r.Seeds, r.Discover, r.DegreeCap
+	c.Energy, c.Advertise, c.AddrFile = r.Energy, r.Advertise, r.AddrFile
 	c.Keys, c.Subscribe, c.Publish, c.Filters = r.Keys, r.Subscribe, r.Publish, r.Filters
 	c.Seed, c.ExploratoryEvery, c.TTL, c.Loss = r.Seed, r.ExploratoryEvery, r.TTL, r.Loss
 	c.Reliable, c.StateFile = r.Reliable, r.StateFile
@@ -182,6 +220,7 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		s   string
 		dst *time.Duration
 	}{
+		{r.AnnounceInterval, &c.AnnounceInterval},
 		{r.InterestInterval, &c.InterestInterval},
 		{r.ExploratoryInterval, &c.ExploratoryInterval},
 		{r.ForwardJitter, &c.ForwardJitter},
@@ -268,7 +307,26 @@ func (c *Config) validate() error {
 	if c.Drain <= 0 {
 		c.Drain = 500 * time.Millisecond
 	}
+	if c.Energy == 0 {
+		c.Energy = 1
+	}
+	if c.Energy < 0 || c.Energy > 1 {
+		return fmt.Errorf("diffnode: energy %v outside (0,1]", c.Energy)
+	}
+	if c.DegreeCap < 0 {
+		return fmt.Errorf("diffnode: degree cap %d is negative", c.DegreeCap)
+	}
+	if c.discoveryEnabled() && c.Heartbeat < 0 {
+		return fmt.Errorf("diffnode: discovery requires the failure detector (heartbeat >= 0)")
+	}
 	return nil
+}
+
+// discoveryEnabled reports whether the membership subsystem runs: any
+// seed enables it, as does the explicit flag (the seed node itself has
+// no seeds — it just listens).
+func (c *Config) discoveryEnabled() bool {
+	return len(c.Seeds) > 0 || c.Discover
 }
 
 // neighborSummary renders the neighbor table for the startup log line.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"diffusion/internal/attr"
+	"diffusion/internal/chaos"
 	"diffusion/internal/core"
 	"diffusion/internal/custody"
 	"diffusion/internal/filters"
@@ -167,6 +168,43 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		}
 	}
 
+	// The control plane binds before the transport comes up: discovery
+	// announces carry the HTTP port so peers can walk the mesh through
+	// GET /neighbors, and that port is only known once the listener binds.
+	ln, err := net.Listen("tcp", cfg.HTTP)
+	if err != nil {
+		d.loop.Stop()
+		d.closeCustody()
+		return nil, fmt.Errorf("diffnode: control plane: %w", err)
+	}
+	d.httpLn = ln
+
+	var disco *transport.DiscoveryConfig
+	if cfg.discoveryEnabled() {
+		// The vocabulary digest covers the full ordered key registry —
+		// well-known keys plus this boot's application keys — so register
+		// the latter now (idempotent; the boot sequence re-registers them
+		// on the loop). Peers whose digest differs would silently
+		// mis-parse every named interest; discovery quarantines them.
+		for _, name := range d.bootKeys {
+			attr.RegisterKey(name)
+		}
+		var names []string
+		for _, k := range attr.RegisteredKeys() {
+			names = append(names, attr.KeyName(k))
+		}
+		disco = &transport.DiscoveryConfig{
+			Seeds:       cfg.Seeds,
+			Advertise:   cfg.Advertise,
+			HTTPPort:    uint16(ln.Addr().(*net.TCPAddr).Port),
+			VocabDigest: transport.VocabDigest(names),
+			Energy:      cfg.Energy,
+			Interval:    cfg.AnnounceInterval,
+			DegreeCap:   cfg.DegreeCap,
+			OnMember:    d.onMember,
+		}
+	}
+
 	var live *transport.LivenessConfig
 	if cfg.Heartbeat >= 0 {
 		live = &transport.LivenessConfig{
@@ -190,6 +228,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		Liveness:  live,
 		Reliable:  rel,
 		Custody:   cusOpts,
+		Discovery: disco,
 		Spans:     d.spans,
 		SpanClock: d.loop.Now,
 		Deliver: func(from uint32, payload []byte) {
@@ -201,6 +240,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		},
 	})
 	if err != nil {
+		ln.Close()
 		d.loop.Stop()
 		d.closeCustody()
 		return nil, err
@@ -243,6 +283,13 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 				emit(fmt.Sprintf("transport.peer_retransmits|peer=%d", id), float64(n))
 			}
 		})
+		if d.link.DiscoveryEnabled() {
+			d.reg.AddCollector(func(emit func(string, float64)) {
+				for _, m := range d.link.Members() {
+					emit(fmt.Sprintf("discovery.member_state|peer=%d", m.ID), float64(m.MembershipCode))
+				}
+			})
+		}
 		if d.cusStore != nil {
 			d.reg.AddCollector(func(emit func(string, float64)) {
 				st := d.cusStore.Stats()
@@ -263,6 +310,7 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	})
 	if err != nil {
 		link.Close()
+		ln.Close()
 		d.closeCustody()
 		return nil, err
 	}
@@ -297,19 +345,12 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 	})
 	if bootErr != nil {
 		link.Close()
+		ln.Close()
 		d.loop.Stop()
 		d.closeCustody()
 		return nil, bootErr
 	}
 
-	ln, err := net.Listen("tcp", cfg.HTTP)
-	if err != nil {
-		link.Close()
-		d.loop.Stop()
-		d.closeCustody()
-		return nil, fmt.Errorf("diffnode: control plane: %w", err)
-	}
-	d.httpLn = ln
 	d.httpSrv = &http.Server{Handler: d.routes()}
 	d.httpDone = make(chan struct{})
 	go func() {
@@ -319,8 +360,24 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		}
 	}()
 
-	fmt.Fprintf(d.logw, "diffnode %d: udp %s http %s neighbors [%s]\n",
-		cfg.ID, link.LocalAddr(), ln.Addr(), cfg.neighborSummary())
+	// The address file is written last: a watcher that sees it may rely on
+	// every part of the node — including the control plane — being up.
+	if cfg.AddrFile != "" {
+		if err := chaos.WriteAddrFile(cfg.AddrFile, chaos.AddrFile{
+			ID: cfg.ID, UDP: link.LocalAddr().String(), HTTP: ln.Addr().String(),
+		}); err != nil {
+			d.Shutdown()
+			return nil, fmt.Errorf("diffnode: address file: %w", err)
+		}
+	}
+
+	discoNote := ""
+	if disco != nil {
+		discoNote = fmt.Sprintf(" discovery on (seeds %d, degree cap %d)",
+			len(cfg.Seeds), d.link.DegreeCap())
+	}
+	fmt.Fprintf(d.logw, "diffnode %d: udp %s http %s neighbors [%s]%s\n",
+		cfg.ID, link.LocalAddr(), ln.Addr(), cfg.neighborSummary(), discoNote)
 	return d, nil
 }
 
@@ -370,6 +427,9 @@ func (d *Daemon) Shutdown() error {
 			d.httpSrv.Close()
 		}
 		<-d.httpDone
+		// A graceful exit tells the mesh: discovered neighbors demote this
+		// node now instead of waiting out the failure detector.
+		d.link.Leave()
 		if err := d.link.Close(); err != nil && d.shutdownErr == nil {
 			d.shutdownErr = err
 		}
@@ -390,12 +450,14 @@ func (d *Daemon) closeCustody() {
 	}
 }
 
-// Fault kinds the daemon records into the flight ring on liveness
-// transitions.
+// Fault kinds the daemon records into the flight ring on liveness and
+// membership transitions.
 const (
 	faultPeerSuspect = iota + 1
 	faultPeerDead
 	faultPeerRecovered
+	faultMemberJoined
+	faultMemberGone
 )
 
 // faultKindName renders daemon fault kinds for flight dumps.
@@ -407,9 +469,49 @@ func faultKindName(k uint8) string {
 		return "peer-dead"
 	case faultPeerRecovered:
 		return "peer-recovered"
+	case faultMemberJoined:
+		return "member-joined"
+	case faultMemberGone:
+		return "member-gone"
 	default:
 		return fmt.Sprintf("kind=%d", k)
 	}
+}
+
+// onMember receives membership verdicts from the discovery engine. It
+// runs on a transport goroutine, so protocol work is posted onto the
+// loop. A joined (or rejoined) peer is primed exactly like a healed
+// configured neighbor — NeighborRecovered re-floods interests and
+// exploratory data so gradients form across the new edge; a rejoin
+// purges state toward the old incarnation first. A departed peer
+// (graceful leave, cap eviction, failed handshake) is a NeighborDead:
+// gradients through it must not linger. A detector-declared death
+// already drove NeighborDead through onPeerState, so MemberDead only
+// records the table removal.
+func (d *Daemon) onMember(peer uint32, ev transport.MemberEvent) {
+	fmt.Fprintf(d.logw, "diffnode %d: member %d %s\n", d.cfg.ID, peer, ev)
+	d.loop.Post(func() {
+		if d.node == nil {
+			return
+		}
+		kind := uint8(faultMemberGone)
+		if ev == transport.MemberJoined || ev == transport.MemberRejoined {
+			kind = faultMemberJoined
+		}
+		d.flight.Record(telemetry.FlightRecord{
+			At: d.loop.Now(), Node: d.cfg.ID, Peer: peer,
+			Verb: telemetry.VerbFault, Kind: kind,
+		})
+		switch ev {
+		case transport.MemberJoined:
+			d.node.NeighborRecovered(peer)
+		case transport.MemberRejoined:
+			d.node.NeighborDead(peer)
+			d.node.NeighborRecovered(peer)
+		case transport.MemberLeft, transport.MemberEvicted, transport.MemberDemoted:
+			d.node.NeighborDead(peer)
+		}
+	})
 }
 
 // onPeerState receives the failure detector's verdicts. It runs on a
@@ -543,6 +645,7 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("GET /state", d.handleState)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /neighbors", d.handleNeighbors)
 	mux.HandleFunc("GET /custody", d.handleCustody)
 	mux.HandleFunc("POST /chaos", d.handleChaos)
 	mux.HandleFunc("GET /spans", d.handleSpans)
@@ -818,9 +921,11 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // it was last heard). When every neighbor is dead the node is partitioned
 // from the network and the endpoint answers 503, so an external
 // supervisor can distinguish "process up, network gone" from healthy.
-// A node with no configured neighbors is never "isolated": a single-node
-// or not-yet-joined deployment is a legitimate steady state, and a 503
-// there would have a supervisor restart-looping a healthy process.
+// A node with no neighbors at all — single-node deployment, or a
+// discovery node that has not joined yet — is never "isolated": that is
+// a legitimate steady state, and a 503 there would have a supervisor
+// restart-looping a healthy process. (The detector reports all-dead only
+// when it watches at least one peer, so the empty table is safe.)
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type neighborHealth struct {
 		State       string `json:"state"`
@@ -842,7 +947,7 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				RTTMicros:   h.RTTMicros,
 			}
 		}
-		isolated = len(d.cfg.Neighbors) > 0 && d.link.Isolated()
+		isolated = d.link.Isolated()
 		resp["neighbors"] = neighbors
 		resp["isolated"] = isolated
 	}
@@ -851,6 +956,58 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleNeighbors reports the node's membership view: every peer in the
+// live neighbor table plus every discovery record still being tracked
+// (candidates, quarantined peers, recent departures). This is the
+// surface cmd/diffscope's mesh walk rides on — each row's http address
+// points at that peer's own /neighbors. Works with discovery off too:
+// configured neighbors show up with origin "configured".
+func (d *Daemon) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID          uint32  `json:"id"`
+		UDP         string  `json:"udp,omitempty"`
+		HTTP        string  `json:"http,omitempty"`
+		Origin      string  `json:"origin"`
+		Member      string  `json:"member"`
+		Peered      bool    `json:"peered"`
+		Score       uint64  `json:"score,omitempty"`
+		Energy      float64 `json:"energy,omitempty"`
+		DataRecv    uint64  `json:"data_recv"`
+		DataSent    uint64  `json:"data_sent"`
+		State       string  `json:"state,omitempty"`
+		LastHeardMS int64   `json:"last_heard_ms,omitempty"`
+		RTTMicros   int64   `json:"rtt_us,omitempty"`
+	}
+	members := d.link.Members()
+	rows := make([]row, 0, len(members))
+	degree := 0
+	for _, m := range members {
+		if m.MembershipCode == transport.MembershipNeighbor {
+			degree++
+		}
+		rw := row{
+			ID: m.ID, UDP: m.Addr, HTTP: m.HTTPAddr,
+			Origin: m.Origin, Member: m.Membership, Peered: m.Peered,
+			Score: m.Score, Energy: m.Energy,
+			DataRecv: m.DataRecv, DataSent: m.DataSent,
+		}
+		if m.HasHealth {
+			rw.State = m.Health.State.String()
+			rw.LastHeardMS = m.Health.LastHeard.Milliseconds()
+			rw.RTTMicros = m.Health.RTTMicros
+		}
+		rows = append(rows, rw)
+	}
+	writeJSON(w, map[string]any{
+		"id":        d.cfg.ID,
+		"boot":      d.link.Boot(),
+		"degree":    degree,
+		"cap":       d.link.DegreeCap(),
+		"discovery": d.link.DiscoveryEnabled(),
+		"neighbors": rows,
+	})
 }
 
 // handleCustody reports the custody layer: queue depth and counters,

@@ -8,6 +8,12 @@
 //	diffnode -id 1 -listen 127.0.0.1:7001 -http 127.0.0.1:8001 \
 //	    -neighbors 2=127.0.0.1:7002
 //
+// Instead of a static neighbor table, a node can join a running mesh by
+// discovery: `-seed HOST:PORT` announces to an existing member and
+// learns the rest by gossip (the first node of a fresh mesh passes
+// `-discover` and just listens). Static entries and discovery compose —
+// configured neighbors are pinned, discovered ones come and go.
+//
 // Control plane:
 //
 //	POST /subscribe    body: attribute formals ("type EQ x, interval IS 5")
@@ -20,6 +26,9 @@
 //	GET  /metrics      telemetry in Prometheus text format
 //	GET  /healthz      liveness incl. per-neighbor failure-detector state
 //	                   (503 when partitioned from every configured neighbor)
+//	GET  /neighbors    membership table: every neighbor and discovery
+//	                   record with origin, liveness state and RTT
+//	                   (cmd/diffscope -walk crawls the mesh through it)
 //	GET  /custody      custody-transfer introspection: queue depth and
 //	                   counters, journal stats, pending offers
 //	POST /chaos        body: {"loss": P, "blocked": [ID, ...]} — live
@@ -50,12 +59,19 @@ func main() {
 		id         = flag.Uint("id", 0, "node ID (nonzero)")
 		listen     = flag.String("listen", "", "UDP listen address for diffusion traffic")
 		httpAddr   = flag.String("http", "", "HTTP control-plane listen address")
-		neighbors  = flag.String("neighbors", "", "neighbor table: ID=HOST:PORT,ID=HOST:PORT,...")
+		neighbors  = flag.String("neighbors", "", "static neighbor table: ID=HOST:PORT,... (fully overrides the config file's table; empty clears it)")
+		seeds      = flag.String("seed", "", "comma-separated UDP addresses of running mesh members to join through (enables discovery)")
+		discover   = flag.Bool("discover", false, "enable neighbor discovery without seeds (the first node of a fresh mesh)")
+		degreeCap  = flag.Int("degree-cap", 0, "max neighbors, configured + discovered (0: 8)")
+		announceIv = flag.Duration("announce-interval", 0, "discovery announce period (0: 1s)")
+		energyLvl  = flag.Float64("energy", 0, "advertised energy level in (0,1], the cluster-head tiebreak (0: 1.0)")
+		advertise  = flag.String("advertise", "", "UDP address announced to peers (default: the bound address)")
+		addrFile   = flag.String("addr-file", "", "write {id,udp,http} JSON here once the sockets bind (for orchestrators using :0)")
 		keys       = flag.String("keys", "", "comma-separated application attribute keys to pre-register, in order")
 		subscribe  = flag.String("subscribe", "", "attribute formals to subscribe at boot")
 		publish    = flag.String("publish", "", "attribute actuals to publish at boot")
 		filtersF   = flag.String("filters", "", "semicolon-separated filters: tap, suppress, cache (optionally name:<attrs>)")
-		seed       = flag.Int64("seed", 0, "jitter seed (default: node ID)")
+		seed       = flag.Int64("jitter-seed", 0, "jitter seed (default: node ID)")
 		interestIv = flag.Duration("interest-interval", 0, "interest refresh period (0: paper default)")
 		explIv     = flag.Duration("exploratory-interval", 0, "exploratory data period (0: paper default)")
 		jitter     = flag.Duration("forward-jitter", 0, "broadcast forwarding jitter (0: paper default)")
@@ -77,9 +93,20 @@ func main() {
 		drain      = flag.Duration("drain", 0, "shutdown drain window (default 500ms)")
 	)
 	flag.Parse()
+	neighborsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "neighbors" {
+			neighborsSet = true
+		}
+	})
 
 	cfg, err := buildConfig(*configPath, flagOverrides{
-		id: uint32(*id), listen: *listen, http: *httpAddr, neighbors: *neighbors, keys: *keys,
+		id: uint32(*id), listen: *listen, http: *httpAddr,
+		neighbors: *neighbors, neighborsSet: neighborsSet,
+		seeds: *seeds, discover: *discover, degreeCap: *degreeCap,
+		announceInterval: *announceIv, energy: *energyLvl,
+		advertise: *advertise, addrFile: *addrFile,
+		keys:      *keys,
 		subscribe: *subscribe, publish: *publish, filters: *filtersF, seed: *seed,
 		interestInterval: *interestIv, exploratoryInterval: *explIv,
 		forwardJitter: *jitter, loss: *loss, latency: *latency,
@@ -118,6 +145,13 @@ type flagOverrides struct {
 	id                  uint32
 	listen, http        string
 	neighbors, keys     string
+	neighborsSet        bool // -neighbors was given, even if empty (clears the table)
+	seeds               string
+	discover            bool
+	degreeCap           int
+	announceInterval    time.Duration
+	energy              float64
+	advertise, addrFile string
 	subscribe, publish  string
 	filters             string
 	seed                int64
@@ -161,12 +195,37 @@ func buildConfig(path string, f flagOverrides) (Config, error) {
 	if f.http != "" {
 		cfg.HTTP = f.http
 	}
-	if f.neighbors != "" {
+	if f.neighborsSet {
+		// The flag is the whole table, not a merge into the file's: an
+		// operator overriding the topology must not inherit stale entries,
+		// and an explicitly empty -neighbors clears the static table (a
+		// discovery-only node driven from a shared config file).
 		nb, err := parseNeighbors(f.neighbors)
 		if err != nil {
 			return cfg, err
 		}
 		cfg.Neighbors = nb
+	}
+	if f.seeds != "" {
+		cfg.Seeds = splitList(f.seeds, ',')
+	}
+	if f.discover {
+		cfg.Discover = true
+	}
+	if f.degreeCap != 0 {
+		cfg.DegreeCap = f.degreeCap
+	}
+	if f.announceInterval != 0 {
+		cfg.AnnounceInterval = f.announceInterval
+	}
+	if f.energy != 0 {
+		cfg.Energy = f.energy
+	}
+	if f.advertise != "" {
+		cfg.Advertise = f.advertise
+	}
+	if f.addrFile != "" {
+		cfg.AddrFile = f.addrFile
 	}
 	if f.keys != "" {
 		cfg.Keys = append(cfg.Keys, splitList(f.keys, ',')...)
@@ -239,6 +298,13 @@ func buildConfig(path string, f flagOverrides) (Config, error) {
 	}
 	if f.drain != 0 {
 		cfg.Drain = f.drain
+	}
+	// A node with neither a static table nor discovery would sit deaf
+	// forever; catch the misconfiguration at the CLI instead of booting a
+	// useless process. (In-process embedders may still run standalone
+	// single-node daemons; this check guards the command line only.)
+	if len(cfg.Neighbors) == 0 && !cfg.discoveryEnabled() {
+		return cfg, fmt.Errorf("diffnode: no neighbors and no discovery: set -neighbors, -seed, or -discover")
 	}
 	return cfg, nil
 }

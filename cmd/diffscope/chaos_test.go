@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -240,26 +239,9 @@ func ctrl(t *testing.T, p *chaos.Proc, path, body string) map[string]any {
 // freePorts reserves n distinct loopback ports of the given kind.
 func freePorts(t *testing.T, n int, kind string) []int {
 	t.Helper()
-	ports := make([]int, n)
-	closers := make([]io.Closer, n)
-	for i := range ports {
-		switch kind {
-		case "udp":
-			c, err := net.ListenPacket("udp", "127.0.0.1:0")
-			if err != nil {
-				t.Fatal(err)
-			}
-			closers[i], ports[i] = c, c.LocalAddr().(*net.UDPAddr).Port
-		default:
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				t.Fatal(err)
-			}
-			closers[i], ports[i] = ln, ln.Addr().(*net.TCPAddr).Port
-		}
-	}
-	for _, c := range closers {
-		c.Close()
+	ports, err := chaos.FreePorts(kind, n)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return ports
 }

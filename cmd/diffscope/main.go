@@ -9,9 +9,13 @@
 //
 // Usage:
 //
-//	diffscope [-flow F] [-o merged.jsonl] host:port [host:port ...]
+//	diffscope [-walk] [-flow F] [-o merged.jsonl] host:port [host:port ...]
 //
-// Each argument is a diffnode control-plane address. The report lists
+// Each argument is a diffnode control-plane address. With -walk the
+// arguments are entry points only: diffscope breadth-first walks each
+// node's GET /neighbors membership view — following the control-plane
+// addresses that discovery announces carry — prints a membership census,
+// and scrapes every node it found. The report lists
 // every sampled flow's relay chain with per-hop latencies, per-hop and
 // end-to-end latency percentiles, the time-ordered reinforcement-path
 // evolution, and a drop-localization verdict per undelivered flow.
@@ -37,7 +41,7 @@ import (
 	"diffusion/internal/telemetry"
 )
 
-const usage = "usage: diffscope [-flow F] [-o merged.jsonl] host:port [host:port ...]"
+const usage = "usage: diffscope [-walk] [-flow F] [-o merged.jsonl] host:port [host:port ...]"
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:]); err != nil {
@@ -50,6 +54,7 @@ func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("diffscope", flag.ContinueOnError)
 	flowHex := fs.String("flow", "", "print one flow's merged event timeline (hex flow ID as listed)")
 	out := fs.String("o", "", "also write the merged spans as a JSONL trace")
+	walk := fs.Bool("walk", false, "treat the addresses as entry points and walk GET /neighbors to find the whole mesh")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-node scrape timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,11 +68,33 @@ func run(w io.Writer, args []string) error {
 		return errors.New(usage)
 	}
 
-	scrapes := make([]scrape, 0, len(addrs))
 	client := &http.Client{Timeout: *timeout}
+	if *walk {
+		nodes, err := walkMesh(w, client, addrs)
+		if err != nil {
+			return err
+		}
+		if len(nodes) == 0 {
+			return errors.New("walk found no nodes")
+		}
+		walkReport(w, nodes)
+		addrs = addrs[:0]
+		for _, n := range nodes {
+			addrs = append(addrs, n.Addr)
+		}
+	}
+
+	scrapes := make([]scrape, 0, len(addrs))
 	for _, addr := range addrs {
 		s, err := scrapeNode(client, addr)
 		if err != nil {
+			// On a walked mesh tracing may simply be off (or a node died
+			// between census and scrape): report and move on. An explicit
+			// node list keeps the hard error.
+			if *walk {
+				fmt.Fprintf(w, "diffscope: scrape %s: %v\n", addr, err)
+				continue
+			}
 			return fmt.Errorf("scrape %s: %w", addr, err)
 		}
 		scrapes = append(scrapes, s)

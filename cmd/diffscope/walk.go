@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Mesh walking: with -walk, diffscope needs only one entry point. Every
+// diffnode serves GET /neighbors, and — when discovery is on — each row
+// carries the peer's control-plane address learned from its announces, so
+// a breadth-first walk from a single seed enumerates the whole connected
+// mesh. The walked set then feeds the span scrape, replacing the
+// hand-maintained node list.
+
+// walkLimit bounds a walk so a malformed mesh (or a mesh of forged
+// announces) cannot make the tool crawl forever.
+const walkLimit = 1024
+
+// meshNode is one node's /neighbors envelope as seen during a walk.
+type meshNode struct {
+	Addr      string
+	ID        uint32 `json:"id"`
+	Degree    int    `json:"degree"`
+	Cap       int    `json:"cap"`
+	Discovery bool   `json:"discovery"`
+	Neighbors []struct {
+		ID     uint32 `json:"id"`
+		HTTP   string `json:"http"`
+		Member string `json:"member"`
+		Peered bool   `json:"peered"`
+		Origin string `json:"origin"`
+	} `json:"neighbors"`
+}
+
+// walkMesh BFS-walks GET /neighbors from the entry addresses and returns
+// every reachable node. Entry-point failures are fatal (the operator gave
+// a bad address); failures on walked nodes are skipped with a notice —
+// a node can die mid-walk, and one corpse must not abort the census.
+func walkMesh(w io.Writer, client *http.Client, entries []string) ([]meshNode, error) {
+	var nodes []meshNode
+	seen := map[string]bool{}
+	queue := make([]string, 0, len(entries))
+	for _, a := range entries {
+		if !seen[a] {
+			seen[a] = true
+			queue = append(queue, a)
+		}
+	}
+	entrySet := len(queue)
+	for i := 0; i < len(queue) && len(nodes) < walkLimit; i++ {
+		addr := queue[i]
+		n, err := fetchNeighbors(client, addr)
+		if err != nil {
+			if i < entrySet {
+				return nil, fmt.Errorf("walk entry %s: %w", addr, err)
+			}
+			fmt.Fprintf(w, "diffscope: walk: skipping %s: %v\n", addr, err)
+			continue
+		}
+		nodes = append(nodes, n)
+		for _, nb := range n.Neighbors {
+			if nb.HTTP != "" && !seen[nb.HTTP] {
+				seen[nb.HTTP] = true
+				queue = append(queue, nb.HTTP)
+			}
+		}
+	}
+	if len(queue) > walkLimit {
+		fmt.Fprintf(w, "diffscope: walk: stopped at %d nodes (limit)\n", walkLimit)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return nodes, nil
+}
+
+// fetchNeighbors fetches and decodes one node's GET /neighbors.
+func fetchNeighbors(client *http.Client, addr string) (meshNode, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := client.Get(url + "/neighbors")
+	if err != nil {
+		return meshNode{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return meshNode{}, fmt.Errorf("GET /neighbors: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var n meshNode
+	if err := json.NewDecoder(resp.Body).Decode(&n); err != nil {
+		return meshNode{}, err
+	}
+	n.Addr = addr
+	return n, nil
+}
+
+// walkReport prints the membership census: one line per node with its
+// degree against the cap and a tally of neighbor rows by membership.
+func walkReport(w io.Writer, nodes []meshNode) {
+	fmt.Fprintf(w, "diffscope: walked %d nodes\n", len(nodes))
+	for _, n := range nodes {
+		tally := map[string]int{}
+		for _, nb := range n.Neighbors {
+			tally[nb.Member]++
+		}
+		parts := make([]string, 0, len(tally))
+		for _, state := range []string{"neighbor", "candidate", "quarantined", "left", "dead"} {
+			if tally[state] > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", tally[state], state))
+			}
+		}
+		mode := "static"
+		if n.Discovery {
+			mode = "discovery"
+		}
+		fmt.Fprintf(w, "  node %d (%s): %s, degree %d/%d, peers: %s\n",
+			n.ID, n.Addr, mode, n.Degree, n.Cap, strings.Join(parts, ", "))
+	}
+}

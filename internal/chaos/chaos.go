@@ -100,8 +100,13 @@ func (p *Proc) startLocked() error {
 // ID returns the member's node ID.
 func (p *Proc) ID() uint32 { return p.spec.ID }
 
-// HTTPAddr returns the member's control-plane address.
-func (p *Proc) HTTPAddr() string { return p.spec.HTTP }
+// HTTPAddr returns the member's control-plane address (see SetHTTP for
+// members launched on ":0").
+func (p *Proc) HTTPAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spec.HTTP
+}
 
 // Pid returns the current process ID (-1 when not running).
 func (p *Proc) Pid() int {
@@ -204,7 +209,7 @@ func (p *Proc) WaitExit(timeout time.Duration) error {
 // Healthz fetches the member's /healthz. The decoded body is returned
 // even on 503 (an isolated node still reports per-neighbor state).
 func (p *Proc) Healthz() (int, map[string]any, error) {
-	resp, err := httpClient.Get(fmt.Sprintf("http://%s/healthz", p.spec.HTTP))
+	resp, err := httpClient.Get(fmt.Sprintf("http://%s/healthz", p.HTTPAddr()))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -278,7 +283,7 @@ func (p *Proc) postChaos(body map[string]any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := httpClient.Post(fmt.Sprintf("http://%s/chaos", p.spec.HTTP),
+	resp, err := httpClient.Post(fmt.Sprintf("http://%s/chaos", p.HTTPAddr()),
 		"application/json", bytes.NewReader(b))
 	if err != nil {
 		return fmt.Errorf("chaos: member %d: %w", p.spec.ID, err)

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Port and address-file helpers shared by the harness's test drivers and
+// cmd/difffleet. Pre-reserving ports (FreePorts) suits members that must
+// restart on an identical argv; address files suit members launched on
+// ":0", where only the member itself knows what it bound.
+
+// FreePorts reserves n distinct free ports for the given network ("udp"
+// or "tcp") by binding :0 sockets, reading the assigned ports back, and
+// closing them. The usual caveat applies: the ports are only probably
+// free, another process may grab one between close and reuse. Binding is
+// done all at once so the kernel cannot hand the same port out twice.
+func FreePorts(network string, n int) ([]int, error) {
+	ports := make([]int, 0, n)
+	var closers []func() error
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		switch network {
+		case "udp":
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				return nil, fmt.Errorf("chaos: reserve udp port: %w", err)
+			}
+			closers = append(closers, conn.Close)
+			ports = append(ports, conn.LocalAddr().(*net.UDPAddr).Port)
+		case "tcp":
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("chaos: reserve tcp port: %w", err)
+			}
+			closers = append(closers, ln.Close)
+			ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+		default:
+			return nil, fmt.Errorf("chaos: reserve ports: unknown network %q", network)
+		}
+	}
+	return ports, nil
+}
+
+// AddrFile is the JSON contract between a member process listening on
+// ":0" and the orchestrator that launched it: the member writes the
+// addresses it actually bound, the orchestrator waits for the file.
+type AddrFile struct {
+	ID   uint32 `json:"id"`
+	UDP  string `json:"udp"`
+	HTTP string `json:"http"`
+}
+
+// WriteAddrFile writes an address file atomically (temp file + rename),
+// so a watcher never reads a torn write.
+func WriteAddrFile(path string, a AddrFile) error {
+	b, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".addr-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WaitAddrFile polls for an address file until it parses or the timeout
+// passes.
+func WaitAddrFile(path string, timeout time.Duration) (AddrFile, error) {
+	var a AddrFile
+	deadline := time.Now().Add(timeout)
+	for {
+		b, err := os.ReadFile(path)
+		if err == nil && json.Unmarshal(b, &a) == nil && a.UDP != "" {
+			return a, nil
+		}
+		if time.Now().After(deadline) {
+			return a, fmt.Errorf("chaos: no address file at %s after %v", path, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// SetHTTP re-points the member's control-plane address — for members
+// launched with ":0" listeners, whose real address is only known from
+// their address file after start.
+func (p *Proc) SetHTTP(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.spec.HTTP = addr
+}

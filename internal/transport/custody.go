@@ -224,6 +224,21 @@ func (c *custodian) reoffer(peer uint32) {
 	}
 }
 
+// dropPeer forgets every pending offer toward one peer. The custody queue
+// still holds the data — nothing is released — so when the peer (or a
+// replacement upstream) comes back, the core's NeighborRecovered replay
+// re-offers it under fresh wire sequence numbers. Discovery calls this
+// when a peer is removed or restarts with a new boot nonce.
+func (c *custodian) dropPeer(peer uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.bySeq {
+		if f.peer == peer {
+			c.dropLocked(f)
+		}
+	}
+}
+
 // pending returns the number of outstanding custody offers (tests,
 // introspection).
 func (c *custodian) pending() int {

@@ -1,0 +1,1125 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file implements the UDP endpoint's membership subsystem: neighbor
+// discovery, runtime join/leave, and a degree cap with deterministic
+// cluster-head preference. The paper's protocol assumes neighbors simply
+// exist — its testbed had fixed placement — but a production mesh must
+// bootstrap itself. Discovery adds three frame kinds on the existing v2
+// framing:
+//
+//   - announce: "here I am" — carries the node's advertised UDP address,
+//     HTTP control-plane port, key-vocabulary digest, energy level, a
+//     peering bit ("I currently have you as my neighbor") and a gossip
+//     sample of other known peers. Boot-nonce-scoped like every frame, so
+//     a restart is recognized as a fresh incarnation.
+//   - probe: "who are you?" — an empty solicitation that asks the target
+//     to reply with a unicast announce. Used toward peers learned only
+//     from gossip, whose digest and boot nonce we do not yet know.
+//   - leave: "I am going away" — graceful departure, demote me now
+//     instead of waiting out the failure detector's timeouts.
+//
+// A node seeds itself from one or more -seed addresses; everything else
+// spreads by gossip. Peers whose announces check out are promoted to full
+// neighbors — heartbeats, reliable unicast, custody re-offers, the works —
+// and demoted on death or explicit leave, driving the same
+// core.NeighborDead/NeighborRecovered hooks as configured peers.
+//
+// The degree cap bounds per-node neighbor count so flooding cost stays
+// sub-linear as membership grows (CCIC-WSN's cluster argument). When the
+// cap is hit, slots are contested by cluster-head score — a deterministic
+// splitmix64 hash of (node ID, boot nonce), with an energy-aware
+// tiebreak. Folding the boot nonce in rotates headship across restarts,
+// LEACH-style, so no node is a head forever. Both sides compute identical
+// scores from the wire header alone, so no negotiation is needed. Score
+// decides which links FORM, never breaks ones that work: only one-way
+// placeholder slots (promoted but never reciprocated) lose to a better
+// candidate. At mesh scale, letting score evict mutual links makes every
+// node chase the same top scorers and the churn cascades — pairs break
+// faster than new ones complete, and the mesh never settles.
+//
+// Promotion is a two-way handshake. A neighborhood must be symmetric —
+// the receive path drops frames from unknown senders — so a promoted peer
+// is only useful once it has promoted us back. The announce peering bit
+// carries that fact: a promoted peer that never sets it within three
+// announce intervals is demoted back to candidate (it is full, and we are
+// below its cut), and a previously-peered neighbor that clears it has
+// dropped us, so we drop it too.
+//
+// Pure score preference has a starvation mode: once the mesh saturates,
+// the globally lowest-scored nodes beat nobody's weakest neighbor and
+// stay isolated forever (visible already at n = cap+2, where the top
+// cap+1 nodes form a full clique). The loneliness override breaks it,
+// HyParView-style: an announce advertises "I have zero peered neighbors",
+// and a full node admits such a peer by evicting its weakest neighbor
+// regardless of score — rate-limited to one per interval, with the
+// admitted peer's slot protected from score-based eviction so the mesh
+// does not churn it right back out.
+
+// MemberEvent classifies a membership change surfaced through
+// DiscoveryConfig.OnMember.
+type MemberEvent uint8
+
+// Membership events.
+const (
+	// MemberJoined: a discovered peer was promoted to full neighbor.
+	MemberJoined MemberEvent = iota
+	// MemberRejoined: a promoted peer re-announced under a new boot nonce
+	// — same identity, fresh incarnation, stale link state dropped.
+	MemberRejoined
+	// MemberLeft: the peer sent an explicit leave frame.
+	MemberLeft
+	// MemberEvicted: the degree cap displaced the peer in favor of one
+	// with a better cluster-head score.
+	MemberEvicted
+	// MemberDemoted: the peering handshake failed — the peer never
+	// promoted us back, or stopped listing us as its neighbor.
+	MemberDemoted
+	// MemberDead: the failure detector declared the discovered peer dead
+	// and it was removed from the neighbor table.
+	MemberDead
+	// MemberQuarantined: the peer's key-vocabulary digest does not match
+	// ours; it is recorded but never promoted.
+	MemberQuarantined
+)
+
+// String renders the event.
+func (e MemberEvent) String() string {
+	switch e {
+	case MemberJoined:
+		return "joined"
+	case MemberRejoined:
+		return "rejoined"
+	case MemberLeft:
+		return "left"
+	case MemberEvicted:
+		return "evicted"
+	case MemberDemoted:
+		return "demoted"
+	case MemberDead:
+		return "dead"
+	case MemberQuarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// Membership table states, as reported in Member.Membership /
+// Member.MembershipCode. Neighbor means the peer is in the live neighbor
+// table; everything else is a discovery record only.
+const (
+	MembershipCandidate uint8 = iota
+	MembershipNeighbor
+	MembershipQuarantined
+	MembershipLeft
+	MembershipDead
+)
+
+// memberState is the discovery record's lifecycle state (the exported
+// Membership* codes, typed for internal use).
+type memberState uint8
+
+const (
+	stCandidate   = memberState(MembershipCandidate)
+	stNeighbor    = memberState(MembershipNeighbor)
+	stQuarantined = memberState(MembershipQuarantined)
+	stLeft        = memberState(MembershipLeft)
+	stDead        = memberState(MembershipDead)
+)
+
+func (s memberState) String() string {
+	switch s {
+	case stCandidate:
+		return "candidate"
+	case stNeighbor:
+		return "neighbor"
+	case stQuarantined:
+		return "quarantined"
+	case stLeft:
+		return "left"
+	case stDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Member is one row of the endpoint's membership view: every peer in the
+// live neighbor table plus every discovery record not (or no longer) in
+// it.
+type Member struct {
+	ID             uint32
+	Addr           string // UDP address ("" if never learned)
+	HTTPAddr       string // control-plane address derived from the announce ("" if unknown)
+	Origin         string // "configured" | "discovered"
+	Membership     string // "neighbor" | "candidate" | "quarantined" | "left" | "dead"
+	MembershipCode uint8  // the Membership* constant behind Membership
+	Peered         bool   // the peer currently lists us as its neighbor
+	Score          uint64 // cluster-head score for the peer's current boot
+	Energy         float64
+	DataRecv       uint64 // payload frames delivered from this peer
+	DataSent       uint64 // payload frames sent toward this peer
+	Health         PeerHealth
+	HasHealth      bool
+}
+
+// DiscoveryConfig parameterizes the membership subsystem. Requires the
+// Liveness option: promotion without a failure detector would leave dead
+// discovered neighbors in the table forever.
+type DiscoveryConfig struct {
+	// Seeds are UDP addresses announced to every interval regardless of
+	// membership — the bootstrap entry points. May be empty on the seed
+	// node itself, which just listens.
+	Seeds []string
+	// Advertise is the UDP address announced to peers (default: the bound
+	// address — correct on loopback and when listening on a routable IP).
+	Advertise string
+	// HTTPPort is the node's control-plane port, carried in announces so
+	// peers can derive the /neighbors address for mesh walking (0 = none).
+	HTTPPort uint16
+	// VocabDigest is the node's key-vocabulary digest (VocabDigest over
+	// the registration-ordered key names). Announcing peers with a
+	// different digest are quarantined, never promoted: attribute keys are
+	// numbered in registration order, so a mismatched vocabulary would
+	// silently mis-parse every named interest.
+	VocabDigest uint64
+	// Energy in (0,1] is this node's energy level, the cluster-head
+	// tiebreak (default 1).
+	Energy float64
+	// Interval is the announce period (default 1s).
+	Interval time.Duration
+	// DegreeCap bounds configured + discovered neighbors (default 8).
+	// Configured peers count toward the cap but are never evicted.
+	DegreeCap int
+	// GossipFanout is how many known peers each announce samples
+	// (default 8).
+	GossipFanout int
+	// OnMember, when set, is invoked on membership changes. Called from
+	// transport-owned goroutines; do not call back into the endpoint
+	// synchronously — post onto the node's loop instead.
+	OnMember func(peer uint32, ev MemberEvent)
+}
+
+// fill applies defaults.
+func (c *DiscoveryConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.DegreeCap <= 0 {
+		c.DegreeCap = 8
+	}
+	if c.GossipFanout <= 0 {
+		c.GossipFanout = 8
+	}
+	if c.Energy <= 0 || c.Energy > 1 {
+		c.Energy = 1
+	}
+}
+
+// VocabDigest hashes an ordered key vocabulary (FNV-1a 64 with length
+// separators). Attribute keys are numbered by registration order, so two
+// nodes interoperate only when their ordered vocabularies are identical —
+// this digest rides in every announce to enforce exactly that.
+func VocabDigest(keys []string) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator: ["ab"] and ["a","b"] must differ
+		h *= prime64
+	}
+	return h
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// clusterScore is a peer's deterministic cluster-head score: any two
+// nodes compute the same value from the wire header alone. Folding the
+// boot nonce in re-rolls the score each restart, rotating headship
+// LEACH-style so no node stays a hot spot across its lifetime.
+func clusterScore(id, boot uint32) uint64 {
+	return splitmix64(uint64(id)<<32 | uint64(boot))
+}
+
+// Announce payload wire format (version 1):
+//
+//	[0]     codec version
+//	[1]     flags (bit0: peering — "I have you as my neighbor")
+//	[2:10]  vocabulary digest, big endian
+//	[10:12] HTTP control-plane port, big endian (0 = none)
+//	[12:14] energy, permille, big endian
+//	[14]    advertised-UDP-address length, then that many bytes
+//	[...]   gossip count, then per entry: peer ID u32 BE,
+//	        address length byte, address bytes
+const (
+	discoVersion  = 1
+	annFlagPeered = 1 << 0 // "I have you as my neighbor"
+	annFlagLonely = 1 << 1 // "I have no peered neighbors at all — admit me"
+)
+
+// announce is a decoded announce payload.
+type announce struct {
+	flags    byte
+	digest   uint64
+	httpPort uint16
+	energy   uint16 // permille
+	addr     string // advertised UDP address
+	gossip   []gossipEntry
+}
+
+type gossipEntry struct {
+	id   uint32
+	addr string
+}
+
+// encodeAnnounce renders a to wire format. Addresses longer than 255
+// bytes cannot be encoded; the constructor rejects such an Advertise and
+// gossip skips them.
+func encodeAnnounce(a announce) []byte {
+	n := 15 + len(a.addr) + 1
+	for _, g := range a.gossip {
+		n += 5 + len(g.addr)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, discoVersion, a.flags)
+	b = binary.BigEndian.AppendUint64(b, a.digest)
+	b = binary.BigEndian.AppendUint16(b, a.httpPort)
+	b = binary.BigEndian.AppendUint16(b, a.energy)
+	b = append(b, byte(len(a.addr)))
+	b = append(b, a.addr...)
+	b = append(b, byte(len(a.gossip)))
+	for _, g := range a.gossip {
+		b = binary.BigEndian.AppendUint32(b, g.id)
+		b = append(b, byte(len(g.addr)))
+		b = append(b, g.addr...)
+	}
+	return b
+}
+
+// decodeAnnounce parses a wire announce, copying all strings out of the
+// receive buffer.
+func decodeAnnounce(b []byte) (announce, error) {
+	var a announce
+	if len(b) < 16 {
+		return a, fmt.Errorf("transport: announce too short (%d bytes)", len(b))
+	}
+	if b[0] != discoVersion {
+		return a, fmt.Errorf("transport: announce version %d, want %d", b[0], discoVersion)
+	}
+	a.flags = b[1]
+	a.digest = binary.BigEndian.Uint64(b[2:10])
+	a.httpPort = binary.BigEndian.Uint16(b[10:12])
+	a.energy = binary.BigEndian.Uint16(b[12:14])
+	alen := int(b[14])
+	p := 15
+	if len(b) < p+alen+1 {
+		return a, fmt.Errorf("transport: announce address truncated")
+	}
+	a.addr = string(b[p : p+alen])
+	p += alen
+	count := int(b[p])
+	p++
+	for i := 0; i < count; i++ {
+		if len(b) < p+5 {
+			return a, fmt.Errorf("transport: announce gossip truncated")
+		}
+		id := binary.BigEndian.Uint32(b[p : p+4])
+		glen := int(b[p+4])
+		p += 5
+		if len(b) < p+glen {
+			return a, fmt.Errorf("transport: announce gossip truncated")
+		}
+		a.gossip = append(a.gossip, gossipEntry{id: id, addr: string(b[p : p+glen])})
+		p += glen
+	}
+	return a, nil
+}
+
+// discoRec is one peer's discovery record — the endpoint's view of a
+// peer's announced identity and its place in the membership lifecycle.
+type discoRec struct {
+	id         uint32
+	cfg        bool // statically configured: pinned, never evicted or demoted
+	addr       *net.UDPAddr
+	httpPort   uint16
+	boot       uint32
+	haveBoot   bool
+	score      uint64
+	energy     uint16 // permille
+	state      memberState
+	peered     bool      // peer's last announce this boot listed us as its neighbor
+	protected  bool      // admitted via the loneliness override: immune to score eviction
+	backoff    uint8     // consecutive failed handshakes, drives exponential retry damping
+	promotedAt time.Time // when we promoted it (handshake deadline base)
+	retryAt    time.Time // do not re-promote before this (handshake damping)
+	lastHeard  time.Time // last announce/probe from the peer
+	lastReply  time.Time // last rate-limited announce we sent it in response
+	lastProbe  time.Time // last solicitation we sent it
+}
+
+// memberEvt is a deferred OnMember callback, fired after d.mu unlocks.
+type memberEvt struct {
+	peer uint32
+	ev   MemberEvent
+}
+
+// discoSend is a deferred frame send, flushed after d.mu unlocks.
+type discoSend struct {
+	dst    uint32 // 0 when the peer ID is unknown (header dst = Broadcast)
+	addr   *net.UDPAddr
+	kind   uint8
+	peered bool // announce peering bit
+}
+
+// discovery is one endpoint's membership engine. Lock order: d.mu may be
+// held while taking the detector's or peer table's lock, never the
+// reverse — detector callbacks fire outside its own lock.
+type discovery struct {
+	cfg       DiscoveryConfig
+	u         *UDP
+	seeds     []*net.UDPAddr
+	advertise string
+	energy    uint16 // permille
+
+	mu              sync.Mutex
+	rng             *rand.Rand
+	recs            map[uint32]*discoRec
+	lastLonelyEvict time.Time // rate limit on loneliness-override evictions
+	lonelyRR        uint32    // rotates the single per-batch loneliness bid
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newDiscovery builds the engine (ListenUDP starts its goroutine).
+func newDiscovery(cfg DiscoveryConfig, u *UDP, seed int64) (*discovery, error) {
+	cfg.fill()
+	d := &discovery{
+		cfg:  cfg,
+		u:    u,
+		rng:  rand.New(rand.NewSource(seed)),
+		recs: map[uint32]*discoRec{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, s := range cfg.Seeds {
+		a, err := net.ResolveUDPAddr("udp", s)
+		if err != nil {
+			return nil, fmt.Errorf("transport: seed %q: %w", s, err)
+		}
+		d.seeds = append(d.seeds, a)
+	}
+	d.advertise = cfg.Advertise
+	if d.advertise == "" {
+		d.advertise = u.LocalAddr().String()
+	}
+	if len(d.advertise) > 255 {
+		return nil, fmt.Errorf("transport: advertise address %q too long", d.advertise)
+	}
+	d.energy = uint16(cfg.Energy * 1000)
+	return d, nil
+}
+
+// run is the announce goroutine: an immediate round, then one per
+// Interval. Each round also sweeps the record table (handshake deadlines,
+// stale-record expiry).
+func (d *discovery) run() {
+	defer close(d.done)
+	d.round()
+	t := time.NewTicker(d.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.round()
+		}
+	}
+}
+
+// round sweeps the table and announces to seeds, neighbors and a probe
+// batch of candidates.
+func (d *discovery) round() {
+	now := time.Now()
+	var sends []discoSend
+	var events []memberEvt
+
+	d.mu.Lock()
+	for id, r := range d.recs {
+		if r.cfg {
+			continue
+		}
+		switch r.state {
+		case stNeighbor:
+			// Handshake deadline: a promoted peer that never peered back
+			// within three intervals is full (we are below its cut) — stop
+			// holding a one-way slot for it.
+			if !r.peered && now.Sub(r.promotedAt) > 3*d.cfg.Interval {
+				d.demoteLocked(r, stCandidate)
+				r.retryAt = now.Add(d.handshakeBackoffLocked(r))
+				d.u.stats.MemberDemotions.Add(1)
+				events = append(events, memberEvt{id, MemberDemoted})
+				if r.addr != nil {
+					// Tell the peer explicitly (bit clear): if it admitted
+					// us in a race with this deadline, it frees its slot now
+					// instead of waiting out its failure detector against
+					// our heartbeat silence — the lag that otherwise keeps
+					// an asymmetric pair oscillating.
+					r.lastReply = now
+					sends = append(sends, discoSend{dst: id, addr: r.addr, kind: kindAnnounce})
+				}
+			}
+		default:
+			// Non-neighbor records expire after prolonged silence so the
+			// table tracks the mesh, not its history.
+			if now.Sub(r.lastHeard) > 10*d.cfg.Interval {
+				delete(d.recs, id)
+			}
+		}
+	}
+
+	// Announce to every neighbor — dynamic and configured — with the
+	// peering bit set; that bit is the other side's proof the handshake
+	// completed.
+	covered := map[string]bool{}
+	for _, r := range d.recs {
+		if r.state == stNeighbor && r.addr != nil {
+			sends = append(sends, discoSend{dst: r.id, addr: r.addr, kind: kindAnnounce, peered: true})
+			covered[r.addr.String()] = true
+		}
+	}
+	for id, addr := range d.u.configuredPeers() {
+		if covered[addr.String()] {
+			continue
+		}
+		sends = append(sends, discoSend{dst: id, addr: addr, kind: kindAnnounce, peered: true})
+		covered[addr.String()] = true
+	}
+	// Seeds are announced to every round regardless of membership: they
+	// are the mesh's rendezvous points, and their gossip replies are what
+	// spreads knowledge of everyone else.
+	for _, s := range d.seeds {
+		as := s.String()
+		if covered[as] || as == d.advertise {
+			continue
+		}
+		sends = append(sends, discoSend{dst: 0, addr: s, kind: kindAnnounce})
+		covered[as] = true
+	}
+	// While below the cap, solicit announces from a few candidates per
+	// round (oldest-probed first). Candidates learned from gossip only
+	// become neighbors through a full announce — probes carry no digest
+	// or boot nonce — so this is what turns gossip into edges.
+	if d.roomLocked() > 0 {
+		var due []*discoRec
+		for _, r := range d.recs {
+			if !r.cfg && r.state == stCandidate && r.addr != nil && now.After(r.retryAt) {
+				due = append(due, r)
+			}
+		}
+		for len(due) > 0 && len(due) > 4 {
+			// Keep the 4 least-recently-probed.
+			worst := 0
+			for i, r := range due {
+				if r.lastProbe.After(due[worst].lastProbe) {
+					worst = i
+				}
+			}
+			due = append(due[:worst], due[worst+1:]...)
+		}
+		for _, r := range due {
+			r.lastProbe = now
+			sends = append(sends, discoSend{dst: r.id, addr: r.addr, kind: kindProbe})
+		}
+	}
+	d.mu.Unlock()
+
+	d.flush(sends)
+	d.fire(events)
+}
+
+// roomLocked is the number of free neighbor slots under the degree cap.
+func (d *discovery) roomLocked() int {
+	dyn := 0
+	for _, r := range d.recs {
+		if !r.cfg && r.state == stNeighbor {
+			dyn++
+		}
+	}
+	return d.cfg.DegreeCap - d.u.configuredCount() - dyn
+}
+
+// better reports whether a is preferred over b for a neighbor slot:
+// higher cluster-head score, then higher energy, then higher ID. Strictly
+// lexicographic and identical on every node, so the mesh-wide matching
+// converges instead of oscillating.
+func better(a, b *discoRec) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.energy != b.energy {
+		return a.energy > b.energy
+	}
+	return a.id > b.id
+}
+
+// weakestLocked returns the least-preferred evictable dynamic neighbor
+// (nil when there is none). Configured neighbors are pinned by the
+// operator, and loneliness-admitted ones are protected — evicting those
+// would re-isolate the node the override just rescued. Unless
+// includePeered is set, mutual links are off the table too: only one-way
+// placeholder slots are offered up.
+func (d *discovery) weakestLocked(includePeered bool) *discoRec {
+	var w *discoRec
+	for _, r := range d.recs {
+		if r.cfg || r.protected || r.state != stNeighbor {
+			continue
+		}
+		if r.peered && !includePeered {
+			continue
+		}
+		if w == nil || better(w, r) {
+			w = r
+		}
+	}
+	return w
+}
+
+// promoteLocked installs r as a full neighbor: peer table, failure
+// detector, reliable/custody machinery all see it from here on.
+func (d *discovery) promoteLocked(r *discoRec, now time.Time) {
+	r.state = stNeighbor
+	r.promotedAt = now
+	d.u.addNeighbor(r.id, r.addr)
+	d.u.stats.MemberJoins.Add(1)
+}
+
+// handshakeBackoffLocked returns the retry damping after a failed
+// two-way handshake and escalates it for the next failure: 5 intervals
+// the first time, doubling up to 320. Without escalation a sub-cap node
+// bordering a saturated clique courts the same full peers forever —
+// promote, hold the one-way slot three intervals, demote, retry — and
+// every cycle purges its gradients (the demote is a NeighborDead to the
+// core) while flooding announces. The counter resets the moment the peer
+// does reciprocate, or when it returns with a new boot.
+func (d *discovery) handshakeBackoffLocked(r *discoRec) time.Duration {
+	delay := 5 * d.cfg.Interval << r.backoff
+	if r.backoff < 6 {
+		r.backoff++
+	}
+	return delay
+}
+
+// demoteLocked removes r from the neighbor table into the given record
+// state, dropping its detector, reliable and custody state.
+func (d *discovery) demoteLocked(r *discoRec, to memberState) {
+	r.state = to
+	r.peered = false
+	r.protected = false
+	d.u.removeNeighbor(r.id)
+}
+
+// considerLocked decides whether candidate r earns a neighbor slot:
+// promote into free room, or evict a strictly weaker dynamic neighbor.
+// peerWantsUs (the announce carried the peering bit) overrides the
+// handshake-damping retry window — if the peer already holds a slot for
+// us, reciprocating immediately is what completes the handshake. lonely
+// (the announce carried the loneliness flag) admits a peer the score
+// order would starve: an isolated node evicts our weakest neighbor
+// regardless of score, rate-limited to one such eviction per interval,
+// and the rescued peer's slot is protected so a later high-score
+// announce cannot re-isolate it. The evictee keeps its other links and
+// is therefore not lonely itself, so the displacement terminates instead
+// of cascading.
+func (d *discovery) considerLocked(r *discoRec, now time.Time, peerWantsUs, lonely bool) (promoted bool, evicted *discoRec) {
+	if !now.After(r.retryAt) && !peerWantsUs && !lonely {
+		return false, nil
+	}
+	if d.roomLocked() > 0 {
+		d.promoteLocked(r, now)
+		return true, nil
+	}
+	// Score eviction: a strictly better candidate may displace a one-way
+	// placeholder, never a completed mutual link.
+	w := d.weakestLocked(false)
+	protect := false
+	if w == nil || !better(r, w) {
+		if !lonely || now.Sub(d.lastLonelyEvict) < d.cfg.Interval {
+			return false, nil
+		}
+		// Loneliness override: admit the isolated peer over whatever slot
+		// is cheapest — a placeholder if there is one, a mutual link as
+		// the last resort (its holder keeps cap-1 other links and is not
+		// itself lonely, so the displacement terminates).
+		if w == nil {
+			w = d.weakestLocked(true)
+		}
+		if w == nil {
+			return false, nil
+		}
+		d.lastLonelyEvict = now
+		protect = true
+	}
+	d.demoteLocked(w, stCandidate)
+	w.retryAt = now.Add(5 * d.cfg.Interval)
+	d.u.stats.MemberEvictions.Add(1)
+	d.promoteLocked(r, now)
+	r.protected = protect
+	return true, w
+}
+
+// onFrame dispatches a discovery frame from the endpoint's read loop.
+// src is the datagram's wire source address.
+func (d *discovery) onFrame(f frame, src *net.UDPAddr) {
+	switch f.kind {
+	case kindAnnounce:
+		d.u.stats.AnnouncesRecv.Add(1)
+		a, err := decodeAnnounce(f.payload)
+		if err != nil {
+			d.u.stats.RecvDropped.Add(1)
+			return
+		}
+		d.onAnnounce(f.from, f.boot, a, src)
+	case kindProbe:
+		d.u.stats.ProbesRecv.Add(1)
+		d.onProbe(f.from, src)
+	case kindLeave:
+		d.u.stats.LeavesRecv.Add(1)
+		d.onLeave(f.from)
+	}
+}
+
+// onAnnounce is the heart of the membership protocol; see the file
+// comment for the lifecycle it implements.
+func (d *discovery) onAnnounce(from, boot uint32, a announce, src *net.UDPAddr) {
+	addr, err := net.ResolveUDPAddr("udp", a.addr)
+	if err != nil || addr.Port == 0 {
+		addr = src // unusable advertised address: fall back to the wire source
+	}
+	now := time.Now()
+	var sends []discoSend
+	var events []memberEvt
+
+	d.mu.Lock()
+	r := d.recs[from]
+	if r == nil {
+		r = &discoRec{id: from, cfg: d.u.isConfigured(from)}
+		if r.cfg {
+			r.state = stNeighbor
+		}
+		d.recs[from] = r
+	}
+	r.lastHeard = now
+
+	// Vocabulary gate: a peer whose ordered key vocabulary differs would
+	// mis-parse every named interest we exchange. Record it, reply so it
+	// quarantines us symmetrically, but never promote. (Configured peers
+	// are exempt: the operator pinned them, and key-vocabulary state files
+	// can legitimately differ transiently during a rolling restart.)
+	if !r.cfg && a.digest != d.cfg.VocabDigest {
+		wasNeighbor := r.state == stNeighbor
+		if wasNeighbor {
+			d.demoteLocked(r, stQuarantined)
+		}
+		if r.state != stQuarantined {
+			r.state = stQuarantined
+		}
+		if wasNeighbor || r.boot != boot || !r.haveBoot {
+			d.u.stats.MemberQuarantined.Add(1)
+			events = append(events, memberEvt{from, MemberQuarantined})
+		}
+		r.boot, r.haveBoot = boot, true
+		r.addr, r.httpPort = addr, a.httpPort
+		if now.Sub(r.lastReply) >= d.cfg.Interval/2 {
+			r.lastReply = now
+			sends = append(sends, discoSend{dst: from, addr: addr, kind: kindAnnounce})
+		}
+		d.mu.Unlock()
+		d.flush(sends)
+		d.fire(events)
+		return
+	}
+	if r.state == stQuarantined {
+		r.state = stCandidate // digest matches now: restarted with fixed keys
+	}
+
+	// Boot-nonce change: same identity, new incarnation. Its receive
+	// windows and sequence spaces reset with the boot, so retransmitting
+	// old reliable frames or custody offers at it is at best noise — drop
+	// that state and give the detector a fresh grace window.
+	if r.haveBoot && r.boot != boot {
+		d.u.forgetPeer(from)
+		r.peered = false
+		r.backoff = 0
+		if r.state == stNeighbor {
+			d.u.refreshPeer(from)
+			r.promotedAt = now
+			d.u.stats.MemberRejoins.Add(1)
+			events = append(events, memberEvt{from, MemberRejoined})
+		}
+	}
+	r.boot, r.haveBoot = boot, true
+	r.score = clusterScore(from, boot)
+	r.httpPort, r.energy = a.httpPort, a.energy
+	peerWantsUs := a.flags&annFlagPeered != 0
+	peerLonely := a.flags&annFlagLonely != 0
+	if peerWantsUs {
+		r.peered = true
+		r.backoff = 0
+	}
+	if r.addr == nil || r.addr.String() != addr.String() {
+		r.addr = addr
+		if r.state == stNeighbor && !r.cfg {
+			d.u.addNeighbor(from, addr) // re-point the live table at the new address
+		}
+	}
+
+	promotedNow := false
+	switch {
+	case r.cfg:
+		// Pinned by the operator: metadata refresh only.
+	case r.state == stNeighbor:
+		if !peerWantsUs && r.peered {
+			// It held a slot for us and let it go (evicted us, or left and
+			// came back smaller): symmetry is gone, drop it too.
+			d.demoteLocked(r, stCandidate)
+			r.retryAt = now.Add(5 * d.cfg.Interval)
+			d.u.stats.MemberDemotions.Add(1)
+			events = append(events, memberEvt{from, MemberDemoted})
+		}
+	default:
+		promoted, evicted := d.considerLocked(r, now, peerWantsUs, peerLonely)
+		if promoted {
+			promotedNow = true
+			events = append(events, memberEvt{from, MemberJoined})
+			// The promotion announce (peering bit set) is what completes
+			// the handshake — send it now, not at the next tick.
+			r.lastReply = now
+			sends = append(sends, discoSend{dst: from, addr: addr, kind: kindAnnounce, peered: true})
+		}
+		if evicted != nil {
+			events = append(events, memberEvt{evicted.id, MemberEvicted})
+			if evicted.addr != nil {
+				// Tell the evictee immediately (bit clear) so it frees its
+				// slot for someone else instead of waiting out the deadline.
+				evicted.lastReply = now
+				sends = append(sends, discoSend{dst: evicted.id, addr: evicted.addr, kind: kindAnnounce})
+			}
+		}
+	}
+
+	// Gossip: first sighting of unknown peers. They enter as candidates
+	// and get probed; the probe solicits their full announce, which is
+	// what can promote them. Sampling every record — not just neighbors —
+	// is what lets bottom-scored nodes find each other once the
+	// high-score slots fill up.
+	for _, g := range a.gossip {
+		if g.id == d.u.id || g.id == Broadcast || g.id == from {
+			continue
+		}
+		if _, ok := d.recs[g.id]; ok {
+			continue
+		}
+		ga, err := net.ResolveUDPAddr("udp", g.addr)
+		if err != nil {
+			continue
+		}
+		nr := &discoRec{id: g.id, cfg: d.u.isConfigured(g.id), addr: ga, lastHeard: now, lastProbe: now}
+		if nr.cfg {
+			nr.state = stNeighbor
+		}
+		d.recs[g.id] = nr
+		d.u.stats.GossipLearned.Add(1)
+		if !nr.cfg {
+			sends = append(sends, discoSend{dst: g.id, addr: ga, kind: kindProbe})
+		}
+	}
+
+	// Rate-limited reply, so a pair of nodes converges in one exchange
+	// instead of one announce interval per direction — skipped when the
+	// promotion announce above already answered.
+	if !promotedNow && now.Sub(r.lastReply) >= d.cfg.Interval/2 {
+		r.lastReply = now
+		sends = append(sends, discoSend{
+			dst: from, addr: addr, kind: kindAnnounce,
+			peered: r.cfg || r.state == stNeighbor,
+		})
+	}
+	d.mu.Unlock()
+
+	d.flush(sends)
+	d.fire(events)
+}
+
+// onProbe answers a solicitation with a unicast announce to the wire
+// source. A probe proves the prober exists but carries no digest or boot
+// nonce, so it can create a candidate record — never promote.
+func (d *discovery) onProbe(from uint32, src *net.UDPAddr) {
+	now := time.Now()
+	d.mu.Lock()
+	r := d.recs[from]
+	if r == nil {
+		r = &discoRec{id: from, cfg: d.u.isConfigured(from), addr: src}
+		if r.cfg {
+			r.state = stNeighbor
+		}
+		d.recs[from] = r
+	}
+	r.lastHeard = now
+	if r.addr == nil {
+		r.addr = src
+	}
+	reply := now.Sub(r.lastReply) >= d.cfg.Interval/2
+	if reply {
+		r.lastReply = now
+	}
+	peered := r.cfg || r.state == stNeighbor
+	d.mu.Unlock()
+	if reply {
+		d.flush([]discoSend{{dst: from, addr: src, kind: kindAnnounce, peered: peered}})
+	}
+}
+
+// onLeave handles a graceful departure: demote immediately instead of
+// waiting out SuspectAfter/DeadAfter. A configured peer cannot be removed
+// from the table, so it is force-marked dead in the detector — any later
+// frame from it recovers it as usual.
+func (d *discovery) onLeave(from uint32) {
+	var events []memberEvt
+	d.mu.Lock()
+	r := d.recs[from]
+	if r != nil && !r.cfg {
+		if r.state == stNeighbor {
+			d.demoteLocked(r, stLeft)
+			d.u.stats.MemberDepartures.Add(1)
+			events = append(events, memberEvt{from, MemberLeft})
+		} else {
+			r.state = stLeft
+		}
+	}
+	cfgPeer := d.u.isConfigured(from)
+	d.mu.Unlock()
+	if cfgPeer && d.u.det != nil {
+		d.u.det.forceDead(from)
+	}
+	d.fire(events)
+}
+
+// onPeerDead reacts to the failure detector declaring a peer dead: a
+// discovered neighbor is removed from the live table (its slot frees up
+// for someone alive), keeping only the discovery record. A re-announce —
+// same or new boot — walks it back in through the normal promotion path.
+func (d *discovery) onPeerDead(peer uint32) {
+	var events []memberEvt
+	d.mu.Lock()
+	r := d.recs[peer]
+	if r != nil && !r.cfg && r.state == stNeighbor {
+		d.demoteLocked(r, stDead)
+		r.retryAt = time.Now().Add(d.cfg.Interval)
+		d.u.stats.MemberDeadRemoved.Add(1)
+		events = append(events, memberEvt{peer, MemberDead})
+	}
+	d.mu.Unlock()
+	d.fire(events)
+}
+
+// leave notifies every neighbor of a graceful shutdown.
+func (d *discovery) leave() {
+	var sends []discoSend
+	d.mu.Lock()
+	for _, r := range d.recs {
+		if r.state == stNeighbor && !r.cfg && r.addr != nil {
+			sends = append(sends, discoSend{dst: r.id, addr: r.addr, kind: kindLeave})
+		}
+	}
+	d.mu.Unlock()
+	for id, addr := range d.u.configuredPeers() {
+		sends = append(sends, discoSend{dst: id, addr: addr, kind: kindLeave})
+	}
+	d.flush(sends)
+}
+
+// gossipSample draws up to GossipFanout known peer addresses, excluding
+// the announce's destination.
+func (d *discovery) gossipSample(exclude uint32) []gossipEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var pool []gossipEntry
+	for id, r := range d.recs {
+		if id == exclude || r.addr == nil || r.state == stQuarantined {
+			continue
+		}
+		as := r.addr.String()
+		if len(as) > 255 {
+			continue
+		}
+		pool = append(pool, gossipEntry{id: id, addr: as})
+	}
+	d.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > d.cfg.GossipFanout {
+		pool = pool[:d.cfg.GossipFanout]
+	}
+	return pool
+}
+
+// isLonely reports whether this node currently has no mutual neighbor
+// link at all — the condition the announce loneliness flag advertises.
+func (d *discovery) isLonely() bool {
+	if d.u.configuredCount() > 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.recs {
+		if r.state == stNeighbor && (r.peered || r.cfg) {
+			return false
+		}
+	}
+	return true
+}
+
+// flush puts deferred sends on the wire (outside d.mu).
+func (d *discovery) flush(sends []discoSend) {
+	lonelyIdx := d.pickLonelyBid(sends)
+	for i, s := range sends {
+		switch s.kind {
+		case kindAnnounce:
+			a := announce{
+				digest:   d.cfg.VocabDigest,
+				httpPort: d.cfg.HTTPPort,
+				energy:   d.energy,
+				addr:     d.advertise,
+				gossip:   d.gossipSample(s.dst),
+			}
+			if s.peered {
+				a.flags |= annFlagPeered
+			}
+			if i == lonelyIdx {
+				a.flags |= annFlagLonely
+			}
+			d.u.writeDisco(s.dst, s.addr, kindAnnounce, encodeAnnounce(a))
+			d.u.stats.AnnouncesSent.Add(1)
+		case kindProbe:
+			d.u.writeDisco(s.dst, s.addr, kindProbe, nil)
+			d.u.stats.ProbesSent.Add(1)
+		case kindLeave:
+			d.u.writeDisco(s.dst, s.addr, kindLeave, nil)
+			d.u.stats.LeavesSent.Add(1)
+		}
+	}
+}
+
+// pickLonelyBid chooses at most one announce per batch to carry the
+// loneliness flag, returning its index (-1: none). The flag solicits a
+// rescue eviction; stamping every outgoing announce would recruit every
+// recipient at once, and a mesh's worth of simultaneous rescues
+// oversubscribes the lonely node — n-1 freshly protected slots pointed
+// at a node with room for a fraction of them, most torn down again in
+// the churn that follows. One bid per batch, rotating targets, finds a
+// single rescuer within a round or two.
+func (d *discovery) pickLonelyBid(sends []discoSend) int {
+	var ann []int
+	for i, s := range sends {
+		if s.kind == kindAnnounce {
+			ann = append(ann, i)
+		}
+	}
+	if len(ann) == 0 || !d.isLonely() {
+		return -1
+	}
+	d.mu.Lock()
+	i := ann[int(d.lonelyRR)%len(ann)]
+	d.lonelyRR++
+	d.mu.Unlock()
+	return i
+}
+
+// fire invokes deferred membership callbacks (outside d.mu).
+func (d *discovery) fire(events []memberEvt) {
+	if d.cfg.OnMember == nil {
+		return
+	}
+	for _, e := range events {
+		d.cfg.OnMember(e.peer, e.ev)
+	}
+}
+
+// fillMembers merges discovery metadata into the peer-table member rows
+// (matched by ID) and appends rows for records not in the table. The
+// record state overrides the table's membership verdict: the table
+// snapshot was taken under a different lock, so a demote+promote landing
+// between the two snapshots would otherwise show both the evictee's
+// stale "neighbor" row and the newcomer's — a phantom degree above the
+// cap. Under d.mu the record states are the consistent truth.
+func (d *discovery) fillMembers(rows []Member, seen map[uint32]bool) []Member {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id, r := range d.recs {
+		if seen[id] {
+			for i := range rows {
+				if rows[i].ID == id {
+					if !r.cfg {
+						rows[i].Membership = r.state.String()
+						rows[i].MembershipCode = uint8(r.state)
+					}
+					d.annotateLocked(&rows[i], r)
+					break
+				}
+			}
+			continue
+		}
+		m := Member{
+			ID:             id,
+			Origin:         "discovered",
+			Membership:     r.state.String(),
+			MembershipCode: uint8(r.state),
+		}
+		if r.cfg {
+			m.Origin = "configured"
+		}
+		d.annotateLocked(&m, r)
+		rows = append(rows, m)
+	}
+	return rows
+}
+
+// annotateLocked copies a record's announced metadata into a member row.
+func (d *discovery) annotateLocked(m *Member, r *discoRec) {
+	if r.addr != nil {
+		m.Addr = r.addr.String()
+		if r.httpPort != 0 {
+			if host, _, err := net.SplitHostPort(m.Addr); err == nil {
+				m.HTTPAddr = net.JoinHostPort(host, fmt.Sprintf("%d", r.httpPort))
+			}
+		}
+	}
+	m.Peered = r.peered || r.cfg
+	m.Score = r.score
+	m.Energy = float64(r.energy) / 1000
+}
+
+// close stops the announce goroutine.
+func (d *discovery) close() {
+	close(d.stop)
+	<-d.done
+}

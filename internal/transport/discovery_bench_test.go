@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkDiscoveryConvergence measures mesh bootstrap: n in-process
+// endpoints, one acting as the only seed, everyone else knowing nothing
+// but the seed's address. The metric is wall time until every node holds
+// at least one mutually-peered neighbor, plus the announce-frame overhead
+// paid to get there. Baselines live in BENCH_discovery.json; CI's bench
+// guard runs one iteration of each size.
+func BenchmarkDiscoveryConvergence(b *testing.B) {
+	for _, n := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var msSum, perNodeSum float64
+			for i := 0; i < b.N; i++ {
+				ms, perNode := convergeOnce(b, n)
+				msSum += ms
+				perNodeSum += perNode
+			}
+			b.ReportMetric(msSum/float64(b.N), "ms/converge")
+			b.ReportMetric(perNodeSum/float64(b.N), "announces/node")
+			b.ReportMetric(0, "ns/op") // wall-clock metrics above are the signal
+		})
+	}
+}
+
+// convergeOnce bootstraps an n-node mesh from one seed and returns the
+// time to full convergence (ms) and announce frames sent per node.
+func convergeOnce(b *testing.B, n int) (ms, announcesPerNode float64) {
+	b.Helper()
+	const interval = 25 * time.Millisecond
+	nodes := make([]*UDP, 0, n)
+	defer func() {
+		for _, u := range nodes {
+			u.Close()
+		}
+	}()
+	mk := func(id uint32, seeds []string) *UDP {
+		u, err := ListenUDP(UDPConfig{
+			ID:       id,
+			Listen:   "127.0.0.1:0",
+			Seed:     int64(id),
+			Deliver:  func(uint32, []byte) {},
+			Liveness: &LivenessConfig{Interval: 50 * time.Millisecond},
+			Discovery: &DiscoveryConfig{
+				Seeds:       seeds,
+				Interval:    interval,
+				VocabDigest: testVocab,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return u
+	}
+
+	start := time.Now()
+	seed := mk(1, nil)
+	nodes = append(nodes, seed)
+	seedAddr := []string{seed.LocalAddr().String()}
+	for id := 2; id <= n; id++ {
+		nodes = append(nodes, mk(uint32(id), seedAddr))
+	}
+
+	converged := func() bool {
+		for _, u := range nodes {
+			ok := false
+			for _, m := range u.Members() {
+				if m.MembershipCode == MembershipNeighbor && m.Peered {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !converged() {
+		if time.Now().After(deadline) {
+			b.Fatalf("n=%d mesh did not converge in 60s", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	var announces uint64
+	for _, u := range nodes {
+		announces += u.Stats().AnnouncesSent.Load()
+	}
+	return float64(elapsed.Microseconds()) / 1000, float64(announces) / float64(n)
+}

@@ -117,7 +117,9 @@ func TestUDPTraceSpans(t *testing.T) {
 	defer tx.Close()
 	// Point rx's neighbor table at tx's real port so the sender passes
 	// validation.
-	rx.peers[1] = tx.LocalAddr()
+	rx.peersMu.Lock()
+	rx.peers[1] = &peerEntry{addr: tx.LocalAddr(), configured: true}
+	rx.peersMu.Unlock()
 
 	if err := tx.Send(2, payload); err != nil {
 		t.Fatal(err)

@@ -266,6 +266,60 @@ func (d *detector) markHeard(peer uint32) {
 	}
 }
 
+// addPeer registers a peer with the detector, or resets an existing
+// record to freshly-alive. Discovery calls it when a peer is promoted to
+// neighbor and again when a promoted peer re-announces with a new boot
+// nonce: either way the peer earns a full DeadAfter of grace, and no
+// OnStateChange fires (membership events cover the promotion itself).
+func (d *detector) addPeer(peer uint32) {
+	now := time.Now()
+	d.mu.Lock()
+	if p, ok := d.peers[peer]; ok {
+		p.state = PeerAlive
+		p.lastHeard = now
+		p.nextProbe = now
+		p.backoff = d.cfg.Interval
+	} else {
+		d.peers[peer] = &peerLiveness{
+			state:     PeerAlive,
+			lastHeard: now,
+			nextProbe: now,
+			backoff:   d.cfg.Interval,
+		}
+	}
+	d.mu.Unlock()
+}
+
+// removePeer forgets a peer entirely: no more probes, no snapshot entry,
+// no further transitions. Discovery calls it when a discovered neighbor is
+// demoted or removed.
+func (d *detector) removePeer(peer uint32) {
+	d.mu.Lock()
+	delete(d.peers, peer)
+	d.mu.Unlock()
+}
+
+// forceDead marks a peer dead immediately, as if DeadAfter of silence had
+// elapsed — the reaction to an explicit leave frame from a configured
+// neighbor. The usual OnStateChange fires, and any later frame from the
+// peer recovers it through markHeard as normal.
+func (d *detector) forceDead(peer uint32) {
+	d.mu.Lock()
+	p, ok := d.peers[peer]
+	changed := ok && p.state != PeerDead
+	if changed {
+		p.state = PeerDead
+		// Backdate the silence so a snapshot agrees with the state and the
+		// probe path treats the peer like any other dead one.
+		p.lastHeard = time.Now().Add(-d.cfg.DeadAfter)
+		d.stats.PeerDeaths.Add(1)
+	}
+	d.mu.Unlock()
+	if changed && d.cfg.OnStateChange != nil {
+		d.cfg.OnStateChange(peer, PeerDead)
+	}
+}
+
 // onPong completes an outstanding probe, recording its round trip.
 func (d *detector) onPong(peer, seq uint32) {
 	d.mu.Lock()

@@ -287,6 +287,24 @@ func (r *reliable) pending(peer uint32) int {
 	return len(p.inflight) + len(p.queue)
 }
 
+// dropPeer discards all sender-side state toward one peer: in-flight
+// timers stopped, queue dropped, sequence space forgotten. Discovery calls
+// it when a peer is removed or re-announces under a new boot nonce — the
+// restarted peer's receive windows reset with its boot, so retransmitting
+// old frames at it would only produce spurious deliveries.
+func (r *reliable) dropPeer(peer uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[peer]
+	if !ok {
+		return
+	}
+	for _, f := range p.inflight {
+		f.timer.Stop()
+	}
+	delete(r.peers, peer)
+}
+
 // close stops every retransmit timer and drops all queues.
 func (r *reliable) close() {
 	r.mu.Lock()

@@ -90,7 +90,10 @@ const (
 	kindPong       = 4 // heartbeat response
 	kindCustody    = 5 // custody offer: acked only after durable accept
 	kindCustodyAck = 6 // acknowledges a kindCustody seq (custody.go)
-	numKinds       = 7
+	kindAnnounce   = 7 // membership announce: addresses, vocab digest, gossip (discovery.go)
+	kindProbe      = 8 // membership probe: solicits a unicast announce
+	kindLeave      = 9 // graceful departure: demote me now, don't wait for timeouts
+	numKinds       = 10
 )
 
 // maxPayload bounds a single framed message; UDP datagrams beyond this are
@@ -234,6 +237,22 @@ type Stats struct {
 
 	// Partition accounting (runtime impairment, udp.go).
 	PartitionDropped atomic.Uint64
+
+	// Membership / discovery accounting (discovery.go).
+	AnnouncesSent     atomic.Uint64
+	AnnouncesRecv     atomic.Uint64
+	ProbesSent        atomic.Uint64
+	ProbesRecv        atomic.Uint64
+	LeavesSent        atomic.Uint64
+	LeavesRecv        atomic.Uint64
+	GossipLearned     atomic.Uint64 // peers first learned from a gossip list
+	MemberJoins       atomic.Uint64 // discovered peers promoted to neighbors
+	MemberRejoins     atomic.Uint64 // boot-nonce changes on promoted peers
+	MemberEvictions   atomic.Uint64 // neighbors displaced by the degree cap
+	MemberDemotions   atomic.Uint64 // handshake failures / peer dropped us
+	MemberDepartures  atomic.Uint64 // explicit leave frames honored
+	MemberDeadRemoved atomic.Uint64 // discovered neighbors removed on death
+	MemberQuarantined atomic.Uint64 // peers refused for vocabulary mismatch
 }
 
 // Instrument publishes the transport counters on reg at snapshot time,
@@ -270,6 +289,20 @@ func (s *Stats) Instrument(reg *telemetry.Registry) {
 		emit("transport.custody_acks_recv", float64(s.CustodyAcksRecv.Load()))
 		emit("transport.custody_rejected", float64(s.CustodyRejected.Load()))
 		emit("transport.partition_dropped", float64(s.PartitionDropped.Load()))
+		emit("discovery.announces_sent", float64(s.AnnouncesSent.Load()))
+		emit("discovery.announces_recv", float64(s.AnnouncesRecv.Load()))
+		emit("discovery.probes_sent", float64(s.ProbesSent.Load()))
+		emit("discovery.probes_recv", float64(s.ProbesRecv.Load()))
+		emit("discovery.leaves_sent", float64(s.LeavesSent.Load()))
+		emit("discovery.leaves_recv", float64(s.LeavesRecv.Load()))
+		emit("discovery.gossip_learned", float64(s.GossipLearned.Load()))
+		emit("discovery.joins", float64(s.MemberJoins.Load()))
+		emit("discovery.rejoins", float64(s.MemberRejoins.Load()))
+		emit("discovery.evictions", float64(s.MemberEvictions.Load()))
+		emit("discovery.demotions", float64(s.MemberDemotions.Load()))
+		emit("discovery.departures", float64(s.MemberDepartures.Load()))
+		emit("discovery.dead_removed", float64(s.MemberDeadRemoved.Load()))
+		emit("discovery.quarantined", float64(s.MemberQuarantined.Load()))
 	})
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diffusion/internal/message"
@@ -56,6 +58,13 @@ type UDPConfig struct {
 	// failure detector hears a neighbor again. Pair with Liveness for the
 	// recovery re-offers.
 	Custody *CustodyOptions
+	// Discovery, when non-nil, enables the membership subsystem
+	// (discovery.go): the endpoint announces itself to seed addresses,
+	// gossips known peers, promotes discovered peers to full neighbors
+	// under a degree cap and demotes them on death or explicit leave.
+	// Requires Liveness. The static Neighbors table remains valid — its
+	// entries are pinned members the discovery layer never evicts.
+	Discovery *DiscoveryConfig
 	// Spans, when non-nil, records flight-path tx/recv spans for sampled
 	// payloads (message flow ID non-zero): sampled frames carry the trace
 	// extension on the wire and stamp the ring on both ends. Nil disables
@@ -69,24 +78,43 @@ type UDPConfig struct {
 	SpanClock func() time.Duration
 }
 
+// peerEntry is one row of the live neighbor table: the peer's address,
+// whether the operator pinned it (configured) or discovery promoted it,
+// and per-peer payload traffic counters (announce/heartbeat chatter is
+// excluded, so the counters identify which links actually carry data).
+type peerEntry struct {
+	addr       *net.UDPAddr
+	configured bool
+	dataRecv   atomic.Uint64
+	dataSent   atomic.Uint64
+}
+
 // UDP is a core.Link over UDP datagrams: unicast sends one datagram to the
-// neighbor's address, broadcast sends one per neighbor. It accepts frames
-// only from configured neighbors, so a stray datagram cannot inject
-// traffic under an unknown ID.
+// neighbor's address, broadcast sends one per neighbor. Payload frames are
+// accepted only from table members — configured or promoted by discovery —
+// so a stray datagram cannot inject traffic under an unknown ID;
+// membership frames (announce/probe/leave) are the one exception, since
+// their whole point is to introduce unknown peers.
 type UDP struct {
 	id        uint32
 	boot      uint32
 	conn      *net.UDPConn
-	peers     map[uint32]*net.UDPAddr
 	deliver   Deliver
 	stats     Stats
 	det       *detector
 	rel       *reliable
 	cus       *custodian
+	disco     *discovery
 	spans     *telemetry.SpanRing
 	spanClock func() time.Duration
 	start     time.Time
 	readerWG  sync.WaitGroup
+
+	// peersMu guards the neighbor table. Static without discovery;
+	// discovery adds and removes rows at runtime. Leaf lock: nothing else
+	// is acquired while it is held.
+	peersMu sync.RWMutex
+	peers   map[uint32]*peerEntry
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -110,13 +138,13 @@ func ListenUDP(cfg UDPConfig) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Listen, err)
 	}
-	peers := make(map[uint32]*net.UDPAddr, len(cfg.Neighbors))
+	peers := make(map[uint32]*peerEntry, len(cfg.Neighbors))
 	for id, addr := range cfg.Neighbors {
 		a, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
 			return nil, fmt.Errorf("transport: neighbor %d %q: %w", id, addr, err)
 		}
-		peers[id] = a
+		peers[id] = &peerEntry{addr: a, configured: true}
 	}
 	conn, err := net.ListenUDP("udp", laddr)
 	if err != nil {
@@ -145,31 +173,48 @@ func ListenUDP(cfg UDPConfig) (*UDP, error) {
 			return nil, fmt.Errorf("transport: CustodyOptions requires Accept")
 		}
 		u.cus = newCustodian(*cfg.Custody, &u.stats, u.writeTo)
-		if cfg.Liveness != nil {
-			// Chain the custody re-offer in front of the caller's state-
-			// change hook: a recovered neighbor gets pending custody
-			// immediately, before the diffusion layer even reacts.
-			user := cfg.Liveness.OnStateChange
-			lv := *cfg.Liveness
-			lv.OnStateChange = func(peer uint32, state PeerState) {
-				if state == PeerAlive {
-					u.cus.reoffer(peer)
-				}
-				if user != nil {
-					user(peer, state)
-				}
-			}
-			cfg.Liveness = &lv
+	}
+	if cfg.Discovery != nil {
+		if cfg.Liveness == nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: Discovery requires Liveness (promoted peers need the failure detector)")
 		}
+		disco, err := newDiscovery(*cfg.Discovery, u, cfg.Seed^int64(cfg.ID))
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		u.disco = disco
 	}
 	if cfg.Liveness != nil {
+		// Chain the endpoint's own reactions around the caller's
+		// state-change hook: a recovered neighbor gets pending custody
+		// re-offered before the diffusion layer even reacts, and a dead
+		// discovered neighbor is removed from the table after the caller
+		// has seen the death.
+		user := cfg.Liveness.OnStateChange
+		lv := *cfg.Liveness
+		lv.OnStateChange = func(peer uint32, state PeerState) {
+			if state == PeerAlive && u.cus != nil {
+				u.cus.reoffer(peer)
+			}
+			if user != nil {
+				user(peer, state)
+			}
+			if state == PeerDead && u.disco != nil {
+				u.disco.onPeerDead(peer)
+			}
+		}
 		ids := make([]uint32, 0, len(peers))
 		for id := range peers {
 			ids = append(ids, id)
 		}
-		u.det = newDetector(*cfg.Liveness, cfg.Seed^int64(cfg.ID), ids, &u.stats,
+		u.det = newDetector(lv, cfg.Seed^int64(cfg.ID), ids, &u.stats,
 			func(peer, seq uint32) { u.writeTo(peer, kindPing, seq, nil) })
 		go u.det.run()
+	}
+	if u.disco != nil {
+		go u.disco.run()
 	}
 	u.readerWG.Add(1)
 	go u.readLoop()
@@ -198,13 +243,211 @@ func (u *UDP) LocalAddr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr
 // Stats returns the endpoint's packet accounting.
 func (u *UDP) Stats() *Stats { return &u.stats }
 
-// Neighbors returns the configured neighbor IDs (fresh slice, any order).
+// Neighbors returns the current neighbor-table IDs — configured plus
+// discovery-promoted — as a fresh slice, any order.
 func (u *UDP) Neighbors() []uint32 {
+	u.peersMu.RLock()
+	defer u.peersMu.RUnlock()
 	out := make([]uint32, 0, len(u.peers))
 	for id := range u.peers {
 		out = append(out, id)
 	}
 	return out
+}
+
+// peerAddr looks up a table member's address (nil when id is not a
+// neighbor).
+func (u *UDP) peerAddr(id uint32) *net.UDPAddr {
+	u.peersMu.RLock()
+	e := u.peers[id]
+	u.peersMu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	return e.addr
+}
+
+// isConfigured reports whether id is an operator-pinned neighbor.
+func (u *UDP) isConfigured(id uint32) bool {
+	u.peersMu.RLock()
+	e := u.peers[id]
+	u.peersMu.RUnlock()
+	return e != nil && e.configured
+}
+
+// configuredCount counts operator-pinned neighbors.
+func (u *UDP) configuredCount() int {
+	u.peersMu.RLock()
+	defer u.peersMu.RUnlock()
+	n := 0
+	for _, e := range u.peers {
+		if e.configured {
+			n++
+		}
+	}
+	return n
+}
+
+// configuredPeers snapshots the operator-pinned rows of the table.
+func (u *UDP) configuredPeers() map[uint32]*net.UDPAddr {
+	u.peersMu.RLock()
+	defer u.peersMu.RUnlock()
+	out := map[uint32]*net.UDPAddr{}
+	for id, e := range u.peers {
+		if e.configured {
+			out[id] = e.addr
+		}
+	}
+	return out
+}
+
+// addNeighbor installs (or re-addresses) a discovered peer in the live
+// table and registers it with the failure detector. Discovery only.
+func (u *UDP) addNeighbor(id uint32, addr *net.UDPAddr) {
+	u.peersMu.Lock()
+	if e, ok := u.peers[id]; ok {
+		e.addr = addr
+	} else {
+		u.peers[id] = &peerEntry{addr: addr}
+	}
+	u.peersMu.Unlock()
+	if u.det != nil {
+		u.det.addPeer(id)
+	}
+}
+
+// removeNeighbor drops a discovered peer from the live table along with
+// its detector, reliable-unicast and custody state. Configured peers are
+// pinned: the call is a no-op for them.
+func (u *UDP) removeNeighbor(id uint32) {
+	u.peersMu.Lock()
+	e, ok := u.peers[id]
+	if !ok || e.configured {
+		u.peersMu.Unlock()
+		return
+	}
+	delete(u.peers, id)
+	u.peersMu.Unlock()
+	if u.det != nil {
+		u.det.removePeer(id)
+	}
+	u.forgetPeer(id)
+}
+
+// forgetPeer drops retransmission state toward a peer whose incarnation
+// changed: its receive windows reset with its boot nonce, so old reliable
+// frames and custody offers are noise at best. Custody data itself stays
+// in the queue — NeighborRecovered replays it.
+func (u *UDP) forgetPeer(id uint32) {
+	if u.rel != nil {
+		u.rel.dropPeer(id)
+	}
+	if u.cus != nil {
+		u.cus.dropPeer(id)
+	}
+}
+
+// refreshPeer resets a table member's failure-detector record to
+// freshly-alive (a peer that just re-announced under a new boot earns a
+// full grace window).
+func (u *UDP) refreshPeer(id uint32) {
+	if u.det != nil {
+		u.det.addPeer(id)
+	}
+}
+
+// Members returns the endpoint's full membership view: every neighbor-
+// table row (with per-peer traffic counters and liveness health) merged
+// with every discovery record, sorted by ID. Without discovery it is just
+// the configured table.
+func (u *UDP) Members() []Member {
+	health := u.PeerHealth()
+	seen := map[uint32]bool{}
+	var rows []Member
+	u.peersMu.RLock()
+	for id, e := range u.peers {
+		m := Member{
+			ID:             id,
+			Addr:           e.addr.String(),
+			Origin:         "discovered",
+			Membership:     "neighbor",
+			MembershipCode: MembershipNeighbor,
+			DataRecv:       e.dataRecv.Load(),
+			DataSent:       e.dataSent.Load(),
+		}
+		if e.configured {
+			m.Origin = "configured"
+		}
+		if h, ok := health[id]; ok {
+			m.Health, m.HasHealth = h, true
+		}
+		rows = append(rows, m)
+		seen[id] = true
+	}
+	u.peersMu.RUnlock()
+	if u.disco != nil {
+		rows = u.disco.fillMembers(rows, seen)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return rows
+}
+
+// DegreeCap returns the discovery degree cap (0 without discovery — the
+// static table is whatever the operator wrote).
+func (u *UDP) DegreeCap() int {
+	if u.disco == nil {
+		return 0
+	}
+	return u.disco.cfg.DegreeCap
+}
+
+// DiscoveryEnabled reports whether the membership subsystem is running.
+func (u *UDP) DiscoveryEnabled() bool { return u.disco != nil }
+
+// Leave sends a graceful-departure frame to every neighbor so they demote
+// this node immediately instead of waiting out failure-detector timeouts.
+// Call it right before Close on planned shutdowns. No-op without
+// discovery.
+func (u *UDP) Leave() {
+	if u.disco != nil {
+		u.disco.leave()
+	}
+}
+
+// writeDisco frames and writes one membership frame (announce, probe or
+// leave) to an explicit address — the peer need not be in the neighbor
+// table, which is the point of discovery. Runtime impairment (partition,
+// loss, latency) applies exactly as on the writeTo path; dst 0 means the
+// peer's ID is unknown (a seed address) and the frame is headed to the
+// broadcast ID, which every receiver accepts.
+func (u *UDP) writeDisco(dst uint32, addr *net.UDPAddr, kind uint8, payload []byte) {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return
+	}
+	if dst != 0 && u.blocked[dst] {
+		u.mu.Unlock()
+		u.stats.PartitionDropped.Add(1)
+		return
+	}
+	drop := u.loss > 0 && u.rng.Float64() < u.loss
+	latency := u.latency
+	u.mu.Unlock()
+	if drop {
+		u.stats.LossInjected.Add(1)
+		return
+	}
+	hdrDst := dst
+	if hdrDst == 0 {
+		hdrDst = Broadcast
+	}
+	frame := encodeFrame(kind, u.id, hdrDst, u.boot, 0, payload)
+	if latency > 0 {
+		time.AfterFunc(latency, func() { u.write(frame, addr) })
+		return
+	}
+	u.write(frame, addr)
 }
 
 // PeerHealth returns every neighbor's liveness snapshot, or nil when the
@@ -311,7 +554,7 @@ func (u *UDP) Send(dst uint32, payload []byte) error {
 	}
 	u.mu.Unlock()
 	if dst != Broadcast {
-		if _, ok := u.peers[dst]; !ok {
+		if u.peerAddr(dst) == nil {
 			u.stats.SendErrors.Add(1)
 			return fmt.Errorf("transport: %d is not a neighbor of %d", dst, u.id)
 		}
@@ -322,7 +565,7 @@ func (u *UDP) Send(dst uint32, payload []byte) error {
 		u.writeTo(dst, kindData, 0, payload)
 		return nil
 	}
-	for id := range u.peers {
+	for _, id := range u.Neighbors() {
 		u.writeTo(id, kindData, 0, payload)
 	}
 	return nil
@@ -341,7 +584,7 @@ func (u *UDP) SendCustody(dst uint32, id message.ID, payload []byte) error {
 		u.stats.SendErrors.Add(1)
 		return ErrTooLarge
 	}
-	if _, ok := u.peers[dst]; !ok || dst == Broadcast {
+	if u.peerAddr(dst) == nil || dst == Broadcast {
 		u.stats.SendErrors.Add(1)
 		return fmt.Errorf("transport: %d is not a neighbor of %d", dst, u.id)
 	}
@@ -371,9 +614,16 @@ func (u *UDP) CustodyPending() int {
 // partition or loss ramp affects every frame kind, exactly like a real
 // bad link.
 func (u *UDP) writeTo(id uint32, kind uint8, seq uint32, payload []byte) {
-	peer, ok := u.peers[id]
-	if !ok {
+	u.peersMu.RLock()
+	e := u.peers[id]
+	u.peersMu.RUnlock()
+	if e == nil {
 		return
+	}
+	peer := e.addr
+	switch kind {
+	case kindData, kindReliable, kindCustody:
+		e.dataSent.Add(1)
 	}
 	u.mu.Lock()
 	if u.closed {
@@ -443,7 +693,7 @@ func (u *UDP) readLoop() {
 	// and a custody offer with colliding seqs suppress each other.
 	cusDups := map[uint32]*dupWindow{}
 	for {
-		n, _, err := u.conn.ReadFromUDP(buf)
+		n, src, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
 			// Closed socket (or a transient error after close): exit.
 			u.mu.Lock()
@@ -459,7 +709,25 @@ func (u *UDP) readLoop() {
 			u.stats.RecvDropped.Add(1)
 			continue
 		}
-		if _, ok := u.peers[f.from]; !ok || f.from == u.id {
+		u.peersMu.RLock()
+		entry := u.peers[f.from]
+		u.peersMu.RUnlock()
+		if f.from == u.id {
+			u.stats.RecvDropped.Add(1)
+			continue
+		}
+		if entry == nil {
+			// Unknown senders may only speak the membership protocol —
+			// that is how they become known.
+			if u.disco != nil {
+				switch f.kind {
+				case kindAnnounce, kindProbe, kindLeave:
+					if f.dst == Broadcast || f.dst == u.id {
+						u.disco.onFrame(f, src)
+						continue
+					}
+				}
+			}
 			u.stats.RecvDropped.Add(1)
 			continue
 		}
@@ -513,9 +781,9 @@ func (u *UDP) readLoop() {
 				u.stats.DupSuppressed.Add(1)
 				continue
 			}
-			u.deliverUp(f.from, f.payload, n)
+			u.deliverUp(f.from, entry, f.payload, n)
 		case kindData:
-			u.deliverUp(f.from, f.payload, n)
+			u.deliverUp(f.from, entry, f.payload, n)
 		case kindCustody:
 			if u.cus == nil {
 				// This node runs without custody, so it cannot vouch for
@@ -536,7 +804,7 @@ func (u *UDP) readLoop() {
 					u.stats.DupSuppressed.Add(1)
 					continue
 				}
-				u.deliverUp(f.from, f.payload, n)
+				u.deliverUp(f.from, entry, f.payload, n)
 				continue
 			}
 			id, ok := custodyPayloadID(f.payload)
@@ -555,20 +823,37 @@ func (u *UDP) readLoop() {
 			}
 			u.writeTo(f.from, kindCustodyAck, f.seq, nil)
 			if fresh {
-				u.deliverUp(f.from, f.payload, n)
+				u.deliverUp(f.from, entry, f.payload, n)
 			}
 		case kindCustodyAck:
 			if u.cus != nil {
 				u.cus.onAck(f.from, f.seq)
+			}
+		case kindAnnounce, kindProbe:
+			if u.disco != nil {
+				u.disco.onFrame(f, src)
+			}
+		case kindLeave:
+			if u.disco != nil {
+				u.disco.onFrame(f, src)
+			} else if u.det != nil {
+				// No membership engine, but the peer said goodbye: treat it
+				// as instantly dead so the diffusion layer repairs now
+				// rather than after DeadAfter of silence.
+				u.stats.LeavesRecv.Add(1)
+				u.det.forceDead(f.from)
 			}
 		}
 	}
 }
 
 // deliverUp copies a payload out of the receive buffer and hands it to the
-// Deliver callback.
-func (u *UDP) deliverUp(from uint32, payload []byte, n int) {
+// Deliver callback, counting it against the sender's table entry.
+func (u *UDP) deliverUp(from uint32, e *peerEntry, payload []byte, n int) {
 	u.stats.onRecv(n)
+	if e != nil {
+		e.dataRecv.Add(1)
+	}
 	out := make([]byte, len(payload))
 	copy(out, payload)
 	u.deliver(from, out)
@@ -585,6 +870,9 @@ func (u *UDP) Close() error {
 	}
 	u.closed = true
 	u.mu.Unlock()
+	if u.disco != nil {
+		u.disco.close()
+	}
 	if u.det != nil {
 		u.det.close()
 	}

@@ -1,0 +1,987 @@
+package main
+
+// A chaos campaign is a declarative schedule of timed fault verbs run
+// against a converged, discovered fleet while a continuous event stream
+// crosses it. The engine boots the fleet durable (custody journals,
+// state files, a long duplicate-suppression horizon), picks the two
+// deepest nodes as sink and source — never the seed, which campaigns
+// are allowed to kill — and then executes the phases in order:
+// partitions (bisect or islands) with census re-convergence checks
+// after every heal, per-node and mesh-wide loss ramps, custody splits
+// with a custodian SIGKILL and warm restart mid-partition, targeted
+// kills, and rolling restarts. Throughout, an invariant checker follows
+// the sink's delivery ring: at the end every event the source accepted
+// must have arrived exactly once, the membership census must have
+// re-converged, and discovery demotion churn must be bounded.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"diffusion/internal/chaos"
+)
+
+// jsonDuration is a time.Duration that reads "250ms"/"2s" strings (or
+// raw milliseconds) from campaign files and renders back as a string.
+type jsonDuration struct{ time.Duration }
+
+func (d *jsonDuration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		d.Duration = v
+		return nil
+	}
+	var ms float64
+	if err := json.Unmarshal(b, &ms); err != nil {
+		return fmt.Errorf(`duration: want "2s" or milliseconds, got %s`, b)
+	}
+	d.Duration = time.Duration(ms * float64(time.Millisecond))
+	return nil
+}
+
+func (d jsonDuration) MarshalJSON() ([]byte, error) { return json.Marshal(d.String()) }
+
+// campaign is the schedule: global stream/verification knobs plus the
+// ordered fault phases.
+type campaign struct {
+	Name string `json:"name"`
+	// StreamInterval paces the continuous source→sink event stream
+	// (default 250ms).
+	StreamInterval jsonDuration `json:"stream_interval"`
+	// ReconvergeWithin bounds how long the membership census may take to
+	// re-converge after each heal (default 2m).
+	ReconvergeWithin jsonDuration `json:"reconverge_within"`
+	// DrainTimeout bounds the final wait for every accepted event to
+	// arrive after the last phase (default 2m).
+	DrainTimeout jsonDuration `json:"drain_timeout"`
+	// DemotionsPerNode bounds mean discovery demotion churn per node
+	// across the whole campaign (default 50).
+	DemotionsPerNode float64 `json:"demotions_per_node"`
+	Phases           []phase `json:"phases"`
+}
+
+// phase is one timed fault verb. Which fields matter depends on Verb;
+// parseCampaign rejects combinations that make no sense.
+type phase struct {
+	Name string `json:"name"`
+	// Verb: partition | loss | custody-split | kill | rolling-restart |
+	// heal | sleep.
+	Verb string `json:"verb"`
+	// Mode (partition): bisect (default) splits the fleet in ID halves
+	// with source and sink forced to opposite sides; islands splits it
+	// into Islands round-robin groups.
+	Mode    string `json:"mode,omitempty"`
+	Islands int    `json:"islands,omitempty"`
+	// Hold is how long the fault stays in force before the phase ends
+	// (for custody-split, measured from the partition; set it ≥3× the
+	// soft-state horizon to prove custody outlives the gradients).
+	Hold jsonDuration `json:"hold,omitempty"`
+	// Heal (partition): heal at end of phase and require census
+	// re-convergence. Defaults true; set false to leave the split in
+	// force for compound faults (a later heal phase lifts it).
+	Heal *bool `json:"heal,omitempty"`
+	// Level (loss): target egress loss probability in [0,1).
+	Level float64 `json:"level,omitempty"`
+	// Nodes (loss): restrict the ramp to these IDs (empty: mesh-wide).
+	Nodes     []uint32     `json:"nodes,omitempty"`
+	RampSteps int          `json:"ramp_steps,omitempty"`
+	RampHold  jsonDuration `json:"ramp_hold,omitempty"`
+	// Target (kill): seed | relay | custodian | a numeric node ID.
+	Target string `json:"target,omitempty"`
+	// Restart (kill): warm-restart the victim KillWait after the kill.
+	Restart  bool         `json:"restart,omitempty"`
+	KillWait jsonDuration `json:"kill_wait,omitempty"`
+	// Batch/Pause/Count (rolling-restart): nodes per batch, pause
+	// between batches, and how many nodes to roll in total (0: every
+	// node except seed, sink and source).
+	Batch int          `json:"batch,omitempty"`
+	Pause jsonDuration `json:"pause,omitempty"`
+	Count int          `json:"count,omitempty"`
+}
+
+// campaignVerbs is the closed verb set, for validation.
+var campaignVerbs = map[string]bool{
+	"partition": true, "loss": true, "custody-split": true,
+	"kill": true, "rolling-restart": true, "heal": true, "sleep": true,
+}
+
+// parseCampaign decodes and validates a campaign file, applying
+// defaults. Unknown fields are rejected so a typo'd knob fails loudly
+// instead of silently running a weaker campaign.
+func parseCampaign(raw []byte) (*campaign, error) {
+	var c campaign
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if c.Name == "" {
+		c.Name = "campaign"
+	}
+	if c.StreamInterval.Duration == 0 {
+		c.StreamInterval.Duration = 250 * time.Millisecond
+	}
+	if c.ReconvergeWithin.Duration == 0 {
+		c.ReconvergeWithin.Duration = 2 * time.Minute
+	}
+	if c.DrainTimeout.Duration == 0 {
+		c.DrainTimeout.Duration = 2 * time.Minute
+	}
+	if c.DemotionsPerNode == 0 {
+		c.DemotionsPerNode = 50
+	}
+	if len(c.Phases) == 0 {
+		return nil, fmt.Errorf("campaign: no phases")
+	}
+	for i := range c.Phases {
+		p := &c.Phases[i]
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("phase-%d", i+1)
+		}
+		if !campaignVerbs[p.Verb] {
+			return nil, fmt.Errorf("campaign: phase %q: unknown verb %q", p.Name, p.Verb)
+		}
+		switch p.Verb {
+		case "partition":
+			switch p.Mode {
+			case "", "bisect":
+				p.Mode = "bisect"
+			case "islands":
+				if p.Islands == 0 {
+					p.Islands = 3
+				}
+				if p.Islands < 2 {
+					return nil, fmt.Errorf("campaign: phase %q: islands must be >= 2", p.Name)
+				}
+			default:
+				return nil, fmt.Errorf("campaign: phase %q: unknown partition mode %q", p.Name, p.Mode)
+			}
+			if p.Hold.Duration <= 0 {
+				return nil, fmt.Errorf("campaign: phase %q: partition needs a hold", p.Name)
+			}
+		case "loss":
+			if p.Level < 0 || p.Level >= 1 {
+				return nil, fmt.Errorf("campaign: phase %q: loss level %v outside [0,1)", p.Name, p.Level)
+			}
+			if p.RampSteps == 0 {
+				p.RampSteps = 3
+			}
+			if p.RampHold.Duration == 0 {
+				p.RampHold.Duration = time.Second
+			}
+		case "custody-split":
+			if p.Hold.Duration <= 0 {
+				return nil, fmt.Errorf("campaign: phase %q: custody-split needs a hold", p.Name)
+			}
+			if p.KillWait.Duration == 0 {
+				p.KillWait.Duration = 2 * time.Second
+			}
+		case "kill":
+			if p.Target == "" {
+				return nil, fmt.Errorf("campaign: phase %q: kill needs a target", p.Name)
+			}
+			if p.KillWait.Duration == 0 {
+				p.KillWait.Duration = 2 * time.Second
+			}
+		case "rolling-restart":
+			if p.Batch == 0 {
+				p.Batch = 5
+			}
+			if p.Pause.Duration == 0 {
+				p.Pause.Duration = 2 * time.Second
+			}
+		case "sleep":
+			if p.Hold.Duration <= 0 {
+				return nil, fmt.Errorf("campaign: phase %q: sleep needs a hold", p.Name)
+			}
+		}
+	}
+	return &c, nil
+}
+
+// campaignVerdict is the machine-readable outcome, one JSON document on
+// stdout. The schema is pinned by TestVerdictSchema; CI and operators
+// parse it, so field changes are API changes.
+type campaignVerdict struct {
+	Campaign   string          `json:"campaign"`
+	N          int             `json:"n"`
+	ConvergeMS int64           `json:"converge_ms"`
+	Sink       uint32          `json:"sink"`
+	Source     uint32          `json:"source"`
+	Phases     []phaseVerdict  `json:"phases"`
+	Invariants invariantReport `json:"invariants"`
+	OK         bool            `json:"ok"`
+}
+
+// phaseVerdict is one phase's outcome.
+type phaseVerdict struct {
+	Name    string `json:"name"`
+	Verb    string `json:"verb"`
+	StartMS int64  `json:"start_ms"`
+	// DurationMS covers the whole phase including holds and heals.
+	DurationMS int64 `json:"duration_ms"`
+	// ReconvergeMS is how long the membership census took to re-converge
+	// after this phase's heal (0 when the phase did not heal).
+	ReconvergeMS int64  `json:"reconverge_ms,omitempty"`
+	Detail       string `json:"detail,omitempty"`
+	OK           bool   `json:"ok"`
+	Error        string `json:"error,omitempty"`
+}
+
+// invariantReport is the campaign-wide verdict on the properties every
+// phase must preserve.
+type invariantReport struct {
+	// Sent counts events the source accepted (HTTP 200 on /send);
+	// Delivered counts distinct events that reached the sink.
+	Sent      int `json:"sent"`
+	Delivered int `json:"delivered"`
+	// Duplicates counts extra arrivals of already-delivered events (must
+	// be 0: custody hand-off is exactly-once under the seen horizon).
+	Duplicates int `json:"duplicates"`
+	// Missing lists undelivered sequences, capped at 20 entries.
+	Missing []int `json:"missing,omitempty"`
+	// RingOverrun flags that the sink's delivery ring wrapped between
+	// polls — the loss/dup counts would be unreliable, so it fails the
+	// campaign on its own.
+	RingOverrun bool `json:"ring_overrun,omitempty"`
+	// Demotions is fleet-wide discovery demotion churn, bounded by
+	// DemotionsBound (= demotions_per_node × n).
+	Demotions      uint64 `json:"demotions"`
+	DemotionsBound uint64 `json:"demotions_bound"`
+	CleanExits     int    `json:"clean_exits"`
+	OK             bool   `json:"ok"`
+}
+
+// Exit codes, pinned by TestExitCode: 0 — the campaign ran and every
+// invariant held; 1 — usage or infrastructure failure (the campaign
+// never produced a verdict); 2 — the campaign ran but a phase or
+// invariant failed. CI treats 1 as "rerun me", 2 as "the protocol broke".
+const (
+	exitOK        = 0
+	exitInfra     = 1
+	exitInvariant = 2
+)
+
+// exitCode maps a campaign outcome onto the process exit code.
+func exitCode(v *campaignVerdict, err error) int {
+	if v == nil {
+		return exitInfra
+	}
+	if !v.OK {
+		return exitInvariant
+	}
+	if err != nil {
+		return exitInfra
+	}
+	return exitOK
+}
+
+// campaignRun is the live state of one executing campaign.
+type campaignRun struct {
+	f      *fleet
+	camp   *campaign
+	sink   *chaos.Proc
+	source *chaos.Proc
+	pub    int
+
+	mu      sync.Mutex
+	sent    map[int]bool // stream sequences the source accepted
+	counts  map[int]int  // arrivals per stream sequence at the sink
+	cursor  int          // last delivery-ring Seq consumed
+	overrun bool
+
+	stopSend    chan struct{}
+	senderDone  chan struct{}
+	stopCheck   chan struct{}
+	checkerDone chan struct{}
+}
+
+// runCampaign executes one campaign end to end and returns its verdict.
+// An error with a nil verdict is infrastructure failure; a verdict with
+// OK=false is the campaign finding a real violation.
+func runCampaign(cfg fleetConfig, camp *campaign) (*campaignVerdict, error) {
+	cfg.Durable = true
+	cfg = cfg.withDefaults()
+	f := &fleet{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 5 * time.Second},
+		procs:  map[uint32]*chaos.Proc{},
+	}
+	defer f.teardownKill()
+
+	bin, err := buildNodeBin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := f.bootAll(bin); err != nil {
+		return nil, err
+	}
+	nodes, err := f.awaitConvergence(start)
+	if err != nil {
+		return nil, err
+	}
+	v := &campaignVerdict{Campaign: camp.Name, N: cfg.N,
+		ConvergeMS: time.Since(start).Milliseconds()}
+	fmt.Fprintf(cfg.Logw, "difffleet: %d nodes converged in %v\n",
+		cfg.N, time.Since(start).Round(time.Millisecond))
+
+	sinkID, sourceID := pickEndpoints(nodes)
+	if sinkID == 0 || sourceID == 0 {
+		return nil, fmt.Errorf("difffleet: campaign needs at least 3 nodes for seed, sink and source")
+	}
+	v.Sink, v.Source = sinkID, sourceID
+	r := &campaignRun{
+		f: f, camp: camp,
+		sink: f.procs[sinkID], source: f.procs[sourceID],
+		sent: map[int]bool{}, counts: map[int]int{},
+	}
+	fmt.Fprintf(cfg.Logw, "difffleet: sink %d (depth %d), source %d (depth %d)\n",
+		sinkID, nodes[sinkID].Depth, sourceID, nodes[sourceID].Depth)
+
+	if _, err := f.post(r.sink, "/subscribe", "type EQ fleet-sweep, interval IS 1"); err != nil {
+		return nil, err
+	}
+	pubResp, err := f.post(r.source, "/publish", "type IS fleet-sweep")
+	if err != nil {
+		return nil, err
+	}
+	r.pub = int(pubResp["handle"].(float64))
+	if err := f.await(30*time.Second, "interest at source", func() (bool, error) {
+		st, err := f.get(r.source, "/state")
+		if err != nil {
+			return false, nil
+		}
+		n, _ := st["interest_entries"].(float64)
+		return n >= 1, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	r.startStream()
+	// Warm up until delivery is steady: the first sends travel as
+	// exploratory data and prime reinforcement, and custody-transfer
+	// replay needs a reinforced gradient to drain along — faulting a
+	// mesh that never carried the stream would test nothing and strand
+	// the early events with no path to vouch for them.
+	if err := f.await(time.Minute, "steady delivery before the first phase", func() (bool, error) {
+		return r.deliveredCount() >= 5, nil
+	}); err != nil {
+		return nil, fmt.Errorf("difffleet: stream never established: %w", err)
+	}
+	base := time.Now()
+	for i := range camp.Phases {
+		pv := r.runPhase(&camp.Phases[i], base)
+		v.Phases = append(v.Phases, pv)
+	}
+	r.finish(v)
+
+	v.OK = v.Invariants.OK
+	for _, pv := range v.Phases {
+		v.OK = v.OK && pv.OK
+	}
+	return v, nil
+}
+
+// pickEndpoints chooses the sink and source: the two deepest non-seed
+// nodes of the converged mesh (deepest = sink), so the stream crosses
+// real relays and the seed stays neutral — campaigns may kill it.
+func pickEndpoints(nodes map[uint32]*fleetNode) (sink, source uint32) {
+	ids := make([]uint32, 0, len(nodes))
+	for id := range nodes {
+		if id != 1 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := nodes[ids[i]].Depth, nodes[ids[j]].Depth
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] > ids[j]
+	})
+	if len(ids) < 2 {
+		return 0, 0
+	}
+	return ids[0], ids[1]
+}
+
+// startStream launches the continuous sender and the sink checker. The
+// sender counts an event as sent only when the source's control plane
+// answered 200 — an event refused by a dead source is not owed to the
+// sink. The checker consumes the sink's delivery ring incrementally and
+// detects ring overrun, so loss/dup accounting never silently degrades.
+func (r *campaignRun) startStream() {
+	r.stopSend, r.senderDone = make(chan struct{}), make(chan struct{})
+	r.stopCheck, r.checkerDone = make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(r.senderDone)
+		tick := time.NewTicker(r.camp.StreamInterval.Duration)
+		defer tick.Stop()
+		for seq := 1; ; seq++ {
+			select {
+			case <-r.stopSend:
+				return
+			case <-tick.C:
+			}
+			body := fmt.Sprintf(`{"publication": %d, "attrs": "sequence IS %d"}`, r.pub, seq)
+			if _, err := r.f.post(r.source, "/send", body); err == nil {
+				r.mu.Lock()
+				r.sent[seq] = true
+				r.mu.Unlock()
+			}
+		}
+	}()
+	go func() {
+		defer close(r.checkerDone)
+		for {
+			select {
+			case <-r.stopCheck:
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			r.pollSink()
+		}
+	}()
+}
+
+// pollSink consumes new entries of the sink's delivery ring. Ring Seq
+// values are contiguous from 1; a gap above the cursor means the ring
+// wrapped between polls and arrivals were lost to accounting.
+func (r *campaignRun) pollSink() {
+	r.mu.Lock()
+	cursor := r.cursor
+	r.mu.Unlock()
+	dv, err := r.f.get(r.sink, fmt.Sprintf("/deliveries?since=%d", cursor))
+	if err != nil {
+		return
+	}
+	recent, _ := dv["recent"].([]any)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range recent {
+		ent, _ := e.(map[string]any)
+		ringSeq, _ := ent["seq"].(float64)
+		if int(ringSeq) <= r.cursor {
+			continue // another poll already consumed it
+		}
+		if int(ringSeq) != r.cursor+1 {
+			r.overrun = true
+		}
+		r.cursor = int(ringSeq)
+		attrs, _ := ent["attrs"].(string)
+		if m := seqRe.FindStringSubmatch(attrs); m != nil {
+			seq, _ := strconv.Atoi(m[1])
+			r.counts[seq]++
+		}
+	}
+}
+
+// missingLocked returns the accepted-but-undelivered sequences; caller
+// holds r.mu.
+func (r *campaignRun) missingLocked() []int {
+	var missing []int
+	for seq := range r.sent {
+		if r.counts[seq] == 0 {
+			missing = append(missing, seq)
+		}
+	}
+	sort.Ints(missing)
+	return missing
+}
+
+// deliveredCount returns how many distinct stream events have arrived.
+func (r *campaignRun) deliveredCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counts)
+}
+
+// runPhase executes one phase, narrates it, and folds failures into the
+// phase verdict rather than aborting the campaign — later phases still
+// run, and the campaign-level OK aggregates everything.
+func (r *campaignRun) runPhase(p *phase, base time.Time) phaseVerdict {
+	pv := phaseVerdict{Name: p.Name, Verb: p.Verb,
+		StartMS: time.Since(base).Milliseconds(), OK: true}
+	fmt.Fprintf(r.f.cfg.Logw, "difffleet: phase %q (%s) starting\n", p.Name, p.Verb)
+	start := time.Now()
+	var err error
+	switch p.Verb {
+	case "partition":
+		err = r.doPartition(p, &pv)
+	case "loss":
+		err = r.doLoss(p, &pv)
+	case "custody-split":
+		err = r.doCustodySplit(p, &pv)
+	case "kill":
+		err = r.doKill(p, &pv)
+	case "rolling-restart":
+		err = r.doRollingRestart(p, &pv)
+	case "heal":
+		err = r.healAndReconverge(&pv)
+	case "sleep":
+		time.Sleep(p.Hold.Duration)
+	}
+	if err != nil {
+		pv.OK, pv.Error = false, err.Error()
+	}
+	pv.DurationMS = time.Since(start).Milliseconds()
+	fmt.Fprintf(r.f.cfg.Logw, "difffleet: phase %q done in %v ok=%v %s\n",
+		p.Name, time.Since(start).Round(time.Millisecond), pv.OK, pv.Detail)
+	return pv
+}
+
+// allProcs returns every managed proc (dead ones included — the group
+// helpers skip those themselves).
+func (r *campaignRun) allProcs() []*chaos.Proc {
+	procs := make([]*chaos.Proc, 0, len(r.f.procs))
+	for _, p := range r.f.procs {
+		procs = append(procs, p)
+	}
+	return procs
+}
+
+// sortedIDs returns every node ID ascending.
+func (r *campaignRun) sortedIDs() []uint32 {
+	ids := make([]uint32, 0, len(r.f.procs))
+	for id := range r.f.procs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// bisectGroups splits the fleet into two ID halves with source and sink
+// forced onto opposite sides, so the stream must cross the cut.
+func (r *campaignRun) bisectGroups() ([]*chaos.Proc, []*chaos.Proc) {
+	ids := r.sortedIDs()
+	side := map[uint32]int{}
+	for i, id := range ids {
+		if i < len(ids)/2 {
+			side[id] = 0
+		} else {
+			side[id] = 1
+		}
+	}
+	if side[r.sink.ID()] == side[r.source.ID()] {
+		side[r.source.ID()] ^= 1
+	}
+	var a, b []*chaos.Proc
+	for _, id := range ids {
+		if side[id] == 0 {
+			a = append(a, r.f.procs[id])
+		} else {
+			b = append(b, r.f.procs[id])
+		}
+	}
+	return a, b
+}
+
+// islandGroups splits the fleet round-robin into k islands.
+func (r *campaignRun) islandGroups(k int) [][]*chaos.Proc {
+	groups := make([][]*chaos.Proc, k)
+	for i, id := range r.sortedIDs() {
+		groups[i%k] = append(groups[i%k], r.f.procs[id])
+	}
+	return groups
+}
+
+func (r *campaignRun) doPartition(p *phase, pv *phaseVerdict) error {
+	var groups [][]*chaos.Proc
+	if p.Mode == "islands" {
+		groups = r.islandGroups(p.Islands)
+		pv.Detail = fmt.Sprintf("%d islands", len(groups))
+	} else {
+		a, b := r.bisectGroups()
+		groups = [][]*chaos.Proc{a, b}
+		pv.Detail = fmt.Sprintf("bisect %d|%d", len(a), len(b))
+	}
+	if err := chaos.PartitionGroups(groups...); err != nil {
+		return err
+	}
+	time.Sleep(p.Hold.Duration)
+	if p.Heal == nil || *p.Heal {
+		return r.healAndReconverge(pv)
+	}
+	return nil
+}
+
+// healAndReconverge lifts every block and requires the membership
+// census — every living node reachable, each with a live mutual
+// neighbor, degree within cap — to re-converge within the campaign
+// bound.
+func (r *campaignRun) healAndReconverge(pv *phaseVerdict) error {
+	if err := chaos.HealAll(r.allProcs()...); err != nil {
+		return err
+	}
+	d, err := r.awaitCensus(r.camp.ReconvergeWithin.Duration)
+	if err != nil {
+		return err
+	}
+	pv.ReconvergeMS = d.Milliseconds()
+	return nil
+}
+
+// awaitCensus polls the mesh walk until every living node is reachable
+// and healthy, returning how long that took.
+func (r *campaignRun) awaitCensus(timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	alive := 0
+	for _, p := range r.f.procs {
+		if p.Alive() {
+			alive++
+		}
+	}
+	err := r.f.await(timeout, "census re-convergence", func() (bool, error) {
+		nodes := r.f.walk()
+		if len(nodes) != alive {
+			return false, nil
+		}
+		for id, n := range nodes {
+			if n.Degree > n.Cap {
+				return false, fmt.Errorf("difffleet: node %d degree %d exceeds cap %d", id, n.Degree, n.Cap)
+			}
+			live := 0
+			for _, row := range n.Rows {
+				if row.Member == "neighbor" && row.Peered && row.State != "dead" {
+					live++
+				}
+			}
+			if live == 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	return time.Since(start), err
+}
+
+func (r *campaignRun) doLoss(p *phase, pv *phaseVerdict) error {
+	var procs []*chaos.Proc
+	if len(p.Nodes) == 0 {
+		procs = r.allProcs()
+	} else {
+		for _, id := range p.Nodes {
+			if q := r.f.procs[id]; q != nil {
+				procs = append(procs, q)
+			}
+		}
+	}
+	for i := 1; i <= p.RampSteps; i++ {
+		level := p.Level * float64(i) / float64(p.RampSteps)
+		if err := chaos.SetLossAll(level, procs...); err != nil {
+			return err
+		}
+		time.Sleep(p.RampHold.Duration)
+	}
+	// Delivery must continue at the full loss level: reliable unicast
+	// retransmission is what the ramp stresses.
+	before := r.deliveredCount()
+	time.Sleep(p.Hold.Duration)
+	gained := r.deliveredCount() - before
+	if err := chaos.SetLossAll(0, procs...); err != nil {
+		return err
+	}
+	pv.Detail = fmt.Sprintf("ramped %d nodes to %.0f%%, %d deliveries during hold",
+		len(procs), p.Level*100, gained)
+	if gained == 0 && p.Hold.Duration >= 4*r.camp.StreamInterval.Duration {
+		return fmt.Errorf("difffleet: no deliveries during %v at %.0f%% loss",
+			p.Hold.Duration, p.Level*100)
+	}
+	return nil
+}
+
+// doCustodySplit isolates the sink behind a partition, waits for an
+// upstream node to take custody of the stranded stream, SIGKILLs that
+// custodian mid-partition and warm-restarts it from its journal, holds
+// the split for the full Hold (set it past the soft-state horizon so
+// every gradient to the sink expires), then heals. The campaign-end
+// zero-loss/zero-duplicate verdict is what proves the journal recovery
+// handed every stranded event over exactly once.
+func (r *campaignRun) doCustodySplit(p *phase, pv *phaseVerdict) error {
+	start := time.Now()
+	island := []*chaos.Proc{r.sink}
+	rest := make([]*chaos.Proc, 0, len(r.f.procs)-1)
+	for _, q := range r.f.procs {
+		if q.ID() != r.sink.ID() {
+			rest = append(rest, q)
+		}
+	}
+	if err := chaos.PartitionGroups(island, rest); err != nil {
+		return err
+	}
+	var custodian *chaos.Proc
+	r.f.await(p.Hold.Duration/2, "custodian", func() (bool, error) {
+		custodian = r.findCustodian()
+		return custodian != nil, nil
+	})
+	if custodian != nil {
+		fmt.Fprintf(r.f.cfg.Logw, "difffleet: killing custodian %d mid-partition\n", custodian.ID())
+		if err := custodian.Kill(); err != nil {
+			return err
+		}
+		time.Sleep(p.KillWait.Duration)
+		if err := r.f.respawn(custodian.ID()); err != nil {
+			return err
+		}
+		pv.Detail = fmt.Sprintf("custodian %d killed and warm-restarted mid-partition", custodian.ID())
+	} else {
+		pv.Detail = "no upstream custodian appeared; split held without a kill"
+	}
+	if remain := p.Hold.Duration - time.Since(start); remain > 0 {
+		time.Sleep(remain)
+	}
+	return r.healAndReconverge(pv)
+}
+
+// findCustodian returns the living node (never the sink or source)
+// holding the most custody, or nil when none holds any.
+func (r *campaignRun) findCustodian() *chaos.Proc {
+	var best *chaos.Proc
+	var bestLen float64
+	for id, q := range r.f.procs {
+		if id == r.sink.ID() || id == r.source.ID() || !q.Alive() {
+			continue
+		}
+		cu, err := r.f.get(q, "/custody")
+		if err != nil {
+			continue
+		}
+		n, _ := cu["len"].(float64)
+		if n > bestLen {
+			best, bestLen = q, n
+		}
+	}
+	return best
+}
+
+func (r *campaignRun) doKill(p *phase, pv *phaseVerdict) error {
+	target, desc, err := r.resolveTarget(p.Target)
+	if err != nil {
+		return err
+	}
+	if target.ID() == r.sink.ID() || target.ID() == r.source.ID() {
+		return fmt.Errorf("difffleet: refusing to kill node %d: it is the stream %s",
+			target.ID(), map[uint32]string{r.sink.ID(): "sink", r.source.ID(): "source"}[target.ID()])
+	}
+	fmt.Fprintf(r.f.cfg.Logw, "difffleet: killing %s\n", desc)
+	if err := target.Kill(); err != nil {
+		return err
+	}
+	pv.Detail = "killed " + desc
+	time.Sleep(p.KillWait.Duration)
+	if p.Restart {
+		if err := r.f.respawn(target.ID()); err != nil {
+			return err
+		}
+		if err := target.WaitHealthy(30 * time.Second); err != nil {
+			return err
+		}
+		pv.Detail += ", warm-restarted"
+	}
+	time.Sleep(p.Hold.Duration)
+	return nil
+}
+
+// resolveTarget maps a kill target name onto a living process: the
+// seed, the sink's busiest relay, the current custodian, or a node ID.
+func (r *campaignRun) resolveTarget(target string) (*chaos.Proc, string, error) {
+	switch target {
+	case "seed":
+		if !r.f.seed.Alive() {
+			return nil, "", fmt.Errorf("difffleet: seed already dead")
+		}
+		return r.f.seed, fmt.Sprintf("seed (node %d)", r.f.seed.ID()), nil
+	case "relay":
+		relay := r.busiestRelay()
+		if relay == nil {
+			return nil, "", fmt.Errorf("difffleet: sink has no relay other than the source")
+		}
+		return relay, fmt.Sprintf("relay %d", relay.ID()), nil
+	case "custodian":
+		c := r.findCustodian()
+		if c == nil {
+			return nil, "", fmt.Errorf("difffleet: no node holds custody")
+		}
+		return c, fmt.Sprintf("custodian %d", c.ID()), nil
+	default:
+		id, err := strconv.ParseUint(target, 10, 32)
+		if err != nil {
+			return nil, "", fmt.Errorf("difffleet: unknown kill target %q", target)
+		}
+		q := r.f.procs[uint32(id)]
+		if q == nil || !q.Alive() {
+			return nil, "", fmt.Errorf("difffleet: kill target %d not running", id)
+		}
+		return q, fmt.Sprintf("node %d", id), nil
+	}
+}
+
+// busiestRelay finds the living neighbor delivering the most data into
+// the sink, excluding the source itself.
+func (r *campaignRun) busiestRelay() *chaos.Proc {
+	nb, err := r.f.get(r.sink, "/neighbors")
+	if err != nil {
+		return nil
+	}
+	raw, _ := json.Marshal(nb["neighbors"])
+	var rows []neighborRow
+	json.Unmarshal(raw, &rows)
+	var best *chaos.Proc
+	var busiest uint64
+	for _, row := range rows {
+		if row.Member != "neighbor" || row.ID == r.source.ID() {
+			continue
+		}
+		q := r.f.procs[row.ID]
+		if q == nil || !q.Alive() {
+			continue
+		}
+		if best == nil || row.DataRecv > busiest {
+			best, busiest = q, row.DataRecv
+		}
+	}
+	return best
+}
+
+// doRollingRestart terminates and warm-restarts nodes in batches — the
+// supervisor-driven upgrade pattern. The seed, sink and source are
+// exempt: restarting them would change what the campaign measures.
+func (r *campaignRun) doRollingRestart(p *phase, pv *phaseVerdict) error {
+	var eligible []uint32
+	for _, id := range r.sortedIDs() {
+		if id == 1 || id == r.sink.ID() || id == r.source.ID() || !r.f.procs[id].Alive() {
+			continue
+		}
+		eligible = append(eligible, id)
+	}
+	if p.Count > 0 && p.Count < len(eligible) {
+		eligible = eligible[:p.Count]
+	}
+	restarted := 0
+	for i := 0; i < len(eligible); i += p.Batch {
+		batch := eligible[i:min(i+p.Batch, len(eligible))]
+		for _, id := range batch {
+			if err := r.f.procs[id].Terminate(10 * time.Second); err != nil {
+				fmt.Fprintf(r.f.cfg.Logw, "difffleet: rolling restart: %v\n", err)
+			}
+		}
+		for _, id := range batch {
+			if err := r.f.respawn(id); err != nil {
+				return err
+			}
+		}
+		for _, id := range batch {
+			if err := r.f.procs[id].WaitHealthy(60 * time.Second); err != nil {
+				return err
+			}
+			restarted++
+		}
+		time.Sleep(p.Pause.Duration)
+	}
+	pv.Detail = fmt.Sprintf("restarted %d nodes in batches of %d", restarted, p.Batch)
+	return nil
+}
+
+// finish restores the network, waits for the stream to resume, then
+// stops it, drains in-flight custody, and renders the campaign-wide
+// invariant verdict. Order matters: the source must still be streaming
+// across the healed mesh for reinforcement to re-prime — custody
+// replay over a custody-capable link drains along reinforced
+// gradients, and reinforcement only re-forms while data flows.
+func (r *campaignRun) finish(v *campaignVerdict) {
+	chaos.HealAll(r.allProcs()...)
+	chaos.SetLossAll(0, r.allProcs()...)
+
+	r.mu.Lock()
+	healMark := 0
+	for seq := range r.sent {
+		if seq > healMark {
+			healMark = seq
+		}
+	}
+	r.mu.Unlock()
+	r.f.await(r.camp.ReconvergeWithin.Duration, "stream to resume after the final heal",
+		func() (bool, error) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			for seq := range r.counts {
+				if seq > healMark {
+					return true, nil
+				}
+			}
+			return false, nil
+		})
+
+	close(r.stopSend)
+	<-r.senderDone
+	close(r.stopCheck)
+	<-r.checkerDone
+
+	// Drain: every accepted event must reach the sink. No resends — the
+	// custody and reliable layers own redelivery; nudging them here
+	// would mask the very loss the campaign exists to catch.
+	r.f.await(r.camp.DrainTimeout.Duration, "final drain", func() (bool, error) {
+		r.pollSink()
+		r.mu.Lock()
+		missing := len(r.missingLocked())
+		r.mu.Unlock()
+		return missing == 0, nil
+	})
+
+	// A failed drain means events are stranded or gone; dump every
+	// node's custody ledger so the operator can tell which.
+	r.mu.Lock()
+	stranded := len(r.missingLocked())
+	r.mu.Unlock()
+	if stranded > 0 {
+		for _, id := range r.sortedIDs() {
+			q := r.f.procs[id]
+			if !q.Alive() {
+				continue
+			}
+			cu, err := r.f.get(q, "/custody")
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(r.f.cfg.Logw, "difffleet: custody at node %d: %v\n", id, cu)
+		}
+	}
+
+	inv := &v.Invariants
+	r.mu.Lock()
+	inv.Sent = len(r.sent)
+	inv.Delivered = len(r.counts)
+	for _, n := range r.counts {
+		if n > 1 {
+			inv.Duplicates += n - 1
+		}
+	}
+	missing := r.missingLocked()
+	if len(missing) > 20 {
+		missing = missing[:20]
+	}
+	inv.Missing = missing
+	inv.RingOverrun = r.overrun
+	r.mu.Unlock()
+
+	inv.Demotions = r.f.scrapeMetric("diffusion_discovery_demotions")
+	inv.DemotionsBound = uint64(r.camp.DemotionsPerNode * float64(r.f.cfg.N))
+	inv.CleanExits = r.f.teardownGraceful()
+	inv.OK = len(inv.Missing) == 0 && inv.Duplicates == 0 && !inv.RingOverrun &&
+		inv.Demotions <= inv.DemotionsBound
+	fmt.Fprintf(r.f.cfg.Logw,
+		"difffleet: invariants: sent %d delivered %d dup %d missing %d demotions %d/%d ok=%v\n",
+		inv.Sent, inv.Delivered, inv.Duplicates, len(inv.Missing),
+		inv.Demotions, inv.DemotionsBound, inv.OK)
+}

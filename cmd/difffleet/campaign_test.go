@@ -1,0 +1,333 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCampaignParse pins the campaign-file contract: defaults fill in,
+// every verb validates its own knobs, and unknown fields or verbs are
+// rejected loudly instead of weakening the campaign silently.
+// TestSampleCampaignParses pins the checked-in walkthrough campaign
+// (testdata/campaign.json, quoted in the README) to the schema: a field
+// rename or verb change that would orphan the docs fails here first.
+func TestSampleCampaignParses(t *testing.T) {
+	raw, err := os.ReadFile("testdata/campaign.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := parseCampaign(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "sample" || len(c.Phases) != 7 {
+		t.Fatalf("unexpected sample campaign: name %q, %d phases", c.Name, len(c.Phases))
+	}
+}
+
+func TestCampaignParse(t *testing.T) {
+	c, err := parseCampaign([]byte(`{
+		"name": "pr-gate",
+		"phases": [
+			{"verb": "partition", "hold": "10s"},
+			{"verb": "partition", "mode": "islands", "hold": "5s", "heal": false},
+			{"verb": "loss", "level": 0.3, "hold": "5s"},
+			{"verb": "custody-split", "hold": "20s"},
+			{"verb": "kill", "target": "seed", "restart": true},
+			{"verb": "rolling-restart", "count": 10},
+			{"verb": "heal"},
+			{"verb": "sleep", "hold": 1500}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StreamInterval.Duration != 250*time.Millisecond {
+		t.Errorf("stream_interval default = %v", c.StreamInterval)
+	}
+	if c.ReconvergeWithin.Duration != 2*time.Minute || c.DrainTimeout.Duration != 2*time.Minute {
+		t.Errorf("verification defaults = %v/%v", c.ReconvergeWithin, c.DrainTimeout)
+	}
+	if c.DemotionsPerNode != 50 {
+		t.Errorf("demotions_per_node default = %v", c.DemotionsPerNode)
+	}
+	if got := c.Phases[0]; got.Mode != "bisect" || got.Name != "phase-1" {
+		t.Errorf("partition defaults = %+v", got)
+	}
+	if got := c.Phases[1]; got.Islands != 3 || got.Heal == nil || *got.Heal {
+		t.Errorf("islands defaults = %+v", got)
+	}
+	if got := c.Phases[2]; got.RampSteps != 3 || got.RampHold.Duration != time.Second {
+		t.Errorf("loss defaults = %+v", got)
+	}
+	if got := c.Phases[3]; got.KillWait.Duration != 2*time.Second {
+		t.Errorf("custody-split defaults = %+v", got)
+	}
+	if got := c.Phases[5]; got.Batch != 5 || got.Pause.Duration != 2*time.Second {
+		t.Errorf("rolling-restart defaults = %+v", got)
+	}
+	if got := c.Phases[7]; got.Hold.Duration != 1500*time.Millisecond {
+		t.Errorf("numeric duration = %v, want 1.5s", got.Hold)
+	}
+
+	for _, tc := range []struct{ name, body, want string }{
+		{"empty", `{"phases": []}`, "no phases"},
+		{"unknown verb", `{"phases": [{"verb": "meteor"}]}`, `unknown verb "meteor"`},
+		{"unknown field", `{"phases": [{"verb": "heal", "bogus": 1}]}`, "unknown field"},
+		{"bad mode", `{"phases": [{"verb": "partition", "mode": "trisect", "hold": "1s"}]}`, "unknown partition mode"},
+		{"one island", `{"phases": [{"verb": "partition", "mode": "islands", "islands": 1, "hold": "1s"}]}`, "islands must be >= 2"},
+		{"partition no hold", `{"phases": [{"verb": "partition"}]}`, "needs a hold"},
+		{"loss too high", `{"phases": [{"verb": "loss", "level": 1.0}]}`, "outside [0,1)"},
+		{"split no hold", `{"phases": [{"verb": "custody-split"}]}`, "needs a hold"},
+		{"kill no target", `{"phases": [{"verb": "kill"}]}`, "needs a target"},
+		{"sleep no hold", `{"phases": [{"verb": "sleep"}]}`, "needs a hold"},
+	} {
+		if _, err := parseCampaign([]byte(tc.body)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCampaignExitCode pins the exit-code contract documented in the
+// difffleet doc comment: CI distinguishes "rerun me" (1) from "the
+// protocol broke" (2).
+func TestCampaignExitCode(t *testing.T) {
+	okV := &campaignVerdict{OK: true}
+	badV := &campaignVerdict{OK: false}
+	infraErr := os.ErrNotExist
+	for _, tc := range []struct {
+		name string
+		v    *campaignVerdict
+		err  error
+		want int
+	}{
+		{"all held", okV, nil, exitOK},
+		{"violation", badV, nil, exitInvariant},
+		{"violation trumps late error", badV, infraErr, exitInvariant},
+		{"infra error with clean verdict", okV, infraErr, exitInfra},
+		{"no verdict", nil, infraErr, exitInfra},
+		{"no verdict, no error", nil, nil, exitInfra},
+	} {
+		if got := exitCode(tc.v, tc.err); got != tc.want {
+			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCampaignVerdictSchema pins the JSON verdict schema byte-for-byte.
+// Operators and CI parse this document; a field rename or type change
+// must show up as a deliberate golden update in review, not as a silent
+// drift.
+func TestCampaignVerdictSchema(t *testing.T) {
+	v := campaignVerdict{
+		Campaign:   "pr-gate",
+		N:          100,
+		ConvergeMS: 41250,
+		Sink:       97,
+		Source:     96,
+		Phases: []phaseVerdict{{
+			Name: "split", Verb: "partition", StartMS: 1000, DurationMS: 25000,
+			ReconvergeMS: 9000, Detail: "bisect 50|50", OK: true,
+		}, {
+			Name: "storm", Verb: "loss", StartMS: 26000, DurationMS: 12000,
+			OK: false, Error: "no deliveries during 8s at 30% loss",
+		}},
+		Invariants: invariantReport{
+			Sent: 900, Delivered: 899, Duplicates: 1, Missing: []int{17},
+			RingOverrun: true, Demotions: 210, DemotionsBound: 5000,
+			CleanExits: 100, OK: false,
+		},
+		OK: false,
+	}
+	got, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+ "campaign": "pr-gate",
+ "n": 100,
+ "converge_ms": 41250,
+ "sink": 97,
+ "source": 96,
+ "phases": [
+  {
+   "name": "split",
+   "verb": "partition",
+   "start_ms": 1000,
+   "duration_ms": 25000,
+   "reconverge_ms": 9000,
+   "detail": "bisect 50|50",
+   "ok": true
+  },
+  {
+   "name": "storm",
+   "verb": "loss",
+   "start_ms": 26000,
+   "duration_ms": 12000,
+   "ok": false,
+   "error": "no deliveries during 8s at 30% loss"
+  }
+ ],
+ "invariants": {
+  "sent": 900,
+  "delivered": 899,
+  "duplicates": 1,
+  "missing": [
+   17
+  ],
+  "ring_overrun": true,
+  "demotions": 210,
+  "demotions_bound": 5000,
+  "clean_exits": 100,
+  "ok": false
+ },
+ "ok": false
+}`
+	if string(got) != want {
+		t.Errorf("verdict schema drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// runCampaignTest executes a campaign and requires a clean verdict.
+func runCampaignTest(t *testing.T, cfg fleetConfig, campaignJSON string) *campaignVerdict {
+	t.Helper()
+	camp, err := parseCampaign([]byte(campaignJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Logw = testWriter{t}
+	v, err := runCampaign(cfg, camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := json.MarshalIndent(v, "", "  ")
+	t.Logf("campaign verdict:\n%s", out)
+	for _, pv := range v.Phases {
+		if !pv.OK {
+			t.Errorf("phase %q (%s) failed: %s", pv.Name, pv.Verb, pv.Error)
+		}
+	}
+	inv := v.Invariants
+	if !inv.OK {
+		t.Errorf("invariants violated: delivered %d/%d, dup %d, missing %v, overrun %v, demotions %d/%d",
+			inv.Delivered, inv.Sent, inv.Duplicates, inv.Missing, inv.RingOverrun,
+			inv.Demotions, inv.DemotionsBound)
+	}
+	if inv.Sent == 0 {
+		t.Error("campaign sent no events; the stream never ran")
+	}
+	if !v.OK {
+		t.Error("campaign verdict not OK")
+	}
+	return v
+}
+
+// TestFleetCampaignSmall is the everyday-CI chaos campaign: 10 durable
+// nodes, one pass through every fault verb — bisect partition with
+// heal, mesh-wide loss, a custody split with a custodian kill and warm
+// restart, a seed kill with warm restart on its pinned port, and a
+// rolling restart — with zero loss, zero duplicates, census
+// re-convergence after every heal, and bounded demotion churn.
+func TestFleetCampaignSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process campaign test skipped in -short mode")
+	}
+	runCampaignTest(t, fleetConfig{
+		N:               10,
+		Dir:             t.TempDir(),
+		NodeLogs:        true,
+		ConvergeTimeout: time.Minute,
+	}, `{
+		"name": "small-all-verbs",
+		"stream_interval": "200ms",
+		"phases": [
+			{"name": "bisect",  "verb": "partition", "hold": "4s"},
+			{"name": "drizzle", "verb": "loss", "level": 0.3, "hold": "3s", "ramp_hold": "500ms"},
+			{"name": "split",   "verb": "custody-split", "hold": "6s", "kill_wait": "1s"},
+			{"name": "regicide","verb": "kill", "target": "seed", "restart": true, "kill_wait": "1s", "hold": "2s"},
+			{"name": "upgrade", "verb": "rolling-restart", "batch": 3, "count": 3, "pause": "1s"},
+			{"name": "settle",  "verb": "heal"}
+		]
+	}`)
+}
+
+// TestFleetChaosCampaign is the 100-node acceptance campaign, gated
+// behind DIFFUSION_FLEET=1 like TestFleetConvergence: a bisect
+// partition held past the failure detector and healed, a mesh-wide
+// loss ramp to 25%, a custody split that isolates the sink well past
+// the soft-state horizon while the custodian is SIGKILLed and
+// warm-restarted from its journal, and a rolling restart of ten nodes
+// in batches of five. The campaign-end invariants — zero
+// loss, zero duplicates, census re-convergence, bounded demotions —
+// are the fleet-scale robustness acceptance criteria. The demotion
+// bound is looser than the default: three partition-heal cycles of a
+// 100-node mesh each legitimately demote several cross-cut peers per
+// node (measured ~130/node for this schedule under the race detector),
+// so 300/node leaves fault headroom while still catching the unbounded
+// courtship churn the bound exists for.
+func TestFleetChaosCampaign(t *testing.T) {
+	if os.Getenv("DIFFUSION_FLEET") != "1" {
+		t.Skip("100-node campaign skipped (set DIFFUSION_FLEET=1)")
+	}
+	runCampaignTest(t, fleetConfig{
+		N:        100,
+		Dir:      t.TempDir(),
+		NodeLogs: true,
+		// Same scheduler-aware timer stretch as TestFleetConvergence: a
+		// hundred race-built processes must be limited by the protocol,
+		// not by run-queue latency.
+		AnnounceInterval:    300 * time.Millisecond,
+		Heartbeat:           750 * time.Millisecond,
+		SuspectAfter:        3 * time.Second,
+		DeadAfter:           8 * time.Second,
+		InterestInterval:    2 * time.Second,
+		ExploratoryInterval: 5 * time.Second,
+		ConvergeTimeout:     5 * time.Minute,
+	}, `{
+		"name": "fleet-acceptance",
+		"stream_interval": "500ms",
+		"reconverge_within": "4m",
+		"drain_timeout": "4m",
+		"demotions_per_node": 300,
+		"phases": [
+			{"name": "bisect",    "verb": "partition", "hold": "15s"},
+			{"name": "loss-ramp", "verb": "loss", "level": 0.25, "hold": "10s", "ramp_hold": "2s"},
+			{"name": "split",     "verb": "custody-split", "hold": "20s", "kill_wait": "3s"},
+			{"name": "upgrade",   "verb": "rolling-restart", "count": 10, "batch": 5, "pause": "2s"}
+		]
+	}`)
+}
+
+// BenchmarkFleetCampaign boots a 5-node durable fleet and runs a
+// minimal partition+heal campaign per iteration. The CI bench guard's
+// single iteration catches campaign-engine regressions that crash or
+// wedge; stable timings live in BENCH_fleetchaos.json.
+func BenchmarkFleetCampaign(b *testing.B) {
+	camp, err := parseCampaign([]byte(`{
+		"name": "bench",
+		"stream_interval": "100ms",
+		"phases": [{"verb": "partition", "hold": "1500ms"}]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		v, err := runCampaign(fleetConfig{
+			N:               5,
+			Dir:             b.TempDir(),
+			ConvergeTimeout: time.Minute,
+		}, camp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.OK {
+			out, _ := json.Marshal(v)
+			b.Fatalf("campaign verdict not OK: %s", out)
+		}
+		b.ReportMetric(float64(v.ConvergeMS), "converge-ms/op")
+		b.ReportMetric(float64(v.Phases[0].ReconvergeMS), "reconverge-ms/op")
+	}
+}

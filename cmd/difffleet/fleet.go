@@ -42,6 +42,16 @@ type fleetConfig struct {
 	// recovery.
 	Chaos bool
 
+	// Durable equips every node for disruption tolerance: a custody
+	// journal, a state file for warm restarts, and a duplicate-
+	// suppression horizon outlasting any scheduled partition. Campaigns
+	// set this; the plain fleet run does not.
+	Durable bool
+	// SeenTTL is the sink-side duplicate-suppression horizon under
+	// Durable (default 15m — longer than any campaign partition, so a
+	// custody replay after heal is recognized, not re-delivered).
+	SeenTTL time.Duration
+
 	// Stagger paces the joiners' boots; ConvergeTimeout bounds the wait
 	// for full-mesh membership.
 	Stagger         time.Duration
@@ -86,6 +96,9 @@ func (c fleetConfig) withDefaults() fleetConfig {
 	if c.Stagger == 0 {
 		c.Stagger = 15 * time.Millisecond
 	}
+	if c.SeenTTL == 0 {
+		c.SeenTTL = 15 * time.Minute
+	}
 	if c.ConvergeTimeout == 0 {
 		c.ConvergeTimeout = 3 * time.Minute
 	}
@@ -128,33 +141,16 @@ func runFleet(cfg fleetConfig) (*fleetReport, error) {
 	}
 	defer f.teardownKill()
 
-	bin := cfg.Bin
-	if bin == "" {
-		bin = filepath.Join(cfg.Dir, "diffnode")
-		fmt.Fprintf(cfg.Logw, "difffleet: building %s\n", bin)
-		build := exec.Command("go", "build", "-o", bin, "diffusion/cmd/diffnode")
-		if out, err := build.CombinedOutput(); err != nil {
-			return nil, fmt.Errorf("difffleet: go build: %v\n%s", err, out)
-		}
+	bin, err := buildNodeBin(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	rep := &fleetReport{N: cfg.N, Events: cfg.Events}
 	start := time.Now()
 
-	// Boot the seed: the only node that starts with zero knowledge. Every
-	// other node is pointed at the seed's UDP address and learns the rest
-	// of the mesh by gossip.
-	seed, seedAddr, err := f.spawn(bin, 1, "-discover")
-	if err != nil {
+	if _, err := f.bootAll(bin); err != nil {
 		return nil, err
-	}
-	f.seed = seed
-	fmt.Fprintf(cfg.Logw, "difffleet: seed up at udp %s http %s\n", seedAddr.UDP, seedAddr.HTTP)
-	for id := uint32(2); id <= uint32(cfg.N); id++ {
-		if _, _, err := f.spawn(bin, id, "-seed", seedAddr.UDP); err != nil {
-			return nil, err
-		}
-		time.Sleep(cfg.Stagger)
 	}
 
 	// Convergence: walk the mesh from the seed until every node is
@@ -211,6 +207,50 @@ func runFleet(cfg fleetConfig) (*fleetReport, error) {
 	return rep, nil
 }
 
+// buildNodeBin resolves cfg.Bin, building a diffnode into cfg.Dir when
+// none was given (requires running inside the module, as `go test` and
+// the repo checkout do).
+func buildNodeBin(cfg fleetConfig) (string, error) {
+	if cfg.Bin != "" {
+		return cfg.Bin, nil
+	}
+	bin := filepath.Join(cfg.Dir, "diffnode")
+	fmt.Fprintf(cfg.Logw, "difffleet: building %s\n", bin)
+	build := exec.Command("go", "build", "-o", bin, "diffusion/cmd/diffnode")
+	if out, err := build.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("difffleet: go build: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// bootAll boots the whole fleet: the seed — the only node starting with
+// zero knowledge — then every joiner pointed at the seed's UDP address,
+// learning the rest of the mesh by gossip. The seed's UDP port is
+// pre-allocated rather than ephemeral: every joiner's argv names it as
+// the bootstrap address, so a campaign that SIGKILLs and warm-restarts
+// the seed must bring it back on the same port for those configured
+// announces to find it again.
+func (f *fleet) bootAll(bin string) (chaos.AddrFile, error) {
+	ports, err := chaos.FreePorts("udp", 1)
+	if err != nil {
+		return chaos.AddrFile{}, err
+	}
+	seed, seedAddr, err := f.spawn(bin, 1,
+		"-listen", fmt.Sprintf("127.0.0.1:%d", ports[0]), "-discover")
+	if err != nil {
+		return seedAddr, err
+	}
+	f.seed = seed
+	fmt.Fprintf(f.cfg.Logw, "difffleet: seed up at udp %s http %s\n", seedAddr.UDP, seedAddr.HTTP)
+	for id := uint32(2); id <= uint32(f.cfg.N); id++ {
+		if _, _, err := f.spawn(bin, id, "-seed", seedAddr.UDP); err != nil {
+			return seedAddr, err
+		}
+		time.Sleep(f.cfg.Stagger)
+	}
+	return seedAddr, nil
+}
+
 // spawn launches one diffnode on ephemeral ports and waits for its
 // address file.
 func (f *fleet) spawn(bin string, id uint32, extra ...string) (*chaos.Proc, chaos.AddrFile, error) {
@@ -230,6 +270,13 @@ func (f *fleet) spawn(bin string, id uint32, extra ...string) (*chaos.Proc, chao
 		"-exploratory-interval", cfg.ExploratoryInterval.String(),
 		"-reliable",
 		"-drain", "50ms",
+	}
+	if cfg.Durable {
+		argv = append(argv,
+			"-custody-file", filepath.Join(cfg.Dir, fmt.Sprintf("node-%d.custody", id)),
+			"-state-file", filepath.Join(cfg.Dir, fmt.Sprintf("node-%d.state", id)),
+			"-seen-ttl", cfg.SeenTTL.String(),
+		)
 	}
 	argv = append(argv, extra...)
 	var logw io.Writer
@@ -253,6 +300,45 @@ func (f *fleet) spawn(bin string, id uint32, extra ...string) (*chaos.Proc, chao
 	return p, a, nil
 }
 
+// respawn warm-restarts a dead node. The address file is removed first
+// so the fresh process's ephemeral ports are re-learned rather than the
+// stale ones reused; the proc re-execs its identical argv — picking up
+// -custody-file and -state-file recovery — and the harness's HTTP
+// mirror is repointed at the new control plane.
+func (f *fleet) respawn(id uint32) error {
+	p := f.procs[id]
+	if p == nil {
+		return fmt.Errorf("difffleet: respawn: unknown node %d", id)
+	}
+	addrPath := filepath.Join(f.cfg.Dir, fmt.Sprintf("node-%d.addr", id))
+	os.Remove(addrPath)
+	if err := p.Restart(); err != nil {
+		return err
+	}
+	a, err := chaos.WaitAddrFile(addrPath, 15*time.Second)
+	if err != nil {
+		return fmt.Errorf("difffleet: node %d restart: %w", id, err)
+	}
+	p.SetHTTP(a.HTTP)
+	return nil
+}
+
+// entry returns the walk entry point: the seed while it lives, else the
+// lowest-ID survivor (campaigns kill the seed on purpose; the census
+// must not die with it).
+func (f *fleet) entry() *chaos.Proc {
+	if f.seed != nil && f.seed.Alive() {
+		return f.seed
+	}
+	var best *chaos.Proc
+	for _, p := range f.procs {
+		if p.Alive() && (best == nil || p.ID() < best.ID()) {
+			best = p
+		}
+	}
+	return best
+}
+
 // fleetNode is one node's membership view during a walk, annotated with
 // its BFS depth from the seed.
 type fleetNode struct {
@@ -272,18 +358,23 @@ type neighborRow struct {
 	DataRecv uint64 `json:"data_recv"`
 }
 
-// walk BFS-walks GET /neighbors from the seed. Unreachable nodes are
-// simply absent from the result; convergence polling treats that as not
-// yet converged.
+// walk BFS-walks GET /neighbors from the entry point (the seed, or a
+// survivor once campaigns have killed it). Unreachable nodes are simply
+// absent from the result; convergence polling treats that as not yet
+// converged.
 func (f *fleet) walk() map[uint32]*fleetNode {
 	nodes := map[uint32]*fleetNode{}
+	e := f.entry()
+	if e == nil {
+		return nodes
+	}
 	type hop struct {
 		id    uint32
 		http  string
 		depth int
 	}
-	queue := []hop{{1, f.seed.HTTPAddr(), 0}}
-	seen := map[uint32]bool{1: true}
+	queue := []hop{{e.ID(), e.HTTPAddr(), 0}}
+	seen := map[uint32]bool{e.ID(): true}
 	for i := 0; i < len(queue); i++ {
 		h := queue[i]
 		resp, err := f.client.Get("http://" + h.http + "/neighbors")
@@ -494,6 +585,14 @@ func (f *fleet) chaosRelay(rep *fleetReport, sourceID uint32, pub int) error {
 
 // scrapeAnnounces sums discovery announces across the fleet's /metrics.
 func (f *fleet) scrapeAnnounces() uint64 {
+	return f.scrapeMetric("diffusion_discovery_announces_sent")
+}
+
+// scrapeMetric sums one per-node counter across the living fleet's
+// /metrics endpoints. Dead nodes are skipped and a restarted node's
+// counter starts over, so sums are a floor, not an exact lifetime
+// total — good enough for the bounds the harness asserts.
+func (f *fleet) scrapeMetric(name string) uint64 {
 	var total uint64
 	for id, p := range f.procs {
 		if !p.Alive() {
@@ -505,7 +604,7 @@ func (f *fleet) scrapeAnnounces() uint64 {
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		series := fmt.Sprintf(`diffusion_discovery_announces_sent{scope="node%d"}`, id)
+		series := fmt.Sprintf(`%s{scope="node%d"}`, name, id)
 		for _, line := range strings.Split(string(body), "\n") {
 			if strings.HasPrefix(line, series+" ") {
 				var v float64

@@ -10,10 +10,19 @@
 // Usage:
 //
 //	difffleet [-n 100] [-events 20] [-chaos] [-bin path/to/diffnode]
+//	difffleet [-n 100] -campaign campaign.json
 //
 // The run's verdict is printed as one JSON report on stdout:
 // convergence time, announce overhead, events delivered, recovery time
 // after the relay kill, and clean-exit count. Narration goes to stderr.
+//
+// With -campaign, difffleet instead executes the scripted chaos
+// campaign from the given JSON file (see DESIGN.md §10) and prints a
+// campaign verdict. Exit codes then distinguish failure classes:
+// 0 — every phase and invariant held; 1 — usage or infrastructure
+// error (no verdict produced); 2 — the campaign ran and found a
+// violation (lost or duplicated events, census failed to re-converge,
+// demotion churn over bound).
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 
 func main() {
 	var cfg fleetConfig
+	var campaignPath string
 	flag.IntVar(&cfg.N, "n", 100, "fleet size, including the seed")
 	flag.StringVar(&cfg.Bin, "bin", "", "prebuilt diffnode binary (default: go build one)")
 	flag.StringVar(&cfg.Dir, "dir", "", "scratch directory (default: a temp dir)")
@@ -35,8 +45,10 @@ func main() {
 	flag.IntVar(&cfg.DegreeCap, "degree-cap", 0, "per-node neighbor cap (0: 8)")
 	flag.DurationVar(&cfg.Stagger, "stagger", 0, "delay between joiner boots (0: 15ms)")
 	flag.DurationVar(&cfg.ConvergeTimeout, "converge-timeout", 0, "membership convergence deadline (0: 3m)")
+	flag.StringVar(&campaignPath, "campaign", "", "chaos campaign file (JSON); run it instead of the standard sweep")
 	flag.Parse()
 
+	cleanup := func() {}
 	if cfg.Dir == "" {
 		dir, err := os.MkdirTemp("", "difffleet-*")
 		if err != nil {
@@ -44,7 +56,7 @@ func main() {
 			os.Exit(1)
 		}
 		if !cfg.NodeLogs {
-			defer os.RemoveAll(dir)
+			cleanup = func() { os.RemoveAll(dir) }
 		} else {
 			fmt.Fprintf(os.Stderr, "difffleet: logs in %s\n", dir)
 		}
@@ -52,8 +64,37 @@ func main() {
 	}
 	cfg.Logw = os.Stderr
 
+	if campaignPath != "" {
+		raw, err := os.ReadFile(campaignPath)
+		if err != nil {
+			cleanup()
+			fmt.Fprintln(os.Stderr, "difffleet:", err)
+			os.Exit(exitInfra)
+		}
+		camp, err := parseCampaign(raw)
+		if err != nil {
+			cleanup()
+			fmt.Fprintln(os.Stderr, "difffleet:", err)
+			os.Exit(exitInfra)
+		}
+		start := time.Now()
+		v, err := runCampaign(cfg, camp)
+		cleanup()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "difffleet:", err)
+		}
+		if v != nil {
+			fmt.Fprintf(os.Stderr, "difffleet: campaign finished in %v ok=%v\n",
+				time.Since(start).Round(time.Millisecond), v.OK)
+			out, _ := json.MarshalIndent(v, "", "  ")
+			fmt.Println(string(out))
+		}
+		os.Exit(exitCode(v, err))
+	}
+
 	start := time.Now()
 	rep, err := runFleet(cfg)
+	cleanup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

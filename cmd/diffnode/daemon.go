@@ -158,9 +158,13 @@ func startDaemon(cfg Config, logw io.Writer) (*Daemon, error) {
 		cusOpts = &transport.CustodyOptions{
 			// Accept runs on the endpoint's reader goroutine; the queue is
 			// internally locked and journals (fsync) before reporting held,
-			// so the ack the transport sends is backed by disk.
+			// so the ack the transport sends is backed by disk. AcceptOffer
+			// (not Accept) because the offerer releases on our ack: an ID
+			// this node held and released earlier must be re-held, or a
+			// custody walk revisiting us under changed topology would
+			// discharge data nobody holds.
 			Accept: func(from uint32, id message.ID, payload []byte) (held, fresh bool) {
-				return d.cusq.Accept(id, payload)
+				return d.cusq.AcceptOffer(id, payload)
 			},
 			Release: func(peer uint32, id message.ID) {
 				d.cusq.Release(id)
@@ -974,6 +978,7 @@ func (d *Daemon) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		Peered      bool    `json:"peered"`
 		Score       uint64  `json:"score,omitempty"`
 		Energy      float64 `json:"energy,omitempty"`
+		Boot        *uint32 `json:"boot,omitempty"`
 		DataRecv    uint64  `json:"data_recv"`
 		DataSent    uint64  `json:"data_sent"`
 		State       string  `json:"state,omitempty"`
@@ -992,6 +997,13 @@ func (d *Daemon) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 			Origin: m.Origin, Member: m.Membership, Peered: m.Peered,
 			Score: m.Score, Energy: m.Energy,
 			DataRecv: m.DataRecv, DataSent: m.DataSent,
+		}
+		if m.HasBoot {
+			// The peer's incarnation, pointer-typed so "no full announce
+			// yet" is absent rather than a real-looking nonce of 0 — chaos
+			// harnesses diff this across restarts to prove a rejoin.
+			boot := m.Boot
+			rw.Boot = &boot
 		}
 		if m.HasHealth {
 			rw.State = m.Health.State.String()

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"diffusion/internal/chaos"
+)
+
+// TestChaosRestartRejoinsDiscovery pins the contract the fleet chaos
+// campaigns lean on: a SIGKILLed node warm-restarted by chaos.Proc.Restart
+// under -discover rejoins the mesh as a new incarnation. The survivor
+// must (a) re-promote the peer to a peered neighbor, (b) see a new boot
+// nonce in its GET /neighbors row — proof the rejoin path ran rather
+// than the old session limping on — and (c) count the boot-nonce change
+// in discovery.rejoins.
+func TestChaosRestartRejoinsDiscovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live process test skipped in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "diffnode")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	const n = 3
+	udp := freeUDPPorts(t, n)
+	httpPorts := freeTCPPorts(t, n)
+	logs := make([]*lockedBuffer, n)
+	procs := make([]*chaos.Proc, n)
+	for i := 0; i < n; i++ {
+		id := i + 1
+		argv := []string{bin,
+			"-id", fmt.Sprint(id),
+			"-listen", fmt.Sprintf("127.0.0.1:%d", udp[i]),
+			"-http", fmt.Sprintf("127.0.0.1:%d", httpPorts[i]),
+			"-announce-interval", "40ms",
+			"-heartbeat", "25ms",
+			"-suspect-after", "300ms",
+			// Long enough that the survivor still holds the victim as a
+			// promoted (if suspect) neighbor when the new incarnation
+			// announces — that is the rejoin path; a demote-then-recourt
+			// would be a plain join and never count a rejoin.
+			"-dead-after", "5s",
+			"-drain", "100ms",
+		}
+		if i == 0 {
+			argv = append(argv, "-discover")
+		} else {
+			argv = append(argv, "-seed", fmt.Sprintf("127.0.0.1:%d", udp[0]))
+		}
+		logs[i] = newLockedBuffer()
+		p, err := chaos.Start(chaos.ProcSpec{
+			ID:   uint32(id),
+			HTTP: fmt.Sprintf("127.0.0.1:%d", httpPorts[i]),
+			Log:  logs[i],
+			Argv: argv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+		t.Cleanup(func() {
+			if p.Alive() {
+				p.Kill()
+			}
+		})
+	}
+	for i, p := range procs {
+		if err := p.WaitHealthy(10 * time.Second); err != nil {
+			t.Fatalf("%v\n%s", err, logs[i].String())
+		}
+	}
+	survivor, victim := procs[1], procs[2]
+
+	// row fetches the survivor's /neighbors row for the victim.
+	row := func() map[string]any {
+		_, resp := chaosGet(t, survivor, "/neighbors")
+		list, _ := resp["neighbors"].([]any)
+		for _, e := range list {
+			r, _ := e.(map[string]any)
+			if id, _ := r["id"].(float64); uint32(id) == victim.ID() {
+				return r
+			}
+		}
+		return nil
+	}
+	peered := func(r map[string]any) bool {
+		return r != nil && r["member"] == "neighbor" && r["peered"] == true
+	}
+
+	// First incarnation: seed gossip introduces 2 and 3 to each other;
+	// wait for the full two-way handshake and the boot nonce to land.
+	var bootBefore float64
+	waitCluster(t, 15*time.Second, "survivor to peer with the victim", func() bool {
+		r := row()
+		if !peered(r) {
+			return false
+		}
+		b, ok := r["boot"].(float64)
+		bootBefore = b
+		return ok
+	})
+
+	// SIGKILL — no leave frame, no journal flush — then warm-restart the
+	// identical argv. The new process draws a fresh boot nonce and courts
+	// the mesh again through the seed.
+	if err := victim.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // long enough to turn suspect, not dead
+	if err := victim.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.WaitHealthy(10 * time.Second); err != nil {
+		t.Fatalf("%v\n%s", err, logs[2].String())
+	}
+
+	waitCluster(t, 15*time.Second, "survivor to re-peer with the new incarnation", func() bool {
+		r := row()
+		if !peered(r) {
+			return false
+		}
+		b, ok := r["boot"].(float64)
+		return ok && b != bootBefore
+	})
+	bootAfter, _ := row()["boot"].(float64)
+	if bootAfter == bootBefore {
+		t.Fatalf("boot nonce unchanged across restart: %08x", uint32(bootBefore))
+	}
+
+	// The incarnation change is counted: somebody on the mesh (survivor
+	// or seed, whoever still held the promoted record) logs a rejoin.
+	rejoins := 0.0
+	for i := 0; i < 2; i++ {
+		rejoins += sentValue(t, promBody(t, httpPorts[i]),
+			fmt.Sprintf(`diffusion_discovery_rejoins{scope="node%d"}`, i+1))
+	}
+	if rejoins < 1 {
+		t.Errorf("discovery_rejoins = %v across survivor+seed, want >= 1", rejoins)
+	}
+	t.Logf("victim rejoined: boot %08x -> %08x, rejoins %v",
+		uint32(bootBefore), uint32(bootAfter), rejoins)
+
+	for i, p := range procs {
+		if err := p.Terminate(10 * time.Second); err != nil {
+			t.Errorf("%v\n%s", err, logs[i].String())
+		}
+	}
+}

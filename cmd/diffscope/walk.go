@@ -24,15 +24,17 @@ const walkLimit = 1024
 type meshNode struct {
 	Addr      string
 	ID        uint32 `json:"id"`
+	Boot      uint32 `json:"boot"`
 	Degree    int    `json:"degree"`
 	Cap       int    `json:"cap"`
 	Discovery bool   `json:"discovery"`
 	Neighbors []struct {
-		ID     uint32 `json:"id"`
-		HTTP   string `json:"http"`
-		Member string `json:"member"`
-		Peered bool   `json:"peered"`
-		Origin string `json:"origin"`
+		ID     uint32  `json:"id"`
+		HTTP   string  `json:"http"`
+		Member string  `json:"member"`
+		Peered bool    `json:"peered"`
+		Origin string  `json:"origin"`
+		Boot   *uint32 `json:"boot"` // the peer's incarnation; nil before its first full announce
 	} `json:"neighbors"`
 }
 
@@ -118,7 +120,7 @@ func walkReport(w io.Writer, nodes []meshNode) {
 		if n.Discovery {
 			mode = "discovery"
 		}
-		fmt.Fprintf(w, "  node %d (%s): %s, degree %d/%d, peers: %s\n",
-			n.ID, n.Addr, mode, n.Degree, n.Cap, strings.Join(parts, ", "))
+		fmt.Fprintf(w, "  node %d (%s): %s, boot %08x, degree %d/%d, peers: %s\n",
+			n.ID, n.Addr, mode, n.Boot, n.Degree, n.Cap, strings.Join(parts, ", "))
 	}
 }

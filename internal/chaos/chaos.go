@@ -332,3 +332,75 @@ func Heal(a, b *Proc) error {
 	}
 	return b.Unblock(a.ID())
 }
+
+// ClearBlocked empties the member's blocked set in one update,
+// regardless of how the blocks accumulated.
+func (p *Proc) ClearBlocked() error {
+	p.mu.Lock()
+	p.blocked = map[uint32]bool{}
+	p.mu.Unlock()
+	return p.postChaos(map[string]any{"blocked": []uint32{}})
+}
+
+// PartitionGroups splits the fleet into islands: every member of each
+// group blocks every member of every other group, so no traffic crosses
+// a group boundary while intra-group links stay intact. Members that are
+// not running are skipped — a dead process has no endpoint to program,
+// and the surviving side's blocks already drop both directions of every
+// cross-boundary pair. Callers restarting a member inside a held
+// partition rely on exactly that: Restart resets the fresh process to
+// unimpaired, and the far side's blocks keep the split in force.
+func PartitionGroups(groups ...[]*Proc) error {
+	for gi, g := range groups {
+		var foreign []uint32
+		for gj, h := range groups {
+			if gj == gi {
+				continue
+			}
+			for _, q := range h {
+				foreign = append(foreign, q.ID())
+			}
+		}
+		if len(foreign) == 0 {
+			continue
+		}
+		for _, p := range g {
+			if !p.Alive() {
+				continue
+			}
+			if err := p.Block(foreign...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HealAll lifts every block on every running member, healing any
+// partition regardless of how it was constructed. Loss settings are
+// untouched — partitions and loss are independent levers.
+func HealAll(procs ...*Proc) error {
+	for _, p := range procs {
+		if !p.Alive() {
+			continue
+		}
+		if err := p.ClearBlocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetLossAll sets the same egress loss probability on every running
+// member — the mesh-wide level of a fleet loss ramp.
+func SetLossAll(f float64, procs ...*Proc) error {
+	for _, p := range procs {
+		if !p.Alive() {
+			continue
+		}
+		if err := p.SetLoss(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

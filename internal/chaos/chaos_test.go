@@ -226,3 +226,81 @@ func TestLossRamp(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupPartitionLevers drives PartitionGroups/HealAll/SetLossAll
+// against live /chaos endpoints: islands block exactly the foreign IDs,
+// dead members are skipped rather than erred on, HealAll empties every
+// survivor's blocked set, and SetLossAll programs one mesh-wide level.
+func TestGroupPartitionLevers(t *testing.T) {
+	stubs := make([]*stubMember, 4)
+	procs := make([]*Proc, 4)
+	for i := range procs {
+		stubs[i] = newStubMember(t)
+		p, err := Start(ProcSpec{ID: uint32(i + 1), Argv: sleepArgv(t), HTTP: stubs[i].addr()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Kill() })
+		procs[i] = p
+	}
+
+	// Bisect {1,2} | {3,4}: each side blocks exactly the other side.
+	if err := PartitionGroups(procs[:2], procs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"[3,4]", "[3,4]", "[1,2]", "[1,2]"} {
+		if got, _ := json.Marshal(stubs[i].last(t)["blocked"]); string(got) != want {
+			t.Fatalf("member %d blocked = %s, want %s", i+1, got, want)
+		}
+	}
+
+	// A dead member is skipped: re-partitioning into islands programs the
+	// three survivors and does not fail on the corpse.
+	if err := procs[3].Kill(); err != nil {
+		t.Fatal(err)
+	}
+	stubs[3].mu.Lock()
+	posted := len(stubs[3].chaos)
+	stubs[3].mu.Unlock()
+	if err := PartitionGroups([]*Proc{procs[0]}, []*Proc{procs[1]}, procs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(stubs[0].last(t)["blocked"]); string(got) != "[2,3,4]" {
+		t.Fatalf("island member 1 blocked = %s", got)
+	}
+	if got, _ := json.Marshal(stubs[2].last(t)["blocked"]); string(got) != "[1,2]" {
+		t.Fatalf("island member 3 blocked = %s", got)
+	}
+	stubs[3].mu.Lock()
+	after := len(stubs[3].chaos)
+	stubs[3].mu.Unlock()
+	if after != posted {
+		t.Fatal("PartitionGroups posted to a dead member")
+	}
+
+	// HealAll clears every survivor's blocked set in one update each.
+	if err := HealAll(procs...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got, _ := json.Marshal(stubs[i].last(t)["blocked"]); string(got) != "[]" {
+			t.Fatalf("member %d blocked after HealAll = %s", i+1, got)
+		}
+	}
+
+	// SetLossAll programs the same level everywhere that is still alive.
+	if err := SetLossAll(0.3, procs...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if v := stubs[i].last(t)["loss"]; v != 0.3 {
+			t.Fatalf("member %d loss = %v", i+1, v)
+		}
+	}
+	stubs[3].mu.Lock()
+	final := len(stubs[3].chaos)
+	stubs[3].mu.Unlock()
+	if final != posted {
+		t.Fatal("HealAll/SetLossAll posted to a dead member")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"diffusion/internal/custody"
 	"diffusion/internal/message"
 	"diffusion/internal/telemetry"
@@ -180,20 +182,29 @@ func (n *Node) replayItem(it custody.Item) (stop bool) {
 	// Never replay toward the hop the message arrived from: in
 	// store-and-carry mode that neighbor's duplicate cache would
 	// swallow the copy (a silent loss after the optimistic release),
-	// and in custody-transfer mode the upstream custodian's
-	// released-ID memory would acknowledge — and so discharge — data
-	// it no longer holds. Data captured at its own source carries
-	// PrevHop == self, which never matches a gradient.
+	// and in custody-transfer mode bouncing it straight back wastes a
+	// durable round-trip the sender just paid for. Data captured at
+	// its own source carries PrevHop == self, which never matches a
+	// gradient.
 	avoid := m.PrevHop
 	now := n.cfg.Clock.Now()
 	entries := n.matchingEntries(m.Attrs)
 	defer n.putEntryBuf(entries)
 
 	// The role may have moved here since capture (warm restart):
-	// deliver locally and discharge.
+	// deliver locally and discharge. A seen-cache hit means the message
+	// already went through this node's delivery path in this session —
+	// the flood copy of an origin-captured exploratory, typically — so
+	// discharge without a second delivery. Delivering marks the ID seen:
+	// a replay pass that wins the race against the transport's pending
+	// deliverUp dispatch for the same frame must not let coreData
+	// deliver it a second time.
 	for _, e := range entries {
 		if len(e.localSubs) > 0 {
-			n.deliverLocal(m)
+			if !n.wasSeen(m.ID) {
+				n.markSeen(m.ID)
+				n.deliverLocal(m)
+			}
 			n.custodyDischarge(it.ID)
 			break
 		}
@@ -227,17 +238,72 @@ func (n *Node) replayItem(it custody.Item) (stop bool) {
 		// through the custody link, and the item stays queued until
 		// the peer's durable accept releases it; re-invocations before
 		// the ack are deduplicated by the transport.
-		if len(reinforced) == 0 {
-			return false
+		targets := reinforced
+		if len(targets) == 0 {
+			// No reinforced hop (the path decayed, or this node was never
+			// on one): walk the item strictly SINKWARD along plain
+			// gradients, using the per-gradient hop distances the interest
+			// flood refreshes. This is how stranded data escapes the
+			// duplicate-cache moat a fault leaves behind — every node that
+			// saw the flood while the sink was cut off drops a re-flood,
+			// but a custody handoff rides the transport's durable
+			// accept/ack path, and a holder that already saw the ID keeps
+			// it queued and walks it onward (a prior holder re-holds: the
+			// transport accepts link offers with AcceptOffer, which
+			// re-admits released IDs rather than blind-acking them, so a
+			// revisit under changed topology moves the item instead of
+			// vanishing it). Strict descent against the entry's
+			// current-epoch distance (freshHops, consistent fleet-wide
+			// within one interest flood) plus the avoid rule keeps each
+			// pass cycle-free and the copy count low. Churn can
+			// transiently leave no strictly-closer hop; the item just
+			// waits out the next interest refresh. Candidates are tried
+			// closest-first: a
+			// stale gradient toward a peer the transport no longer knows
+			// must not wedge the item behind a failed send.
+			type cand struct {
+				nb   message.NodeID
+				hops uint8
+			}
+			var cands []cand
+			candSeen := map[message.NodeID]bool{}
+			for _, e := range entries {
+				if !e.hasFreshHops {
+					continue
+				}
+				for nb, g := range e.gradients {
+					if nb == avoid || !g.hasHops || g.hops >= e.freshHops || candSeen[nb] {
+						continue
+					}
+					candSeen[nb] = true
+					cands = append(cands, cand{nb, g.hops})
+				}
+			}
+			slices.SortFunc(cands, func(a, b cand) int {
+				if a.hops != b.hops {
+					return int(a.hops) - int(b.hops)
+				}
+				return int(a.nb) - int(b.nb)
+			})
+			for _, c := range cands {
+				targets = append(targets, c.nb)
+			}
+			if len(targets) == 0 {
+				return false
+			}
 		}
-		out := m.Clone()
-		out.Class = message.Data
-		out.PrevHop = selfID(n)
-		out.NextHop = reinforced[0]
-		n.markSeen(out.ID)
-		n.cfg.Custody.NoteReplay()
-		n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
-		n.transmit(out)
+		for _, nb := range targets {
+			out := m.Clone()
+			out.Class = message.Data
+			out.PrevHop = selfID(n)
+			out.NextHop = nb
+			n.markSeen(out.ID)
+			n.span(telemetry.SpanCustodyReplay, telemetry.SpanLayerCustody, out, uint32(out.NextHop), telemetry.DropNone)
+			if n.transmit(out) == nil {
+				n.cfg.Custody.NoteReplay()
+				break
+			}
+		}
 	default:
 		// Store-and-carry: re-offer to one live next hop — reinforced
 		// if available — as unicast exploratory data (the receiver

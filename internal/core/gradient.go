@@ -37,6 +37,17 @@ type interestEntry struct {
 	// sending neighbor within the current window.
 	dupFrom  map[message.NodeID]int
 	dupSince time.Duration
+	// freshHops is this node's distance from the sink measured within the
+	// newest interest flood epoch only (distinguished by interest message
+	// ID, reset each refresh). Unlike hops below — a lifetime minimum that
+	// can only shrink — it tracks the current topology, so custody's
+	// sinkward walk can make strict-descent comparisons against it after
+	// churn has lengthened paths. Within one epoch every node's value
+	// derives from the same flood, so the descent is consistent
+	// fleet-wide and the walk cannot cycle.
+	freshHops    uint8
+	freshHopsID  message.ID
+	hasFreshHops bool
 	// hops is the smallest hop count at which this interest has reached
 	// us (as it would leave this node), so a recovered neighbor can be
 	// re-offered the interest with an honest TTL budget.
@@ -71,6 +82,13 @@ type interestEntry struct {
 type gradient struct {
 	expires         time.Duration
 	reinforcedUntil time.Duration
+	// hops is the neighbor's own distance from the sink, as carried by
+	// the last interest it forwarded here (its HopCount on arrival).
+	// Custody replay uses it to walk stranded items strictly sinkward
+	// when no reinforced path exists; refreshed on every interest copy,
+	// so it tracks the live topology at the interest cadence.
+	hops    uint8
+	hasHops bool
 }
 
 // reinforced reports whether the gradient carries high-rate data at time
@@ -195,6 +213,13 @@ func (n *Node) coreInterest(m *message.Message, local bool) {
 			n.noteEntryEmptiness(e)
 		}
 		g.expires = now + n.cfg.GradientLifetime
+		g.hops = m.HopCount
+		g.hasHops = true
+		if h := m.HopCount + 1; !e.hasFreshHops || e.freshHopsID != m.ID || h < e.freshHops {
+			e.freshHops = h
+			e.freshHopsID = m.ID
+			e.hasFreshHops = true
+		}
 		if h := m.HopCount + 1; !e.hasHops || h < e.hops {
 			e.hops = h
 			e.hasHops = true
@@ -268,6 +293,22 @@ func (n *Node) coreData(m *message.Message, local bool) {
 		// paths energy-aware reinforcement chooses between.
 		if m.Class == message.ExploratoryData && !local && n.cfg.EnergyAware {
 			n.addExpCand(m.ID, m.PrevHop)
+		}
+		// A duplicate arriving where custody of the same ID is still held
+		// is a custody replay racing the original: the flood copy beat the
+		// custody walk here. If this node is a sink for the message, the
+		// seen-hit proves the application already got it — the custody
+		// entry has served its purpose, so release it rather than vouch
+		// forever for delivered data.
+		if n.custodyOn() && n.cfg.Custody.Has(m.ID) {
+			entries := n.matchingEntries(m.Attrs)
+			for _, e := range entries {
+				if len(e.localSubs) > 0 {
+					n.custodyDischarge(m.ID)
+					break
+				}
+			}
+			n.putEntryBuf(entries)
 		}
 		return
 	}
@@ -402,6 +443,18 @@ func (n *Node) coreData(m *message.Message, local bool) {
 		// no sink here either is the other disruption case: hold it.
 		if !anyForward && !isSinkFor && !n.custodyCapture(m) {
 			n.span(telemetry.SpanDrop, telemetry.SpanLayerCore, m, uint32(m.PrevHop), telemetry.DropNoPath)
+		}
+		// In custody-transfer mode the origin also vouches for exploratory
+		// data it could flood: the broadcast is fire-and-forget — no hop
+		// acknowledges it — and under membership churn whole stretches of a
+		// stream travel in this class (every NeighborRecovered re-primes the
+		// publication), so a partition boundary would swallow them silently.
+		// The item is replayed later as plain data down a reinforced
+		// gradient and handed custodian-to-custodian; if the flood copy did
+		// arrive, the sink's duplicate arrival discharges the chain instead
+		// of delivering twice.
+		if local && anyForward && !isSinkFor && n.custodyLink != nil {
+			n.custodyCapture(m)
 		}
 	case message.Data:
 		if local && len(reinforcedTargets) == 0 {

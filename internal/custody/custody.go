@@ -136,6 +136,41 @@ func (q *Queue) Accept(id message.ID, payload []byte) (held, fresh bool) {
 	if q.released[id] {
 		return true, false
 	}
+	return q.admitLocked(id, payload)
+}
+
+// AcceptOffer takes custody of (id, payload) offered hop-by-hop over a
+// custody link. It differs from Accept in one case: an ID found in the
+// released memory is re-admitted instead of blind-acknowledged. A link
+// offerer discharges its copy the moment we acknowledge, so acking data
+// this node released earlier would drop it from the network entirely
+// whenever a custody walk revisits a prior holder — which changed
+// topology makes legitimate, not a protocol error. Re-admission costs at
+// worst one duplicate copy walking to the sink, where the duplicate cache
+// discharges it; the blind ack costs the message. Store-and-carry keeps
+// plain Accept: its re-offers are broadcast-adjacent and the released
+// memory is what makes lost-ack retransmissions exactly-once there.
+func (q *Queue) AcceptOffer(id message.ID, payload []byte) (held, fresh bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.items[id]; ok {
+		return true, false
+	}
+	if q.released[id] {
+		delete(q.released, id)
+		for i, rid := range q.relOrder {
+			if rid == id {
+				q.relOrder = append(q.relOrder[:i], q.relOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	return q.admitLocked(id, payload)
+}
+
+// admitLocked appends a new item (id not queued or released). Callers
+// hold q.mu.
+func (q *Queue) admitLocked(id message.ID, payload []byte) (held, fresh bool) {
 	if len(q.order) >= q.limit {
 		q.c.Shed++
 		return false, false

@@ -40,6 +40,40 @@ func TestQueueAcceptReleaseDedup(t *testing.T) {
 	}
 }
 
+func TestQueueAcceptOfferReholdsReleased(t *testing.T) {
+	q := NewQueue(4, nil)
+	q.Accept(mid(1), []byte("a"))
+	q.Release(mid(1))
+	// A link offer for released custody is re-admitted, not blind-acked:
+	// the offerer discharges on our ack, so acking data we no longer hold
+	// would drop it from the network when a walk revisits a prior holder.
+	held, fresh := q.AcceptOffer(mid(1), []byte("a"))
+	if !held || !fresh {
+		t.Fatalf("offer of released id: held=%v fresh=%v, want re-admitted", held, fresh)
+	}
+	if !q.Has(mid(1)) {
+		t.Fatal("released id not re-held after AcceptOffer")
+	}
+	// While held, a retransmitted offer is re-acked without re-admission,
+	// same as Accept.
+	if held, fresh := q.AcceptOffer(mid(1), []byte("a")); !held || fresh {
+		t.Fatalf("duplicate offer: held=%v fresh=%v, want held, not fresh", held, fresh)
+	}
+	if c := q.Counters(); c.Accepted != 2 || c.Released != 1 {
+		t.Fatalf("counters = %+v, want 2 accepted, 1 released", c)
+	}
+	// The released-memory entry was consumed: release and re-offer again
+	// to prove the cycle is repeatable, then check plain Accept still
+	// blind-acks what AcceptOffer would re-hold.
+	q.Release(mid(1))
+	if held, fresh := q.Accept(mid(1), []byte("a")); !held || fresh {
+		t.Fatalf("plain accept of released id: held=%v fresh=%v, want held, not fresh", held, fresh)
+	}
+	if q.Has(mid(1)) {
+		t.Fatal("plain Accept re-admitted a released id")
+	}
+}
+
 func TestQueueAdmissionNeverEvictsCustody(t *testing.T) {
 	q := NewQueue(2, nil)
 	q.Accept(mid(1), []byte("a"))

@@ -166,6 +166,8 @@ type Member struct {
 	Peered         bool   // the peer currently lists us as its neighbor
 	Score          uint64 // cluster-head score for the peer's current boot
 	Energy         float64
+	Boot           uint32 // the peer's boot nonce from its last full announce
+	HasBoot        bool   // Boot is meaningful (probes carry no nonce)
 	DataRecv       uint64 // payload frames delivered from this peer
 	DataSent       uint64 // payload frames sent toward this peer
 	Health         PeerHealth
@@ -491,8 +493,14 @@ func (d *discovery) round() {
 			}
 		default:
 			// Non-neighbor records expire after prolonged silence so the
-			// table tracks the mesh, not its history.
-			if now.Sub(r.lastHeard) > 10*d.cfg.Interval {
+			// table tracks the mesh, not its history — except records inside
+			// their courtship retry window. Their silence is self-inflicted
+			// (we stopped probing them, so they stopped replying), and
+			// deleting them would wipe the escalating backoff counter; seed
+			// gossip re-teaches the record moments later with a fresh
+			// counter, and the saturation courtship loop the backoff exists
+			// to damp starts over at the floor.
+			if now.Sub(r.lastHeard) > 10*d.cfg.Interval && !now.Before(r.retryAt) {
 				delete(d.recs, id)
 			}
 		}
@@ -614,19 +622,33 @@ func (d *discovery) promoteLocked(r *discoRec, now time.Time) {
 	d.u.stats.MemberJoins.Add(1)
 }
 
+// Courtship damping schedule. A failed two-way handshake retries after
+// 5 announce intervals, doubling per consecutive failure; after
+// courtshipQuiesceAfter straight failures the peer is treated as
+// saturated and the retry jumps to courtshipQuiesceIntervals — far past
+// any plausible soft-state horizon, so the courtship effectively stops.
+const (
+	courtshipQuiesceAfter     = 3
+	courtshipQuiesceIntervals = 5 << 10 // 5120 announce intervals
+)
+
 // handshakeBackoffLocked returns the retry damping after a failed
-// two-way handshake and escalates it for the next failure: 5 intervals
-// the first time, doubling up to 320. Without escalation a sub-cap node
-// bordering a saturated clique courts the same full peers forever —
-// promote, hold the one-way slot three intervals, demote, retry — and
-// every cycle purges its gradients (the demote is a NeighborDead to the
-// core) while flooding announces. The counter resets the moment the peer
-// does reciprocate, or when it returns with a new boot.
+// two-way handshake and escalates it for the next failure: 5 intervals,
+// then 10, then 20, then the quiescent ceiling. Without the ceiling a
+// sub-cap node bordering a saturated clique courts the same full peers
+// forever — promote, hold the one-way slot three intervals, demote,
+// retry — and every cycle purges its gradients (the demote is a
+// NeighborDead to the core) while flooding announces. Quiescing is safe
+// because the damped record is passive, not blind: the counter resets
+// the moment the peer does reciprocate or returns with a new boot, and
+// a peer that later frees a slot courts us itself — its peered announce
+// bypasses retryAt via the peerWantsUs override in considerLocked.
 func (d *discovery) handshakeBackoffLocked(r *discoRec) time.Duration {
-	delay := 5 * d.cfg.Interval << r.backoff
-	if r.backoff < 6 {
-		r.backoff++
+	if r.backoff >= courtshipQuiesceAfter {
+		return courtshipQuiesceIntervals * d.cfg.Interval
 	}
+	delay := 5 * d.cfg.Interval << r.backoff
+	r.backoff++
 	return delay
 }
 
@@ -681,7 +703,7 @@ func (d *discovery) considerLocked(r *discoRec, now time.Time, peerWantsUs, lone
 		protect = true
 	}
 	d.demoteLocked(w, stCandidate)
-	w.retryAt = now.Add(5 * d.cfg.Interval)
+	w.retryAt = now.Add(d.handshakeBackoffLocked(w))
 	d.u.stats.MemberEvictions.Add(1)
 	d.promoteLocked(r, now)
 	r.protected = protect
@@ -801,9 +823,12 @@ func (d *discovery) onAnnounce(from, boot uint32, a announce, src *net.UDPAddr) 
 	case r.state == stNeighbor:
 		if !peerWantsUs && r.peered {
 			// It held a slot for us and let it go (evicted us, or left and
-			// came back smaller): symmetry is gone, drop it too.
+			// came back smaller): symmetry is gone, drop it too. This is a
+			// failed handshake from our side — escalate the same damping as
+			// the deadline path, or a pair straddling a saturation boundary
+			// re-courts at the floor forever.
 			d.demoteLocked(r, stCandidate)
-			r.retryAt = now.Add(5 * d.cfg.Interval)
+			r.retryAt = now.Add(d.handshakeBackoffLocked(r))
 			d.u.stats.MemberDemotions.Add(1)
 			events = append(events, memberEvt{from, MemberDemoted})
 		}
@@ -1116,6 +1141,7 @@ func (d *discovery) annotateLocked(m *Member, r *discoRec) {
 	m.Peered = r.peered || r.cfg
 	m.Score = r.score
 	m.Energy = float64(r.energy) / 1000
+	m.Boot, m.HasBoot = r.boot, r.haveBoot
 }
 
 // close stops the announce goroutine.

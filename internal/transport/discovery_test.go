@@ -425,11 +425,13 @@ func TestDiscoveryHandshakeTimeoutDemotes(t *testing.T) {
 }
 
 // TestHandshakeBackoffEscalation pins the damping schedule: 5 intervals
-// after the first failed handshake, doubling per failure, capped at 320.
+// after the first failed handshake, doubling per failure, then jumping
+// to the quiescent ceiling after courtshipQuiesceAfter straight
+// failures — a saturated peer is left alone until it courts us itself.
 func TestHandshakeBackoffEscalation(t *testing.T) {
 	d := &discovery{cfg: DiscoveryConfig{Interval: time.Millisecond}}
 	r := &discoRec{}
-	for i, want := range []time.Duration{5, 10, 20, 40, 80, 160, 320, 320} {
+	for i, want := range []time.Duration{5, 10, 20, 5 << 10, 5 << 10} {
 		if got := d.handshakeBackoffLocked(r); got != want*time.Millisecond {
 			t.Errorf("failure %d: delay %v, want %v", i+1, got, want*time.Millisecond)
 		}
@@ -652,4 +654,104 @@ func TestDiscoveryGossipMesh(t *testing.T) {
 		ms, oks := memberOf(seed, 3)
 		return okb && oks && mb.Membership == "left" && ms.Membership == "left"
 	}, "graceful leave demoted everywhere")
+}
+
+// TestDiscoverySaturationQuiesce reproduces the DESIGN.md §10 saturation
+// case: n = cap + 2 at degree cap 8, so the regular graph cannot fit
+// everyone at full degree and at least one node converges sub-cap next
+// to a saturated clique. Before the courtship quiesce ceiling that node
+// re-courted its full peers forever — the damped candidate record
+// expired after ten quiet intervals, gossip re-taught it with a fresh
+// backoff counter, and discovery.demotions grew without bound. The fix
+// must make the mesh go quiet: after convergence the fleet-wide demotion
+// total has to stop growing and stay stopped.
+func TestDiscoverySaturationQuiesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second saturation soak skipped in -short mode")
+	}
+	const (
+		n        = 10
+		cap      = 8
+		interval = 20 * time.Millisecond
+	)
+	nodes := make([]*UDP, 0, n)
+	defer func() {
+		for _, u := range nodes {
+			u.Close()
+		}
+	}()
+	mk := func(id uint32, seeds []string) *UDP {
+		u, err := ListenUDP(UDPConfig{
+			ID:       id,
+			Listen:   "127.0.0.1:0",
+			Seed:     int64(id),
+			Deliver:  func(uint32, []byte) {},
+			Liveness: &LivenessConfig{Interval: 50 * time.Millisecond},
+			Discovery: &DiscoveryConfig{
+				Seeds:       seeds,
+				Interval:    interval,
+				DegreeCap:   cap,
+				VocabDigest: testVocab,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	seed := mk(1, nil)
+	nodes = append(nodes, seed)
+	seedAddr := []string{seed.LocalAddr().String()}
+	for id := 2; id <= n; id++ {
+		nodes = append(nodes, mk(uint32(id), seedAddr))
+	}
+
+	converged := func() bool {
+		for _, u := range nodes {
+			ok := false
+			for _, m := range u.Members() {
+				if m.MembershipCode == MembershipNeighbor && m.Peered {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !converged() {
+		if time.Now().After(deadline) {
+			t.Fatal("saturated mesh did not converge in 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	demotions := func() uint64 {
+		var total uint64
+		for _, u := range nodes {
+			total += u.Stats().MemberDemotions.Load()
+		}
+		return total
+	}
+	// Quiescence: no demotion anywhere for 4 full seconds (200 announce
+	// intervals — pre-fix the churn loop demoted roughly every dozen
+	// intervals per courting pair, so a window this long cannot happen by
+	// luck). Allow up to 45s for the escalating schedule to play out.
+	last, lastChange := demotions(), time.Now()
+	soak := time.Now().Add(45 * time.Second)
+	for {
+		time.Sleep(100 * time.Millisecond)
+		if now, cur := time.Now(), demotions(); cur != last {
+			last, lastChange = cur, now
+		} else if now.Sub(lastChange) >= 4*time.Second {
+			break
+		}
+		if time.Now().After(soak) {
+			t.Fatalf("demotions never quiesced: total %d still growing after 45s", last)
+		}
+	}
+	t.Logf("saturated n=%d cap=%d mesh quiesced at %d total demotions", n, cap, last)
 }
